@@ -1,0 +1,158 @@
+//! Criterion benchmarks, one group per table/figure of the paper's evaluation.
+//!
+//! The groups deliberately use a small scenario so `cargo bench` completes in minutes; the
+//! `paper_experiments` binary runs the same experiments at larger scales and prints the full
+//! series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use urm_bench::experiments::{Harness, HarnessConfig};
+use urm_core::{evaluate, top_k, Algorithm, Strategy};
+use urm_datagen::workload::{self, QueryId};
+
+fn harness() -> Harness {
+    Harness::new(HarnessConfig::tiny()).expect("harness")
+}
+
+/// Figure 9(a): o-ratio computation over growing mapping sets.
+fn fig09_oratio(c: &mut Criterion) {
+    let h = harness();
+    c.bench_function("fig09/o-ratio", |b| {
+        b.iter(|| h.fig9_oratio().unwrap());
+    });
+}
+
+/// Figure 10(a): the `basic` breakdown on the default query.
+fn fig10a_basic_breakdown(c: &mut Criterion) {
+    let h = harness();
+    let q4 = workload::query(QueryId::Q4);
+    let s = h.scenario(QueryId::Q4.target());
+    c.bench_function("fig10a/basic-Q4", |b| {
+        b.iter(|| evaluate(&q4, &s.mappings, &s.catalog, Algorithm::Basic).unwrap());
+    });
+}
+
+/// Figures 10(b)/(c): the simple solutions on Q4.
+fn fig10bc_simple_solutions(c: &mut Criterion) {
+    let h = harness();
+    let q4 = workload::query(QueryId::Q4);
+    let s = h.scenario(QueryId::Q4.target());
+    let mut group = c.benchmark_group("fig10bc");
+    for algorithm in [Algorithm::Basic, Algorithm::EBasic, Algorithm::EMqo] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algorithm.name()),
+            &algorithm,
+            |b, &alg| b.iter(|| evaluate(&q4, &s.mappings, &s.catalog, alg).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+/// Figures 11(a)–(c): e-basic vs q-sharing vs o-sharing on Q4.
+fn fig11_sharing(c: &mut Criterion) {
+    let h = harness();
+    let q4 = workload::query(QueryId::Q4);
+    let s = h.scenario(QueryId::Q4.target());
+    let mut group = c.benchmark_group("fig11/sharing");
+    for algorithm in [
+        Algorithm::EBasic,
+        Algorithm::QSharing,
+        Algorithm::OSharing(Strategy::Sef),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algorithm.name()),
+            &algorithm,
+            |b, &alg| b.iter(|| evaluate(&q4, &s.mappings, &s.catalog, alg).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+/// Figure 11(d): number of selection operators.
+fn fig11d_selections(c: &mut Criterion) {
+    let h = harness();
+    let s = h.scenario(urm_datagen::TargetSchemaKind::Excel);
+    let mut group = c.benchmark_group("fig11d/selections");
+    for n in 1..=5usize {
+        let query = workload::selection_sweep(n).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &query, |b, q| {
+            b.iter(|| {
+                evaluate(q, &s.mappings, &s.catalog, Algorithm::OSharing(Strategy::Sef)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 11(e): number of Cartesian product operators.
+fn fig11e_products(c: &mut Criterion) {
+    let h = harness();
+    let s = h.scenario(urm_datagen::TargetSchemaKind::Excel);
+    let mut group = c.benchmark_group("fig11e/products");
+    for n in 1..=3usize {
+        let query = workload::product_sweep(n).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &query, |b, q| {
+            b.iter(|| {
+                evaluate(q, &s.mappings, &s.catalog, Algorithm::OSharing(Strategy::Sef)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 11(f) / Table IV: operator-selection strategies on Q4.
+fn fig11f_strategies(c: &mut Criterion) {
+    let h = harness();
+    let q4 = workload::query(QueryId::Q4);
+    let s = h.scenario(QueryId::Q4.target());
+    let mut group = c.benchmark_group("fig11f/strategies");
+    for (name, strategy) in [
+        ("Random", Strategy::Random { seed: 11 }),
+        ("SNF", Strategy::Snf),
+        ("SEF", Strategy::Sef),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &strategy, |b, &st| {
+            b.iter(|| evaluate(&q4, &s.mappings, &s.catalog, Algorithm::OSharing(st)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Figures 12(a)–(c): top-k vs full o-sharing.
+fn fig12_topk(c: &mut Criterion) {
+    let h = harness();
+    let mut group = c.benchmark_group("fig12/topk");
+    for (label, id) in [("Q4", QueryId::Q4), ("Q7", QueryId::Q7), ("Q10", QueryId::Q10)] {
+        let query = workload::query(id);
+        let s = h.scenario(id.target());
+        group.bench_function(BenchmarkId::new("osharing", label), |b| {
+            b.iter(|| {
+                evaluate(
+                    &query,
+                    &s.mappings,
+                    &s.catalog,
+                    Algorithm::OSharing(Strategy::Sef),
+                )
+                .unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("top1", label), |b| {
+            b.iter(|| top_k(&query, &s.mappings, &s.catalog, 1, Strategy::Sef).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = paper;
+    config = Criterion::default().sample_size(10);
+    targets =
+        fig09_oratio,
+        fig10a_basic_breakdown,
+        fig10bc_simple_solutions,
+        fig11_sharing,
+        fig11d_selections,
+        fig11e_products,
+        fig11f_strategies,
+        fig12_topk
+}
+criterion_main!(paper);

@@ -1,0 +1,41 @@
+//! Regenerates every table and figure of the paper's evaluation section and prints them as
+//! text tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p urm-bench --bin paper_experiments [--tiny] [--scale N] [--mappings H]
+//! ```
+
+use std::env;
+use urm_bench::experiments::{Harness, HarnessConfig};
+use urm_bench::report;
+
+fn main() {
+    let args: Vec<String> = env::args().collect();
+    let mut config = if args.iter().any(|a| a == "--tiny") {
+        HarnessConfig::tiny()
+    } else {
+        HarnessConfig::default()
+    };
+    if let Some(pos) = args.iter().position(|a| a == "--scale") {
+        if let Some(v) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
+            config.scale = v;
+        }
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--mappings") {
+        if let Some(v) = args.get(pos + 1).and_then(|s| s.parse().ok()) {
+            config.mappings = v;
+        }
+    }
+
+    eprintln!(
+        "generating scenarios (scale={}, mappings={}, seed={}) …",
+        config.scale, config.mappings, config.seed
+    );
+    let harness = Harness::new(config).expect("scenario generation failed");
+    eprintln!("running experiments …");
+    let rows = harness.run_all().expect("experiment run failed");
+    println!("{}", report::render_all(&rows));
+    eprintln!("done: {} data points", rows.len());
+}

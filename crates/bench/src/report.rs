@@ -1,0 +1,122 @@
+//! Rendering experiment rows as text tables.
+
+use crate::experiments::ExperimentRow;
+use std::collections::BTreeMap;
+
+/// Renders the rows of one experiment as a markdown-ish table: one line per x value, one column
+/// per series, cells showing `time_ms (operators)`.
+#[must_use]
+pub fn render_table(experiment: &str, rows: &[ExperimentRow]) -> String {
+    let rows: Vec<&ExperimentRow> = rows.iter().filter(|r| r.experiment == experiment).collect();
+    if rows.is_empty() {
+        return format!("(no rows for {experiment})\n");
+    }
+    let mut series: Vec<String> = Vec::new();
+    let mut xs: Vec<String> = Vec::new();
+    for r in &rows {
+        if !series.contains(&r.series) {
+            series.push(r.series.clone());
+        }
+        if !xs.contains(&r.x) {
+            xs.push(r.x.clone());
+        }
+    }
+    let mut cells: BTreeMap<(String, String), String> = BTreeMap::new();
+    for r in &rows {
+        let cell = if let Some((name, value)) = &r.extra {
+            format!("{name}={value:.3}")
+        } else {
+            format!("{:.1}ms ({} ops)", r.time.as_secs_f64() * 1000.0, r.source_operators)
+        };
+        cells.insert((r.x.clone(), r.series.clone()), cell);
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("## {experiment}\n\n"));
+    out.push_str(&format!("| x | {} |\n", series.join(" | ")));
+    out.push_str(&format!("|---|{}\n", "---|".repeat(series.len())));
+    for x in &xs {
+        let mut line = format!("| {x} |");
+        for s in &series {
+            let cell = cells
+                .get(&(x.clone(), s.clone()))
+                .cloned()
+                .unwrap_or_else(|| "-".to_string());
+            line.push_str(&format!(" {cell} |"));
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders every experiment present in `rows`, in first-appearance order.
+#[must_use]
+pub fn render_all(rows: &[ExperimentRow]) -> String {
+    let mut experiments: Vec<String> = Vec::new();
+    for r in rows {
+        if !experiments.contains(&r.experiment) {
+            experiments.push(r.experiment.clone());
+        }
+    }
+    experiments
+        .iter()
+        .map(|e| render_table(e, rows))
+        .collect::<Vec<_>>()
+        .join("")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn row(exp: &str, series: &str, x: &str, ms: u64, ops: u64) -> ExperimentRow {
+        ExperimentRow {
+            experiment: exp.into(),
+            series: series.into(),
+            x: x.into(),
+            time: Duration::from_millis(ms),
+            source_operators: ops,
+            answers: 1,
+            extra: None,
+        }
+    }
+
+    #[test]
+    fn renders_series_as_columns() {
+        let rows = vec![
+            row("fig11a", "e-basic", "Q1", 12, 30),
+            row("fig11a", "q-sharing", "Q1", 9, 20),
+            row("fig11a", "e-basic", "Q2", 20, 50),
+        ];
+        let table = render_table("fig11a", &rows);
+        assert!(table.contains("| Q1 |"));
+        assert!(table.contains("e-basic"));
+        assert!(table.contains("q-sharing"));
+        assert!(table.contains("12.0ms (30 ops)"));
+        assert!(table.contains(" - |"), "missing cell should render as '-'");
+    }
+
+    #[test]
+    fn extra_metrics_render_by_name() {
+        let mut r = row("fig9", "o-ratio", "100", 0, 0);
+        r.extra = Some(("o-ratio".into(), 0.789));
+        let table = render_table("fig9", &[r]);
+        assert!(table.contains("o-ratio=0.789"));
+    }
+
+    #[test]
+    fn unknown_experiment_renders_placeholder() {
+        assert!(render_table("nope", &[]).contains("no rows"));
+    }
+
+    #[test]
+    fn render_all_covers_every_experiment() {
+        let rows = vec![row("a", "s", "1", 1, 1), row("b", "s", "1", 1, 1)];
+        let text = render_all(&rows);
+        assert!(text.contains("## a"));
+        assert!(text.contains("## b"));
+    }
+}

@@ -1,0 +1,97 @@
+//! The `q-sharing` algorithm (Section IV, Algorithm 1).
+//!
+//! Instead of reformulating the query through every mapping and then deduplicating the results
+//! (e-basic), q-sharing first partitions the mapping set with the partition tree: two mappings
+//! land in the same partition exactly when they translate every query attribute identically,
+//! hence produce the same source query.  Only one *representative* mapping per partition is then
+//! reformulated and executed, carrying the partition's total probability.
+
+use crate::metrics::Evaluation;
+use crate::partition::{partition_mappings, representatives};
+use crate::query::TargetQuery;
+use crate::CoreResult;
+use std::time::Instant;
+use urm_matching::MappingSet;
+use urm_storage::Catalog;
+
+/// Evaluates the query with query-level sharing.
+pub fn evaluate(
+    query: &TargetQuery,
+    mappings: &MappingSet,
+    catalog: &Catalog,
+) -> CoreResult<Evaluation> {
+    let total_start = Instant::now();
+
+    // Step 1-2: partition the mappings and pick representatives (Algorithm 1).
+    let partition_start = Instant::now();
+    let partitions = partition_mappings(query, mappings)?;
+    let reps = representatives(&partitions, mappings);
+    let partition_time = partition_start.elapsed();
+
+    // Step 3: evaluate the representatives with `basic`.
+    let mut evaluation = super::basic::evaluate_weighted(query, &reps, catalog, "q-sharing")?;
+    evaluation.metrics.rewrite_time += partition_time;
+    evaluation.metrics.representative_mappings = reps.len();
+    evaluation.metrics.total_time = total_start.elapsed();
+    Ok(evaluation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::basic;
+    use crate::testkit;
+
+    #[test]
+    fn qsharing_matches_basic_on_every_paper_query() {
+        let catalog = testkit::figure2_catalog();
+        let mappings = testkit::figure3_mappings();
+        for query in [
+            testkit::q0(),
+            testkit::q1(),
+            testkit::basic_example_query(),
+            testkit::q2_product(),
+            testkit::count_query(),
+            testkit::sum_query(),
+        ] {
+            let a = basic::evaluate(&query, &mappings, &catalog).unwrap();
+            let b = evaluate(&query, &mappings, &catalog).unwrap();
+            assert!(
+                a.answer.approx_eq(&b.answer, 1e-9),
+                "answers differ for {}:\nbasic: {}\nq-sharing: {}",
+                query.name(),
+                a.answer,
+                b.answer
+            );
+        }
+    }
+
+    #[test]
+    fn qsharing_uses_representative_mappings_only() {
+        let catalog = testkit::figure2_catalog();
+        let mappings = testkit::figure3_mappings();
+        // q1 partitions the 5 mappings into 3 groups (Section IV's example).
+        let eval = evaluate(&testkit::q1(), &mappings, &catalog).unwrap();
+        assert_eq!(eval.metrics.representative_mappings, 3);
+        let basic_eval = basic::evaluate(&testkit::q1(), &mappings, &catalog).unwrap();
+        assert!(
+            eval.metrics.exec.source_queries < basic_eval.metrics.exec.source_queries,
+            "q-sharing should run fewer source queries"
+        );
+    }
+
+    #[test]
+    fn probabilities_of_representatives_sum_to_one() {
+        let catalog = testkit::figure2_catalog();
+        let mappings = testkit::figure3_mappings();
+        let eval = evaluate(&testkit::q0(), &mappings, &catalog).unwrap();
+        // Answers plus empty mass account for the whole distribution on q0 (every mapping maps
+        // phone and addr, so nothing is empty).
+        assert!(eval.answer.empty_probability() < 1e-9);
+        assert!((eval.answer.probability_of(&urm_storage::Tuple::new(vec![
+            urm_storage::Value::from("aaa")
+        ])) - 0.5)
+            .abs()
+            < 1e-9);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error types for probabilistic query evaluation.
+
+use std::fmt;
+use urm_engine::EngineError;
+use urm_matching::MatchingError;
+use urm_storage::StorageError;
+
+/// Result alias used throughout the core crate.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// Errors raised while reformulating or evaluating probabilistic queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An engine error (execution, schema inference, …).
+    Engine(EngineError),
+    /// A matching error (invalid mapping set, …).
+    Matching(MatchingError),
+    /// A storage error.
+    Storage(StorageError),
+    /// No source relation in the catalog declares the source attribute a mapping points at.
+    UnknownSourceAttribute {
+        /// The source attribute that could not be located.
+        attribute: String,
+    },
+    /// The query is malformed (no relations, empty output list, predicate over an unbound
+    /// alias, …).
+    InvalidQuery(String),
+    /// The mapping set is empty or otherwise unusable.
+    InvalidMappingSet(String),
+    /// A top-k request with `k = 0`.
+    InvalidK,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Engine(e) => write!(f, "engine error: {e}"),
+            CoreError::Matching(e) => write!(f, "matching error: {e}"),
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
+            CoreError::UnknownSourceAttribute { attribute } => {
+                write!(f, "no source relation declares attribute '{attribute}'")
+            }
+            CoreError::InvalidQuery(msg) => write!(f, "invalid target query: {msg}"),
+            CoreError::InvalidMappingSet(msg) => write!(f, "invalid mapping set: {msg}"),
+            CoreError::InvalidK => write!(f, "top-k queries require k >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Engine(e) => Some(e),
+            CoreError::Matching(e) => Some(e),
+            CoreError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
+    }
+}
+
+impl From<MatchingError> for CoreError {
+    fn from(e: MatchingError) -> Self {
+        CoreError::Matching(e)
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = EngineError::InvalidPlan("x".into()).into();
+        assert!(matches!(e, CoreError::Engine(_)));
+        assert!(e.to_string().contains("engine"));
+
+        let e: CoreError = MatchingError::EmptySimilarity.into();
+        assert!(matches!(e, CoreError::Matching(_)));
+
+        let e: CoreError = StorageError::UnknownRelation("R".into()).into();
+        assert!(matches!(e, CoreError::Storage(_)));
+        assert!(std::error::Error::source(&e).is_some());
+
+        assert!(CoreError::InvalidK.to_string().contains("k >= 1"));
+        assert!(CoreError::UnknownSourceAttribute {
+            attribute: "Customer.ghost".into()
+        }
+        .to_string()
+        .contains("Customer.ghost"));
+    }
+}

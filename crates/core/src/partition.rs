@@ -1,0 +1,268 @@
+//! The partition tree (Section IV-A, Algorithm 3).
+//!
+//! q-sharing groups the possible mappings so that every group translates the target query into
+//! the same source query.  Two mappings belong to the same group exactly when they map every
+//! *query attribute* to the same source attribute (or both leave it unmapped).  The partition
+//! tree realises that grouping level by level: level `k` branches on the source attribute that
+//! a mapping assigns to the `k`-th query attribute, and each leaf bucket is one partition.
+
+use crate::query::TargetQuery;
+use crate::CoreResult;
+use std::collections::BTreeMap;
+use urm_matching::{Mapping, MappingSet};
+use urm_storage::AttrRef;
+
+/// One partition of the mapping set: the mappings that agree on every query attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingPartition {
+    /// For each query attribute (in [`TargetQuery::attributes_used`] order) the source attribute
+    /// the partition's mappings assign to it (`None` = unmapped).
+    pub signature: Vec<Option<AttrRef>>,
+    /// Indices into the mapping list this partition was built from.
+    pub mapping_indices: Vec<usize>,
+    /// Total probability of the partition's mappings.
+    pub probability: f64,
+}
+
+/// A node of the partition tree.
+#[derive(Debug, Default)]
+struct Node {
+    /// Outgoing edges, labelled by the source attribute assigned to the current query attribute
+    /// (`None` = the mapping leaves it unmapped).
+    children: BTreeMap<Option<AttrRef>, usize>,
+    /// Mapping indices stored at this node when it is a leaf bucket.
+    bucket: Vec<usize>,
+}
+
+/// The partition tree of Algorithm 3.
+#[derive(Debug)]
+pub struct PartitionTree {
+    attrs: Vec<AttrRef>,
+    nodes: Vec<Node>,
+}
+
+impl PartitionTree {
+    /// Creates an empty partition tree over the given (schema-level) query attributes.
+    #[must_use]
+    pub fn new(attrs: Vec<AttrRef>) -> Self {
+        PartitionTree {
+            attrs,
+            nodes: vec![Node::default()],
+        }
+    }
+
+    /// Number of nodes currently in the tree (including the root and the leaf buckets).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree: one level per query attribute, plus the bucket level.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.attrs.len() + 1
+    }
+
+    /// Inserts a mapping (identified by `index`) into the tree — the `put` routine of
+    /// Algorithm 3.
+    pub fn insert(&mut self, index: usize, mapping: &Mapping) {
+        let mut node = 0usize;
+        for level in 0..self.attrs.len() {
+            let label = mapping.source_for(&self.attrs[level]).cloned();
+            let next = match self.nodes[node].children.get(&label) {
+                Some(&n) => n,
+                None => {
+                    let n = self.nodes.len();
+                    self.nodes.push(Node::default());
+                    self.nodes[node].children.insert(label, n);
+                    n
+                }
+            };
+            node = next;
+        }
+        self.nodes[node].bucket.push(index);
+    }
+
+    /// All leaf buckets with their signatures, in a deterministic order.
+    #[must_use]
+    pub fn buckets(&self) -> Vec<(Vec<Option<AttrRef>>, Vec<usize>)> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(usize, Vec<Option<AttrRef>>)> = vec![(0, Vec::new())];
+        while let Some((node, signature)) = stack.pop() {
+            let n = &self.nodes[node];
+            if signature.len() == self.attrs.len() {
+                if !n.bucket.is_empty() {
+                    out.push((signature, n.bucket.clone()));
+                }
+                continue;
+            }
+            for (label, &child) in n.children.iter().rev() {
+                let mut sig = signature.clone();
+                sig.push(label.clone());
+                stack.push((child, sig));
+            }
+        }
+        out.sort_by(|a, b| a.1.cmp(&b.1));
+        out
+    }
+}
+
+/// Partitions `mappings` by how they translate the given query attributes (alias-qualified);
+/// the signature is built from the schema-level correspondences.
+pub fn partition_by_attrs(
+    query: &TargetQuery,
+    attrs: &[AttrRef],
+    mappings: &[(Mapping, f64)],
+) -> CoreResult<Vec<MappingPartition>> {
+    let schema_attrs: Vec<AttrRef> = attrs
+        .iter()
+        .map(|a| query.schema_attr(a))
+        .collect::<CoreResult<_>>()?;
+    let mut tree = PartitionTree::new(schema_attrs);
+    for (i, (mapping, _)) in mappings.iter().enumerate() {
+        tree.insert(i, mapping);
+    }
+    Ok(tree
+        .buckets()
+        .into_iter()
+        .map(|(signature, mapping_indices)| {
+            let probability = mapping_indices.iter().map(|&i| mappings[i].1).sum();
+            MappingPartition {
+                signature,
+                mapping_indices,
+                probability,
+            }
+        })
+        .collect())
+}
+
+/// Partitions a whole [`MappingSet`] on every attribute used by the query — the `partition`
+/// call of Algorithms 1, 2 and 4.
+pub fn partition_mappings(
+    query: &TargetQuery,
+    mappings: &MappingSet,
+) -> CoreResult<Vec<MappingPartition>> {
+    let weighted: Vec<(Mapping, f64)> = mappings
+        .iter()
+        .map(|m| (m.clone(), m.probability()))
+        .collect();
+    partition_by_attrs(query, &query.attributes_used(), &weighted)
+}
+
+/// Selects one representative mapping per partition, carrying the partition's total
+/// probability — the `represent` routine of Algorithm 1.
+#[must_use]
+pub fn representatives(
+    partitions: &[MappingPartition],
+    mappings: &MappingSet,
+) -> Vec<(Mapping, f64)> {
+    partitions
+        .iter()
+        .filter_map(|p| {
+            p.mapping_indices
+                .first()
+                .map(|&i| (mappings.mappings()[i].clone(), p.probability))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit;
+
+    #[test]
+    fn q1_partitions_match_the_paper() {
+        // Section IV: q1 partitions Figure 3's mappings into {m1,m2}, {m3,m4}, {m5}.
+        let query = testkit::q1();
+        let mappings = testkit::figure3_mappings();
+        let partitions = partition_mappings(&query, &mappings).unwrap();
+        assert_eq!(partitions.len(), 3);
+        let mut groups: Vec<Vec<usize>> = partitions.iter().map(|p| p.mapping_indices.clone()).collect();
+        groups.sort();
+        assert_eq!(groups, vec![vec![0, 1], vec![2, 3], vec![4]]);
+        // Probabilities 0.5, 0.4, 0.1 (in the paper's order).
+        let mut probs: Vec<f64> = partitions.iter().map(|p| p.probability).collect();
+        probs.sort_by(f64::total_cmp);
+        assert!((probs[0] - 0.1).abs() < 1e-9);
+        assert!((probs[1] - 0.4).abs() < 1e-9);
+        assert!((probs[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn q0_partitions_by_phone_and_addr() {
+        // q0 uses phone and addr; signatures: (ophone,oaddr) ×2, (ophone,haddr) ×2, (hphone,haddr).
+        let query = testkit::q0();
+        let mappings = testkit::figure3_mappings();
+        let partitions = partition_mappings(&query, &mappings).unwrap();
+        assert_eq!(partitions.len(), 3);
+        let sizes: Vec<usize> = {
+            let mut v: Vec<usize> = partitions.iter().map(|p| p.mapping_indices.len()).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sizes, vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn representatives_carry_group_probability() {
+        let query = testkit::q1();
+        let mappings = testkit::figure3_mappings();
+        let partitions = partition_mappings(&query, &mappings).unwrap();
+        let reps = representatives(&partitions, &mappings);
+        assert_eq!(reps.len(), 3);
+        let total: f64 = reps.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_structure_has_expected_shape() {
+        let query = testkit::q1();
+        let mappings = testkit::figure3_mappings();
+        let schema_attrs: Vec<AttrRef> = query
+            .attributes_used()
+            .iter()
+            .map(|a| query.schema_attr(a).unwrap())
+            .collect();
+        let mut tree = PartitionTree::new(schema_attrs);
+        for (i, m) in mappings.iter().enumerate() {
+            tree.insert(i, m);
+        }
+        // Depth = 2 attributes + bucket level.
+        assert_eq!(tree.depth(), 3);
+        // Root + 2 addr-level nodes + 3 buckets = 6 nodes (pname unmapped for m5 creates its own
+        // branch at the pname level).
+        assert!(tree.node_count() >= 5);
+        assert_eq!(tree.buckets().len(), 3);
+    }
+
+    #[test]
+    fn single_attribute_partitioning() {
+        let query = testkit::basic_example_query();
+        let mappings = testkit::figure3_mappings();
+        // Partition only on Person.phone: m1,m2,m3,m5 map it to ophone; m4 to hphone.
+        let attrs = vec![AttrRef::new("Person", "phone")];
+        let weighted: Vec<(Mapping, f64)> = mappings
+            .iter()
+            .map(|m| (m.clone(), m.probability()))
+            .collect();
+        let partitions = partition_by_attrs(&query, &attrs, &weighted).unwrap();
+        assert_eq!(partitions.len(), 2);
+        let sizes: Vec<usize> = {
+            let mut v: Vec<usize> = partitions.iter().map(|p| p.mapping_indices.len()).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sizes, vec![1, 4]);
+    }
+
+    #[test]
+    fn partition_probabilities_sum_to_one() {
+        for query in [testkit::q0(), testkit::q1(), testkit::q2_product()] {
+            let mappings = testkit::figure3_mappings();
+            let partitions = partition_mappings(&query, &mappings).unwrap();
+            let total: f64 = partitions.iter().map(|p| p.probability).sum();
+            assert!((total - 1.0).abs() < 1e-9, "query {}", query.name());
+        }
+    }
+}

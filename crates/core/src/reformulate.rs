@@ -1,0 +1,371 @@
+//! Query reformulation: translating a target query into a source query through a mapping.
+//!
+//! This is the machinery every evaluation algorithm shares (Section III-B and the reformulation
+//! rules of Section VI-B).  Given a mapping `m`, each target attribute used by the query is
+//! replaced by its corresponding source attribute; each target relation is replaced by the
+//! minimal set of source relations covering the mapped attributes (joined by a Cartesian
+//! product); and the output clause determines how answer tuples are extracted so that answers
+//! produced under *different* mappings can be compared and aggregated.
+
+use crate::query::{QueryOutput, TargetPredicate, TargetQuery};
+use crate::{CoreError, CoreResult};
+use serde::{Deserialize, Serialize};
+use urm_engine::{AggFunc, Plan, Predicate};
+use urm_matching::Mapping;
+use urm_storage::{AttrRef, Catalog, Relation, Tuple, Value};
+
+/// How answer tuples are read out of the result of a reformulated source query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Extraction {
+    /// The result rows are the answer tuples (aggregates).
+    Raw,
+    /// Build each answer tuple from the named columns of the result, in this order; `None`
+    /// entries become `NULL` (an output attribute the mapping does not cover).
+    Columns(Vec<Option<String>>),
+}
+
+/// A reformulated source query: an executable plan plus the answer-extraction rule.
+///
+/// Two mappings that translate the target query identically produce equal `SourceQuery` values;
+/// that equality is what e-basic deduplicates and what q-sharing's partitions guarantee.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SourceQuery {
+    /// The executable source plan (canonical, un-optimised form).
+    pub plan: Plan,
+    /// How to turn result rows into answer tuples.
+    pub extraction: Extraction,
+}
+
+/// The outcome of reformulating a target query through one mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reformulated {
+    /// A runnable source query.
+    Query(SourceQuery),
+    /// The mapping cannot produce any answer (a predicate or aggregate attribute has no
+    /// corresponding source attribute under this mapping).
+    Empty,
+}
+
+/// The deterministic scan alias used when target alias `target_alias` pulls in source relation
+/// `source_relation`.
+#[must_use]
+pub fn scan_alias(target_alias: &str, source_relation: &str) -> String {
+    if target_alias == source_relation {
+        source_relation.to_string()
+    } else {
+        format!("{target_alias}__{source_relation}")
+    }
+}
+
+/// The qualified source column that a target attribute reference resolves to under `mapping`,
+/// or `None` when the mapping does not cover the attribute.
+pub fn source_column_for(
+    query: &TargetQuery,
+    mapping: &Mapping,
+    attr: &AttrRef,
+) -> CoreResult<Option<String>> {
+    let schema_attr = query.schema_attr(attr)?;
+    Ok(mapping.source_for(&schema_attr).map(|src| {
+        format!(
+            "{}.{}",
+            scan_alias(&attr.alias, &src.alias),
+            src.attr
+        )
+    }))
+}
+
+/// The source relations (with their scan aliases) that cover the mapped attributes of one
+/// target alias — the "minimal set of source relations" of the Section VI-B rules.
+///
+/// Attribute names in the generated source schemas are unique to one relation, so the minimal
+/// cover is simply the set of relations owning the mapped attributes.
+pub fn covering_relations(
+    query: &TargetQuery,
+    mapping: &Mapping,
+    alias: &str,
+    catalog: &Catalog,
+) -> CoreResult<Vec<(String, String)>> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    for attr in query.attributes_of_alias(alias) {
+        let schema_attr = query.schema_attr(&attr)?;
+        if let Some(src) = mapping.source_for(&schema_attr) {
+            let relation = catalog
+                .get(&src.alias)
+                .map(|_| src.alias.clone())
+                .or_else(|| catalog.relation_of_attribute(&src.attr).map(String::from))
+                .ok_or_else(|| CoreError::UnknownSourceAttribute {
+                    attribute: src.qualified(),
+                })?;
+            let pair = (scan_alias(alias, &relation), relation);
+            if !out.contains(&pair) {
+                out.push(pair);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Reformulates a target query through a single mapping.
+pub fn reformulate(
+    query: &TargetQuery,
+    mapping: &Mapping,
+    catalog: &Catalog,
+) -> CoreResult<Reformulated> {
+    // 1. Every predicate attribute must be mapped, otherwise the predicate can never be
+    //    satisfied and the whole query is empty under this mapping.
+    for pred in query.predicates() {
+        for attr in pred.attributes() {
+            if source_column_for(query, mapping, attr)?.is_none() {
+                return Ok(Reformulated::Empty);
+            }
+        }
+    }
+    // A SUM over an unmapped attribute likewise cannot produce a value.
+    if let QueryOutput::Sum(attr) = query.output() {
+        if source_column_for(query, mapping, attr)?.is_none() {
+            return Ok(Reformulated::Empty);
+        }
+    }
+
+    // 2. Scans: for each alias, the covering source relations under this mapping.
+    let mut scans: Vec<Plan> = Vec::new();
+    for binding in query.relations() {
+        let cover = covering_relations(query, mapping, &binding.alias, catalog)?;
+        if cover.is_empty() {
+            // No attribute of this alias is mapped; the alias contributes nothing that any
+            // operator or the output can observe, so it is dropped from the product.  (The
+            // paper's partial mappings behave the same way: unmatched relations cannot be
+            // queried.)
+            continue;
+        }
+        for (alias, relation) in cover {
+            scans.push(Plan::scan_as(relation, alias));
+        }
+    }
+    if scans.is_empty() {
+        return Ok(Reformulated::Empty);
+    }
+
+    // 3. Product of all scans, in deterministic order.
+    let mut plan = scans
+        .clone()
+        .into_iter()
+        .reduce(Plan::product)
+        .expect("at least one scan");
+
+    // 4. Selections, in query order.
+    for pred in query.predicates() {
+        let engine_pred = match pred {
+            TargetPredicate::Compare { attr, op, value } => {
+                let col = source_column_for(query, mapping, attr)?
+                    .expect("predicate attributes checked above");
+                Predicate::compare(col, *op, value.clone())
+            }
+            TargetPredicate::AttrEq { left, right } => {
+                let l = source_column_for(query, mapping, left)?
+                    .expect("predicate attributes checked above");
+                let r = source_column_for(query, mapping, right)?
+                    .expect("predicate attributes checked above");
+                Predicate::column_eq(l, r)
+            }
+        };
+        plan = plan.select(engine_pred);
+    }
+
+    // 5. Output clause.
+    let (plan, extraction) = match query.output() {
+        QueryOutput::Count => (plan.aggregate(AggFunc::Count), Extraction::Raw),
+        QueryOutput::Sum(attr) => {
+            let col = source_column_for(query, mapping, attr)?.expect("checked above");
+            (plan.aggregate(AggFunc::Sum(col)), Extraction::Raw)
+        }
+        QueryOutput::Tuples(attrs) => {
+            let mut columns: Vec<Option<String>> = Vec::with_capacity(attrs.len());
+            for attr in attrs {
+                columns.push(source_column_for(query, mapping, attr)?);
+            }
+            let mut project: Vec<String> = Vec::new();
+            for col in columns.iter().flatten() {
+                if !project.contains(col) {
+                    project.push(col.clone());
+                }
+            }
+            if project.is_empty() {
+                // No output attribute is covered by this mapping: nothing observable.
+                return Ok(Reformulated::Empty);
+            }
+            (plan.project(project), Extraction::Columns(columns))
+        }
+    };
+
+    Ok(Reformulated::Query(SourceQuery { plan, extraction }))
+}
+
+/// Extracts answer tuples from the materialised result of a source query.
+#[must_use]
+pub fn extract_answers(result: &Relation, extraction: &Extraction) -> Vec<Tuple> {
+    match extraction {
+        Extraction::Raw => result.rows().to_vec(),
+        Extraction::Columns(columns) => {
+            let positions: Vec<Option<usize>> = columns
+                .iter()
+                .map(|c| c.as_ref().and_then(|name| result.schema().position(name)))
+                .collect();
+            result
+                .iter()
+                .map(|row| {
+                    Tuple::new(
+                        positions
+                            .iter()
+                            .map(|p| match p {
+                                Some(i) => row.get(*i).cloned().unwrap_or(Value::Null),
+                                None => Value::Null,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit;
+    use urm_engine::Executor;
+
+    #[test]
+    fn q0_reformulates_through_m1_like_the_paper() {
+        // q0 = π_addr σ_phone='123' Person; m1 maps phone→ophone, addr→oaddr.
+        let catalog = testkit::figure2_catalog();
+        let query = testkit::q0();
+        let mappings = testkit::figure3_mappings();
+        let m1 = &mappings.mappings()[0];
+        let reformulated = reformulate(&query, m1, &catalog).unwrap();
+        let Reformulated::Query(sq) = reformulated else {
+            panic!("expected a runnable source query");
+        };
+        // The plan selects on Customer.ophone and projects Customer.oaddr.
+        let rendered = sq.plan.to_string();
+        assert!(rendered.contains("Customer.ophone = 123"), "{rendered}");
+        assert!(rendered.contains("Customer.oaddr"), "{rendered}");
+
+        let result = Executor::new(&catalog).run(&sq.plan).unwrap();
+        let answers = extract_answers(&result, &sq.extraction);
+        assert_eq!(answers, vec![Tuple::new(vec![Value::from("aaa")])]);
+    }
+
+    #[test]
+    fn q0_through_m4_uses_hphone_and_haddr() {
+        let catalog = testkit::figure2_catalog();
+        let query = testkit::q0();
+        let mappings = testkit::figure3_mappings();
+        let m4 = mappings.by_id(4).unwrap();
+        let Reformulated::Query(sq) = reformulate(&query, m4, &catalog).unwrap() else {
+            panic!("expected a query");
+        };
+        let result = Executor::new(&catalog).run(&sq.plan).unwrap();
+        let answers = extract_answers(&result, &sq.extraction);
+        // m4: phone→hphone, addr→haddr; hphone='123' matches Bob, whose haddr is 'hk'.
+        assert_eq!(answers, vec![Tuple::new(vec![Value::from("hk")])]);
+    }
+
+    #[test]
+    fn identical_translations_yield_equal_source_queries() {
+        // m1 and m2 of Figure 3 agree on phone and addr, so q0 translates identically.
+        let catalog = testkit::figure2_catalog();
+        let query = testkit::q0();
+        let mappings = testkit::figure3_mappings();
+        let a = reformulate(&query, &mappings.mappings()[0], &catalog).unwrap();
+        let b = reformulate(&query, &mappings.mappings()[1], &catalog).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unmapped_predicate_attribute_means_empty() {
+        let catalog = testkit::figure2_catalog();
+        let query = TargetQuery::builder("q")
+            .relation("Person")
+            .filter_eq("Person.gender", "F")
+            .returning(["Person.pname"])
+            .build()
+            .unwrap();
+        // No mapping of Figure 3 covers Person.gender.
+        let mappings = testkit::figure3_mappings();
+        for m in mappings.iter() {
+            assert_eq!(reformulate(&query, m, &catalog).unwrap(), Reformulated::Empty);
+        }
+    }
+
+    #[test]
+    fn unmapped_projection_attribute_becomes_null_column() {
+        let catalog = testkit::figure2_catalog();
+        let query = TargetQuery::builder("q")
+            .relation("Person")
+            .filter_eq("Person.phone", "123")
+            .returning(["Person.addr", "Person.gender"])
+            .build()
+            .unwrap();
+        let mappings = testkit::figure3_mappings();
+        let Reformulated::Query(sq) =
+            reformulate(&query, &mappings.mappings()[0], &catalog).unwrap()
+        else {
+            panic!("expected query");
+        };
+        let result = Executor::new(&catalog).run(&sq.plan).unwrap();
+        let answers = extract_answers(&result, &sq.extraction);
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].get(0), Some(&Value::from("aaa")));
+        assert_eq!(answers[0].get(1), Some(&Value::Null));
+    }
+
+    #[test]
+    fn cross_relation_queries_take_the_product_of_covering_relations() {
+        // q2-like query touching Person and Order; Order's price maps into C_Order.amount, so
+        // the product Customer × C_Order is generated.
+        let catalog = testkit::figure2_catalog();
+        let query = testkit::q2_product();
+        let mappings = testkit::figure3_mappings();
+
+        // Under m1 (addr → oaddr) the selection addr='hk' matches nothing — exactly the empty
+        // intermediate relation R2 of the paper's Figure 5.
+        let Reformulated::Query(sq) =
+            reformulate(&query, &mappings.mappings()[0], &catalog).unwrap()
+        else {
+            panic!("expected query");
+        };
+        let scans = sq.plan.scanned_relations();
+        assert!(scans.contains(&"Customer"));
+        assert!(scans.contains(&"C_Order"));
+        let result = Executor::new(&catalog).run(&sq.plan).unwrap();
+        assert!(result.is_empty());
+
+        // Under m3 (addr → haddr) Alice qualifies and joins with both of her orders.
+        let Reformulated::Query(sq) =
+            reformulate(&query, &mappings.mappings()[2], &catalog).unwrap()
+        else {
+            panic!("expected query");
+        };
+        let result = Executor::new(&catalog).run(&sq.plan).unwrap();
+        assert_eq!(result.len(), 2);
+    }
+
+    #[test]
+    fn scan_alias_is_stable() {
+        assert_eq!(scan_alias("PO", "Customer"), "PO__Customer");
+        assert_eq!(scan_alias("Customer", "Customer"), "Customer");
+    }
+
+    #[test]
+    fn covering_relations_are_sorted_and_deduplicated() {
+        let catalog = testkit::figure2_catalog();
+        let query = testkit::q0();
+        let mappings = testkit::figure3_mappings();
+        let cover =
+            covering_relations(&query, &mappings.mappings()[0], "Person", &catalog).unwrap();
+        assert_eq!(cover.len(), 1);
+        assert_eq!(cover[0].1, "Customer");
+    }
+}

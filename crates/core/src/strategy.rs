@@ -1,0 +1,200 @@
+//! Operator-selection strategies for o-sharing (Section VI-A).
+//!
+//! When an e-unit has several valid target operators, o-sharing must pick which one to execute
+//! next.  The paper studies three strategies: **Random**, **SNF** (Smallest Number of partitions
+//! First) and **SEF** (Smallest Entropy First).  SNF looks only at how many mapping partitions
+//! an operator induces; SEF additionally weighs how the mappings are spread across those
+//! partitions through the Shannon entropy of the partition-size distribution, preferring
+//! operators whose result can be shared by a large fraction of the mappings.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An operator-selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Pick a valid operator pseudo-randomly (deterministic for a given seed).
+    Random {
+        /// Seed for the internal xorshift generator.
+        seed: u64,
+    },
+    /// Smallest Number of partitions First.
+    Snf,
+    /// Smallest Entropy First (the paper's best-performing strategy; the default).
+    Sef,
+}
+
+impl Default for Strategy {
+    fn default() -> Self {
+        Strategy::Sef
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::Random { .. } => f.write_str("Random"),
+            Strategy::Snf => f.write_str("SNF"),
+            Strategy::Sef => f.write_str("SEF"),
+        }
+    }
+}
+
+/// The Shannon entropy (base 2) of a partition of `total = Σ sizes` mappings, as in
+/// Definition 1 of the paper.  An empty partition list has entropy 0.
+#[must_use]
+pub fn entropy(partition_sizes: &[usize]) -> f64 {
+    let total: usize = partition_sizes.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut e = 0.0;
+    for &size in partition_sizes {
+        if size == 0 {
+            continue;
+        }
+        let p = size as f64 / total as f64;
+        e -= p * p.log2();
+    }
+    e
+}
+
+/// A deterministic xorshift step used by the Random strategy (keeps the core crate free of the
+/// `rand` dependency while staying reproducible).
+#[must_use]
+pub fn xorshift(state: u64) -> u64 {
+    let mut x = state.max(1);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+/// Chooses the index of the next operator among `candidates`, where each candidate carries the
+/// sizes of the mapping partitions it would induce.  `rng_state` is only consulted (and
+/// advanced) by the Random strategy.
+#[must_use]
+pub fn select_operator(
+    strategy: Strategy,
+    rng_state: &mut u64,
+    candidates: &[Vec<usize>],
+) -> usize {
+    assert!(!candidates.is_empty(), "no candidate operators");
+    match strategy {
+        Strategy::Random { .. } => {
+            *rng_state = xorshift(*rng_state);
+            (*rng_state as usize) % candidates.len()
+        }
+        Strategy::Snf => {
+            let mut best = 0usize;
+            let mut best_count = usize::MAX;
+            for (i, sizes) in candidates.iter().enumerate() {
+                let count = sizes.iter().filter(|&&s| s > 0).count();
+                if count < best_count {
+                    best_count = count;
+                    best = i;
+                }
+            }
+            best
+        }
+        Strategy::Sef => {
+            let mut best = 0usize;
+            let mut best_entropy = f64::INFINITY;
+            for (i, sizes) in candidates.iter().enumerate() {
+                let e = entropy(sizes);
+                if e < best_entropy - 1e-12 {
+                    best_entropy = e;
+                    best = i;
+                }
+            }
+            best
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_matches_the_papers_figure7_example() {
+        // Figure 7: o1 splits the mappings 30/30/40 (entropy ≈ 1.57… — the paper rounds to
+        // 1.53 with its exact fractions 30/10/… illustration); o2 splits them 10/70/10/10.
+        // We check the ordering property the paper relies on: E(o2) < E(o1).
+        let e_o1 = entropy(&[30, 30, 40]);
+        let e_o2 = entropy(&[10, 70, 10, 10]);
+        assert!(e_o2 < e_o1);
+        assert!((e_o2 - 1.3567796494470394).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_edge_cases() {
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[5]), 0.0);
+        assert!((entropy(&[1, 1]) - 1.0).abs() < 1e-12);
+        assert!((entropy(&[1, 1, 1, 1]) - 2.0).abs() < 1e-12);
+        // Zero-sized partitions are ignored.
+        assert_eq!(entropy(&[4, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn snf_prefers_fewer_partitions() {
+        // Candidate 0: 3 partitions, candidate 1: 4 partitions → SNF picks 0 (the paper's o1).
+        let mut rng = 1;
+        let choice = select_operator(
+            Strategy::Snf,
+            &mut rng,
+            &[vec![30, 30, 40], vec![10, 70, 10, 10]],
+        );
+        assert_eq!(choice, 0);
+    }
+
+    #[test]
+    fn sef_prefers_lower_entropy() {
+        // Same candidates: SEF picks o2, reversing SNF's decision — the paper's key example.
+        let mut rng = 1;
+        let choice = select_operator(
+            Strategy::Sef,
+            &mut rng,
+            &[vec![30, 30, 40], vec![10, 70, 10, 10]],
+        );
+        assert_eq!(choice, 1);
+    }
+
+    #[test]
+    fn ties_are_broken_by_position() {
+        let mut rng = 1;
+        assert_eq!(
+            select_operator(Strategy::Snf, &mut rng, &[vec![2, 2], vec![2, 2]]),
+            0
+        );
+        assert_eq!(
+            select_operator(Strategy::Sef, &mut rng, &[vec![2, 2], vec![2, 2]]),
+            0
+        );
+    }
+
+    #[test]
+    fn random_is_deterministic_for_a_seed() {
+        let mut a = 42;
+        let mut b = 42;
+        let candidates = vec![vec![1], vec![1], vec![1], vec![1]];
+        let first: Vec<usize> = (0..10)
+            .map(|_| select_operator(Strategy::Random { seed: 42 }, &mut a, &candidates))
+            .collect();
+        let second: Vec<usize> = (0..10)
+            .map(|_| select_operator(Strategy::Random { seed: 42 }, &mut b, &candidates))
+            .collect();
+        assert_eq!(first, second);
+        // And it does explore more than one candidate.
+        assert!(first.iter().any(|&c| c != first[0]));
+    }
+
+    #[test]
+    fn default_strategy_is_sef() {
+        assert_eq!(Strategy::default(), Strategy::Sef);
+        assert_eq!(Strategy::Sef.to_string(), "SEF");
+        assert_eq!(Strategy::Snf.to_string(), "SNF");
+        assert_eq!(Strategy::Random { seed: 1 }.to_string(), "Random");
+    }
+}

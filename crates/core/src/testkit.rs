@@ -1,0 +1,283 @@
+//! Worked examples from the paper, usable as fixtures in tests, examples and documentation.
+//!
+//! The fixtures reproduce Figures 1–3 of the paper: the `Customer` source instance, the
+//! `Person`/`Order` target schema, the five possible mappings `m1 … m5` with probabilities
+//! `0.3, 0.2, 0.2, 0.2, 0.1`, and the example queries (`q0`, `q1`, the running example of the
+//! `basic` algorithm, and the product query `q2`).  Every algorithm in this crate is tested
+//! against the answers the paper derives by hand for these inputs.
+
+use crate::query::TargetQuery;
+use urm_matching::{Correspondence, Mapping, MappingSet};
+use urm_storage::{Attribute, Catalog, DataType, Relation, Schema, Tuple, Value};
+
+/// The source instance of Figure 2 (relation `Customer`), extended with the `C_Order` and
+/// `Nation` relations sketched in Figure 1 so that product queries have data to join.
+#[must_use]
+pub fn figure2_catalog() -> Catalog {
+    let customer = Relation::new(
+        Schema::new(
+            "Customer",
+            vec![
+                Attribute::new("cid", DataType::Int),
+                Attribute::new("cname", DataType::Text),
+                Attribute::new("ophone", DataType::Text),
+                Attribute::new("hphone", DataType::Text),
+                Attribute::new("mobile", DataType::Text),
+                Attribute::new("oaddr", DataType::Text),
+                Attribute::new("haddr", DataType::Text),
+                Attribute::new("nid", DataType::Int),
+            ],
+        ),
+        vec![
+            Tuple::new(vec![
+                Value::from(1i64),
+                Value::from("Alice"),
+                Value::from("123"),
+                Value::from("789"),
+                Value::from("555"),
+                Value::from("aaa"),
+                Value::from("hk"),
+                Value::from(1i64),
+            ]),
+            Tuple::new(vec![
+                Value::from(2i64),
+                Value::from("Bob"),
+                Value::from("456"),
+                Value::from("123"),
+                Value::from("556"),
+                Value::from("bbb"),
+                Value::from("hk"),
+                Value::from(2i64),
+            ]),
+            Tuple::new(vec![
+                Value::from(3i64),
+                Value::from("Cindy"),
+                Value::from("456"),
+                Value::from("789"),
+                Value::from("557"),
+                Value::from("aaa"),
+                Value::from("aaa"),
+                Value::from(1i64),
+            ]),
+        ],
+    )
+    .expect("valid Customer relation");
+
+    let c_order = Relation::new(
+        Schema::new(
+            "C_Order",
+            vec![
+                Attribute::new("oid", DataType::Int),
+                Attribute::new("ocid", DataType::Int),
+                Attribute::new("amount", DataType::Float),
+            ],
+        ),
+        vec![
+            Tuple::new(vec![Value::from(10i64), Value::from(1i64), Value::from(99.5)]),
+            Tuple::new(vec![Value::from(11i64), Value::from(3i64), Value::from(12.0)]),
+        ],
+    )
+    .expect("valid C_Order relation");
+
+    let nation = Relation::new(
+        Schema::new(
+            "Nation",
+            vec![
+                Attribute::new("nationid", DataType::Int),
+                Attribute::new("name", DataType::Text),
+            ],
+        ),
+        vec![
+            Tuple::new(vec![Value::from(1i64), Value::from("HK")]),
+            Tuple::new(vec![Value::from(2i64), Value::from("CN")]),
+        ],
+    )
+    .expect("valid Nation relation");
+
+    let mut catalog = Catalog::new();
+    catalog.insert(customer);
+    catalog.insert(c_order);
+    catalog.insert(nation);
+    catalog
+}
+
+fn corr(source: (&str, &str), target: (&str, &str), score: f64) -> Correspondence {
+    Correspondence::from_parts(source, target, score)
+}
+
+/// The five possible mappings of Figure 3, with probabilities 0.3, 0.2, 0.2, 0.2, 0.1.
+#[must_use]
+pub fn figure3_mappings() -> MappingSet {
+    let m1 = Mapping::new(
+        1,
+        vec![
+            corr(("Customer", "cname"), ("Person", "pname"), 0.85),
+            corr(("Customer", "ophone"), ("Person", "phone"), 0.85),
+            corr(("Customer", "oaddr"), ("Person", "addr"), 0.81),
+            corr(("Nation", "name"), ("Person", "nation"), 0.65),
+            corr(("C_Order", "amount"), ("Order", "price"), 0.63),
+        ],
+        0.3,
+    );
+    let m2 = Mapping::new(
+        2,
+        vec![
+            corr(("Customer", "cname"), ("Person", "pname"), 0.85),
+            corr(("Customer", "ophone"), ("Person", "phone"), 0.85),
+            corr(("Customer", "oaddr"), ("Person", "addr"), 0.81),
+            corr(("Customer", "nid"), ("Person", "nation"), 0.45),
+            corr(("C_Order", "amount"), ("Order", "price"), 0.63),
+        ],
+        0.2,
+    );
+    let m3 = Mapping::new(
+        3,
+        vec![
+            corr(("Customer", "cname"), ("Person", "pname"), 0.85),
+            corr(("Customer", "ophone"), ("Person", "phone"), 0.85),
+            corr(("Customer", "haddr"), ("Person", "addr"), 0.75),
+            corr(("Nation", "name"), ("Person", "nation"), 0.65),
+            corr(("C_Order", "amount"), ("Order", "price"), 0.63),
+        ],
+        0.2,
+    );
+    let m4 = Mapping::new(
+        4,
+        vec![
+            corr(("Customer", "cname"), ("Person", "pname"), 0.85),
+            corr(("Customer", "hphone"), ("Person", "phone"), 0.83),
+            corr(("Customer", "haddr"), ("Person", "addr"), 0.75),
+            corr(("Nation", "name"), ("Person", "nation"), 0.65),
+            corr(("C_Order", "amount"), ("Order", "price"), 0.63),
+        ],
+        0.2,
+    );
+    let m5 = Mapping::new(
+        5,
+        vec![
+            corr(("Customer", "cname"), ("Order", "sname"), 0.4),
+            corr(("Customer", "ophone"), ("Person", "phone"), 0.85),
+            corr(("Customer", "haddr"), ("Person", "addr"), 0.75),
+            corr(("Nation", "name"), ("Order", "item"), 0.3),
+            corr(("C_Order", "amount"), ("Order", "total"), 0.3),
+        ],
+        0.1,
+    );
+    MappingSet::from_explicit(vec![m1, m2, m3, m4, m5]).expect("probabilities sum to 1")
+}
+
+/// `q0 : π_addr σ_phone='123' Person` — the introduction's example.
+/// Expected answer over [`figure2_catalog`] and [`figure3_mappings`]: `{(aaa, 0.5), (hk, 0.5)}`.
+#[must_use]
+pub fn q0() -> TargetQuery {
+    TargetQuery::builder("q0")
+        .relation("Person")
+        .filter_eq("Person.phone", "123")
+        .returning(["Person.addr"])
+        .build()
+        .expect("q0 is well-formed")
+}
+
+/// `π_phone σ_addr='aaa' Person` — the running example of Section III-B.
+/// Expected answer: `{(123, 0.5), (456, 0.8), (789, 0.2)}`.
+#[must_use]
+pub fn basic_example_query() -> TargetQuery {
+    TargetQuery::builder("basic-example")
+        .relation("Person")
+        .filter_eq("Person.addr", "aaa")
+        .returning(["Person.phone"])
+        .build()
+        .expect("well-formed")
+}
+
+/// `q1 : π_pname σ_addr='abc' Person` — the q-sharing example of Section IV.
+/// Its partition tree groups the mappings into `{m1, m2}`, `{m3, m4}` and `{m5}`.
+#[must_use]
+pub fn q1() -> TargetQuery {
+    TargetQuery::builder("q1")
+        .relation("Person")
+        .filter_eq("Person.addr", "abc")
+        .returning(["Person.pname"])
+        .build()
+        .expect("well-formed")
+}
+
+/// A product query in the spirit of `q2` (Section V): selections on `Person` joined with
+/// `Order`, returning the person's address and the order price.
+#[must_use]
+pub fn q2_product() -> TargetQuery {
+    TargetQuery::builder("q2")
+        .relation("Person")
+        .relation("Order")
+        .filter_eq("Person.phone", "123")
+        .filter_eq("Person.addr", "hk")
+        .returning(["Person.addr", "Order.price"])
+        .build()
+        .expect("well-formed")
+}
+
+/// A COUNT aggregate over `Person`, used to exercise the aggregate code paths.
+#[must_use]
+pub fn count_query() -> TargetQuery {
+    TargetQuery::builder("count-q")
+        .relation("Person")
+        .filter_eq("Person.addr", "aaa")
+        .count()
+        .build()
+        .expect("well-formed")
+}
+
+/// A SUM aggregate over `Order.price` for people whose phone is `'123'`.
+#[must_use]
+pub fn sum_query() -> TargetQuery {
+    TargetQuery::builder("sum-q")
+        .relation("Person")
+        .relation("Order")
+        .filter_eq("Person.phone", "123")
+        .sum("Order.price")
+        .build()
+        .expect("well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_figure2() {
+        let cat = figure2_catalog();
+        assert_eq!(cat.len(), 3);
+        assert_eq!(cat.get("Customer").unwrap().len(), 3);
+        assert_eq!(cat.get("C_Order").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn mappings_match_figure3() {
+        let m = figure3_mappings();
+        assert_eq!(m.len(), 5);
+        m.validate().unwrap();
+        assert!((m.mappings()[0].probability() - 0.3).abs() < 1e-9);
+        assert!((m.mappings()[4].probability() - 0.1).abs() < 1e-9);
+        // m1..m4 share (cname, pname); m5 does not.
+        let pname = urm_storage::AttrRef::new("Person", "pname");
+        assert!(m.mappings()[..4]
+            .iter()
+            .all(|mi| mi.source_for(&pname).is_some()));
+        assert!(m.mappings()[4].source_for(&pname).is_none());
+    }
+
+    #[test]
+    fn queries_build() {
+        assert_eq!(q0().operator_count(), 2);
+        assert_eq!(q1().operator_count(), 2);
+        assert_eq!(q2_product().operator_count(), 4);
+        assert_eq!(count_query().operator_count(), 2);
+        assert_eq!(sum_query().operator_count(), 3);
+    }
+
+    #[test]
+    fn mapping_overlap_is_high_as_in_the_paper() {
+        let m = figure3_mappings();
+        assert!(m.o_ratio() > 0.3);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types for the query engine.
+
+use std::fmt;
+use urm_storage::StorageError;
+
+/// Result alias used throughout the engine crate.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+/// Errors raised while planning or executing queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A storage-level error (unknown relation, arity mismatch, …).
+    Storage(StorageError),
+    /// A column referenced by a predicate, projection or aggregate is not in the input schema.
+    UnknownColumn {
+        /// The missing column (qualified `alias.attr` form).
+        column: String,
+        /// The schema that was searched, rendered for diagnostics.
+        schema: String,
+    },
+    /// An aggregate was applied to a column whose type does not support it.
+    InvalidAggregate {
+        /// The aggregate function name.
+        func: &'static str,
+        /// The offending column.
+        column: String,
+    },
+    /// A plan is malformed (e.g. a projection with no columns).
+    InvalidPlan(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Storage(e) => write!(f, "storage error: {e}"),
+            EngineError::UnknownColumn { column, schema } => {
+                write!(f, "unknown column '{column}' in schema {schema}")
+            }
+            EngineError::InvalidAggregate { func, column } => {
+                write!(f, "aggregate {func} cannot be applied to column '{column}'")
+            }
+            EngineError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let err = EngineError::UnknownColumn {
+            column: "PO.price".into(),
+            schema: "Item(x, y)".into(),
+        };
+        assert!(err.to_string().contains("PO.price"));
+
+        let err = EngineError::InvalidAggregate {
+            func: "SUM",
+            column: "name".into(),
+        };
+        assert!(err.to_string().contains("SUM"));
+    }
+
+    #[test]
+    fn storage_errors_convert() {
+        let err: EngineError = StorageError::UnknownRelation("R".into()).into();
+        assert!(matches!(err, EngineError::Storage(_)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,521 @@
+//! Row-at-a-time plan executor.
+
+use crate::plan::qualify_schema;
+use crate::{AggFunc, EngineError, EngineResult, ExecStats, Plan, Predicate};
+use std::collections::HashMap;
+use std::time::Instant;
+use urm_storage::{Catalog, Relation, Schema, Tuple, Value};
+
+/// Executes [`Plan`]s against a [`Catalog`], accumulating [`ExecStats`].
+///
+/// The executor is deliberately simple — materialise every operator's output — because the
+/// paper's algorithms differ in *how many* operators and source queries they run, not in how a
+/// single operator is evaluated.  Two things matter for fidelity:
+///
+/// * every executed operator is counted (the paper's Table IV metric), and
+/// * equi-joins use a hash table so that even strategies that evaluate products early (the
+///   Random strategy of Section VI-A) remain feasible on the benchmark instances.
+pub struct Executor<'a> {
+    catalog: &'a Catalog,
+    stats: ExecStats,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor over the given source instance.
+    #[must_use]
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Executor {
+            catalog,
+            stats: ExecStats::new(),
+        }
+    }
+
+    /// Runs a plan to completion, returning the materialised result.
+    pub fn run(&mut self, plan: &Plan) -> EngineResult<Relation> {
+        let start = Instant::now();
+        let result = self.eval(plan);
+        self.stats.exec_time += start.elapsed();
+        if result.is_ok() {
+            self.stats.record_source_query();
+        }
+        result
+    }
+
+    /// Runs a plan that represents a *single operator* application (o-sharing executes the
+    /// target query one operator at a time); identical to [`Executor::run`] except that it does
+    /// not count a completed source query.
+    pub fn run_operator(&mut self, plan: &Plan) -> EngineResult<Relation> {
+        let start = Instant::now();
+        let result = self.eval(plan);
+        self.stats.exec_time += start.elapsed();
+        result
+    }
+
+    /// The statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Consumes the executor, returning its statistics.
+    #[must_use]
+    pub fn into_stats(self) -> ExecStats {
+        self.stats
+    }
+
+    /// Resets the statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = ExecStats::new();
+    }
+
+    fn eval(&mut self, plan: &Plan) -> EngineResult<Relation> {
+        match plan {
+            Plan::Scan { relation, alias } => {
+                let base = self.catalog.require(relation)?;
+                let schema = qualify_schema(base.schema(), alias);
+                let rows = base.rows().to_vec();
+                self.stats.record_scan(rows.len() as u64);
+                Ok(Relation::from_validated(schema, rows))
+            }
+            Plan::Values(rel) => Ok(rel.as_ref().clone()),
+            Plan::Select { predicate, input } => {
+                let input_rel = self.eval(input)?;
+                let out = apply_select(&input_rel, predicate);
+                self.stats
+                    .record_operator(input_rel.len() as u64, out.len() as u64);
+                Ok(out)
+            }
+            Plan::Project { columns, input } => {
+                let input_rel = self.eval(input)?;
+                let out = apply_project(&input_rel, columns)?;
+                self.stats
+                    .record_operator(input_rel.len() as u64, out.len() as u64);
+                Ok(out)
+            }
+            Plan::Product { left, right } => {
+                let l = self.eval(left)?;
+                let r = self.eval(right)?;
+                let out = apply_product(&l, &r);
+                self.stats
+                    .record_operator((l.len() + r.len()) as u64, out.len() as u64);
+                Ok(out)
+            }
+            Plan::HashJoin { left, right, on } => {
+                let l = self.eval(left)?;
+                let r = self.eval(right)?;
+                let out = apply_hash_join(&l, &r, on)?;
+                self.stats
+                    .record_operator((l.len() + r.len()) as u64, out.len() as u64);
+                Ok(out)
+            }
+            Plan::Aggregate { func, input } => {
+                let input_rel = self.eval(input)?;
+                let out = apply_aggregate(&input_rel, func)?;
+                self.stats
+                    .record_operator(input_rel.len() as u64, out.len() as u64);
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// Applies a selection to a materialised relation.
+#[must_use]
+pub fn apply_select(input: &Relation, predicate: &Predicate) -> Relation {
+    let schema = input.schema().clone();
+    let resolve = |c: &str| schema.position(c);
+    let rows = input
+        .iter()
+        .filter(|t| predicate.eval(t, &resolve))
+        .cloned()
+        .collect();
+    Relation::from_validated(schema, rows)
+}
+
+/// Applies a projection to a materialised relation.
+pub fn apply_project(input: &Relation, columns: &[String]) -> EngineResult<Relation> {
+    if columns.is_empty() {
+        return Err(EngineError::InvalidPlan(
+            "projection must keep at least one column".into(),
+        ));
+    }
+    let schema = input.schema();
+    let mut positions = Vec::with_capacity(columns.len());
+    let mut attrs = Vec::with_capacity(columns.len());
+    for c in columns {
+        let pos = schema
+            .position(c)
+            .ok_or_else(|| EngineError::UnknownColumn {
+                column: c.clone(),
+                schema: schema.to_string(),
+            })?;
+        positions.push(pos);
+        attrs.push(schema.attributes()[pos].clone());
+    }
+    let out_schema = Schema::new(format!("π({})", schema.name()), attrs);
+    let rows = input.iter().map(|t| t.project(&positions)).collect();
+    Ok(Relation::from_validated(out_schema, rows))
+}
+
+/// Applies a Cartesian product to two materialised relations.
+#[must_use]
+pub fn apply_product(left: &Relation, right: &Relation) -> Relation {
+    let schema = left.schema().product(
+        right.schema(),
+        format!("{}×{}", left.schema().name(), right.schema().name()),
+    );
+    let mut rows = Vec::with_capacity(left.len().saturating_mul(right.len()));
+    for l in left.iter() {
+        for r in right.iter() {
+            rows.push(l.concat(r));
+        }
+    }
+    Relation::from_validated(schema, rows)
+}
+
+/// Applies a hash equi-join to two materialised relations.
+pub fn apply_hash_join(
+    left: &Relation,
+    right: &Relation,
+    on: &[(String, String)],
+) -> EngineResult<Relation> {
+    if on.is_empty() {
+        return Ok(apply_product(left, right));
+    }
+    let ls = left.schema();
+    let rs = right.schema();
+    let mut left_keys = Vec::with_capacity(on.len());
+    let mut right_keys = Vec::with_capacity(on.len());
+    for (l, r) in on {
+        // Join columns may arrive in either order; resolve each against the side that has it.
+        let (lcol, rcol) = if ls.contains(l) && rs.contains(r) {
+            (l, r)
+        } else if ls.contains(r) && rs.contains(l) {
+            (r, l)
+        } else {
+            return Err(EngineError::UnknownColumn {
+                column: format!("{l} / {r}"),
+                schema: format!("{ls} ⋈ {rs}"),
+            });
+        };
+        left_keys.push(ls.require(lcol).map_err(EngineError::from)?);
+        right_keys.push(rs.require(rcol).map_err(EngineError::from)?);
+    }
+
+    let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(right.len());
+    for t in right.iter() {
+        let key: Vec<Value> = right_keys
+            .iter()
+            .map(|&i| t.get(i).cloned().unwrap_or(Value::Null))
+            .collect();
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        table.entry(key).or_default().push(t);
+    }
+
+    let schema = ls.product(rs, format!("{}⋈{}", ls.name(), rs.name()));
+    let mut rows = Vec::new();
+    for l in left.iter() {
+        let key: Vec<Value> = left_keys
+            .iter()
+            .map(|&i| l.get(i).cloned().unwrap_or(Value::Null))
+            .collect();
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        if let Some(matches) = table.get(&key) {
+            for r in matches {
+                rows.push(l.concat(r));
+            }
+        }
+    }
+    Ok(Relation::from_validated(schema, rows))
+}
+
+/// Applies an aggregate, producing a single-row relation.
+pub fn apply_aggregate(input: &Relation, func: &AggFunc) -> EngineResult<Relation> {
+    let schema = input.schema();
+    match func {
+        AggFunc::Count => {
+            let out_schema = Schema::new(
+                format!("agg({})", schema.name()),
+                vec![urm_storage::Attribute::new("count", urm_storage::DataType::Int)],
+            );
+            let row = Tuple::new(vec![Value::from(input.len() as i64)]);
+            Ok(Relation::from_validated(out_schema, vec![row]))
+        }
+        AggFunc::Sum(col) => {
+            let pos = schema
+                .position(col)
+                .ok_or_else(|| EngineError::UnknownColumn {
+                    column: col.clone(),
+                    schema: schema.to_string(),
+                })?;
+            let mut sum = 0.0f64;
+            for t in input.iter() {
+                match t.get(pos) {
+                    Some(v) if v.is_null() => {}
+                    Some(v) => {
+                        sum += v.as_f64().ok_or_else(|| EngineError::InvalidAggregate {
+                            func: "SUM",
+                            column: col.clone(),
+                        })?;
+                    }
+                    None => {}
+                }
+            }
+            let out_schema = Schema::new(
+                format!("agg({})", schema.name()),
+                vec![urm_storage::Attribute::new(
+                    format!("sum({col})"),
+                    urm_storage::DataType::Float,
+                )],
+            );
+            let row = Tuple::new(vec![Value::from(sum)]);
+            Ok(Relation::from_validated(out_schema, vec![row]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompareOp;
+    use urm_storage::{Attribute, DataType};
+
+    /// The Customer relation of Figure 2 in the paper.
+    fn figure2_catalog() -> Catalog {
+        let schema = Schema::new(
+            "Customer",
+            vec![
+                Attribute::new("cid", DataType::Int),
+                Attribute::new("cname", DataType::Text),
+                Attribute::new("ophone", DataType::Text),
+                Attribute::new("hphone", DataType::Text),
+                Attribute::new("oaddr", DataType::Text),
+                Attribute::new("haddr", DataType::Text),
+            ],
+        );
+        let rows = vec![
+            Tuple::new(vec![
+                Value::from(1i64),
+                Value::from("Alice"),
+                Value::from("123"),
+                Value::from("789"),
+                Value::from("aaa"),
+                Value::from("hk"),
+            ]),
+            Tuple::new(vec![
+                Value::from(2i64),
+                Value::from("Bob"),
+                Value::from("456"),
+                Value::from("123"),
+                Value::from("bbb"),
+                Value::from("hk"),
+            ]),
+            Tuple::new(vec![
+                Value::from(3i64),
+                Value::from("Cindy"),
+                Value::from("456"),
+                Value::from("789"),
+                Value::from("aaa"),
+                Value::from("aaa"),
+            ]),
+        ];
+        let customer = Relation::new(schema, rows).unwrap();
+
+        let order_schema = Schema::new(
+            "C_Order",
+            vec![
+                Attribute::new("oid", DataType::Int),
+                Attribute::new("cid", DataType::Int),
+                Attribute::new("amount", DataType::Float),
+            ],
+        );
+        let orders = Relation::new(
+            order_schema,
+            vec![
+                Tuple::new(vec![Value::from(10i64), Value::from(1i64), Value::from(99.5)]),
+                Tuple::new(vec![Value::from(11i64), Value::from(3i64), Value::from(12.0)]),
+            ],
+        )
+        .unwrap();
+
+        let mut cat = Catalog::new();
+        cat.insert(customer);
+        cat.insert(orders);
+        cat
+    }
+
+    #[test]
+    fn select_on_figure2_matches_paper_example() {
+        // π_{ophone} σ_{oaddr='aaa'} Customer  →  {123, 456} (the paper's m1 reformulation).
+        let cat = figure2_catalog();
+        let plan = Plan::scan("Customer")
+            .select(Predicate::eq("Customer.oaddr", Value::from("aaa")))
+            .project(vec!["Customer.ophone".into()]);
+        let mut exec = Executor::new(&cat);
+        let out = exec.run(&plan).unwrap();
+        let phones: Vec<_> = out
+            .iter()
+            .map(|t| t.get(0).unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(phones, vec!["123", "456"]);
+        assert_eq!(exec.stats().source_queries, 1);
+        assert_eq!(exec.stats().operators_executed, 2);
+        assert_eq!(exec.stats().scans, 1);
+    }
+
+    #[test]
+    fn select_with_haddr_matches_other_mapping() {
+        // π_{ophone} σ_{haddr='aaa'} Customer  →  {456} (the paper's m3 reformulation).
+        let cat = figure2_catalog();
+        let plan = Plan::scan("Customer")
+            .select(Predicate::eq("Customer.haddr", Value::from("aaa")))
+            .project(vec!["Customer.ophone".into()]);
+        let out = Executor::new(&cat).run(&plan).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0].get(0), Some(&Value::from("456")));
+    }
+
+    #[test]
+    fn comparison_operators_work_end_to_end() {
+        let cat = figure2_catalog();
+        let plan = Plan::scan("C_Order").select(Predicate::compare(
+            "C_Order.amount",
+            CompareOp::Gt,
+            Value::from(50.0),
+        ));
+        let out = Executor::new(&cat).run(&plan).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn product_produces_all_pairs() {
+        let cat = figure2_catalog();
+        let plan = Plan::scan("Customer").product(Plan::scan("C_Order"));
+        let out = Executor::new(&cat).run(&plan).unwrap();
+        assert_eq!(out.len(), 3 * 2);
+        assert_eq!(out.schema().arity(), 6 + 3);
+    }
+
+    #[test]
+    fn hash_join_matches_product_plus_selection() {
+        let cat = figure2_catalog();
+        let join = Plan::scan("Customer").hash_join(
+            Plan::scan("C_Order"),
+            vec![("Customer.cid".into(), "C_Order.cid".into())],
+        );
+        let product = Plan::scan("Customer")
+            .product(Plan::scan("C_Order"))
+            .select(Predicate::column_eq("Customer.cid", "C_Order.cid"));
+        let a = Executor::new(&cat).run(&join).unwrap();
+        let b = Executor::new(&cat).run(&product).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), 2);
+        use std::collections::HashSet;
+        let rows_a: HashSet<_> = a.rows().iter().cloned().collect();
+        let rows_b: HashSet<_> = b.rows().iter().cloned().collect();
+        assert_eq!(rows_a, rows_b);
+    }
+
+    #[test]
+    fn hash_join_with_swapped_columns() {
+        let cat = figure2_catalog();
+        let join = Plan::scan("Customer").hash_join(
+            Plan::scan("C_Order"),
+            vec![("C_Order.cid".into(), "Customer.cid".into())],
+        );
+        let out = Executor::new(&cat).run(&join).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn hash_join_with_no_conditions_is_a_product() {
+        let cat = figure2_catalog();
+        let join = Plan::scan("Customer").hash_join(Plan::scan("C_Order"), vec![]);
+        let out = Executor::new(&cat).run(&join).unwrap();
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn count_and_sum_aggregates() {
+        let cat = figure2_catalog();
+        let count = Plan::scan("Customer").aggregate(AggFunc::Count);
+        let out = Executor::new(&cat).run(&count).unwrap();
+        assert_eq!(out.rows()[0].get(0), Some(&Value::from(3i64)));
+
+        let sum = Plan::scan("C_Order").aggregate(AggFunc::Sum("C_Order.amount".into()));
+        let out = Executor::new(&cat).run(&sum).unwrap();
+        assert_eq!(out.rows()[0].get(0), Some(&Value::from(111.5)));
+    }
+
+    #[test]
+    fn sum_over_text_column_is_an_error() {
+        let cat = figure2_catalog();
+        let plan = Plan::scan("Customer").aggregate(AggFunc::Sum("Customer.cname".into()));
+        let err = Executor::new(&cat).run(&plan).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidAggregate { .. }));
+    }
+
+    #[test]
+    fn values_plan_returns_the_relation() {
+        let cat = figure2_catalog();
+        let base = cat.get("Customer").unwrap();
+        let plan = Plan::values(base.as_ref().clone());
+        let out = Executor::new(&cat).run(&plan).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn projection_of_unknown_column_fails() {
+        let cat = figure2_catalog();
+        let plan = Plan::scan("Customer").project(vec!["Customer.ghost".into()]);
+        assert!(matches!(
+            Executor::new(&cat).run(&plan),
+            Err(EngineError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_projection_fails() {
+        let cat = figure2_catalog();
+        let plan = Plan::scan("Customer").project(vec![]);
+        assert!(matches!(
+            Executor::new(&cat).run(&plan),
+            Err(EngineError::InvalidPlan(_))
+        ));
+    }
+
+    #[test]
+    fn run_operator_does_not_count_a_source_query() {
+        let cat = figure2_catalog();
+        let mut exec = Executor::new(&cat);
+        exec.run_operator(&Plan::scan("Customer")).unwrap();
+        assert_eq!(exec.stats().source_queries, 0);
+        assert_eq!(exec.stats().scans, 1);
+    }
+
+    #[test]
+    fn stats_accumulate_across_runs() {
+        let cat = figure2_catalog();
+        let mut exec = Executor::new(&cat);
+        exec.run(&Plan::scan("Customer")).unwrap();
+        exec.run(&Plan::scan("C_Order")).unwrap();
+        assert_eq!(exec.stats().source_queries, 2);
+        assert_eq!(exec.stats().scans, 2);
+        exec.reset_stats();
+        assert_eq!(exec.stats().source_queries, 0);
+    }
+
+    #[test]
+    fn aggregate_over_empty_input_returns_zero() {
+        let cat = figure2_catalog();
+        let plan = Plan::scan("Customer")
+            .select(Predicate::eq("Customer.oaddr", Value::from("nowhere")))
+            .aggregate(AggFunc::Count);
+        let out = Executor::new(&cat).run(&plan).unwrap();
+        assert_eq!(out.rows()[0].get(0), Some(&Value::from(0i64)));
+    }
+}

@@ -1,0 +1,69 @@
+//! # urm-engine
+//!
+//! Relational-algebra plan trees and an in-memory executor for the URM reproduction of
+//! *Evaluating Probabilistic Queries over Uncertain Matching* (ICDE 2012).
+//!
+//! The paper's algorithms (basic, e-basic, e-MQO, q-sharing, o-sharing, top-k) all bottom out in
+//! running *source queries* — selections, projections, Cartesian products / equi-joins and
+//! COUNT/SUM aggregates — against the source instance `D`.  This crate provides:
+//!
+//! * [`Plan`] — an algebraic plan tree whose nodes are exactly the operator classes of the
+//!   paper's query model (Section III-A / VI-B), with structural equality and hashing so that
+//!   identical source queries can be detected (e-basic) and common sub-expressions shared
+//!   (e-MQO, o-sharing);
+//! * [`Predicate`] / [`AggFunc`] — the predicate and aggregate language of Table III;
+//! * [`Executor`] — a straightforward row-at-a-time executor with hash equi-joins, returning
+//!   materialised [`Relation`](urm_storage::Relation)s;
+//! * [`ExecStats`] — counters for executed operators and produced tuples, the metric reported
+//!   in the paper's Table IV;
+//! * [`optimize`] — selection push-down and product→join rewrites used when lowering
+//!   reformulated queries, plus plan fingerprinting used by the MQO baseline.
+//!
+//! ```
+//! use urm_engine::{CompareOp, Executor, Plan, Predicate};
+//! use urm_storage::{Attribute, Catalog, DataType, Relation, Schema, Tuple, Value};
+//!
+//! let schema = Schema::new(
+//!     "Customer",
+//!     vec![
+//!         Attribute::new("cname", DataType::Text),
+//!         Attribute::new("oaddr", DataType::Text),
+//!     ],
+//! );
+//! let rel = Relation::new(
+//!     schema,
+//!     vec![
+//!         Tuple::new(vec![Value::from("Alice"), Value::from("aaa")]),
+//!         Tuple::new(vec![Value::from("Bob"), Value::from("bbb")]),
+//!     ],
+//! )
+//! .unwrap();
+//! let mut catalog = Catalog::new();
+//! catalog.insert(rel);
+//!
+//! // π_{cname} σ_{oaddr = 'aaa'} Customer
+//! let plan = Plan::scan("Customer")
+//!     .select(Predicate::compare("Customer.oaddr", CompareOp::Eq, Value::from("aaa")))
+//!     .project(vec!["Customer.cname".into()]);
+//!
+//! let mut exec = Executor::new(&catalog);
+//! let result = exec.run(&plan).unwrap();
+//! assert_eq!(result.len(), 1);
+//! assert_eq!(result.rows()[0].get(0), Some(&Value::from("Alice")));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod error;
+pub mod executor;
+pub mod expr;
+pub mod optimize;
+pub mod plan;
+pub mod stats;
+
+pub use error::{EngineError, EngineResult};
+pub use executor::Executor;
+pub use expr::{AggFunc, CompareOp, Predicate};
+pub use plan::Plan;
+pub use stats::ExecStats;

@@ -1,0 +1,292 @@
+//! Plan rewrites used when lowering reformulated source queries.
+//!
+//! Reformulation (Section VI-B of the paper) produces plans of the shape
+//! `π (σ … σ (R1 × R2 × …))`.  Executing such a plan literally would materialise the full
+//! Cartesian product before filtering, which is infeasible even at moderate scale factors and is
+//! not what any realistic engine (including the authors') does.  The rewrites here —
+//! selection push-down and conversion of products with equality conditions into hash joins —
+//! keep the *logical* operator structure that the paper's algorithms reason about while making
+//! all baselines executable.  The same rewritten plan is used for every algorithm, so relative
+//! comparisons are unaffected.
+
+use crate::{EngineResult, Plan, Predicate};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use urm_storage::Catalog;
+
+/// A structural fingerprint of a plan, used to detect identical source queries (e-basic) and
+/// common sub-expressions (the MQO baseline).
+#[must_use]
+pub fn fingerprint(plan: &Plan) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    plan.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Optimises a plan: pushes selections towards the leaves and converts Cartesian products whose
+/// conjuncts contain cross-side equality predicates into hash equi-joins.
+pub fn optimize(plan: &Plan, catalog: &Catalog) -> EngineResult<Plan> {
+    match plan {
+        Plan::Select { predicate, input } => {
+            let mut preds = predicate.clone().flatten();
+            let mut cur: &Plan = input;
+            while let Plan::Select { predicate, input } = cur {
+                preds.extend(predicate.clone().flatten());
+                cur = input;
+            }
+            let child = optimize(cur, catalog)?;
+            apply_predicates(child, preds, catalog)
+        }
+        Plan::Project { columns, input } => Ok(Plan::Project {
+            columns: columns.clone(),
+            input: Box::new(optimize(input, catalog)?),
+        }),
+        Plan::Product { left, right } => Ok(Plan::Product {
+            left: Box::new(optimize(left, catalog)?),
+            right: Box::new(optimize(right, catalog)?),
+        }),
+        Plan::HashJoin { left, right, on } => Ok(Plan::HashJoin {
+            left: Box::new(optimize(left, catalog)?),
+            right: Box::new(optimize(right, catalog)?),
+            on: on.clone(),
+        }),
+        Plan::Aggregate { func, input } => Ok(Plan::Aggregate {
+            func: func.clone(),
+            input: Box::new(optimize(input, catalog)?),
+        }),
+        Plan::Scan { .. } | Plan::Values(_) => Ok(plan.clone()),
+    }
+}
+
+/// Pushes a set of conjunctive predicates into `child` as far as possible, converting products
+/// into hash joins when a cross-side equality predicate is available.
+fn apply_predicates(
+    child: Plan,
+    preds: Vec<Predicate>,
+    catalog: &Catalog,
+) -> EngineResult<Plan> {
+    if preds.is_empty() {
+        return Ok(child);
+    }
+    match child {
+        Plan::Product { left, right } => {
+            apply_to_binary(*left, *right, Vec::new(), preds, catalog)
+        }
+        Plan::HashJoin { left, right, on } => apply_to_binary(*left, *right, on, preds, catalog),
+        Plan::Select { predicate, input } => {
+            let mut all = predicate.flatten();
+            all.extend(preds);
+            apply_predicates(*input, all, catalog)
+        }
+        other => Ok(other.select(Predicate::conjunction(preds))),
+    }
+}
+
+/// Distributes predicates over a binary node (product or join), turning cross-side equality
+/// conjuncts into join keys.
+fn apply_to_binary(
+    left: Plan,
+    right: Plan,
+    existing_on: Vec<(String, String)>,
+    preds: Vec<Predicate>,
+    catalog: &Catalog,
+) -> EngineResult<Plan> {
+    let left_schema = left.output_schema(catalog)?;
+    let right_schema = right.output_schema(catalog)?;
+
+    let mut left_preds = Vec::new();
+    let mut right_preds = Vec::new();
+    let mut join_on = existing_on;
+    let mut residual = Vec::new();
+
+    for pred in preds {
+        let cols = pred.columns();
+        let all_left = cols.iter().all(|c| left_schema.contains(c));
+        let all_right = cols.iter().all(|c| right_schema.contains(c));
+        match (&pred, all_left, all_right) {
+            (_, true, _) => left_preds.push(pred),
+            (_, _, true) => right_preds.push(pred),
+            (Predicate::ColumnEq { left: l, right: r }, _, _)
+                if (left_schema.contains(l) && right_schema.contains(r))
+                    || (left_schema.contains(r) && right_schema.contains(l)) =>
+            {
+                join_on.push((l.clone(), r.clone()));
+            }
+            _ => residual.push(pred),
+        }
+    }
+
+    let new_left = apply_predicates(left, left_preds, catalog)?;
+    let new_right = apply_predicates(right, right_preds, catalog)?;
+    let joined = if join_on.is_empty() {
+        new_left.product(new_right)
+    } else {
+        new_left.hash_join(new_right, join_on)
+    };
+    if residual.is_empty() {
+        Ok(joined)
+    } else {
+        Ok(joined.select(Predicate::conjunction(residual)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AggFunc, CompareOp, Executor};
+    use urm_storage::{Attribute, DataType, Relation, Schema, Tuple, Value};
+
+    fn catalog() -> Catalog {
+        let customer = Relation::new(
+            Schema::new(
+                "Customer",
+                vec![
+                    Attribute::new("cid", DataType::Int),
+                    Attribute::new("city", DataType::Text),
+                ],
+            ),
+            (0..20)
+                .map(|i| {
+                    Tuple::new(vec![
+                        Value::from(i as i64),
+                        Value::from(if i % 2 == 0 { "hk" } else { "sz" }),
+                    ])
+                })
+                .collect(),
+        )
+        .unwrap();
+        let orders = Relation::new(
+            Schema::new(
+                "Orders",
+                vec![
+                    Attribute::new("oid", DataType::Int),
+                    Attribute::new("cid", DataType::Int),
+                    Attribute::new("total", DataType::Float),
+                ],
+            ),
+            (0..30)
+                .map(|i| {
+                    Tuple::new(vec![
+                        Value::from(1000 + i as i64),
+                        Value::from((i % 20) as i64),
+                        Value::from(i as f64 * 1.5),
+                    ])
+                })
+                .collect(),
+        )
+        .unwrap();
+        let mut cat = Catalog::new();
+        cat.insert(customer);
+        cat.insert(orders);
+        cat
+    }
+
+    fn unoptimized_query() -> Plan {
+        Plan::scan("Customer")
+            .product(Plan::scan("Orders"))
+            .select(Predicate::column_eq("Customer.cid", "Orders.cid"))
+            .select(Predicate::eq("Customer.city", Value::from("hk")))
+            .project(vec!["Orders.total".into()])
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_discriminating() {
+        let a = unoptimized_query();
+        let b = unoptimized_query();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let c = Plan::scan("Customer");
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn optimize_converts_product_to_hash_join() {
+        let cat = catalog();
+        let opt = optimize(&unoptimized_query(), &cat).unwrap();
+        let has_join = opt
+            .subplans()
+            .iter()
+            .any(|p| matches!(p, Plan::HashJoin { .. }));
+        let has_product = opt
+            .subplans()
+            .iter()
+            .any(|p| matches!(p, Plan::Product { .. }));
+        assert!(has_join, "expected a hash join in:\n{opt}");
+        assert!(!has_product, "product should have been rewritten:\n{opt}");
+    }
+
+    #[test]
+    fn optimize_pushes_selection_below_join() {
+        let cat = catalog();
+        let opt = optimize(&unoptimized_query(), &cat).unwrap();
+        // The city selection must now sit directly on the Customer scan.
+        let pushed = opt.subplans().iter().any(|p| {
+            matches!(
+                p,
+                Plan::Select { predicate, input }
+                    if matches!(input.as_ref(), Plan::Scan { relation, .. } if relation == "Customer")
+                        && predicate.columns() == vec!["Customer.city"]
+            )
+        });
+        assert!(pushed, "selection was not pushed down:\n{opt}");
+    }
+
+    #[test]
+    fn optimized_plan_produces_identical_results() {
+        let cat = catalog();
+        let plan = unoptimized_query();
+        let opt = optimize(&plan, &cat).unwrap();
+        let naive = Executor::new(&cat).run(&plan).unwrap();
+        let fast = Executor::new(&cat).run(&opt).unwrap();
+        use std::collections::HashMap;
+        let bag = |r: &Relation| {
+            let mut m: HashMap<Tuple, usize> = HashMap::new();
+            for t in r.iter() {
+                *m.entry(t.clone()).or_default() += 1;
+            }
+            m
+        };
+        assert_eq!(bag(&naive), bag(&fast));
+        assert!(!naive.is_empty());
+    }
+
+    #[test]
+    fn optimize_keeps_aggregates_and_projections() {
+        let cat = catalog();
+        let plan = Plan::scan("Orders")
+            .select(Predicate::compare(
+                "Orders.total",
+                CompareOp::Gt,
+                Value::from(10.0),
+            ))
+            .aggregate(AggFunc::Sum("Orders.total".into()));
+        let opt = optimize(&plan, &cat).unwrap();
+        let a = Executor::new(&cat).run(&plan).unwrap();
+        let b = Executor::new(&cat).run(&opt).unwrap();
+        assert_eq!(a.rows()[0], b.rows()[0]);
+    }
+
+    #[test]
+    fn residual_cross_side_comparisons_stay_above_the_join() {
+        let cat = catalog();
+        // A non-equality cross-side predicate cannot become a join key.
+        let plan = Plan::scan("Customer")
+            .product(Plan::scan("Orders"))
+            .select(Predicate::column_eq("Customer.cid", "Orders.cid"))
+            .select(Predicate::compare(
+                "Orders.total",
+                CompareOp::Ge,
+                Value::from(0.0),
+            ));
+        let opt = optimize(&plan, &cat).unwrap();
+        let a = Executor::new(&cat).run(&plan).unwrap();
+        let b = Executor::new(&cat).run(&opt).unwrap();
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn optimize_without_predicates_is_identity_on_scans() {
+        let cat = catalog();
+        let plan = Plan::scan("Customer");
+        assert_eq!(optimize(&plan, &cat).unwrap(), plan);
+    }
+}

@@ -1,0 +1,494 @@
+//! Relational algebra plan trees.
+
+use crate::{AggFunc, EngineError, EngineResult, Predicate};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+use urm_storage::{Attribute, Catalog, DataType, Relation, Schema};
+
+/// A relational algebra plan over the source instance.
+///
+/// Plans are ordinary immutable trees with structural equality and hashing: two mappings that
+/// reformulate a target query into the *same* source query produce equal `Plan` values, which is
+/// precisely the sharing opportunity exploited by e-basic and q-sharing, and plan sub-trees are
+/// the unit of sharing for e-MQO and o-sharing.
+///
+/// All column names in predicates, projections and aggregates are *qualified* (`alias.attr`):
+/// [`Plan::Scan`] renames every attribute of the base relation to `alias.attr`, so products never
+/// produce ambiguous columns, even for the self-joins of the paper's Q3/Q4.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Plan {
+    /// Scan of a base relation under an alias.
+    Scan {
+        /// Catalog relation name.
+        relation: String,
+        /// Alias used to qualify the output columns (defaults to the relation name).
+        alias: String,
+    },
+    /// An already-materialised relation (intermediate o-sharing results, e-unit inputs).
+    Values(Arc<Relation>),
+    /// Selection.
+    Select {
+        /// Predicate applied to each input row.
+        predicate: Predicate,
+        /// Input plan.
+        input: Box<Plan>,
+    },
+    /// Projection onto a list of qualified columns.
+    Project {
+        /// Output columns in order.
+        columns: Vec<String>,
+        /// Input plan.
+        input: Box<Plan>,
+    },
+    /// Cartesian product.
+    Product {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+    /// Hash equi-join on pairs of columns (used after the product→join rewrite).
+    HashJoin {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Pairs of (left column, right column) that must be equal.
+        on: Vec<(String, String)>,
+    },
+    /// Aggregation producing a single-row relation.
+    Aggregate {
+        /// Aggregate function.
+        func: AggFunc,
+        /// Input plan.
+        input: Box<Plan>,
+    },
+}
+
+impl Plan {
+    /// Scans a base relation using its own name as the alias.
+    pub fn scan(relation: impl Into<String>) -> Plan {
+        let relation = relation.into();
+        Plan::Scan {
+            alias: relation.clone(),
+            relation,
+        }
+    }
+
+    /// Scans a base relation under an explicit alias (self-joins).
+    pub fn scan_as(relation: impl Into<String>, alias: impl Into<String>) -> Plan {
+        Plan::Scan {
+            relation: relation.into(),
+            alias: alias.into(),
+        }
+    }
+
+    /// Wraps an already-materialised relation.
+    #[must_use]
+    pub fn values(relation: Relation) -> Plan {
+        Plan::Values(Arc::new(relation))
+    }
+
+    /// Wraps a shared materialised relation without copying it.
+    #[must_use]
+    pub fn values_shared(relation: Arc<Relation>) -> Plan {
+        Plan::Values(relation)
+    }
+
+    /// Applies a selection on top of this plan.
+    #[must_use]
+    pub fn select(self, predicate: Predicate) -> Plan {
+        Plan::Select {
+            predicate,
+            input: Box::new(self),
+        }
+    }
+
+    /// Applies a projection on top of this plan.
+    #[must_use]
+    pub fn project(self, columns: Vec<String>) -> Plan {
+        Plan::Project {
+            columns,
+            input: Box::new(self),
+        }
+    }
+
+    /// Builds the Cartesian product of this plan with another.
+    #[must_use]
+    pub fn product(self, other: Plan) -> Plan {
+        Plan::Product {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// Builds a hash equi-join of this plan with another.
+    #[must_use]
+    pub fn hash_join(self, other: Plan, on: Vec<(String, String)>) -> Plan {
+        Plan::HashJoin {
+            left: Box::new(self),
+            right: Box::new(other),
+            on,
+        }
+    }
+
+    /// Applies an aggregate on top of this plan.
+    #[must_use]
+    pub fn aggregate(self, func: AggFunc) -> Plan {
+        Plan::Aggregate {
+            func,
+            input: Box::new(self),
+        }
+    }
+
+    /// Number of operator nodes in the plan (scans and values leaves included).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        1 + match self {
+            Plan::Scan { .. } | Plan::Values(_) => 0,
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. } => input.node_count(),
+            Plan::Product { left, right } | Plan::HashJoin { left, right, .. } => {
+                left.node_count() + right.node_count()
+            }
+        }
+    }
+
+    /// Number of *operator* nodes (excluding leaves), the unit counted in the paper's Table IV.
+    #[must_use]
+    pub fn operator_count(&self) -> usize {
+        match self {
+            Plan::Scan { .. } | Plan::Values(_) => 0,
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. } => 1 + input.operator_count(),
+            Plan::Product { left, right } | Plan::HashJoin { left, right, .. } => {
+                1 + left.operator_count() + right.operator_count()
+            }
+        }
+    }
+
+    /// Direct children of this node.
+    #[must_use]
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Scan { .. } | Plan::Values(_) => Vec::new(),
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. } => vec![input],
+            Plan::Product { left, right } | Plan::HashJoin { left, right, .. } => {
+                vec![left, right]
+            }
+        }
+    }
+
+    /// Iterates over every sub-plan (pre-order), including `self`.
+    #[must_use]
+    pub fn subplans(&self) -> Vec<&Plan> {
+        let mut out = Vec::new();
+        let mut stack = vec![self];
+        while let Some(p) = stack.pop() {
+            out.push(p);
+            stack.extend(p.children());
+        }
+        out
+    }
+
+    /// Names of the base relations scanned by the plan.
+    #[must_use]
+    pub fn scanned_relations(&self) -> Vec<&str> {
+        self.subplans()
+            .into_iter()
+            .filter_map(|p| match p {
+                Plan::Scan { relation, .. } => Some(relation.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Infers the output schema of the plan against a catalog.
+    ///
+    /// The schema of a [`Plan::Scan`] is the base relation's schema with every attribute renamed
+    /// to `alias.attr` and the relation renamed to the alias.
+    pub fn output_schema(&self, catalog: &Catalog) -> EngineResult<Schema> {
+        match self {
+            Plan::Scan { relation, alias } => {
+                let base = catalog.require(relation)?;
+                Ok(qualify_schema(base.schema(), alias))
+            }
+            Plan::Values(rel) => Ok(rel.schema().clone()),
+            Plan::Select { input, .. } => input.output_schema(catalog),
+            Plan::Project { columns, input } => {
+                let input_schema = input.output_schema(catalog)?;
+                let mut attrs = Vec::with_capacity(columns.len());
+                for c in columns {
+                    let pos = input_schema.position(c).ok_or_else(|| {
+                        EngineError::UnknownColumn {
+                            column: c.clone(),
+                            schema: input_schema.to_string(),
+                        }
+                    })?;
+                    attrs.push(input_schema.attributes()[pos].clone());
+                }
+                Ok(Schema::new(format!("π({})", input_schema.name()), attrs))
+            }
+            Plan::Product { left, right } | Plan::HashJoin { left, right, .. } => {
+                let ls = left.output_schema(catalog)?;
+                let rs = right.output_schema(catalog)?;
+                let name = format!("{}×{}", ls.name(), rs.name());
+                Ok(ls.product(&rs, name))
+            }
+            Plan::Aggregate { func, input } => {
+                let input_schema = input.output_schema(catalog)?;
+                if let Some(col) = func.column() {
+                    if input_schema.position(col).is_none() {
+                        return Err(EngineError::UnknownColumn {
+                            column: col.to_string(),
+                            schema: input_schema.to_string(),
+                        });
+                    }
+                }
+                let attr = match func {
+                    AggFunc::Count => Attribute::new("count", DataType::Int),
+                    AggFunc::Sum(c) => Attribute::new(format!("sum({c})"), DataType::Float),
+                };
+                Ok(Schema::new(format!("agg({})", input_schema.name()), vec![attr]))
+            }
+        }
+    }
+
+    /// Whether any leaf of the plan is an empty materialised relation.
+    ///
+    /// o-sharing prunes e-units whose plan contains an empty intermediate relation (Case 2 of
+    /// `run_qt`): the final result is necessarily empty.
+    #[must_use]
+    pub fn contains_empty_relation(&self) -> bool {
+        self.subplans().into_iter().any(|p| match p {
+            Plan::Values(rel) => rel.is_empty(),
+            _ => false,
+        })
+    }
+}
+
+/// Renames `schema` to `alias` and qualifies each attribute as `alias.attr`.
+#[must_use]
+pub fn qualify_schema(schema: &Schema, alias: &str) -> Schema {
+    let attrs = schema
+        .attributes()
+        .iter()
+        .map(|a| Attribute::new(format!("{alias}.{}", a.name), a.data_type))
+        .collect();
+    Schema::new(alias, attrs)
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(plan: &Plan, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+            let pad = "  ".repeat(indent);
+            match plan {
+                Plan::Scan { relation, alias } => {
+                    if relation == alias {
+                        writeln!(f, "{pad}Scan {relation}")
+                    } else {
+                        writeln!(f, "{pad}Scan {relation} AS {alias}")
+                    }
+                }
+                Plan::Values(rel) => {
+                    writeln!(f, "{pad}Values [{} rows of {}]", rel.len(), rel.schema().name())
+                }
+                Plan::Select { predicate, input } => {
+                    writeln!(f, "{pad}Select {predicate}")?;
+                    go(input, f, indent + 1)
+                }
+                Plan::Project { columns, input } => {
+                    writeln!(f, "{pad}Project {}", columns.join(", "))?;
+                    go(input, f, indent + 1)
+                }
+                Plan::Product { left, right } => {
+                    writeln!(f, "{pad}Product")?;
+                    go(left, f, indent + 1)?;
+                    go(right, f, indent + 1)
+                }
+                Plan::HashJoin { left, right, on } => {
+                    let conds: Vec<String> =
+                        on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+                    writeln!(f, "{pad}HashJoin on {}", conds.join(" AND "))?;
+                    go(left, f, indent + 1)?;
+                    go(right, f, indent + 1)
+                }
+                Plan::Aggregate { func, input } => {
+                    writeln!(f, "{pad}Aggregate {func}")?;
+                    go(input, f, indent + 1)
+                }
+            }
+        }
+        go(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompareOp;
+    use urm_storage::{Tuple, Value};
+
+    fn test_catalog() -> Catalog {
+        let customer = Relation::new(
+            Schema::new(
+                "Customer",
+                vec![
+                    Attribute::new("cid", DataType::Int),
+                    Attribute::new("cname", DataType::Text),
+                    Attribute::new("oaddr", DataType::Text),
+                ],
+            ),
+            vec![Tuple::new(vec![
+                Value::from(1i64),
+                Value::from("Alice"),
+                Value::from("aaa"),
+            ])],
+        )
+        .unwrap();
+        let order = Relation::new(
+            Schema::new(
+                "C_Order",
+                vec![
+                    Attribute::new("oid", DataType::Int),
+                    Attribute::new("cid", DataType::Int),
+                    Attribute::new("amount", DataType::Float),
+                ],
+            ),
+            vec![],
+        )
+        .unwrap();
+        let mut cat = Catalog::new();
+        cat.insert(customer);
+        cat.insert(order);
+        cat
+    }
+
+    #[test]
+    fn scan_schema_is_qualified() {
+        let cat = test_catalog();
+        let schema = Plan::scan("Customer").output_schema(&cat).unwrap();
+        let names: Vec<_> = schema.attribute_names().collect();
+        assert_eq!(names, vec!["Customer.cid", "Customer.cname", "Customer.oaddr"]);
+        assert_eq!(schema.name(), "Customer");
+    }
+
+    #[test]
+    fn aliased_scan_uses_alias() {
+        let cat = test_catalog();
+        let schema = Plan::scan_as("Customer", "C1").output_schema(&cat).unwrap();
+        assert!(schema.contains("C1.cname"));
+        assert_eq!(schema.name(), "C1");
+    }
+
+    #[test]
+    fn product_schema_concatenates() {
+        let cat = test_catalog();
+        let plan = Plan::scan("Customer").product(Plan::scan("C_Order"));
+        let schema = plan.output_schema(&cat).unwrap();
+        assert_eq!(schema.arity(), 6);
+        assert!(schema.contains("Customer.cname"));
+        assert!(schema.contains("C_Order.amount"));
+    }
+
+    #[test]
+    fn self_join_with_aliases_has_unique_columns() {
+        let cat = test_catalog();
+        let plan = Plan::scan_as("Customer", "A").product(Plan::scan_as("Customer", "B"));
+        let schema = plan.output_schema(&cat).unwrap();
+        assert!(schema.contains("A.cname"));
+        assert!(schema.contains("B.cname"));
+        assert_eq!(schema.arity(), 6);
+    }
+
+    #[test]
+    fn projection_schema_and_errors() {
+        let cat = test_catalog();
+        let ok = Plan::scan("Customer").project(vec!["Customer.cname".into()]);
+        assert_eq!(ok.output_schema(&cat).unwrap().arity(), 1);
+        let bad = Plan::scan("Customer").project(vec!["Customer.ghost".into()]);
+        assert!(matches!(
+            bad.output_schema(&cat),
+            Err(EngineError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn aggregate_schema() {
+        let cat = test_catalog();
+        let count = Plan::scan("Customer").aggregate(AggFunc::Count);
+        let schema = count.output_schema(&cat).unwrap();
+        assert_eq!(schema.arity(), 1);
+        assert_eq!(schema.attributes()[0].data_type, DataType::Int);
+
+        let sum = Plan::scan("C_Order").aggregate(AggFunc::Sum("C_Order.amount".into()));
+        assert_eq!(
+            sum.output_schema(&cat).unwrap().attributes()[0].data_type,
+            DataType::Float
+        );
+
+        let bad = Plan::scan("Customer").aggregate(AggFunc::Sum("nope".into()));
+        assert!(bad.output_schema(&cat).is_err());
+    }
+
+    #[test]
+    fn unknown_relation_is_reported() {
+        let cat = test_catalog();
+        assert!(Plan::scan("Ghost").output_schema(&cat).is_err());
+    }
+
+    #[test]
+    fn node_and_operator_counts() {
+        let plan = Plan::scan("Customer")
+            .select(Predicate::compare(
+                "Customer.oaddr",
+                CompareOp::Eq,
+                Value::from("aaa"),
+            ))
+            .product(Plan::scan("C_Order"))
+            .project(vec!["Customer.cname".into()]);
+        assert_eq!(plan.node_count(), 5);
+        assert_eq!(plan.operator_count(), 3);
+        assert_eq!(plan.scanned_relations().len(), 2);
+    }
+
+    #[test]
+    fn identical_plans_are_equal_and_hash_equal() {
+        use std::collections::HashSet;
+        let make = || {
+            Plan::scan("Customer")
+                .select(Predicate::eq("Customer.oaddr", Value::from("aaa")))
+                .project(vec!["Customer.cname".into()])
+        };
+        let mut set = HashSet::new();
+        set.insert(make());
+        set.insert(make());
+        assert_eq!(set.len(), 1);
+        set.insert(Plan::scan("Customer"));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn contains_empty_relation_detects_empty_leaves() {
+        let empty = Relation::empty(Schema::new("R", vec![Attribute::new("a", DataType::Int)]));
+        let plan = Plan::values(empty).product(Plan::scan("Customer"));
+        assert!(plan.contains_empty_relation());
+        assert!(!Plan::scan("Customer").contains_empty_relation());
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let plan = Plan::scan("Customer")
+            .select(Predicate::eq("Customer.oaddr", Value::from("aaa")))
+            .project(vec!["Customer.cname".into()]);
+        let s = plan.to_string();
+        assert!(s.contains("Project"));
+        assert!(s.contains("Select"));
+        assert!(s.contains("Scan Customer"));
+    }
+}

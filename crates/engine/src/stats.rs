@@ -1,0 +1,112 @@
+//! Execution statistics.
+//!
+//! The paper evaluates its algorithms by wall-clock time and by the *number of source query
+//! operators executed* (Table IV).  Every operator the executor runs increments these counters,
+//! and the probabilistic-query algorithms in `urm-core` add their own counters (source queries
+//! issued, reformulations performed) on top.
+
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+use std::time::Duration;
+
+/// Counters describing the work performed by one or more plan executions.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Number of operator nodes executed (selections, projections, products, joins, aggregates).
+    pub operators_executed: u64,
+    /// Number of base-relation scans performed.
+    pub scans: u64,
+    /// Total number of tuples read from operator inputs.
+    pub tuples_read: u64,
+    /// Total number of tuples produced by operators.
+    pub tuples_output: u64,
+    /// Number of complete source queries executed.
+    pub source_queries: u64,
+    /// Wall-clock time spent inside the executor.
+    #[serde(skip)]
+    pub exec_time: Duration,
+}
+
+impl ExecStats {
+    /// Creates zeroed statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        ExecStats::default()
+    }
+
+    /// Records the execution of one operator that read `read` tuples and produced `output`.
+    pub fn record_operator(&mut self, read: u64, output: u64) {
+        self.operators_executed += 1;
+        self.tuples_read += read;
+        self.tuples_output += output;
+    }
+
+    /// Records a base-relation scan.
+    pub fn record_scan(&mut self, output: u64) {
+        self.scans += 1;
+        self.tuples_output += output;
+    }
+
+    /// Records the completion of a full source query.
+    pub fn record_source_query(&mut self) {
+        self.source_queries += 1;
+    }
+
+    /// Merges another set of statistics into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.operators_executed += other.operators_executed;
+        self.scans += other.scans;
+        self.tuples_read += other.tuples_read;
+        self.tuples_output += other.tuples_output;
+        self.source_queries += other.source_queries;
+        self.exec_time += other.exec_time;
+    }
+}
+
+impl AddAssign<&ExecStats> for ExecStats {
+    fn add_assign(&mut self, rhs: &ExecStats) {
+        self.merge(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_operator_accumulates() {
+        let mut s = ExecStats::new();
+        s.record_operator(10, 4);
+        s.record_operator(4, 4);
+        assert_eq!(s.operators_executed, 2);
+        assert_eq!(s.tuples_read, 14);
+        assert_eq!(s.tuples_output, 8);
+    }
+
+    #[test]
+    fn record_scan_counts_scans_separately() {
+        let mut s = ExecStats::new();
+        s.record_scan(100);
+        assert_eq!(s.scans, 1);
+        assert_eq!(s.operators_executed, 0);
+        assert_eq!(s.tuples_output, 100);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = ExecStats::new();
+        a.record_operator(5, 5);
+        a.record_source_query();
+        let mut b = ExecStats::new();
+        b.record_operator(3, 1);
+        b.record_scan(7);
+        b.exec_time = Duration::from_millis(12);
+        a += &b;
+        assert_eq!(a.operators_executed, 2);
+        assert_eq!(a.scans, 1);
+        assert_eq!(a.tuples_read, 8);
+        assert_eq!(a.tuples_output, 13);
+        assert_eq!(a.source_queries, 1);
+        assert_eq!(a.exec_time, Duration::from_millis(12));
+    }
+}

@@ -1,0 +1,86 @@
+//! Attribute correspondences.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use urm_storage::AttrRef;
+
+/// A scored correspondence between one source attribute and one target attribute —
+/// a single edge of Figure 1 in the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Correspondence {
+    /// The source-schema attribute (e.g. `Customer.ophone`).
+    pub source: AttrRef,
+    /// The target-schema attribute (e.g. `Person.phone`).
+    pub target: AttrRef,
+    /// Similarity score produced by the matcher, in `[0, 1]`.
+    pub score: f64,
+}
+
+impl Correspondence {
+    /// Creates a new correspondence.
+    #[must_use]
+    pub fn new(source: AttrRef, target: AttrRef, score: f64) -> Self {
+        Correspondence {
+            source,
+            target,
+            score,
+        }
+    }
+
+    /// Creates a correspondence from `(relation, attr)` string pairs.
+    pub fn from_parts(
+        source: (impl Into<String>, impl Into<String>),
+        target: (impl Into<String>, impl Into<String>),
+        score: f64,
+    ) -> Self {
+        Correspondence::new(
+            AttrRef::new(source.0, source.1),
+            AttrRef::new(target.0, target.1),
+            score,
+        )
+    }
+
+    /// The `(source, target)` attribute pair, ignoring the score.
+    ///
+    /// Mappings are compared by their correspondence *pairs* — two mappings that pair the same
+    /// attributes are the same mapping even if scores were computed differently — so this is the
+    /// identity used for o-ratio and partition computations.
+    #[must_use]
+    pub fn pair(&self) -> (AttrRef, AttrRef) {
+        (self.source.clone(), self.target.clone())
+    }
+}
+
+impl fmt::Display for Correspondence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} ↔ {}, {:.2})", self.source, self.target, self.score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_parts_builds_refs() {
+        let c = Correspondence::from_parts(("Customer", "ophone"), ("Person", "phone"), 0.85);
+        assert_eq!(c.source, AttrRef::new("Customer", "ophone"));
+        assert_eq!(c.target, AttrRef::new("Person", "phone"));
+        assert!((c.score - 0.85).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn pair_drops_the_score() {
+        let a = Correspondence::from_parts(("C", "x"), ("T", "y"), 0.9);
+        let b = Correspondence::from_parts(("C", "x"), ("T", "y"), 0.1);
+        assert_eq!(a.pair(), b.pair());
+    }
+
+    #[test]
+    fn display_shows_both_sides() {
+        let c = Correspondence::from_parts(("Customer", "cname"), ("Person", "pname"), 0.85);
+        let s = c.to_string();
+        assert!(s.contains("Customer.cname"));
+        assert!(s.contains("Person.pname"));
+    }
+}

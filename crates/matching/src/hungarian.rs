@@ -1,0 +1,293 @@
+//! Maximum-weight bipartite assignment (Hungarian algorithm).
+//!
+//! The paper derives possible mappings by running "a bipartite matching algorithm" over the
+//! similarity scores ([9], [10]).  This module provides the underlying solver: given a weight
+//! matrix it finds the one-to-one assignment of rows to columns with maximum total weight.
+//! [`crate::murty`] builds on it to enumerate the `h` best assignments.
+
+/// Result of an assignment: for each row, the column it is matched to (or `None`), plus the
+/// total weight of the matched pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// `row_to_col[i]` is the column assigned to row `i`, if any.
+    pub row_to_col: Vec<Option<usize>>,
+    /// Sum of the weights of all matched `(row, col)` pairs.
+    pub total_weight: f64,
+}
+
+impl Assignment {
+    /// The matched `(row, col)` pairs in row order.
+    #[must_use]
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        self.row_to_col
+            .iter()
+            .enumerate()
+            .filter_map(|(r, c)| c.map(|c| (r, c)))
+            .collect()
+    }
+
+    /// Number of matched pairs.
+    #[must_use]
+    pub fn matched_count(&self) -> usize {
+        self.row_to_col.iter().filter(|c| c.is_some()).count()
+    }
+}
+
+/// Weight below which an edge is considered forbidden / useless.
+///
+/// Murty's algorithm forbids edges by assigning them this weight; the solver then never reports
+/// them as part of a solution (they are filtered out together with non-positive weights).
+pub const FORBIDDEN_WEIGHT: f64 = -1.0e9;
+
+/// Computes a maximum-weight one-to-one assignment between rows and columns.
+///
+/// Only pairs with strictly positive weight are reported in the result; rows that would only be
+/// matched with zero or negative weight stay unmatched, which yields the *partial* one-to-one
+/// correspondence sets the paper's data model requires.
+///
+/// The implementation is the classic `O(n³)` potential-based Hungarian algorithm on the
+/// (negated) weight matrix, padded to a rectangular problem with rows ≤ columns.
+#[must_use]
+pub fn max_weight_assignment(weights: &[Vec<f64>]) -> Assignment {
+    let rows = weights.len();
+    if rows == 0 {
+        return Assignment {
+            row_to_col: Vec::new(),
+            total_weight: 0.0,
+        };
+    }
+    let cols = weights.iter().map(Vec::len).max().unwrap_or(0);
+    if cols == 0 {
+        return Assignment {
+            row_to_col: vec![None; rows],
+            total_weight: 0.0,
+        };
+    }
+
+    // Every row always gets its own zero-weight dummy column, so "stay unmatched" is an explicit
+    // choice.  This keeps the solver's objective equal to the reported (filtered) weight even
+    // when edges are forbidden with [`FORBIDDEN_WEIGHT`], which Murty's enumeration relies on
+    // for its best-first ordering.
+    let padded_cols = cols + rows;
+    let cost = |r: usize, c: usize| -> f64 {
+        // Minimisation problem: cost = -weight; dummy columns cost 0 (equivalent to unmatched).
+        if c < weights[r].len() {
+            -weights[r][c]
+        } else {
+            0.0
+        }
+    };
+
+    // e-maxx style Hungarian, 1-indexed.
+    let n = rows;
+    let m = padded_cols;
+    let inf = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[j] = row matched to column j (0 = none)
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![inf; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = inf;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![None; rows];
+    let mut total_weight = 0.0;
+    for j in 1..=m {
+        let i = p[j];
+        if i == 0 {
+            continue;
+        }
+        let (r, c) = (i - 1, j - 1);
+        if c < weights[r].len() {
+            let w = weights[r][c];
+            // Keep only genuinely useful matches: positive weight and not a forbidden edge.
+            if w > 0.0 && w > FORBIDDEN_WEIGHT / 2.0 {
+                row_to_col[r] = Some(c);
+                total_weight += w;
+            }
+        }
+    }
+    Assignment {
+        row_to_col,
+        total_weight,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = max_weight_assignment(&[]);
+        assert!(a.row_to_col.is_empty());
+        assert_close(a.total_weight, 0.0);
+    }
+
+    #[test]
+    fn single_cell() {
+        let a = max_weight_assignment(&[vec![0.7]]);
+        assert_eq!(a.row_to_col, vec![Some(0)]);
+        assert_close(a.total_weight, 0.7);
+    }
+
+    #[test]
+    fn square_matrix_picks_the_optimal_permutation() {
+        // Row 0 prefers col 0 (0.9), row 1 prefers col 0 too (0.8) but the best total is
+        // 0.9 + 0.7 by giving row 1 col 1.
+        let w = vec![vec![0.9, 0.2], vec![0.8, 0.7]];
+        let a = max_weight_assignment(&w);
+        assert_eq!(a.row_to_col, vec![Some(0), Some(1)]);
+        assert_close(a.total_weight, 1.6);
+    }
+
+    #[test]
+    fn greedy_would_be_suboptimal_here() {
+        // Greedy picks (0,0)=5 then (1,1)=1 → 6; optimal is (0,1)=4 + (1,0)=4 → 8.
+        let w = vec![vec![5.0, 4.0], vec![4.0, 1.0]];
+        let a = max_weight_assignment(&w);
+        assert_close(a.total_weight, 8.0);
+        assert_eq!(a.row_to_col, vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn rectangular_more_rows_than_cols() {
+        let w = vec![vec![0.3], vec![0.9], vec![0.5]];
+        let a = max_weight_assignment(&w);
+        assert_eq!(a.matched_count(), 1);
+        assert_eq!(a.row_to_col[1], Some(0));
+        assert_close(a.total_weight, 0.9);
+    }
+
+    #[test]
+    fn rectangular_more_cols_than_rows() {
+        let w = vec![vec![0.1, 0.8, 0.3]];
+        let a = max_weight_assignment(&w);
+        assert_eq!(a.row_to_col, vec![Some(1)]);
+        assert_close(a.total_weight, 0.8);
+    }
+
+    #[test]
+    fn zero_weights_stay_unmatched() {
+        let w = vec![vec![0.0, 0.0], vec![0.0, 0.6]];
+        let a = max_weight_assignment(&w);
+        assert_eq!(a.row_to_col[0], None);
+        assert_eq!(a.row_to_col[1], Some(1));
+        assert_close(a.total_weight, 0.6);
+    }
+
+    #[test]
+    fn forbidden_edges_are_never_used() {
+        let w = vec![vec![FORBIDDEN_WEIGHT, 0.4], vec![0.5, FORBIDDEN_WEIGHT]];
+        let a = max_weight_assignment(&w);
+        assert_eq!(a.row_to_col, vec![Some(1), Some(0)]);
+        assert_close(a.total_weight, 0.9);
+    }
+
+    #[test]
+    fn assignment_is_one_to_one() {
+        let w = vec![
+            vec![0.9, 0.8, 0.1],
+            vec![0.85, 0.83, 0.2],
+            vec![0.7, 0.75, 0.65],
+        ];
+        let a = max_weight_assignment(&w);
+        let cols: Vec<usize> = a.row_to_col.iter().flatten().copied().collect();
+        let mut dedup = cols.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(cols.len(), dedup.len(), "columns must be distinct");
+        assert_eq!(a.matched_count(), 3);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_matrices() {
+        // Exhaustively verify optimality for all 3x3 matrices from a small value set.
+        let vals = [0.0, 0.3, 0.7];
+        let mut count = 0;
+        for a in 0..3usize {
+            for b in 0..3usize {
+                for c in 0..3usize {
+                    for d in 0..3usize {
+                        let w = vec![
+                            vec![vals[a], vals[b], 0.5],
+                            vec![vals[c], 0.2, vals[d]],
+                            vec![0.4, vals[(a + c) % 3], vals[(b + d) % 3]],
+                        ];
+                        let got = max_weight_assignment(&w).total_weight;
+                        let best = brute_force_best(&w);
+                        assert!((got - best).abs() < 1e-9, "matrix {w:?}: {got} vs {best}");
+                        count += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(count, 81);
+    }
+
+    fn brute_force_best(w: &[Vec<f64>]) -> f64 {
+        // All permutations of 3 columns, allowing any subset of rows to stay unmatched is not
+        // needed because all weights are >= 0 (matching more never hurts); zero-weight matches
+        // contribute nothing either way.
+        let perms = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        perms
+            .iter()
+            .map(|p| (0..3).map(|r| w[r][p[r]].max(0.0)).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+}

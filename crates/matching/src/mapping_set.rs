@@ -1,0 +1,321 @@
+//! Sets of possible mappings with normalised probabilities.
+
+use crate::murty::k_best_assignments;
+use crate::{Correspondence, Mapping, MatchingError, MatchingResult, SimilarityMatrix};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use urm_storage::AttrRef;
+
+/// The uncertain matching `M = {m_1, …, m_h}`: mutually exclusive possible mappings whose
+/// probabilities sum to one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappingSet {
+    mappings: Vec<Mapping>,
+}
+
+impl MappingSet {
+    /// Wraps a list of mappings, normalising their probabilities so they sum to one.
+    ///
+    /// Mirrors the paper's probability model: `Pr(m_i)` is `m_i`'s similarity score divided by
+    /// the total score of the `h` retained mappings.  If every probability is zero the mappings
+    /// are weighted by score instead; if scores are also all zero a uniform distribution is
+    /// used.
+    #[must_use]
+    pub fn new(mut mappings: Vec<Mapping>) -> Self {
+        let prob_sum: f64 = mappings.iter().map(Mapping::probability).sum();
+        if prob_sum > 0.0 {
+            for m in &mut mappings {
+                let p = m.probability() / prob_sum;
+                m.set_probability(p);
+            }
+        } else {
+            let score_sum: f64 = mappings.iter().map(Mapping::score).sum();
+            let n = mappings.len().max(1) as f64;
+            for m in &mut mappings {
+                let p = if score_sum > 0.0 {
+                    m.score() / score_sum
+                } else {
+                    1.0 / n
+                };
+                m.set_probability(p);
+            }
+        }
+        MappingSet { mappings }
+    }
+
+    /// Builds a mapping set directly from explicit `(mapping, probability)` data without
+    /// renormalising — used by tests that replay the paper's worked examples verbatim.
+    /// Returns an error if the probabilities do not sum to 1 (within 1e-6).
+    pub fn from_explicit(mappings: Vec<Mapping>) -> MatchingResult<Self> {
+        let sum: f64 = mappings.iter().map(Mapping::probability).sum();
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(MatchingError::InvalidDistribution { sum });
+        }
+        Ok(MappingSet { mappings })
+    }
+
+    /// Generates the `h` highest-scoring possible mappings from a similarity matrix, with
+    /// probabilities normalised over the retained mappings (Section II / [9]).
+    pub fn top_h(sim: &SimilarityMatrix, h: usize) -> MatchingResult<Self> {
+        if h == 0 {
+            return Err(MatchingError::InvalidMappingCount {
+                requested: 0,
+                reason: "h must be positive".into(),
+            });
+        }
+        if sim.positive_entries() == 0 {
+            return Err(MatchingError::EmptySimilarity);
+        }
+        let (rows, cols) = sim.dims();
+        let weights: Vec<Vec<f64>> = (0..rows)
+            .map(|r| (0..cols).map(|c| sim.score_at(r, c)).collect())
+            .collect();
+        let ranked = k_best_assignments(&weights, h);
+        if ranked.is_empty() {
+            return Err(MatchingError::EmptySimilarity);
+        }
+        let mappings: Vec<Mapping> = ranked
+            .into_iter()
+            .enumerate()
+            .map(|(i, ranked)| {
+                let correspondences: Vec<Correspondence> = ranked
+                    .pairs
+                    .iter()
+                    .map(|&(r, c)| {
+                        Correspondence::new(
+                            sim.source_attrs()[r].clone(),
+                            sim.target_attrs()[c].clone(),
+                            sim.score_at(r, c),
+                        )
+                    })
+                    .collect();
+                // Probability proportional to score; `MappingSet::new` normalises.
+                Mapping::new(i + 1, correspondences, ranked.total_weight)
+            })
+            .collect();
+        Ok(MappingSet::new(mappings))
+    }
+
+    /// Number of mappings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.mappings.is_empty()
+    }
+
+    /// The mappings in rank order.
+    #[must_use]
+    pub fn mappings(&self) -> &[Mapping] {
+        &self.mappings
+    }
+
+    /// Iterates over the mappings.
+    pub fn iter(&self) -> impl Iterator<Item = &Mapping> {
+        self.mappings.iter()
+    }
+
+    /// The mapping with a given id.
+    #[must_use]
+    pub fn by_id(&self, id: usize) -> Option<&Mapping> {
+        self.mappings.iter().find(|m| m.id() == id)
+    }
+
+    /// Sum of probabilities (should always be 1 up to rounding).
+    #[must_use]
+    pub fn probability_sum(&self) -> f64 {
+        self.mappings.iter().map(Mapping::probability).sum()
+    }
+
+    /// Validates the invariants of the data model: probabilities form a distribution and every
+    /// mapping is one-to-one.
+    pub fn validate(&self) -> MatchingResult<()> {
+        let sum = self.probability_sum();
+        if self.is_empty() || (sum - 1.0).abs() > 1e-6 {
+            return Err(MatchingError::InvalidDistribution { sum });
+        }
+        for m in &self.mappings {
+            if !m.is_one_to_one() {
+                return Err(MatchingError::NotOneToOne {
+                    attribute: m
+                        .correspondences()
+                        .first()
+                        .map(|c| c.source.qualified())
+                        .unwrap_or_default(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The o-ratio of the whole set: the average pairwise o-ratio (Section VIII-B.1).
+    #[must_use]
+    pub fn o_ratio(&self) -> f64 {
+        crate::oratio::average_o_ratio(&self.mappings)
+    }
+
+    /// Keeps only the first `n` mappings (by rank) and renormalises; used by the experiment
+    /// sweeps over the number of mappings.
+    #[must_use]
+    pub fn truncated(&self, n: usize) -> MappingSet {
+        MappingSet::new(self.mappings.iter().take(n).cloned().collect())
+    }
+
+    /// All target attributes covered by at least one mapping.
+    #[must_use]
+    pub fn covered_target_attributes(&self) -> Vec<AttrRef> {
+        let mut set = std::collections::BTreeSet::new();
+        for m in &self.mappings {
+            for t in m.target_attributes() {
+                set.insert(t.clone());
+            }
+        }
+        set.into_iter().collect()
+    }
+}
+
+impl fmt::Display for MappingSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} possible mappings (o-ratio {:.2})",
+            self.len(),
+            self.o_ratio()
+        )?;
+        for m in &self.mappings {
+            writeln!(f, "  {m}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SchemaDef;
+
+    fn paper_similarity() -> SimilarityMatrix {
+        // The Customer ↔ Person part of Figure 1.
+        let source = SchemaDef::new("S").with_relation(
+            "Customer",
+            ["cname", "ophone", "hphone", "mobile", "oaddr", "haddr"],
+        );
+        let target = SchemaDef::new("T").with_relation("Person", ["pname", "phone", "addr"]);
+        let mut sim = SimilarityMatrix::new(&source, &target);
+        sim.set(("Customer", "cname"), ("Person", "pname"), 0.85);
+        sim.set(("Customer", "ophone"), ("Person", "phone"), 0.85);
+        sim.set(("Customer", "hphone"), ("Person", "phone"), 0.83);
+        sim.set(("Customer", "mobile"), ("Person", "phone"), 0.65);
+        sim.set(("Customer", "oaddr"), ("Person", "addr"), 0.81);
+        sim.set(("Customer", "haddr"), ("Person", "addr"), 0.75);
+        sim
+    }
+
+    #[test]
+    fn top_h_produces_h_distinct_normalised_mappings() {
+        let sim = paper_similarity();
+        let set = MappingSet::top_h(&sim, 5).unwrap();
+        assert_eq!(set.len(), 5);
+        set.validate().unwrap();
+        assert!((set.probability_sum() - 1.0).abs() < 1e-9);
+        // Mappings are ranked by score: the first one uses the best correspondences.
+        let best = &set.mappings()[0];
+        assert!(best.contains_pair(
+            &AttrRef::new("Customer", "cname"),
+            &AttrRef::new("Person", "pname")
+        ));
+        assert!(best.contains_pair(
+            &AttrRef::new("Customer", "ophone"),
+            &AttrRef::new("Person", "phone")
+        ));
+        // Scores are non-increasing with rank.
+        for w in set.mappings().windows(2) {
+            assert!(w[0].score() >= w[1].score() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn top_h_mappings_overlap_heavily() {
+        // The phenomenon the paper exploits: possible mappings share most correspondences.
+        let sim = paper_similarity();
+        let set = MappingSet::top_h(&sim, 5).unwrap();
+        assert!(set.o_ratio() > 0.3, "o-ratio was {}", set.o_ratio());
+    }
+
+    #[test]
+    fn probabilities_follow_scores() {
+        let sim = paper_similarity();
+        let set = MappingSet::top_h(&sim, 3).unwrap();
+        let m = set.mappings();
+        assert!(m[0].probability() >= m[1].probability());
+        assert!(m[1].probability() >= m[2].probability());
+    }
+
+    #[test]
+    fn zero_h_and_empty_similarity_are_errors() {
+        let sim = paper_similarity();
+        assert!(matches!(
+            MappingSet::top_h(&sim, 0),
+            Err(MatchingError::InvalidMappingCount { .. })
+        ));
+        let source = SchemaDef::new("S").with_relation("R", ["a"]);
+        let target = SchemaDef::new("T").with_relation("Q", ["b"]);
+        let empty = SimilarityMatrix::new(&source, &target);
+        assert!(matches!(
+            MappingSet::top_h(&empty, 3),
+            Err(MatchingError::EmptySimilarity)
+        ));
+    }
+
+    #[test]
+    fn from_explicit_validates_distribution() {
+        use crate::mapping::Mapping;
+        let m1 = Mapping::new(
+            1,
+            vec![Correspondence::from_parts(("C", "a"), ("T", "x"), 0.9)],
+            0.6,
+        );
+        let m2 = Mapping::new(
+            2,
+            vec![Correspondence::from_parts(("C", "b"), ("T", "x"), 0.8)],
+            0.4,
+        );
+        let ok = MappingSet::from_explicit(vec![m1.clone(), m2.clone()]).unwrap();
+        ok.validate().unwrap();
+        let bad = MappingSet::from_explicit(vec![m1, {
+            let mut m = m2;
+            m.set_probability(0.1);
+            m
+        }]);
+        assert!(matches!(bad, Err(MatchingError::InvalidDistribution { .. })));
+    }
+
+    #[test]
+    fn truncated_renormalises() {
+        let sim = paper_similarity();
+        let set = MappingSet::top_h(&sim, 5).unwrap();
+        let short = set.truncated(2);
+        assert_eq!(short.len(), 2);
+        assert!((short.probability_sum() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn covered_target_attributes_union() {
+        let sim = paper_similarity();
+        let set = MappingSet::top_h(&sim, 5).unwrap();
+        let covered = set.covered_target_attributes();
+        assert!(covered.contains(&AttrRef::new("Person", "phone")));
+        assert!(covered.contains(&AttrRef::new("Person", "addr")));
+    }
+
+    #[test]
+    fn display_mentions_count() {
+        let sim = paper_similarity();
+        let set = MappingSet::top_h(&sim, 2).unwrap();
+        assert!(set.to_string().contains("2 possible mappings"));
+    }
+}

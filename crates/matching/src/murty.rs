@@ -1,0 +1,289 @@
+//! Murty's k-best assignment algorithm.
+//!
+//! The paper needs the `h` highest-scoring one-to-one mappings between the attributes of two
+//! schemas ([9], [10] obtain them with a k-best bipartite matching procedure).  Murty's
+//! algorithm enumerates assignments in non-increasing order of total weight by repeatedly
+//! partitioning the solution space: each popped solution spawns child subproblems that force a
+//! prefix of its pairs and forbid the next pair, so every assignment is generated exactly once.
+
+use crate::hungarian::{max_weight_assignment, Assignment, FORBIDDEN_WEIGHT};
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// A solution produced by the enumeration: the matched pairs and their total weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedAssignment {
+    /// Matched `(row, col)` pairs, sorted by row.
+    pub pairs: Vec<(usize, usize)>,
+    /// Total weight of the matched pairs.
+    pub total_weight: f64,
+}
+
+/// A node of Murty's search tree: a subproblem with forced and forbidden edges plus the best
+/// assignment inside that subproblem.
+#[derive(Debug, Clone)]
+struct Node {
+    forced: Vec<(usize, usize)>,
+    forbidden: Vec<(usize, usize)>,
+    solution: Assignment,
+}
+
+impl Node {
+    fn weight(&self) -> f64 {
+        self.solution.total_weight
+    }
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.weight() == other.weight()
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.weight().total_cmp(&other.weight())
+    }
+}
+
+/// Solves the assignment problem with the given constraints applied to a copy of `weights`.
+fn solve_constrained(
+    weights: &[Vec<f64>],
+    forced: &[(usize, usize)],
+    forbidden: &[(usize, usize)],
+) -> Option<Assignment> {
+    let mut w: Vec<Vec<f64>> = weights.to_vec();
+    for &(r, c) in forbidden {
+        if r < w.len() && c < w[r].len() {
+            w[r][c] = FORBIDDEN_WEIGHT;
+        }
+    }
+    for &(fr, fc) in forced {
+        if fr >= w.len() || fc >= w[fr].len() || w[fr][fc] <= 0.0 {
+            return None; // forcing a non-existent or forbidden edge makes the node infeasible
+        }
+        // Forbid every alternative for the forced row and column; the forced edge keeps its
+        // weight, so any optimal solution of the subproblem must use it.
+        for c in 0..w[fr].len() {
+            if c != fc {
+                w[fr][c] = FORBIDDEN_WEIGHT;
+            }
+        }
+        for (r, row) in w.iter_mut().enumerate() {
+            if r != fr && fc < row.len() {
+                row[fc] = FORBIDDEN_WEIGHT;
+            }
+        }
+    }
+    let solution = max_weight_assignment(&w);
+    // The node is only feasible if every forced edge actually appears in the solution.
+    for &(fr, fc) in forced {
+        if solution.row_to_col.get(fr).copied().flatten() != Some(fc) {
+            return None;
+        }
+    }
+    // Recompute the weight against the *original* matrix (constrained copies may have replaced
+    // entries, though forced edges keep their weight so this is normally identical).
+    let mut total = 0.0;
+    for (r, c) in solution.pairs() {
+        total += weights[r][c];
+    }
+    Some(Assignment {
+        row_to_col: solution.row_to_col,
+        total_weight: total,
+    })
+}
+
+/// Enumerates the `k` best one-to-one partial assignments by total weight.
+///
+/// Assignments that match the same set of `(row, col)` pairs are reported once.  Fewer than `k`
+/// results are returned when the weight matrix does not admit `k` distinct non-empty
+/// assignments.
+#[must_use]
+pub fn k_best_assignments(weights: &[Vec<f64>], k: usize) -> Vec<RankedAssignment> {
+    let mut results: Vec<RankedAssignment> = Vec::new();
+    if k == 0 || weights.is_empty() {
+        return results;
+    }
+
+    let mut seen: BTreeSet<Vec<(usize, usize)>> = BTreeSet::new();
+    let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+
+    let root_solution = max_weight_assignment(weights);
+    if root_solution.matched_count() == 0 {
+        return results;
+    }
+    heap.push(Node {
+        forced: Vec::new(),
+        forbidden: Vec::new(),
+        solution: root_solution,
+    });
+
+    while let Some(node) = heap.pop() {
+        if results.len() >= k {
+            break;
+        }
+        let mut pairs = node.solution.pairs();
+        pairs.sort_unstable();
+        let is_new = seen.insert(pairs.clone());
+        if is_new {
+            results.push(RankedAssignment {
+                pairs: pairs.clone(),
+                total_weight: node.solution.total_weight,
+            });
+        }
+
+        // Partition the remaining solution space of this node (Murty's step): child `i` keeps
+        // pairs[0..i] forced, forbids pairs[i], and inherits the node's constraints.
+        for (i, &pair) in pairs.iter().enumerate() {
+            let mut forced = node.forced.clone();
+            forced.extend_from_slice(&pairs[..i]);
+            forced.sort_unstable();
+            forced.dedup();
+            let mut forbidden = node.forbidden.clone();
+            forbidden.push(pair);
+            if let Some(solution) = solve_constrained(weights, &forced, &forbidden) {
+                if solution.matched_count() > 0 {
+                    heap.push(Node {
+                        forced,
+                        forbidden,
+                        solution,
+                    });
+                }
+            }
+        }
+    }
+
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights_small() -> Vec<Vec<f64>> {
+        vec![vec![0.9, 0.4], vec![0.8, 0.7]]
+    }
+
+    #[test]
+    fn first_solution_is_the_optimum() {
+        let sols = k_best_assignments(&weights_small(), 3);
+        assert!(!sols.is_empty());
+        assert!((sols[0].total_weight - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_are_non_increasing() {
+        let w = vec![
+            vec![0.85, 0.3, 0.1],
+            vec![0.83, 0.75, 0.2],
+            vec![0.4, 0.65, 0.81],
+        ];
+        let sols = k_best_assignments(&w, 10);
+        assert!(sols.len() >= 3);
+        for pair in sols.windows(2) {
+            assert!(
+                pair[0].total_weight >= pair[1].total_weight - 1e-9,
+                "solutions out of order: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn solutions_are_distinct() {
+        let w = vec![
+            vec![0.85, 0.3, 0.1],
+            vec![0.83, 0.75, 0.2],
+            vec![0.4, 0.65, 0.81],
+        ];
+        let sols = k_best_assignments(&w, 12);
+        let mut sets: Vec<_> = sols.iter().map(|s| s.pairs.clone()).collect();
+        sets.sort();
+        let before = sets.len();
+        sets.dedup();
+        assert_eq!(before, sets.len());
+    }
+
+    #[test]
+    fn second_best_differs_from_best_in_the_2x2_case() {
+        let sols = k_best_assignments(&weights_small(), 2);
+        assert_eq!(sols.len(), 2);
+        assert_ne!(sols[0].pairs, sols[1].pairs);
+        // Second best: either the identity with one edge dropped or the swapped permutation
+        // (0.4 + 0.8 = 1.2); the swap is best.
+        assert!((sols[1].total_weight - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asking_for_more_than_exists_returns_what_exists() {
+        let w = vec![vec![0.5]];
+        let sols = k_best_assignments(&w, 10);
+        // Only one non-empty assignment exists.
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].pairs, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn zero_k_or_empty_matrix_is_empty() {
+        assert!(k_best_assignments(&weights_small(), 0).is_empty());
+        assert!(k_best_assignments(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn all_zero_matrix_has_no_assignments() {
+        let w = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        assert!(k_best_assignments(&w, 3).is_empty());
+    }
+
+    #[test]
+    fn enumeration_matches_brute_force_on_3x3() {
+        let w = vec![
+            vec![0.9, 0.2, 0.5],
+            vec![0.8, 0.7, 0.1],
+            vec![0.3, 0.6, 0.4],
+        ];
+        let sols = k_best_assignments(&w, 50);
+        // Brute force: all subsets of a full permutation reachable by dropping zero-weight pairs
+        // collapse, but with all-positive weights the distinct assignments are exactly the ways
+        // to pick a partial injective mapping.  We at least check that the best 6 full
+        // permutations appear with correct relative order of their totals.
+        let perms: [[usize; 3]; 6] = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        let mut perm_weights: Vec<f64> = perms
+            .iter()
+            .map(|p| (0..3).map(|r| w[r][p[r]]).sum())
+            .collect();
+        perm_weights.sort_by(|a, b| b.total_cmp(a));
+        assert!((sols[0].total_weight - perm_weights[0]).abs() < 1e-9);
+        // Every enumerated solution's weight is bounded by the optimum.
+        for s in &sols {
+            assert!(s.total_weight <= perm_weights[0] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn forced_edges_respected_in_children() {
+        // Regression test for the constrained solver: forcing (0,1) must exclude (0,0).
+        let w = weights_small();
+        let sol = solve_constrained(&w, &[(0, 1)], &[]).unwrap();
+        assert_eq!(sol.row_to_col[0], Some(1));
+    }
+
+    #[test]
+    fn forbidding_the_only_edge_makes_node_infeasible() {
+        let w = vec![vec![0.5]];
+        let sol = solve_constrained(&w, &[], &[(0, 0)]);
+        assert!(sol.is_none() || sol.unwrap().matched_count() == 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! The o-ratio overlap statistic (Section VIII-B.1).
+
+use crate::Mapping;
+
+/// Average pairwise o-ratio of a slice of mappings.
+///
+/// The o-ratio of two mappings is `|m_i ∩ m_j| / |m_i ∪ m_j|` over their correspondence pairs;
+/// the o-ratio of a set is the mean over all unordered pairs.  A single mapping (or an empty
+/// set) has o-ratio 1 by convention (there is nothing to disagree about).
+#[must_use]
+pub fn average_o_ratio(mappings: &[Mapping]) -> f64 {
+    if mappings.len() < 2 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..mappings.len() {
+        for j in (i + 1)..mappings.len() {
+            total += mappings[i].o_ratio(&mappings[j]);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+/// Full pairwise o-ratio matrix (symmetric, unit diagonal); useful for diagnostics and plots.
+#[must_use]
+pub fn o_ratio_matrix(mappings: &[Mapping]) -> Vec<Vec<f64>> {
+    let n = mappings.len();
+    let mut m = vec![vec![1.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let r = mappings[i].o_ratio(&mappings[j]);
+            m[i][j] = r;
+            m[j][i] = r;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Correspondence;
+    use urm_storage::AttrRef;
+
+    fn mapping(id: usize, pairs: &[(&str, &str)]) -> Mapping {
+        let cs = pairs
+            .iter()
+            .map(|(s, t)| {
+                Correspondence::new(AttrRef::new("S", s.to_string()), AttrRef::new("T", t.to_string()), 0.5)
+            })
+            .collect();
+        Mapping::new(id, cs, 0.5)
+    }
+
+    #[test]
+    fn single_mapping_has_ratio_one() {
+        assert_eq!(average_o_ratio(&[mapping(1, &[("a", "x")])]), 1.0);
+        assert_eq!(average_o_ratio(&[]), 1.0);
+    }
+
+    #[test]
+    fn average_of_identical_mappings_is_one() {
+        let m = mapping(1, &[("a", "x"), ("b", "y")]);
+        let mut m2 = m.clone();
+        m2.set_probability(0.5);
+        assert_eq!(average_o_ratio(&[m, m2]), 1.0);
+    }
+
+    #[test]
+    fn average_matches_hand_computation() {
+        // m1 = {a→x, b→y}, m2 = {a→x, c→y}, m3 = {d→x, b→y}
+        // o(m1,m2) = 1/3, o(m1,m3) = 1/3, o(m2,m3) = 0/4 = 0 → mean = 2/9
+        let m1 = mapping(1, &[("a", "x"), ("b", "y")]);
+        let m2 = mapping(2, &[("a", "x"), ("c", "y")]);
+        let m3 = mapping(3, &[("d", "x"), ("b", "y")]);
+        let avg = average_o_ratio(&[m1, m2, m3]);
+        assert!((avg - 2.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let ms = vec![
+            mapping(1, &[("a", "x"), ("b", "y")]),
+            mapping(2, &[("a", "x"), ("c", "y")]),
+            mapping(3, &[("d", "x")]),
+        ];
+        let m = o_ratio_matrix(&ms);
+        for i in 0..3 {
+            assert_eq!(m[i][i], 1.0);
+            for j in 0..3 {
+                assert_eq!(m[i][j], m[j][i]);
+                assert!((0.0..=1.0).contains(&m[i][j]));
+            }
+        }
+    }
+}

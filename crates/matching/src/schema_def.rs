@@ -1,0 +1,158 @@
+//! Lightweight schema descriptions used on both sides of a matching.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use urm_storage::AttrRef;
+
+/// A schema as seen by the matcher: a named list of relations, each with attribute names.
+///
+/// Data types are irrelevant to matching (COMA++ works on names and structure), so this is a
+/// deliberately thinner view than [`urm_storage::Schema`].  The same `SchemaDef` is used for the
+/// TPC-H-like source schema and for the Excel/Noris/Paragon target schemas.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemaDef {
+    name: String,
+    relations: Vec<(String, Vec<String>)>,
+}
+
+impl SchemaDef {
+    /// Creates an empty schema definition.
+    pub fn new(name: impl Into<String>) -> Self {
+        SchemaDef {
+            name: name.into(),
+            relations: Vec::new(),
+        }
+    }
+
+    /// Adds a relation with the given attributes (builder style).
+    #[must_use]
+    pub fn with_relation<I, S>(mut self, relation: impl Into<String>, attrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.add_relation(relation, attrs);
+        self
+    }
+
+    /// Adds a relation with the given attributes.
+    pub fn add_relation<I, S>(&mut self, relation: impl Into<String>, attrs: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.relations.push((
+            relation.into(),
+            attrs.into_iter().map(Into::into).collect(),
+        ));
+    }
+
+    /// The schema name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The relations and their attributes.
+    #[must_use]
+    pub fn relations(&self) -> &[(String, Vec<String>)] {
+        &self.relations
+    }
+
+    /// Names of the relations.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.relations.iter().map(|(r, _)| r.as_str())
+    }
+
+    /// All attributes as qualified references, in declaration order.
+    #[must_use]
+    pub fn all_attributes(&self) -> Vec<AttrRef> {
+        self.relations
+            .iter()
+            .flat_map(|(rel, attrs)| attrs.iter().map(move |a| AttrRef::new(rel.clone(), a.clone())))
+            .collect()
+    }
+
+    /// Total number of attributes across all relations.
+    #[must_use]
+    pub fn attribute_count(&self) -> usize {
+        self.relations.iter().map(|(_, attrs)| attrs.len()).sum()
+    }
+
+    /// Whether the schema declares the given qualified attribute.
+    #[must_use]
+    pub fn contains(&self, attr: &AttrRef) -> bool {
+        self.relations
+            .iter()
+            .any(|(rel, attrs)| *rel == attr.alias && attrs.iter().any(|a| *a == attr.attr))
+    }
+
+    /// Attributes of a particular relation.
+    #[must_use]
+    pub fn attributes_of(&self, relation: &str) -> Option<&[String]> {
+        self.relations
+            .iter()
+            .find(|(r, _)| r == relation)
+            .map(|(_, attrs)| attrs.as_slice())
+    }
+}
+
+impl fmt::Display for SchemaDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "schema {} ({} attributes)", self.name, self.attribute_count())?;
+        for (rel, attrs) in &self.relations {
+            writeln!(f, "  {rel}({})", attrs.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn person_schema() -> SchemaDef {
+        SchemaDef::new("Target")
+            .with_relation("Person", ["pname", "phone", "addr", "nation", "gender"])
+            .with_relation("Order", ["sname", "item", "status", "price", "total"])
+    }
+
+    #[test]
+    fn attribute_count_and_listing() {
+        let s = person_schema();
+        assert_eq!(s.attribute_count(), 10);
+        let attrs = s.all_attributes();
+        assert_eq!(attrs.len(), 10);
+        assert_eq!(attrs[0], AttrRef::new("Person", "pname"));
+        assert_eq!(attrs[9], AttrRef::new("Order", "total"));
+    }
+
+    #[test]
+    fn contains_checks_relation_and_attribute() {
+        let s = person_schema();
+        assert!(s.contains(&AttrRef::new("Person", "phone")));
+        assert!(!s.contains(&AttrRef::new("Person", "price")));
+        assert!(!s.contains(&AttrRef::new("Ghost", "phone")));
+    }
+
+    #[test]
+    fn attributes_of_relation() {
+        let s = person_schema();
+        assert_eq!(s.attributes_of("Order").unwrap().len(), 5);
+        assert!(s.attributes_of("Ghost").is_none());
+    }
+
+    #[test]
+    fn relation_names_in_order() {
+        let s = person_schema();
+        let names: Vec<_> = s.relation_names().collect();
+        assert_eq!(names, vec!["Person", "Order"]);
+    }
+
+    #[test]
+    fn display_lists_relations() {
+        let rendered = person_schema().to_string();
+        assert!(rendered.contains("Person("));
+        assert!(rendered.contains("10 attributes"));
+    }
+}

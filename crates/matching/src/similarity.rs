@@ -1,0 +1,281 @@
+//! Similarity matrices between the attributes of two schemas.
+
+use crate::{Correspondence, MatchingError, MatchingResult, SchemaDef};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use urm_storage::AttrRef;
+
+/// A dense matrix of similarity scores between every source attribute and every target
+/// attribute — the raw output of a schema matcher such as COMA++.
+///
+/// Scores default to `0.0` (no evidence of a correspondence).  Rows are source attributes,
+/// columns are target attributes, both in schema declaration order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityMatrix {
+    source_attrs: Vec<AttrRef>,
+    target_attrs: Vec<AttrRef>,
+    /// Row-major scores: `scores[s * target_attrs.len() + t]`.
+    scores: Vec<f64>,
+    #[serde(skip)]
+    source_index: HashMap<AttrRef, usize>,
+    #[serde(skip)]
+    target_index: HashMap<AttrRef, usize>,
+}
+
+impl SimilarityMatrix {
+    /// Creates an all-zero similarity matrix between two schemas.
+    #[must_use]
+    pub fn new(source: &SchemaDef, target: &SchemaDef) -> Self {
+        let source_attrs = source.all_attributes();
+        let target_attrs = target.all_attributes();
+        let scores = vec![0.0; source_attrs.len() * target_attrs.len()];
+        let source_index = source_attrs
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, a)| (a, i))
+            .collect();
+        let target_index = target_attrs
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, a)| (a, i))
+            .collect();
+        SimilarityMatrix {
+            source_attrs,
+            target_attrs,
+            scores,
+            source_index,
+            target_index,
+        }
+    }
+
+    /// The source attributes (rows).
+    #[must_use]
+    pub fn source_attrs(&self) -> &[AttrRef] {
+        &self.source_attrs
+    }
+
+    /// The target attributes (columns).
+    #[must_use]
+    pub fn target_attrs(&self) -> &[AttrRef] {
+        &self.target_attrs
+    }
+
+    fn source_pos(&self, attr: &AttrRef) -> MatchingResult<usize> {
+        self.source_index
+            .get(attr)
+            .copied()
+            .ok_or_else(|| MatchingError::UnknownAttribute {
+                side: "source",
+                attribute: attr.qualified(),
+            })
+    }
+
+    fn target_pos(&self, attr: &AttrRef) -> MatchingResult<usize> {
+        self.target_index
+            .get(attr)
+            .copied()
+            .ok_or_else(|| MatchingError::UnknownAttribute {
+                side: "target",
+                attribute: attr.qualified(),
+            })
+    }
+
+    /// Sets the similarity score of a `(source, target)` attribute pair given as
+    /// `(relation, attr)` tuples.  Panics on unknown attributes — use [`Self::try_set`] for the
+    /// fallible form.
+    pub fn set(
+        &mut self,
+        source: (impl Into<String>, impl Into<String>),
+        target: (impl Into<String>, impl Into<String>),
+        score: f64,
+    ) {
+        self.try_set(
+            &AttrRef::new(source.0, source.1),
+            &AttrRef::new(target.0, target.1),
+            score,
+        )
+        .expect("unknown attribute in SimilarityMatrix::set");
+    }
+
+    /// Sets the similarity score of a `(source, target)` attribute pair.
+    pub fn try_set(
+        &mut self,
+        source: &AttrRef,
+        target: &AttrRef,
+        score: f64,
+    ) -> MatchingResult<()> {
+        let s = self.source_pos(source)?;
+        let t = self.target_pos(target)?;
+        let cols = self.target_attrs.len();
+        self.scores[s * cols + t] = score;
+        Ok(())
+    }
+
+    /// The similarity score of a `(source, target)` attribute pair (0.0 when never set).
+    pub fn get(&self, source: &AttrRef, target: &AttrRef) -> MatchingResult<f64> {
+        let s = self.source_pos(source)?;
+        let t = self.target_pos(target)?;
+        Ok(self.scores[s * self.target_attrs.len() + t])
+    }
+
+    /// Score by row/column index (used by the assignment algorithms).
+    #[must_use]
+    pub fn score_at(&self, source_idx: usize, target_idx: usize) -> f64 {
+        self.scores[source_idx * self.target_attrs.len() + target_idx]
+    }
+
+    /// Number of strictly positive entries.
+    #[must_use]
+    pub fn positive_entries(&self) -> usize {
+        self.scores.iter().filter(|&&s| s > 0.0).count()
+    }
+
+    /// All strictly positive correspondences, sorted by descending score.
+    #[must_use]
+    pub fn correspondences(&self) -> Vec<Correspondence> {
+        let cols = self.target_attrs.len();
+        let mut out: Vec<Correspondence> = self
+            .scores
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s > 0.0)
+            .map(|(idx, &s)| {
+                Correspondence::new(
+                    self.source_attrs[idx / cols].clone(),
+                    self.target_attrs[idx % cols].clone(),
+                    s,
+                )
+            })
+            .collect();
+        out.sort_by(|a, b| b.score.total_cmp(&a.score));
+        out
+    }
+
+    /// The best-scoring source attribute for each target attribute (the "bold edges" of the
+    /// paper's Figure 1) — the naive alternative to possible mappings.
+    #[must_use]
+    pub fn best_per_target(&self) -> Vec<Correspondence> {
+        let cols = self.target_attrs.len();
+        let mut out = Vec::new();
+        for t in 0..cols {
+            let mut best: Option<(usize, f64)> = None;
+            for s in 0..self.source_attrs.len() {
+                let score = self.score_at(s, t);
+                if score > 0.0 && best.map(|(_, b)| score > b).unwrap_or(true) {
+                    best = Some((s, score));
+                }
+            }
+            if let Some((s, score)) = best {
+                out.push(Correspondence::new(
+                    self.source_attrs[s].clone(),
+                    self.target_attrs[t].clone(),
+                    score,
+                ));
+            }
+        }
+        out
+    }
+
+    /// Dimensions as `(source_count, target_count)`.
+    #[must_use]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.source_attrs.len(), self.target_attrs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schemas() -> (SchemaDef, SchemaDef) {
+        let source = SchemaDef::new("S")
+            .with_relation("Customer", ["cname", "ophone", "hphone", "mobile"]);
+        let target = SchemaDef::new("T").with_relation("Person", ["pname", "phone"]);
+        (source, target)
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let (s, t) = schemas();
+        let mut sim = SimilarityMatrix::new(&s, &t);
+        sim.set(("Customer", "ophone"), ("Person", "phone"), 0.85);
+        assert_eq!(
+            sim.get(
+                &AttrRef::new("Customer", "ophone"),
+                &AttrRef::new("Person", "phone")
+            )
+            .unwrap(),
+            0.85
+        );
+        assert_eq!(
+            sim.get(
+                &AttrRef::new("Customer", "hphone"),
+                &AttrRef::new("Person", "phone")
+            )
+            .unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn unknown_attributes_are_rejected() {
+        let (s, t) = schemas();
+        let mut sim = SimilarityMatrix::new(&s, &t);
+        let err = sim
+            .try_set(
+                &AttrRef::new("Customer", "ghost"),
+                &AttrRef::new("Person", "phone"),
+                0.5,
+            )
+            .unwrap_err();
+        assert!(matches!(err, MatchingError::UnknownAttribute { side: "source", .. }));
+        let err = sim
+            .try_set(
+                &AttrRef::new("Customer", "cname"),
+                &AttrRef::new("Person", "ghost"),
+                0.5,
+            )
+            .unwrap_err();
+        assert!(matches!(err, MatchingError::UnknownAttribute { side: "target", .. }));
+    }
+
+    #[test]
+    fn correspondences_sorted_by_score() {
+        let (s, t) = schemas();
+        let mut sim = SimilarityMatrix::new(&s, &t);
+        sim.set(("Customer", "ophone"), ("Person", "phone"), 0.85);
+        sim.set(("Customer", "hphone"), ("Person", "phone"), 0.83);
+        sim.set(("Customer", "cname"), ("Person", "pname"), 0.9);
+        let cs = sim.correspondences();
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0].score, 0.9);
+        assert_eq!(cs[1].score, 0.85);
+        assert_eq!(sim.positive_entries(), 3);
+    }
+
+    #[test]
+    fn best_per_target_picks_the_maximum() {
+        let (s, t) = schemas();
+        let mut sim = SimilarityMatrix::new(&s, &t);
+        sim.set(("Customer", "ophone"), ("Person", "phone"), 0.85);
+        sim.set(("Customer", "hphone"), ("Person", "phone"), 0.83);
+        sim.set(("Customer", "mobile"), ("Person", "phone"), 0.65);
+        sim.set(("Customer", "cname"), ("Person", "pname"), 0.9);
+        let best = sim.best_per_target();
+        assert_eq!(best.len(), 2);
+        let phone = best
+            .iter()
+            .find(|c| c.target == AttrRef::new("Person", "phone"))
+            .unwrap();
+        assert_eq!(phone.source, AttrRef::new("Customer", "ophone"));
+    }
+
+    #[test]
+    fn dims_reflect_schema_sizes() {
+        let (s, t) = schemas();
+        let sim = SimilarityMatrix::new(&s, &t);
+        assert_eq!(sim.dims(), (4, 2));
+    }
+}

@@ -1,0 +1,187 @@
+//! Memoisation cache for shared sub-expressions.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use urm_engine::optimize::fingerprint;
+use urm_engine::{EngineResult, Executor, Plan};
+use urm_storage::Relation;
+
+/// A cache mapping sub-plan fingerprints to their materialised results.
+///
+/// Executing a plan "through" the cache evaluates each distinct sub-expression once; subsequent
+/// queries containing the same sub-expression reuse the materialised relation.  This is the
+/// execution-side half of the e-MQO baseline.
+#[derive(Debug, Default)]
+pub struct SharedPlanCache {
+    results: HashMap<u64, Arc<Relation>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SharedPlanCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        SharedPlanCache::default()
+    }
+
+    /// Number of cache hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of cache misses (distinct sub-expressions executed).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct materialised sub-expressions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Executes `plan` with sub-expression sharing: every sub-plan that is already cached is
+    /// replaced by its materialised result, and newly computed results are inserted.
+    ///
+    /// Only the immediate children of each node need to be considered because the recursion
+    /// caches results bottom-up: a parent is cached after (and built from) its cached children.
+    pub fn execute_shared(
+        &mut self,
+        plan: &Plan,
+        exec: &mut Executor<'_>,
+    ) -> EngineResult<Arc<Relation>> {
+        let key = fingerprint(plan);
+        if let Some(hit) = self.results.get(&key) {
+            self.hits += 1;
+            return Ok(Arc::clone(hit));
+        }
+        self.misses += 1;
+
+        // Recursively resolve children through the cache, then run this single node on the
+        // materialised children.
+        let result = match plan {
+            Plan::Scan { .. } | Plan::Values(_) => exec.run_operator(plan)?,
+            Plan::Select { predicate, input } => {
+                let child = self.execute_shared(input, exec)?;
+                let node = Plan::values_shared(child).select(predicate.clone());
+                exec.run_operator(&node)?
+            }
+            Plan::Project { columns, input } => {
+                let child = self.execute_shared(input, exec)?;
+                let node = Plan::values_shared(child).project(columns.clone());
+                exec.run_operator(&node)?
+            }
+            Plan::Product { left, right } => {
+                let l = self.execute_shared(left, exec)?;
+                let r = self.execute_shared(right, exec)?;
+                let node = Plan::values_shared(l).product(Plan::values_shared(r));
+                exec.run_operator(&node)?
+            }
+            Plan::HashJoin { left, right, on } => {
+                let l = self.execute_shared(left, exec)?;
+                let r = self.execute_shared(right, exec)?;
+                let node = Plan::values_shared(l).hash_join(Plan::values_shared(r), on.clone());
+                exec.run_operator(&node)?
+            }
+            Plan::Aggregate { func, input } => {
+                let child = self.execute_shared(input, exec)?;
+                let node = Plan::values_shared(child).aggregate(func.clone());
+                exec.run_operator(&node)?
+            }
+        };
+        let shared = Arc::new(result);
+        self.results.insert(key, Arc::clone(&shared));
+        Ok(shared)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urm_engine::Predicate;
+    use urm_storage::{Attribute, Catalog, DataType, Schema, Tuple, Value};
+
+    fn catalog() -> Catalog {
+        let schema = Schema::new(
+            "R",
+            vec![
+                Attribute::new("a", DataType::Int),
+                Attribute::new("b", DataType::Text),
+            ],
+        );
+        let rows = (0..10)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::from(i as i64),
+                    Value::from(if i % 2 == 0 { "x" } else { "y" }),
+                ])
+            })
+            .collect();
+        let mut cat = Catalog::new();
+        cat.insert(Relation::new(schema, rows).unwrap());
+        cat
+    }
+
+    #[test]
+    fn identical_plans_share_one_execution() {
+        let cat = catalog();
+        let mut cache = SharedPlanCache::new();
+        let mut exec = Executor::new(&cat);
+        let plan = Plan::scan("R").select(Predicate::eq("R.b", Value::from("x")));
+        let a = cache.execute_shared(&plan, &mut exec).unwrap();
+        let b = cache.execute_shared(&plan, &mut exec).unwrap();
+        assert_eq!(a.len(), 5);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits(), 1);
+        // One miss for the scan, one for the selection.
+        assert_eq!(cache.misses(), 2);
+        // The scan itself executed only once.
+        assert_eq!(exec.stats().scans, 1);
+    }
+
+    #[test]
+    fn shared_prefix_is_reused_across_different_queries() {
+        let cat = catalog();
+        let mut cache = SharedPlanCache::new();
+        let mut exec = Executor::new(&cat);
+        let base = Plan::scan("R").select(Predicate::eq("R.b", Value::from("x")));
+        let q1 = base.clone().project(vec!["R.a".into()]);
+        let q2 = base.clone().project(vec!["R.b".into()]);
+        cache.execute_shared(&q1, &mut exec).unwrap();
+        cache.execute_shared(&q2, &mut exec).unwrap();
+        // Scan and selection shared; only the two projections are distinct on top.
+        assert_eq!(exec.stats().scans, 1);
+        assert_eq!(cache.len(), 4); // scan, select, 2 projections
+        assert_eq!(cache.hits(), 1); // q2 hit the cached selection
+    }
+
+    #[test]
+    fn results_match_unshared_execution() {
+        let cat = catalog();
+        let mut cache = SharedPlanCache::new();
+        let mut exec = Executor::new(&cat);
+        let plan = Plan::scan("R")
+            .select(Predicate::eq("R.b", Value::from("y")))
+            .project(vec!["R.a".into()]);
+        let shared = cache.execute_shared(&plan, &mut exec).unwrap();
+        let direct = Executor::new(&cat).run(&plan).unwrap();
+        assert_eq!(shared.rows(), direct.rows());
+    }
+
+    #[test]
+    fn empty_cache_reports_empty() {
+        let cache = SharedPlanCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
+    }
+}

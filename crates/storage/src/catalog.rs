@@ -1,0 +1,182 @@
+//! The catalog: the source instance `D`, a named collection of relations.
+
+use crate::{Relation, Schema, StorageError, StorageResult};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A named collection of materialised relations — the paper's *source instance* `D`.
+///
+/// Relations are held behind [`Arc`] so the many source queries generated from a mapping set can
+/// scan the same base data without copying it.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    relations: BTreeMap<String, Arc<Relation>>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a relation under its schema name, replacing any existing relation of that name.
+    pub fn insert(&mut self, relation: Relation) {
+        self.relations
+            .insert(relation.schema().name().to_string(), Arc::new(relation));
+    }
+
+    /// Registers a relation, failing if one with the same name already exists.
+    pub fn try_insert(&mut self, relation: Relation) -> StorageResult<()> {
+        let name = relation.schema().name().to_string();
+        if self.relations.contains_key(&name) {
+            return Err(StorageError::DuplicateRelation(name));
+        }
+        self.relations.insert(name, Arc::new(relation));
+        Ok(())
+    }
+
+    /// Looks up a relation by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<Relation>> {
+        self.relations.get(name).cloned()
+    }
+
+    /// Looks up a relation, returning an error naming the missing relation.
+    pub fn require(&self, name: &str) -> StorageResult<Arc<Relation>> {
+        self.get(name)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Returns the schema of a relation.
+    #[must_use]
+    pub fn schema(&self, name: &str) -> Option<Schema> {
+        self.relations.get(name).map(|r| r.schema().clone())
+    }
+
+    /// Finds the relation (if any) that declares the given attribute.
+    ///
+    /// Used by operator reformulation (Section VI-B) to locate the source relation(s) covering a
+    /// set of mapped source attributes.  Attribute names in the generated schemas are globally
+    /// unique, mirroring the paper's schemas, so the first hit is the only hit.
+    #[must_use]
+    pub fn relation_of_attribute(&self, attr: &str) -> Option<&str> {
+        self.relations
+            .values()
+            .find(|r| r.schema().contains(attr))
+            .map(|r| r.schema().name())
+    }
+
+    /// Iterates over `(name, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<Relation>)> {
+        self.relations.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Relation names in sorted order.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Number of relations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the catalog is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Total number of tuples across all relations.
+    #[must_use]
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// Estimated total size in bytes (see [`Relation::estimated_bytes`]).
+    #[must_use]
+    pub fn estimated_bytes(&self) -> usize {
+        self.relations.values().map(|r| r.estimated_bytes()).sum()
+    }
+}
+
+impl fmt::Display for Catalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "catalog: {} relations, {} tuples, ~{} bytes",
+            self.len(),
+            self.total_tuples(),
+            self.estimated_bytes()
+        )?;
+        for (name, rel) in self.iter() {
+            writeln!(f, "  {} — {} rows", name, rel.len())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Attribute, DataType, Tuple, Value};
+
+    fn rel(name: &str, attr: &str, n: usize) -> Relation {
+        let schema = Schema::new(name, vec![Attribute::new(attr, DataType::Int)]);
+        let rows = (0..n)
+            .map(|i| Tuple::new(vec![Value::from(i as i64)]))
+            .collect();
+        Relation::new(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut cat = Catalog::new();
+        cat.insert(rel("Customer", "cid", 3));
+        cat.insert(rel("Order", "oid", 2));
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.get("Customer").unwrap().len(), 3);
+        assert!(cat.get("Missing").is_none());
+        assert!(cat.require("Missing").is_err());
+        assert_eq!(cat.total_tuples(), 5);
+    }
+
+    #[test]
+    fn try_insert_rejects_duplicates() {
+        let mut cat = Catalog::new();
+        cat.try_insert(rel("Customer", "cid", 1)).unwrap();
+        let err = cat.try_insert(rel("Customer", "cid", 1)).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateRelation(_)));
+    }
+
+    #[test]
+    fn relation_of_attribute_finds_owner() {
+        let mut cat = Catalog::new();
+        cat.insert(rel("Customer", "cid", 1));
+        cat.insert(rel("Order", "oid", 1));
+        assert_eq!(cat.relation_of_attribute("oid"), Some("Order"));
+        assert_eq!(cat.relation_of_attribute("cid"), Some("Customer"));
+        assert_eq!(cat.relation_of_attribute("ghost"), None);
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let mut cat = Catalog::new();
+        cat.insert(rel("Zeta", "z", 0));
+        cat.insert(rel("Alpha", "a", 0));
+        let names: Vec<_> = cat.relation_names().collect();
+        assert_eq!(names, vec!["Alpha", "Zeta"]);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let mut cat = Catalog::new();
+        cat.insert(rel("Customer", "cid", 4));
+        let s = cat.to_string();
+        assert!(s.contains("Customer"));
+        assert!(s.contains("4 rows"));
+    }
+}

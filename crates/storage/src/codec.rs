@@ -1,0 +1,249 @@
+//! Compact binary encoding of tuples and relations.
+//!
+//! The experiment harness snapshots generated source instances so that repeated benchmark runs
+//! (different algorithms over the same data) do not re-generate data, and so that intermediate
+//! e-unit results can be spilled if a sweep materialises many of them.  The format is a simple
+//! length-prefixed row encoding built on [`bytes`].
+
+use crate::{DataType, Relation, Schema, StorageError, StorageResult, Tuple, Value};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_TEXT: u8 = 3;
+const TAG_BOOL: u8 = 4;
+
+/// Encodes a single value into the buffer.
+pub fn encode_value(buf: &mut BytesMut, value: &Value) {
+    match value {
+        Value::Null => buf.put_u8(TAG_NULL),
+        Value::Int(i) => {
+            buf.put_u8(TAG_INT);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(TAG_FLOAT);
+            buf.put_f64_le(*f);
+        }
+        Value::Text(s) => {
+            buf.put_u8(TAG_TEXT);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Bool(b) => {
+            buf.put_u8(TAG_BOOL);
+            buf.put_u8(u8::from(*b));
+        }
+    }
+}
+
+/// Decodes a single value from the buffer.
+pub fn decode_value(buf: &mut Bytes) -> StorageResult<Value> {
+    if !buf.has_remaining() {
+        return Err(StorageError::Codec("unexpected end of buffer".into()));
+    }
+    let tag = buf.get_u8();
+    match tag {
+        TAG_NULL => Ok(Value::Null),
+        TAG_INT => {
+            ensure_remaining(buf, 8)?;
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        TAG_FLOAT => {
+            ensure_remaining(buf, 8)?;
+            Ok(Value::Float(buf.get_f64_le()))
+        }
+        TAG_TEXT => {
+            ensure_remaining(buf, 4)?;
+            let len = buf.get_u32_le() as usize;
+            ensure_remaining(buf, len)?;
+            let raw = buf.split_to(len);
+            let s = std::str::from_utf8(&raw)
+                .map_err(|e| StorageError::Codec(format!("invalid utf8: {e}")))?;
+            Ok(Value::text(s))
+        }
+        TAG_BOOL => {
+            ensure_remaining(buf, 1)?;
+            Ok(Value::Bool(buf.get_u8() != 0))
+        }
+        other => Err(StorageError::Codec(format!("unknown value tag {other}"))),
+    }
+}
+
+fn ensure_remaining(buf: &Bytes, needed: usize) -> StorageResult<()> {
+    if buf.remaining() < needed {
+        Err(StorageError::Codec(format!(
+            "need {needed} more bytes, have {}",
+            buf.remaining()
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+/// Encodes a tuple as `arity` followed by its values.
+pub fn encode_tuple(buf: &mut BytesMut, tuple: &Tuple) {
+    buf.put_u32_le(tuple.arity() as u32);
+    for v in tuple.iter() {
+        encode_value(buf, v);
+    }
+}
+
+/// Decodes a tuple.
+pub fn decode_tuple(buf: &mut Bytes) -> StorageResult<Tuple> {
+    ensure_remaining(buf, 4)?;
+    let arity = buf.get_u32_le() as usize;
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        values.push(decode_value(buf)?);
+    }
+    Ok(Tuple::new(values))
+}
+
+/// Encodes the rows of a relation (the schema is written separately, via serde, because it is
+/// tiny compared to the data).
+#[must_use]
+pub fn encode_rows(relation: &Relation) -> Bytes {
+    let mut buf = BytesMut::with_capacity(relation.estimated_bytes() + 16);
+    buf.put_u64_le(relation.len() as u64);
+    for row in relation.iter() {
+        encode_tuple(&mut buf, row);
+    }
+    buf.freeze()
+}
+
+/// Decodes rows previously produced by [`encode_rows`] into a relation with the given schema.
+pub fn decode_rows(schema: Schema, mut bytes: Bytes) -> StorageResult<Relation> {
+    ensure_remaining(&bytes, 8)?;
+    let n = bytes.get_u64_le() as usize;
+    let mut rel = Relation::empty(schema);
+    for _ in 0..n {
+        let tuple = decode_tuple(&mut bytes)?;
+        rel.push(tuple)?;
+    }
+    Ok(rel)
+}
+
+/// Convenience: checks that every value in a relation round-trips through the codec.
+pub fn roundtrip(relation: &Relation) -> StorageResult<Relation> {
+    decode_rows(relation.schema().clone(), encode_rows(relation))
+}
+
+/// Expected [`DataType`] for an encoded tag, used by schema-validation tooling.
+#[must_use]
+pub fn tag_data_type(tag: u8) -> Option<DataType> {
+    match tag {
+        TAG_NULL => Some(DataType::Null),
+        TAG_INT => Some(DataType::Int),
+        TAG_FLOAT => Some(DataType::Float),
+        TAG_TEXT => Some(DataType::Text),
+        TAG_BOOL => Some(DataType::Bool),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Attribute, Schema};
+
+    fn sample_relation() -> Relation {
+        let schema = Schema::new(
+            "Sample",
+            vec![
+                Attribute::new("id", DataType::Int),
+                Attribute::new("name", DataType::Text),
+                Attribute::new("price", DataType::Float),
+                Attribute::new("active", DataType::Bool),
+                Attribute::new("note", DataType::Text),
+            ],
+        );
+        Relation::new(
+            schema,
+            vec![
+                Tuple::new(vec![
+                    Value::from(1i64),
+                    Value::from("widget"),
+                    Value::from(9.75),
+                    Value::from(true),
+                    Value::Null,
+                ]),
+                Tuple::new(vec![
+                    Value::from(2i64),
+                    Value::from("gadget"),
+                    Value::from(-3.5),
+                    Value::from(false),
+                    Value::from("backorder"),
+                ]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let values = vec![
+            Value::Null,
+            Value::from(i64::MIN),
+            Value::from(i64::MAX),
+            Value::from(0.0),
+            Value::from(-1.25e10),
+            Value::from(""),
+            Value::from("hello world"),
+            Value::from(true),
+            Value::from(false),
+        ];
+        for v in values {
+            let mut buf = BytesMut::new();
+            encode_value(&mut buf, &v);
+            let mut bytes = buf.freeze();
+            let decoded = decode_value(&mut bytes).unwrap();
+            assert_eq!(decoded, v);
+            assert!(!bytes.has_remaining());
+        }
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = Tuple::new(vec![Value::from(7i64), Value::from("x"), Value::Null]);
+        let mut buf = BytesMut::new();
+        encode_tuple(&mut buf, &t);
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_tuple(&mut bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn relation_roundtrip() {
+        let rel = sample_relation();
+        let back = roundtrip(&rel).unwrap();
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn truncated_buffer_is_an_error() {
+        let rel = sample_relation();
+        let bytes = encode_rows(&rel);
+        let truncated = bytes.slice(0..bytes.len() - 3);
+        let err = decode_rows(rel.schema().clone(), truncated).unwrap_err();
+        assert!(matches!(err, StorageError::Codec(_)));
+    }
+
+    #[test]
+    fn unknown_tag_is_an_error() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(99);
+        let mut bytes = buf.freeze();
+        assert!(matches!(
+            decode_value(&mut bytes),
+            Err(StorageError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn tag_types() {
+        assert_eq!(tag_data_type(TAG_INT), Some(DataType::Int));
+        assert_eq!(tag_data_type(TAG_TEXT), Some(DataType::Text));
+        assert_eq!(tag_data_type(200), None);
+    }
+}

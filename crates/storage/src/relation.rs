@@ -1,0 +1,253 @@
+//! Materialised relations (schema + rows).
+
+use crate::{Schema, StorageError, StorageResult, Tuple, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A materialised relation: a schema plus a bag (multiset) of tuples.
+///
+/// Relations are bags, not sets: the paper's query semantics removes duplicates only during the
+/// final probabilistic aggregation step (or not at all, if the caller asks for bag semantics),
+/// so the storage layer never deduplicates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relation {
+    schema: Schema,
+    rows: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    #[must_use]
+    pub fn empty(schema: Schema) -> Self {
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Creates a relation from a schema and pre-built rows.
+    ///
+    /// Row arity is validated; value types are checked against the schema.
+    pub fn new(schema: Schema, rows: Vec<Tuple>) -> StorageResult<Self> {
+        let mut rel = Relation::empty(schema);
+        rel.rows.reserve(rows.len());
+        for row in rows {
+            rel.push(row)?;
+        }
+        Ok(rel)
+    }
+
+    /// Creates a relation without validating rows (used by the engine for derived results whose
+    /// tuples are constructed from already-validated inputs).
+    #[must_use]
+    pub fn from_validated(schema: Schema, rows: Vec<Tuple>) -> Self {
+        Relation { schema, rows }
+    }
+
+    /// The relation's schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows as a slice.
+    #[must_use]
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Consumes the relation, returning its rows.
+    #[must_use]
+    pub fn into_rows(self) -> Vec<Tuple> {
+        self.rows
+    }
+
+    /// Appends a tuple after validating arity and types.
+    pub fn push(&mut self, tuple: Tuple) -> StorageResult<()> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: self.schema.name().to_string(),
+                expected: self.schema.arity(),
+                actual: tuple.arity(),
+            });
+        }
+        for (attr, value) in self.schema.attributes().iter().zip(tuple.iter()) {
+            if !attr.data_type.accepts(value.data_type()) {
+                return Err(StorageError::TypeMismatch {
+                    relation: self.schema.name().to_string(),
+                    attribute: attr.name.clone(),
+                    expected: attr.data_type,
+                    actual: value.data_type(),
+                });
+            }
+        }
+        self.rows.push(tuple);
+        Ok(())
+    }
+
+    /// Appends a tuple without validation (engine-internal fast path).
+    pub fn push_unchecked(&mut self, tuple: Tuple) {
+        self.rows.push(tuple);
+    }
+
+    /// Iterates over the rows.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter()
+    }
+
+    /// Returns the column of values for an attribute.
+    pub fn column(&self, attr: &str) -> StorageResult<Vec<Value>> {
+        let pos = self.schema.require(attr)?;
+        Ok(self
+            .rows
+            .iter()
+            .map(|t| t.get(pos).cloned().unwrap_or(Value::Null))
+            .collect())
+    }
+
+    /// Returns a relation with the same rows but a renamed schema (aliased scan).
+    #[must_use]
+    pub fn renamed(&self, name: impl Into<String>) -> Relation {
+        Relation {
+            schema: self.schema.renamed(name),
+            rows: self.rows.clone(),
+        }
+    }
+
+    /// An estimate of the in-memory footprint in bytes, used by the experiment harness to
+    /// report database sizes comparable to the paper's "database size (MB)" axis.
+    #[must_use]
+    pub fn estimated_bytes(&self) -> usize {
+        let mut total = 0usize;
+        for row in &self.rows {
+            for v in row.iter() {
+                total += match v {
+                    Value::Null => 1,
+                    Value::Int(_) => 8,
+                    Value::Float(_) => 8,
+                    Value::Bool(_) => 1,
+                    Value::Text(s) => s.len() + 8,
+                };
+            }
+        }
+        total
+    }
+}
+
+// `Value` has a total equality (floats via `total_cmp`), so relation equality is a true
+// equivalence and relations can be hashed — query plans embedding materialised relations rely
+// on this for sub-expression fingerprinting.
+impl Eq for Relation {}
+
+impl std::hash::Hash for Relation {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.schema.hash(state);
+        self.rows.hash(state);
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for row in &self.rows {
+            writeln!(f, "  {row}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Attribute, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "Customer",
+            vec![
+                Attribute::new("cid", DataType::Int),
+                Attribute::new("cname", DataType::Text),
+            ],
+        )
+    }
+
+    #[test]
+    fn push_validates_arity() {
+        let mut rel = Relation::empty(schema());
+        let err = rel.push(Tuple::new(vec![Value::from(1i64)])).unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn push_validates_types() {
+        let mut rel = Relation::empty(schema());
+        let err = rel
+            .push(Tuple::new(vec![Value::from("oops"), Value::from("x")]))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn push_accepts_null_anywhere() {
+        let mut rel = Relation::empty(schema());
+        rel.push(Tuple::new(vec![Value::Null, Value::Null])).unwrap();
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn column_extraction() {
+        let rel = Relation::new(
+            schema(),
+            vec![
+                Tuple::new(vec![Value::from(1i64), Value::from("Alice")]),
+                Tuple::new(vec![Value::from(2i64), Value::from("Bob")]),
+            ],
+        )
+        .unwrap();
+        let names = rel.column("cname").unwrap();
+        assert_eq!(names, vec![Value::from("Alice"), Value::from("Bob")]);
+        assert!(rel.column("ghost").is_err());
+    }
+
+    #[test]
+    fn renamed_preserves_rows() {
+        let rel = Relation::new(
+            schema(),
+            vec![Tuple::new(vec![Value::from(1i64), Value::from("Alice")])],
+        )
+        .unwrap();
+        let aliased = rel.renamed("Customer1");
+        assert_eq!(aliased.schema().name(), "Customer1");
+        assert_eq!(aliased.len(), 1);
+    }
+
+    #[test]
+    fn estimated_bytes_grows_with_rows() {
+        let mut rel = Relation::empty(schema());
+        let empty_size = rel.estimated_bytes();
+        rel.push(Tuple::new(vec![Value::from(1i64), Value::from("Alice")]))
+            .unwrap();
+        assert!(rel.estimated_bytes() > empty_size);
+    }
+
+    #[test]
+    fn relations_are_bags() {
+        let mut rel = Relation::empty(schema());
+        let row = Tuple::new(vec![Value::from(1i64), Value::from("Alice")]);
+        rel.push(row.clone()).unwrap();
+        rel.push(row).unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+}

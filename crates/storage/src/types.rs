@@ -1,0 +1,94 @@
+//! Primitive data types supported by the storage layer.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The data types that attribute values may take.
+///
+/// The paper's workload (purchase orders generated from a TPC-H-like schema) only needs
+/// integers, floating point prices, booleans and text, so the type lattice is intentionally
+/// small.  `Null` is a first-class member so that partial correspondences (attributes with no
+/// counterpart under a mapping) can still be materialised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 floating point number.
+    Float,
+    /// UTF-8 string.
+    Text,
+    /// Boolean.
+    Bool,
+    /// The type of `Value::Null`; compatible with every other type.
+    Null,
+}
+
+impl DataType {
+    /// Returns true when a value of type `other` may be stored in a column of type `self`.
+    ///
+    /// `Null` is compatible in both directions; ints may be widened to floats.
+    #[must_use]
+    pub fn accepts(self, other: DataType) -> bool {
+        self == other
+            || other == DataType::Null
+            || self == DataType::Null
+            || (self == DataType::Float && other == DataType::Int)
+    }
+
+    /// A short lower-case name for the type, used in error messages and plan displays.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Int => "int",
+            DataType::Float => "float",
+            DataType::Text => "text",
+            DataType::Bool => "bool",
+            DataType::Null => "null",
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_same_type() {
+        for ty in [DataType::Int, DataType::Float, DataType::Text, DataType::Bool] {
+            assert!(ty.accepts(ty));
+        }
+    }
+
+    #[test]
+    fn accepts_null_everywhere() {
+        for ty in [DataType::Int, DataType::Float, DataType::Text, DataType::Bool] {
+            assert!(ty.accepts(DataType::Null));
+            assert!(DataType::Null.accepts(ty));
+        }
+    }
+
+    #[test]
+    fn float_accepts_int_but_not_reverse() {
+        assert!(DataType::Float.accepts(DataType::Int));
+        assert!(!DataType::Int.accepts(DataType::Float));
+    }
+
+    #[test]
+    fn text_rejects_numbers() {
+        assert!(!DataType::Text.accepts(DataType::Int));
+        assert!(!DataType::Text.accepts(DataType::Float));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DataType::Int.to_string(), "int");
+        assert_eq!(DataType::Text.to_string(), "text");
+        assert_eq!(DataType::Null.to_string(), "null");
+    }
+}

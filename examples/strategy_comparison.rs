@@ -1,0 +1,67 @@
+//! Compare the o-sharing operator-selection strategies (Random, SNF, SEF) on the paper's
+//! default query Q4 — the experiment behind Table IV and Figure 11(f).
+//!
+//! Run with `cargo run --release --example strategy_comparison`.
+
+use urm::prelude::*;
+
+fn main() {
+    let scenario = Scenario::generate(&ScenarioConfig {
+        target: TargetSchemaKind::Excel,
+        scale: 50,
+        mappings: 30,
+        seed: 42,
+    })
+    .expect("scenario generation");
+
+    let query = workload::query(QueryId::Q4);
+    println!("{query}\n");
+    println!(
+        "{:<10} {:>12} {:>18} {:>10}",
+        "strategy", "time (ms)", "source operators", "answers"
+    );
+
+    let mut reference: Option<ProbabilisticAnswer> = None;
+    for (name, strategy) in [
+        ("Random", Strategy::Random { seed: 11 }),
+        ("SNF", Strategy::Snf),
+        ("SEF", Strategy::Sef),
+    ] {
+        let eval = evaluate(
+            &query,
+            &scenario.mappings,
+            &scenario.catalog,
+            Algorithm::OSharing(strategy),
+        )
+        .expect("evaluation");
+        println!(
+            "{:<10} {:>12.2} {:>18} {:>10}",
+            name,
+            eval.metrics.total_time.as_secs_f64() * 1000.0,
+            eval.metrics.source_operators(),
+            eval.answer.len()
+        );
+        // All strategies must agree on the probabilistic answer — only the work differs.
+        if let Some(reference) = &reference {
+            assert!(reference.approx_eq(&eval.answer, 1e-9));
+        } else {
+            reference = Some(eval.answer);
+        }
+    }
+
+    // The e-MQO baseline provides the "minimal number of operators" yardstick of Table IV.
+    let emqo = evaluate(
+        &query,
+        &scenario.mappings,
+        &scenario.catalog,
+        Algorithm::EMqo,
+    )
+    .expect("e-MQO evaluation");
+    println!(
+        "{:<10} {:>12.2} {:>18} {:>10}   (optimal operator count)",
+        "e-MQO",
+        emqo.metrics.total_time.as_secs_f64() * 1000.0,
+        emqo.metrics.source_operators(),
+        emqo.answer.len()
+    );
+}

@@ -1,0 +1,56 @@
+//! Probabilistic top-k queries: find the most credible answers without computing every exact
+//! probability, and compare against the full o-sharing evaluation.
+//!
+//! Run with `cargo run --release --example topk_confidence`.
+
+use urm::prelude::*;
+
+fn main() {
+    let scenario = Scenario::generate(&ScenarioConfig {
+        target: TargetSchemaKind::Noris,
+        scale: 60,
+        mappings: 30,
+        seed: 7,
+    })
+    .expect("scenario generation");
+
+    // Q7 (Noris): items and unit prices of a specific, fully qualified order.
+    let query = workload::query(QueryId::Q7);
+    println!("{query}\n");
+
+    // Exact evaluation: every answer with its exact probability.
+    let exact = evaluate(
+        &query,
+        &scenario.mappings,
+        &scenario.catalog,
+        Algorithm::OSharing(Strategy::Sef),
+    )
+    .expect("exact evaluation");
+    println!(
+        "o-sharing (exact): {} answers in {:.2} ms, {} source operators",
+        exact.answer.len(),
+        exact.metrics.total_time.as_secs_f64() * 1000.0,
+        exact.metrics.source_operators()
+    );
+    for (tuple, p) in exact.answer.top_k(5) {
+        println!("    {tuple}  p = {p:.3}");
+    }
+
+    // Top-k for increasing k: the smaller k is, the earlier the u-trace walk can stop.
+    for k in [1usize, 5, 10] {
+        let topk = top_k(&query, &scenario.mappings, &scenario.catalog, k, Strategy::Sef)
+            .expect("top-k evaluation");
+        println!(
+            "\ntop-{k}: {:.2} ms, {} source operators, stopped early: {}",
+            topk.metrics.total_time.as_secs_f64() * 1000.0,
+            topk.metrics.source_operators(),
+            topk.stopped_early
+        );
+        for entry in &topk.entries {
+            println!(
+                "    {}  p ∈ [{:.3}, {:.3}]",
+                entry.tuple, entry.lower_bound, entry.upper_bound
+            );
+        }
+    }
+}

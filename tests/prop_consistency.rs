@@ -1,0 +1,161 @@
+//! Property-based integration tests: for randomly generated mapping sets and queries over the
+//! paper's worked-example schema, all evaluation algorithms agree, probabilities stay in range,
+//! and top-k is consistent with the exact answer.
+
+use proptest::prelude::*;
+use urm::core::testkit;
+use urm::core::Strategy as SelectionStrategy;
+use urm::matching::{Correspondence, Mapping, MappingSet};
+use urm::prelude::*;
+use urm::storage::AttrRef;
+
+/// Candidate source attributes for each target attribute of the `Person`/`Order` target schema
+/// (mirrors the ambiguity of Figure 1).
+const CANDIDATES: &[(&str, &[(&str, &str)])] = &[
+    ("pname", &[("Customer", "cname")]),
+    (
+        "phone",
+        &[("Customer", "ophone"), ("Customer", "hphone"), ("Customer", "mobile")],
+    ),
+    (
+        "addr",
+        &[("Customer", "oaddr"), ("Customer", "haddr")],
+    ),
+    ("nation", &[("Nation", "name"), ("Customer", "nid")]),
+    ("price", &[("C_Order", "amount")]),
+];
+
+fn arb_mapping(id: usize) -> impl Strategy<Value = Mapping> {
+    // For each target attribute choose one of its candidates or leave it unmapped.
+    let choices: Vec<_> = CANDIDATES
+        .iter()
+        .map(|(_, cands)| 0..=cands.len())
+        .collect();
+    (choices, 1u32..100u32).prop_map(move |(picks, weight)| {
+        let mut correspondences = Vec::new();
+        for ((target, cands), pick) in CANDIDATES.iter().zip(picks) {
+            if pick < cands.len() {
+                let (rel, attr) = cands[pick];
+                correspondences.push(Correspondence::new(
+                    AttrRef::new(rel, attr),
+                    AttrRef::new("Person", *target).clone(),
+                    0.5,
+                ));
+            }
+        }
+        // `price` actually belongs to the Order target relation; fix up the target side.
+        let correspondences = correspondences
+            .into_iter()
+            .map(|c| {
+                if c.target.attr == "price" {
+                    Correspondence::new(c.source, AttrRef::new("Order", "price"), c.score)
+                } else {
+                    c
+                }
+            })
+            .collect();
+        Mapping::new(id, correspondences, f64::from(weight))
+    })
+}
+
+fn arb_mapping_set() -> impl Strategy<Value = MappingSet> {
+    prop::collection::vec(any::<u8>(), 2..6).prop_flat_map(|seeds| {
+        let mappings: Vec<_> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, _)| arb_mapping(i + 1))
+            .collect();
+        mappings.prop_map(MappingSet::new)
+    })
+}
+
+fn arb_query() -> impl Strategy<Value = TargetQuery> {
+    let phone_values = prop_oneof![Just("123"), Just("456"), Just("789"), Just("555")];
+    let addr_values = prop_oneof![Just("aaa"), Just("bbb"), Just("hk")];
+    (phone_values, addr_values, 0usize..3).prop_map(|(phone, addr, shape)| {
+        match shape {
+            0 => TargetQuery::builder("prop-q0")
+                .relation("Person")
+                .filter_eq("Person.phone", phone)
+                .returning(["Person.addr"])
+                .build()
+                .unwrap(),
+            1 => TargetQuery::builder("prop-q1")
+                .relation("Person")
+                .filter_eq("Person.addr", addr)
+                .returning(["Person.phone", "Person.pname"])
+                .build()
+                .unwrap(),
+            _ => TargetQuery::builder("prop-q2")
+                .relation("Person")
+                .relation("Order")
+                .filter_eq("Person.phone", phone)
+                .filter_eq("Person.addr", addr)
+                .returning(["Person.addr", "Order.price"])
+                .build()
+                .unwrap(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_algorithms_agree_on_random_inputs(mappings in arb_mapping_set(), query in arb_query()) {
+        let catalog = testkit::figure2_catalog();
+        prop_assert!((mappings.probability_sum() - 1.0).abs() < 1e-9);
+        let reference = evaluate(&query, &mappings, &catalog, Algorithm::Basic).unwrap();
+        for algorithm in [
+            Algorithm::EBasic,
+            Algorithm::EMqo,
+            Algorithm::QSharing,
+            Algorithm::OSharing(SelectionStrategy::Sef),
+            Algorithm::OSharing(SelectionStrategy::Snf),
+            Algorithm::OSharing(SelectionStrategy::Random { seed: 3 }),
+        ] {
+            let eval = evaluate(&query, &mappings, &catalog, algorithm).unwrap();
+            prop_assert!(
+                reference.answer.approx_eq(&eval.answer, 1e-9),
+                "{} disagrees with basic on {query}",
+                algorithm.name()
+            );
+        }
+    }
+
+    #[test]
+    fn probabilities_are_bounded(mappings in arb_mapping_set(), query in arb_query()) {
+        let catalog = testkit::figure2_catalog();
+        let eval = evaluate(&query, &mappings, &catalog, Algorithm::QSharing).unwrap();
+        for (_, p) in eval.answer.iter() {
+            prop_assert!(p > 0.0 && p <= 1.0 + 1e-9, "probability {p} out of range");
+        }
+        prop_assert!(eval.answer.empty_probability() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn top_k_is_a_prefix_of_the_exact_ranking(mappings in arb_mapping_set(), query in arb_query()) {
+        let catalog = testkit::figure2_catalog();
+        let exact = evaluate(&query, &mappings, &catalog, Algorithm::Basic).unwrap();
+        let result = top_k(&query, &mappings, &catalog, 2, SelectionStrategy::Sef).unwrap();
+        prop_assert!(result.entries.len() <= 2);
+        for entry in &result.entries {
+            let p = exact.answer.probability_of(&entry.tuple);
+            prop_assert!(p > 0.0, "top-k returned a tuple the exact answer does not contain");
+            prop_assert!(entry.lower_bound <= p + 1e-9);
+            prop_assert!(entry.upper_bound + 1e-9 >= p);
+        }
+    }
+
+    #[test]
+    fn partition_probabilities_form_a_distribution(mappings in arb_mapping_set(), query in arb_query()) {
+        let partitions = urm::core::partition::partition_mappings(&query, &mappings).unwrap();
+        let total: f64 = partitions.iter().map(|p| p.probability).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // Partitions are disjoint and cover every mapping.
+        let mut covered: Vec<usize> = partitions.iter().flat_map(|p| p.mapping_indices.clone()).collect();
+        covered.sort_unstable();
+        let expected: Vec<usize> = (0..mappings.len()).collect();
+        prop_assert_eq!(covered, expected);
+    }
+}
