@@ -76,7 +76,13 @@ fn fig11d_selections(c: &mut Criterion) {
         let query = workload::selection_sweep(n).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &query, |b, q| {
             b.iter(|| {
-                evaluate(q, &s.mappings, &s.catalog, Algorithm::OSharing(Strategy::Sef)).unwrap()
+                evaluate(
+                    q,
+                    &s.mappings,
+                    &s.catalog,
+                    Algorithm::OSharing(Strategy::Sef),
+                )
+                .unwrap()
             })
         });
     }
@@ -92,7 +98,13 @@ fn fig11e_products(c: &mut Criterion) {
         let query = workload::product_sweep(n).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(n), &query, |b, q| {
             b.iter(|| {
-                evaluate(q, &s.mappings, &s.catalog, Algorithm::OSharing(Strategy::Sef)).unwrap()
+                evaluate(
+                    q,
+                    &s.mappings,
+                    &s.catalog,
+                    Algorithm::OSharing(Strategy::Sef),
+                )
+                .unwrap()
             })
         });
     }
@@ -121,7 +133,11 @@ fn fig11f_strategies(c: &mut Criterion) {
 fn fig12_topk(c: &mut Criterion) {
     let h = harness();
     let mut group = c.benchmark_group("fig12/topk");
-    for (label, id) in [("Q4", QueryId::Q4), ("Q7", QueryId::Q7), ("Q10", QueryId::Q10)] {
+    for (label, id) in [
+        ("Q4", QueryId::Q4),
+        ("Q7", QueryId::Q7),
+        ("Q10", QueryId::Q10),
+    ] {
         let query = workload::query(id);
         let s = h.scenario(id.target());
         group.bench_function(BenchmarkId::new("osharing", label), |b| {

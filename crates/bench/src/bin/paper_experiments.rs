@@ -1,11 +1,14 @@
-//! Regenerates every table and figure of the paper's evaluation section and prints them as
-//! text tables.
+//! Regenerates every table and figure of the paper's evaluation section (plus the serving-layer
+//! experiment), prints them as text tables, and writes a machine-readable JSON copy.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p urm-bench --bin paper_experiments [--tiny] [--scale N] [--mappings H]
+//! cargo run --release -p urm-bench --bin paper_experiments \
+//!     [--tiny] [--scale N] [--mappings H] [--json PATH]
 //! ```
+//!
+//! JSON goes to `BENCH_paper.json` by default (`--json -` disables it).
 
 use std::env;
 use urm_bench::experiments::{Harness, HarnessConfig};
@@ -28,6 +31,16 @@ fn main() {
             config.mappings = v;
         }
     }
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(pos) => match args.get(pos + 1) {
+            Some(path) if !path.starts_with("--") => path.clone(),
+            _ => {
+                eprintln!("error: --json needs a path argument (use '--json -' to disable)");
+                std::process::exit(1);
+            }
+        },
+        None => "BENCH_paper.json".to_string(),
+    };
 
     eprintln!(
         "generating scenarios (scale={}, mappings={}, seed={}) …",
@@ -37,5 +50,10 @@ fn main() {
     eprintln!("running experiments …");
     let rows = harness.run_all().expect("experiment run failed");
     println!("{}", report::render_all(&rows));
+    if json_path != "-" {
+        std::fs::write(&json_path, report::render_json(&rows))
+            .unwrap_or_else(|err| panic!("cannot write {json_path}: {err}"));
+        eprintln!("wrote {json_path}");
+    }
     eprintln!("done: {} data points", rows.len());
 }

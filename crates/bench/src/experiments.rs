@@ -1,10 +1,10 @@
 //! Experiment definitions, one per table/figure of the paper's evaluation.
 
 use std::time::Duration;
+use urm_core::CoreResult;
 use urm_core::{evaluate, top_k, Algorithm, Strategy, TargetQuery};
 use urm_datagen::scenario::{Scenario, ScenarioConfig, TargetSchemaKind};
 use urm_datagen::workload::{self, QueryId};
-use urm_core::CoreResult;
 
 /// One measured data point: a row of a figure's series or of a table.
 #[derive(Debug, Clone)]
@@ -350,14 +350,25 @@ impl Harness {
         for (name, algorithm) in strategies {
             rows.push(self.run_algorithm("table4", name, "Q4", &q4, &self.excel, algorithm)?);
         }
-        rows.push(self.run_algorithm("table4", "e-MQO", "Q4", &q4, &self.excel, Algorithm::EMqo)?);
+        rows.push(self.run_algorithm(
+            "table4",
+            "e-MQO",
+            "Q4",
+            &q4,
+            &self.excel,
+            Algorithm::EMqo,
+        )?);
         Ok(rows)
     }
 
     /// Figures 12(a)–(c): top-k vs o-sharing for Q4, Q7 and Q10.
     pub fn fig12_topk(&self) -> CoreResult<Vec<ExperimentRow>> {
         let mut rows = Vec::new();
-        for (figure, id) in [("fig12a", QueryId::Q4), ("fig12b", QueryId::Q7), ("fig12c", QueryId::Q10)] {
+        for (figure, id) in [
+            ("fig12a", QueryId::Q4),
+            ("fig12b", QueryId::Q7),
+            ("fig12c", QueryId::Q10),
+        ] {
             let query = workload::query(id);
             let scenario = self.scenario(id.target());
             // The o-sharing baseline (compute every probability, then sort).
@@ -374,13 +385,81 @@ impl Harness {
                 row.answers = baseline.answer.len();
                 rows.push(row);
 
-                let topk = top_k(&query, &scenario.mappings, &scenario.catalog, k, Strategy::Sef)?;
+                let topk = top_k(
+                    &query,
+                    &scenario.mappings,
+                    &scenario.catalog,
+                    k,
+                    Strategy::Sef,
+                )?;
                 let mut row = ExperimentRow::new(figure, "top-k", k);
                 row.time = topk.metrics.total_time;
                 row.source_operators = topk.metrics.source_operators();
                 row.answers = topk.entries.len();
                 rows.push(row);
             }
+        }
+        Ok(rows)
+    }
+
+    /// The serving-layer experiment (not in the paper): replay a synthetic Excel workload of
+    /// growing size three ways — sequentially with `e-basic`, sequentially with
+    /// `o-sharing(SEF)`, and through `urm-service` as one batch with a batch-wide sub-plan
+    /// cache and answer-cache dedup.  The batched service wins because cross-query sharing and
+    /// duplicate elimination amortise work no per-query algorithm can.
+    pub fn service_batching(&self) -> CoreResult<Vec<ExperimentRow>> {
+        use std::time::Instant;
+        use urm_datagen::replay::synthetic_workload;
+        use urm_service::{QueryService, ServiceConfig};
+
+        let scenario = &self.excel;
+        let mut rows = Vec::new();
+        for n in [10usize, 30, 50] {
+            let workload = synthetic_workload(n, Some(TargetSchemaKind::Excel));
+
+            for (series, algorithm) in [
+                ("sequential e-basic", Algorithm::EBasic),
+                (
+                    "sequential o-sharing(SEF)",
+                    Algorithm::OSharing(Strategy::Sef),
+                ),
+            ] {
+                let mut row = ExperimentRow::new("service", series, n);
+                let start = Instant::now();
+                for entry in &workload {
+                    let eval = evaluate(
+                        &entry.query,
+                        &scenario.mappings,
+                        &scenario.catalog,
+                        algorithm,
+                    )?;
+                    row.source_operators += eval.metrics.source_operators();
+                    row.answers += eval.answer.len();
+                }
+                row.time = start.elapsed();
+                rows.push(row);
+            }
+
+            let service = QueryService::new(ServiceConfig {
+                workers: 1,
+                batch_max: n.max(1),
+                ..ServiceConfig::default()
+            });
+            let epoch = service.register_epoch(scenario.catalog.clone(), scenario.mappings.clone());
+            let mut row = ExperimentRow::new("service", "batched service", n);
+            let start = Instant::now();
+            let responses = service
+                .execute_all(epoch, workload.iter().map(|e| e.query.clone()).collect())
+                .map_err(|e| urm_core::CoreError::InvalidQuery(e.to_string()))?;
+            row.time = start.elapsed();
+            let metrics = service.metrics();
+            row.source_operators = metrics.source_operators;
+            row.answers = responses.iter().map(|r| r.answer.len()).sum();
+            rows.push(row);
+
+            let mut sharing = ExperimentRow::new("service", "plan-hit-rate", n);
+            sharing.extra = Some(("plan-hit-rate".into(), metrics.plan_hit_rate()));
+            rows.push(sharing);
         }
         Ok(rows)
     }
@@ -396,6 +475,7 @@ impl Harness {
         rows.extend(self.fig11de_query_size()?);
         rows.extend(self.fig11f_table4_strategies()?);
         rows.extend(self.fig12_topk()?);
+        rows.extend(self.service_batching()?);
         Ok(rows)
     }
 }

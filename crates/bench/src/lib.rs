@@ -16,4 +16,4 @@ pub mod experiments;
 pub mod report;
 
 pub use experiments::{ExperimentRow, Harness, HarnessConfig};
-pub use report::render_table;
+pub use report::{render_json, render_table};

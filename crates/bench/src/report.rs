@@ -26,7 +26,11 @@ pub fn render_table(experiment: &str, rows: &[ExperimentRow]) -> String {
         let cell = if let Some((name, value)) = &r.extra {
             format!("{name}={value:.3}")
         } else {
-            format!("{:.1}ms ({} ops)", r.time.as_secs_f64() * 1000.0, r.source_operators)
+            format!(
+                "{:.1}ms ({} ops)",
+                r.time.as_secs_f64() * 1000.0,
+                r.source_operators
+            )
         };
         cells.insert((r.x.clone(), r.series.clone()), cell);
     }
@@ -48,6 +52,64 @@ pub fn render_table(experiment: &str, rows: &[ExperimentRow]) -> String {
         out.push('\n');
     }
     out.push('\n');
+    out
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one row as a flat JSON object (one `BENCH_service.json`-compatible row).
+#[must_use]
+pub fn render_row_json(row: &ExperimentRow) -> String {
+    let extra = match &row.extra {
+        Some((name, value)) => {
+            format!(
+                ",\"extra_name\":\"{}\",\"extra_value\":{value}",
+                json_escape(name)
+            )
+        }
+        None => String::new(),
+    };
+    format!(
+        "{{\"experiment\":\"{}\",\"series\":\"{}\",\"x\":\"{}\",\"time_ms\":{:.3},\
+         \"source_operators\":{},\"answers\":{}{extra}}}",
+        json_escape(&row.experiment),
+        json_escape(&row.series),
+        json_escape(&row.x),
+        row.time.as_secs_f64() * 1000.0,
+        row.source_operators,
+        row.answers,
+    )
+}
+
+/// Renders every row as a machine-readable JSON array (one object per row, one row per line),
+/// emitted by the `paper_experiments` binary alongside the text tables.
+#[must_use]
+pub fn render_json(rows: &[ExperimentRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&render_row_json(row));
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
     out
 }
 
@@ -118,5 +180,44 @@ mod tests {
         let text = render_all(&rows);
         assert!(text.contains("## a"));
         assert!(text.contains("## b"));
+    }
+
+    #[test]
+    fn json_rows_are_flat_objects() {
+        let mut r = row("service", "batched service", "50", 12, 129);
+        r.answers = 7;
+        let json = render_row_json(&r);
+        assert!(json.contains("\"experiment\":\"service\""));
+        assert!(json.contains("\"series\":\"batched service\""));
+        assert!(json.contains("\"time_ms\":12.000"));
+        assert!(json.contains("\"source_operators\":129"));
+        assert!(json.contains("\"answers\":7"));
+        assert!(!json.contains("extra_name"));
+
+        r.extra = Some(("plan-hit-rate".into(), 0.5));
+        let json = render_row_json(&r);
+        assert!(json.contains("\"extra_name\":\"plan-hit-rate\""));
+        assert!(json.contains("\"extra_value\":0.5"));
+    }
+
+    #[test]
+    fn json_document_is_an_array_with_one_row_per_line() {
+        let rows = vec![row("a", "s", "1", 1, 1), row("b", "s", "2", 2, 2)];
+        let json = render_json(&rows);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert_eq!(json.lines().count(), 4); // [, two rows, ]
+        assert!(json.lines().nth(1).unwrap().ends_with(','));
+        assert!(!json.lines().nth(2).unwrap().ends_with(','));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut r = row("quote\"", "back\\slash", "tab\there", 1, 1);
+        r.extra = None;
+        let json = render_row_json(&r);
+        assert!(json.contains("quote\\\""));
+        assert!(json.contains("back\\\\slash"));
+        assert!(json.contains("tab\\there"));
     }
 }

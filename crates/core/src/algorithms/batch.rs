@@ -1,0 +1,209 @@
+//! Batch evaluation: many probabilistic queries over one mapping set, sharing work across the
+//! whole batch.
+//!
+//! The paper evaluates sharing *within* one probabilistic query (its `h` reformulations).  A
+//! serving layer gets a second amortisation axis: independent queries submitted concurrently
+//! against the same (catalog, mapping set) epoch overlap heavily — they scan the same source
+//! relations and, with ambiguous matchings, frequently reformulate onto identical source
+//! sub-plans.  [`evaluate_batch`] therefore routes the distinct source queries of *every* query
+//! in the batch through one [`SharedPlanCache`]: each distinct sub-plan (fingerprinted via
+//! [`Plan::fingerprint`](urm_engine::Plan::fingerprint)) is materialised once per batch.
+//!
+//! Per-query aggregation is unchanged from `e-basic` — each query's answer is the
+//! probability-weighted union of its distinct reformulations — so batch answers agree with
+//! every sequential algorithm (the service integration tests verify this).
+
+use crate::answer::ProbabilisticAnswer;
+use crate::metrics::{EvalMetrics, Evaluation};
+use crate::query::TargetQuery;
+use crate::reformulate::{clustered_reformulations, extract_answers};
+use crate::CoreResult;
+use std::time::Instant;
+use urm_engine::{optimize::optimize, Executor};
+use urm_matching::MappingSet;
+use urm_mqo::SharedPlanCache;
+use urm_storage::Catalog;
+
+/// The outcome of one batch evaluation.
+#[derive(Debug)]
+pub struct BatchEvaluation {
+    /// One evaluation per input query, in input order.
+    pub evaluations: Vec<Evaluation>,
+    /// Sub-plan cache hits across the whole batch (delta over this call).
+    pub plan_hits: u64,
+    /// Sub-plan cache misses across the whole batch (delta over this call).
+    pub plan_misses: u64,
+}
+
+impl BatchEvaluation {
+    /// Total source operators executed across the batch.
+    #[must_use]
+    pub fn source_operators(&self) -> u64 {
+        self.evaluations
+            .iter()
+            .map(|e| e.metrics.source_operators())
+            .sum()
+    }
+}
+
+/// Evaluates every query of a batch against the same mapping set and catalog, sharing
+/// materialised sub-plans across the *entire batch* through `cache`.
+///
+/// The cache may be freshly created per batch (the service layer does this, bounding it) or
+/// reused across calls to keep hot sub-plans warm — **but only with the same `catalog`**:
+/// entries are keyed by plan structure alone, so a cache warmed against one catalog returns
+/// that catalog's materialised relations as hits for any other, silently producing stale
+/// answers.  Hit/miss deltas for this call are reported on the returned [`BatchEvaluation`]
+/// either way.
+pub fn evaluate_batch(
+    queries: &[TargetQuery],
+    mappings: &MappingSet,
+    catalog: &Catalog,
+    cache: &mut SharedPlanCache,
+) -> CoreResult<BatchEvaluation> {
+    let hits_before = cache.hits();
+    let misses_before = cache.misses();
+    let mut evaluations = Vec::with_capacity(queries.len());
+    for query in queries {
+        evaluations.push(evaluate_one(query, mappings, catalog, cache)?);
+    }
+    Ok(BatchEvaluation {
+        evaluations,
+        plan_hits: cache.hits() - hits_before,
+        plan_misses: cache.misses() - misses_before,
+    })
+}
+
+/// Evaluates one query of a batch through the shared cache (`e-basic` per-query semantics).
+fn evaluate_one(
+    query: &TargetQuery,
+    mappings: &MappingSet,
+    catalog: &Catalog,
+    cache: &mut SharedPlanCache,
+) -> CoreResult<Evaluation> {
+    let total_start = Instant::now();
+    let mut metrics = EvalMetrics::new("batch");
+    metrics.representative_mappings = mappings.len();
+    let hits_before = cache.hits();
+    let misses_before = cache.misses();
+    let mut answer = ProbabilisticAnswer::new();
+
+    // Rewrite through every mapping and cluster identical source queries (as e-basic does).
+    let rewrite_start = Instant::now();
+    let (ordered, empty_probability) = clustered_reformulations(query, mappings, catalog)?;
+    metrics.rewrite_time = rewrite_start.elapsed();
+    metrics.distinct_source_queries = ordered.len();
+
+    // Execute each distinct source query through the batch-wide sub-plan cache.
+    let mut exec = Executor::new(catalog);
+    for (sq, probability) in ordered {
+        let plan_start = Instant::now();
+        let plan = optimize(&sq.plan, catalog)?;
+        metrics.plan_time += plan_start.elapsed();
+
+        let result = cache.execute_shared(&plan, &mut exec)?;
+        exec.stats_mut().record_source_query();
+
+        let agg_start = Instant::now();
+        answer.add_distinct(extract_answers(&result, &sq.extraction), probability);
+        metrics.aggregation_time += agg_start.elapsed();
+    }
+    if empty_probability > 0.0 {
+        answer.add_empty(empty_probability);
+    }
+
+    metrics.exec = exec.into_stats();
+    metrics.shared_plan_hits = cache.hits() - hits_before;
+    metrics.shared_plan_misses = cache.misses() - misses_before;
+    metrics.total_time = total_start.elapsed();
+    Ok(Evaluation { answer, metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{basic, Algorithm};
+    use crate::strategy::Strategy;
+    use crate::testkit;
+
+    fn paper_queries() -> Vec<TargetQuery> {
+        vec![
+            testkit::q0(),
+            testkit::q1(),
+            testkit::basic_example_query(),
+            testkit::q2_product(),
+            testkit::count_query(),
+            testkit::sum_query(),
+        ]
+    }
+
+    #[test]
+    fn batch_matches_sequential_on_every_paper_query() {
+        let catalog = testkit::figure2_catalog();
+        let mappings = testkit::figure3_mappings();
+        let queries = paper_queries();
+        let mut cache = SharedPlanCache::new();
+        let batch = evaluate_batch(&queries, &mappings, &catalog, &mut cache).unwrap();
+        assert_eq!(batch.evaluations.len(), queries.len());
+        for (query, eval) in queries.iter().zip(&batch.evaluations) {
+            let reference = basic::evaluate(query, &mappings, &catalog).unwrap();
+            assert!(
+                reference.answer.approx_eq(&eval.answer, 1e-9),
+                "batch disagrees with basic on {}",
+                query.name()
+            );
+            let sef = crate::evaluate(
+                query,
+                &mappings,
+                &catalog,
+                Algorithm::OSharing(Strategy::Sef),
+            )
+            .unwrap();
+            assert!(
+                sef.answer.approx_eq(&eval.answer, 1e-9),
+                "batch disagrees with o-sharing(SEF) on {}",
+                query.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_shares_subplans_across_queries() {
+        let catalog = testkit::figure2_catalog();
+        let mappings = testkit::figure3_mappings();
+        // q0 and q1 both select on Customer through overlapping correspondences.
+        let queries = vec![testkit::q0(), testkit::q1(), testkit::q0()];
+        let mut cache = SharedPlanCache::new();
+        let batch = evaluate_batch(&queries, &mappings, &catalog, &mut cache).unwrap();
+        assert!(batch.plan_hits > 0, "no cross-query sub-plan sharing");
+        // The duplicated q0 finds *all* of its sub-plans in the cache.
+        let repeat = &batch.evaluations[2].metrics;
+        assert_eq!(repeat.shared_plan_misses, 0);
+        assert!(repeat.shared_plan_hits > 0);
+    }
+
+    #[test]
+    fn batch_is_deterministic_across_runs() {
+        let catalog = testkit::figure2_catalog();
+        let mappings = testkit::figure3_mappings();
+        let queries = paper_queries();
+        let mut cache_a = SharedPlanCache::new();
+        let a = evaluate_batch(&queries, &mappings, &catalog, &mut cache_a).unwrap();
+        let mut cache_b = SharedPlanCache::new();
+        let b = evaluate_batch(&queries, &mappings, &catalog, &mut cache_b).unwrap();
+        for (x, y) in a.evaluations.iter().zip(&b.evaluations) {
+            assert_eq!(x.answer.sorted(), y.answer.sorted());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let catalog = testkit::figure2_catalog();
+        let mappings = testkit::figure3_mappings();
+        let mut cache = SharedPlanCache::new();
+        let batch = evaluate_batch(&[], &mappings, &catalog, &mut cache).unwrap();
+        assert!(batch.evaluations.is_empty());
+        assert_eq!(batch.plan_hits + batch.plan_misses, 0);
+        assert_eq!(batch.source_operators(), 0);
+    }
+}

@@ -4,9 +4,8 @@
 use crate::answer::ProbabilisticAnswer;
 use crate::metrics::{EvalMetrics, Evaluation};
 use crate::query::TargetQuery;
-use crate::reformulate::{extract_answers, reformulate, Reformulated, SourceQuery};
+use crate::reformulate::{clustered_reformulations, extract_answers};
 use crate::CoreResult;
-use std::collections::HashMap;
 use std::time::Instant;
 use urm_engine::{optimize::optimize, Executor};
 use urm_matching::MappingSet;
@@ -29,19 +28,9 @@ pub fn evaluate(
 
     // Phase 1: rewrite through every mapping and deduplicate (same as e-basic).
     let rewrite_start = Instant::now();
-    let mut groups: HashMap<SourceQuery, f64> = HashMap::new();
-    let mut empty_probability = 0.0;
-    for mapping in mappings.iter() {
-        match reformulate(query, mapping, catalog)? {
-            Reformulated::Empty => empty_probability += mapping.probability(),
-            Reformulated::Query(sq) => *groups.entry(sq).or_insert(0.0) += mapping.probability(),
-        }
-    }
+    let (ordered, empty_probability) = clustered_reformulations(query, mappings, catalog)?;
     metrics.rewrite_time = rewrite_start.elapsed();
-    metrics.distinct_source_queries = groups.len();
-
-    let mut ordered: Vec<(SourceQuery, f64)> = groups.into_iter().collect();
-    ordered.sort_by(|a, b| b.1.total_cmp(&a.1));
+    metrics.distinct_source_queries = ordered.len();
 
     // Phase 2: build the shared global plan (the expensive MQO search).
     let plan_start = Instant::now();

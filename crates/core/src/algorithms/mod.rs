@@ -8,9 +8,12 @@
 //!   query per representative mapping (Section IV);
 //! * [`osharing`] — interleave reformulation and execution operator by operator, sharing work
 //!   whenever mappings agree on the correspondences an operator needs (Sections V–VI);
-//! * [`topk`] — the probabilistic top-k algorithm built on the o-sharing u-trace (Section VII).
+//! * [`topk`] — the probabilistic top-k algorithm built on the o-sharing u-trace (Section VII);
+//! * [`batch`] — batch evaluation of many queries over one mapping set, sharing materialised
+//!   sub-plans across the whole batch (the entry point of the `urm-service` serving layer).
 
 pub mod basic;
+pub mod batch;
 pub mod ebasic;
 pub mod emqo;
 pub mod osharing;

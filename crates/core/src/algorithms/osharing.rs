@@ -113,7 +113,12 @@ impl<'a, S: LeafSink> UTraceRunner<'a, S> {
 
     /// Consumes the runner, returning the executor statistics.
     pub(crate) fn into_parts(self) -> (S, urm_engine::ExecStats, usize, Duration) {
-        (self.sink, self.exec.into_stats(), self.eunits, self.rewrite_time)
+        (
+            self.sink,
+            self.exec.into_stats(),
+            self.eunits,
+            self.rewrite_time,
+        )
     }
 
     /// The recursive evaluation of an e-unit.  Returns `true` if the sink asked to stop.
@@ -198,9 +203,7 @@ impl<'a, S: LeafSink> UTraceRunner<'a, S> {
         probability: f64,
     ) -> CoreResult<ChildOutcome> {
         match op {
-            TargetOp::Predicate(i) => {
-                self.execute_predicate(u, *i, mapping, indices, probability)
-            }
+            TargetOp::Predicate(i) => self.execute_predicate(u, *i, mapping, indices, probability),
             TargetOp::Product {
                 left_alias,
                 right_alias,
@@ -326,14 +329,24 @@ impl<'a, S: LeafSink> UTraceRunner<'a, S> {
         };
         let (ldata, lscans) = {
             let attrs = side_attrs(li);
-            let (data, scans) =
-                ensure_columns(self.query, mapping, &u.components[li], &attrs, &mut self.exec)?;
+            let (data, scans) = ensure_columns(
+                self.query,
+                mapping,
+                &u.components[li],
+                &attrs,
+                &mut self.exec,
+            )?;
             (data.unwrap_or_else(|| Arc::new(unit_relation())), scans)
         };
         let (rdata, rscans) = {
             let attrs = side_attrs(ri);
-            let (data, scans) =
-                ensure_columns(self.query, mapping, &u.components[ri], &attrs, &mut self.exec)?;
+            let (data, scans) = ensure_columns(
+                self.query,
+                mapping,
+                &u.components[ri],
+                &attrs,
+                &mut self.exec,
+            )?;
             (data.unwrap_or_else(|| Arc::new(unit_relation())), scans)
         };
         let left_plan = Plan::values_shared(ldata);
@@ -341,7 +354,8 @@ impl<'a, S: LeafSink> UTraceRunner<'a, S> {
         let joined = if on.is_empty() {
             self.exec.run_operator(&left_plan.product(right_plan))?
         } else {
-            self.exec.run_operator(&left_plan.hash_join(right_plan, on))?
+            self.exec
+                .run_operator(&left_plan.hash_join(right_plan, on))?
         };
 
         let mut child = u.clone();
@@ -422,6 +436,9 @@ fn unit_relation() -> Relation {
     Relation::from_validated(Schema::new("unit", Vec::new()), vec![Tuple::empty()])
 }
 
+/// The scans folded into a component so far: (scan alias, source relation) pairs.
+type ScanSet = BTreeSet<(String, String)>;
+
 /// Ensures the component's materialised data contains the source columns for the given target
 /// attributes (reformulation Cases 2/3 of Section VI-B): any covering source relation not yet
 /// folded into the component is scanned and multiplied in.
@@ -431,7 +448,7 @@ fn ensure_columns(
     component: &Component,
     attrs: &[AttrRef],
     exec: &mut Executor<'_>,
-) -> CoreResult<(Option<Arc<Relation>>, BTreeSet<(String, String)>)> {
+) -> CoreResult<(Option<Arc<Relation>>, ScanSet)> {
     let mut scans = component.scans.clone();
     let mut data = component.data.clone();
     for attr in attrs {
@@ -446,9 +463,9 @@ fn ensure_columns(
         let scanned = exec.run_operator(&Plan::scan_as(pair.1.clone(), pair.0.clone()))?;
         data = Some(match data {
             None => Arc::new(scanned),
-            Some(existing) => Arc::new(exec.run_operator(
-                &Plan::values_shared(existing).product(Plan::values(scanned)),
-            )?),
+            Some(existing) => Arc::new(
+                exec.run_operator(&Plan::values_shared(existing).product(Plan::values(scanned)))?,
+            ),
         });
         scans.insert(pair);
     }
@@ -463,7 +480,7 @@ fn materialize_component(
     mapping: &Mapping,
     component: &Component,
     exec: &mut Executor<'_>,
-) -> CoreResult<(Arc<Relation>, BTreeSet<(String, String)>)> {
+) -> CoreResult<(Arc<Relation>, ScanSet)> {
     if let Some(data) = &component.data {
         return Ok((Arc::clone(data), component.scans.clone()));
     }

@@ -88,10 +88,15 @@ mod tests {
         // Answers plus empty mass account for the whole distribution on q0 (every mapping maps
         // phone and addr, so nothing is empty).
         assert!(eval.answer.empty_probability() < 1e-9);
-        assert!((eval.answer.probability_of(&urm_storage::Tuple::new(vec![
-            urm_storage::Value::from("aaa")
-        ])) - 0.5)
-            .abs()
-            < 1e-9);
+        assert!(
+            (eval
+                .answer
+                .probability_of(&urm_storage::Tuple::new(vec![urm_storage::Value::from(
+                    "aaa"
+                )]))
+                - 0.5)
+                .abs()
+                < 1e-9
+        );
     }
 }

@@ -211,7 +211,11 @@ mod tests {
             // The returned tuples are exactly the k most probable ones (no ties here).
             let expected: Vec<&Tuple> = exact_sorted.iter().take(k).map(|(t, _)| t).collect();
             for entry in &result.entries {
-                assert!(expected.contains(&&entry.tuple), "unexpected {:?}", entry.tuple);
+                assert!(
+                    expected.contains(&&entry.tuple),
+                    "unexpected {:?}",
+                    entry.tuple
+                );
                 // Lower bounds never exceed the exact probability.
                 let exact_p = exact.answer.probability_of(&entry.tuple);
                 assert!(entry.lower_bound <= exact_p + 1e-9);
@@ -252,7 +256,10 @@ mod tests {
         let exact = basic::evaluate(&query, &mappings, &catalog).unwrap();
         for e in &result.entries {
             let p = exact.answer.probability_of(&e.tuple);
-            assert!((e.lower_bound - p).abs() < 1e-9, "lb should be exact when the whole trace is visited");
+            assert!(
+                (e.lower_bound - p).abs() < 1e-9,
+                "lb should be exact when the whole trace is visited"
+            );
         }
     }
 
@@ -260,7 +267,14 @@ mod tests {
     fn works_with_aggregate_queries() {
         let catalog = testkit::figure2_catalog();
         let mappings = testkit::figure3_mappings();
-        let result = top_k(&testkit::count_query(), &mappings, &catalog, 1, Strategy::Sef).unwrap();
+        let result = top_k(
+            &testkit::count_query(),
+            &mappings,
+            &catalog,
+            1,
+            Strategy::Sef,
+        )
+        .unwrap();
         assert_eq!(result.entries.len(), 1);
         // Counts 1 and 2 both have probability 0.5; the top-1 is one of them.
         let v = result.entries[0].tuple.get(0).unwrap().as_i64().unwrap();

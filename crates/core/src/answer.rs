@@ -94,11 +94,7 @@ impl ProbabilisticAnswer {
     /// is deterministic).
     #[must_use]
     pub fn sorted(&self) -> Vec<(Tuple, f64)> {
-        let mut v: Vec<(Tuple, f64)> = self
-            .entries
-            .iter()
-            .map(|(t, p)| (t.clone(), *p))
-            .collect();
+        let mut v: Vec<(Tuple, f64)> = self.entries.iter().map(|(t, p)| (t.clone(), *p)).collect();
         v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         v
     }

@@ -115,9 +115,10 @@ impl EUnit {
             match pred {
                 TargetPredicate::Compare { .. } => ops.push(TargetOp::Predicate(i)),
                 TargetPredicate::AttrEq { left, right } => {
-                    if let (Some(a), Some(b)) =
-                        (self.component_of(&left.alias), self.component_of(&right.alias))
-                    {
+                    if let (Some(a), Some(b)) = (
+                        self.component_of(&left.alias),
+                        self.component_of(&right.alias),
+                    ) {
                         if a == b {
                             ops.push(TargetOp::Predicate(i));
                         }
@@ -215,8 +216,10 @@ impl EUnit {
         a: &AttrRef,
         b: &AttrRef,
     ) -> bool {
-        let (Some(lc), Some(rc)) = (self.component_of(left_alias), self.component_of(right_alias))
-        else {
+        let (Some(lc), Some(rc)) = (
+            self.component_of(left_alias),
+            self.component_of(right_alias),
+        ) else {
             return false;
         };
         let (Some(ac), Some(bc)) = (self.component_of(&a.alias), self.component_of(&b.alias))
@@ -332,9 +335,7 @@ mod tests {
             .unwrap();
         let mut u = EUnit::initial(&q, vec![0], 1.0);
         // Before the product, the join predicate is not a valid operator.
-        assert!(!u
-            .valid_operators(&q)
-            .contains(&TargetOp::Predicate(0)));
+        assert!(!u.valid_operators(&q).contains(&TargetOp::Predicate(0)));
         u.merge_components(0, 1, empty_relation());
         assert!(u.valid_operators(&q).contains(&TargetOp::Predicate(0)));
     }

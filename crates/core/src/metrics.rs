@@ -31,6 +31,10 @@ pub struct EvalMetrics {
     pub representative_mappings: usize,
     /// Number of e-units created (o-sharing and top-k only).
     pub eunits: usize,
+    /// Sub-plan cache hits observed while evaluating this query (batch evaluation only).
+    pub shared_plan_hits: u64,
+    /// Sub-plan cache misses observed while evaluating this query (batch evaluation only).
+    pub shared_plan_misses: u64,
     /// Total wall-clock time of the evaluation.
     #[serde(skip)]
     pub total_time: Duration,

@@ -178,7 +178,10 @@ mod tests {
         let mappings = testkit::figure3_mappings();
         let partitions = partition_mappings(&query, &mappings).unwrap();
         assert_eq!(partitions.len(), 3);
-        let mut groups: Vec<Vec<usize>> = partitions.iter().map(|p| p.mapping_indices.clone()).collect();
+        let mut groups: Vec<Vec<usize>> = partitions
+            .iter()
+            .map(|p| p.mapping_indices.clone())
+            .collect();
         groups.sort();
         assert_eq!(groups, vec![vec![0, 1], vec![2, 3], vec![4]]);
         // Probabilities 0.5, 0.4, 0.1 (in the paper's order).

@@ -229,7 +229,9 @@ impl TargetQuery {
     /// and the output operator).  The number of operators is the `l` of the paper's analysis.
     #[must_use]
     pub fn operators(&self) -> Vec<TargetOp> {
-        let mut ops: Vec<TargetOp> = (0..self.predicates.len()).map(TargetOp::Predicate).collect();
+        let mut ops: Vec<TargetOp> = (0..self.predicates.len())
+            .map(TargetOp::Predicate)
+            .collect();
         // One product per additional relation, linking it to the first alias by default; the
         // o-sharing state machine re-derives the actual component pairs dynamically.
         for binding in self.relations.iter().skip(1) {
@@ -404,7 +406,10 @@ impl TargetQueryBuilder {
         S: AsRef<str>,
     {
         self.output = Some(QueryOutput::Tuples(
-            attrs.into_iter().map(|s| AttrRef::parse(s.as_ref())).collect(),
+            attrs
+                .into_iter()
+                .map(|s| AttrRef::parse(s.as_ref()))
+                .collect(),
         ));
         self
     }
@@ -515,10 +520,7 @@ mod tests {
         assert_eq!(ops.len(), 4); // 2 predicates + 1 product + output
         assert!(ops.contains(&TargetOp::Predicate(0)));
         assert!(ops.contains(&TargetOp::Output));
-        assert!(matches!(
-            ops[2],
-            TargetOp::Product { .. }
-        ));
+        assert!(matches!(ops[2], TargetOp::Product { .. }));
     }
 
     #[test]

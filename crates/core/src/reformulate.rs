@@ -46,6 +46,35 @@ pub enum Reformulated {
     Empty,
 }
 
+/// Reformulates `query` through every mapping of the set, clustering identical source queries
+/// with their summed probabilities.  Returns the distinct source queries in deterministic order
+/// (descending probability, plan fingerprint as tie-break) plus the probability mass of
+/// mappings the query cannot be reformulated through.
+///
+/// This is the shared "rewrite and deduplicate" phase of `e-basic`, `e-MQO` and batch
+/// evaluation; only the execution step differs between them.
+pub(crate) fn clustered_reformulations(
+    query: &TargetQuery,
+    mappings: &urm_matching::MappingSet,
+    catalog: &Catalog,
+) -> CoreResult<(Vec<(SourceQuery, f64)>, f64)> {
+    let mut groups: std::collections::HashMap<SourceQuery, f64> = std::collections::HashMap::new();
+    let mut empty_probability = 0.0;
+    for mapping in mappings.iter() {
+        match reformulate(query, mapping, catalog)? {
+            Reformulated::Empty => empty_probability += mapping.probability(),
+            Reformulated::Query(sq) => *groups.entry(sq).or_insert(0.0) += mapping.probability(),
+        }
+    }
+    let mut ordered: Vec<(SourceQuery, f64)> = groups.into_iter().collect();
+    // HashMap iteration order must not leak into answer aggregation: order deterministically.
+    ordered.sort_by(|a, b| {
+        b.1.total_cmp(&a.1)
+            .then_with(|| a.0.plan.fingerprint().cmp(&b.0.plan.fingerprint()))
+    });
+    Ok((ordered, empty_probability))
+}
+
 /// The deterministic scan alias used when target alias `target_alias` pulls in source relation
 /// `source_relation`.
 #[must_use]
@@ -65,13 +94,9 @@ pub fn source_column_for(
     attr: &AttrRef,
 ) -> CoreResult<Option<String>> {
     let schema_attr = query.schema_attr(attr)?;
-    Ok(mapping.source_for(&schema_attr).map(|src| {
-        format!(
-            "{}.{}",
-            scan_alias(&attr.alias, &src.alias),
-            src.attr
-        )
-    }))
+    Ok(mapping
+        .source_for(&schema_attr)
+        .map(|src| format!("{}.{}", scan_alias(&attr.alias, &src.alias), src.attr)))
 }
 
 /// The source relations (with their scan aliases) that cover the mapped attributes of one
@@ -295,7 +320,10 @@ mod tests {
         // No mapping of Figure 3 covers Person.gender.
         let mappings = testkit::figure3_mappings();
         for m in mappings.iter() {
-            assert_eq!(reformulate(&query, m, &catalog).unwrap(), Reformulated::Empty);
+            assert_eq!(
+                reformulate(&query, m, &catalog).unwrap(),
+                Reformulated::Empty
+            );
         }
     }
 

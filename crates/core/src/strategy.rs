@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An operator-selection strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Strategy {
     /// Pick a valid operator pseudo-randomly (deterministic for a given seed).
     Random {
@@ -21,13 +21,8 @@ pub enum Strategy {
     /// Smallest Number of partitions First.
     Snf,
     /// Smallest Entropy First (the paper's best-performing strategy; the default).
+    #[default]
     Sef,
-}
-
-impl Default for Strategy {
-    fn default() -> Self {
-        Strategy::Sef
-    }
 }
 
 impl fmt::Display for Strategy {

@@ -73,8 +73,16 @@ pub fn figure2_catalog() -> Catalog {
             ],
         ),
         vec![
-            Tuple::new(vec![Value::from(10i64), Value::from(1i64), Value::from(99.5)]),
-            Tuple::new(vec![Value::from(11i64), Value::from(3i64), Value::from(12.0)]),
+            Tuple::new(vec![
+                Value::from(10i64),
+                Value::from(1i64),
+                Value::from(99.5),
+            ]),
+            Tuple::new(vec![
+                Value::from(11i64),
+                Value::from(3i64),
+                Value::from(12.0),
+            ]),
         ],
     )
     .expect("valid C_Order relation");

@@ -19,7 +19,8 @@
 //! * [`scenario`] — glue that generates a complete experiment scenario (catalog + top-h mapping
 //!   set) from a small config;
 //! * [`workload`] — the ten queries of Table III plus the selection-count and product-count
-//!   sweeps of Figures 11(d)/(e).
+//!   sweeps of Figures 11(d)/(e);
+//! * [`replay`] — replayable workload files (and synthetic workloads) for the serving layer.
 //!
 //! ```
 //! use urm_datagen::scenario::{Scenario, ScenarioConfig, TargetSchemaKind};
@@ -40,10 +41,12 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod replay;
 pub mod scenario;
 pub mod similarity;
 pub mod source;
 pub mod targets;
 pub mod workload;
 
+pub use replay::{parse_workload, synthetic_workload, WorkloadEntry};
 pub use scenario::{Scenario, ScenarioConfig, TargetSchemaKind};

@@ -1,0 +1,152 @@
+//! Replayable query workloads for the serving layer.
+//!
+//! The `urm-cli` binary (and the service benchmark) replay a *workload*: an ordered list of
+//! target queries drawn from the paper's Table III plus the parameterised sweep families.
+//! Workloads are described by a tiny line-oriented text format so experiment scripts can be
+//! checked in and replayed verbatim:
+//!
+//! ```text
+//! # one request per line; '#' starts a comment
+//! Q1          # Table III query 1
+//! Q4 x10      # ten consecutive submissions of Q4
+//! sel:3       # selection-sweep query with 3 selections (Figure 11(d))
+//! prod:2      # product-sweep query with 2 products (Figure 11(e))
+//! ```
+
+use crate::scenario::TargetSchemaKind;
+use crate::workload::{self, QueryId};
+use urm_core::query::TargetQuery;
+use urm_core::{CoreError, CoreResult};
+
+/// One request of a workload: a labelled target query plus the schema it addresses.
+#[derive(Debug, Clone)]
+pub struct WorkloadEntry {
+    /// The spec that produced the query (`Q4`, `sel:3`, …).
+    pub label: String,
+    /// The target schema the query is defined on.
+    pub target: TargetSchemaKind,
+    /// The query itself.
+    pub query: TargetQuery,
+}
+
+/// Parses one workload spec (`Q1`–`Q10`, `sel:N` or `prod:N`) into an entry.
+pub fn parse_spec(spec: &str) -> CoreResult<WorkloadEntry> {
+    let spec = spec.trim();
+    if let Some(n) = spec.strip_prefix("sel:") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| CoreError::InvalidQuery(format!("bad selection count in '{spec}'")))?;
+        return Ok(WorkloadEntry {
+            label: spec.to_string(),
+            target: TargetSchemaKind::Excel,
+            query: workload::selection_sweep(n)?,
+        });
+    }
+    if let Some(n) = spec.strip_prefix("prod:") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| CoreError::InvalidQuery(format!("bad product count in '{spec}'")))?;
+        return Ok(WorkloadEntry {
+            label: spec.to_string(),
+            target: TargetSchemaKind::Excel,
+            query: workload::product_sweep(n)?,
+        });
+    }
+    let id = QueryId::all()
+        .into_iter()
+        .find(|id| format!("Q{}", id.number()).eq_ignore_ascii_case(spec))
+        .ok_or_else(|| {
+            CoreError::InvalidQuery(format!(
+                "unknown workload spec '{spec}' (expected Q1–Q10, sel:N or prod:N)"
+            ))
+        })?;
+    Ok(WorkloadEntry {
+        label: format!("Q{}", id.number()),
+        target: id.target(),
+        query: workload::query(id),
+    })
+}
+
+/// Parses a workload file: one spec per line, optional ` xN` repeat suffix, `#` comments.
+pub fn parse_workload(text: &str) -> CoreResult<Vec<WorkloadEntry>> {
+    let mut entries = Vec::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (spec, repeat) = match line.rsplit_once(char::is_whitespace) {
+            Some((head, last)) if last.starts_with(['x', 'X']) => {
+                let count: usize = last[1..].parse().map_err(|_| {
+                    CoreError::InvalidQuery(format!("bad repeat count in '{line}'"))
+                })?;
+                (head.trim(), count)
+            }
+            _ => (line, 1),
+        };
+        let entry = parse_spec(spec)?;
+        entries.extend(std::iter::repeat_n(entry, repeat));
+    }
+    Ok(entries)
+}
+
+/// A deterministic synthetic workload of `n` requests cycling the Table III queries, restricted
+/// to `target` when given (a single service epoch serves one mapping set, hence one target
+/// schema).  Repeats are intentional: real query traffic repeats, which is what the service's
+/// answer cache exploits.
+pub fn synthetic_workload(n: usize, target: Option<TargetSchemaKind>) -> Vec<WorkloadEntry> {
+    let pool: Vec<QueryId> = QueryId::all()
+        .into_iter()
+        .filter(|id| target.is_none_or(|t| id.target() == t))
+        .collect();
+    (0..n)
+        .map(|i| {
+            let id = pool[i % pool.len()];
+            WorkloadEntry {
+                label: format!("Q{}", id.number()),
+                target: id.target(),
+                query: workload::query(id),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_table_iii_and_sweep_specs() {
+        assert_eq!(parse_spec("Q4").unwrap().label, "Q4");
+        assert_eq!(parse_spec("q10").unwrap().target, TargetSchemaKind::Paragon);
+        assert_eq!(parse_spec("sel:3").unwrap().query.predicate_count(), 3);
+        assert_eq!(parse_spec("prod:2").unwrap().query.product_count(), 2);
+        assert!(parse_spec("Q11").is_err());
+        assert!(parse_spec("sel:x").is_err());
+    }
+
+    #[test]
+    fn parses_files_with_comments_and_repeats() {
+        let text = "# header\nQ1\nQ4 x3\n\nsel:2   # inline comment\n";
+        let entries = parse_workload(text).unwrap();
+        let labels: Vec<&str> = entries.iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, ["Q1", "Q4", "Q4", "Q4", "sel:2"]);
+    }
+
+    #[test]
+    fn rejects_bad_repeat_counts() {
+        assert!(parse_workload("Q1 xq").is_err());
+    }
+
+    #[test]
+    fn synthetic_workload_cycles_and_filters() {
+        let all = synthetic_workload(12, None);
+        assert_eq!(all.len(), 12);
+        assert_eq!(all[0].label, "Q1");
+        assert_eq!(all[10].label, "Q1");
+        let excel = synthetic_workload(7, Some(TargetSchemaKind::Excel));
+        assert!(excel.iter().all(|e| e.target == TargetSchemaKind::Excel));
+        // 5 Excel queries, so entry 5 cycles back to Q1.
+        assert_eq!(excel[5].label, excel[0].label);
+    }
+}

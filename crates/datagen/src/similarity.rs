@@ -167,7 +167,8 @@ mod tests {
 
     #[test]
     fn scoring_tpch_vs_excel_produces_a_rich_matrix() {
-        let sim = score_schemas(&source_schema_def(), &targets::excel(), DEFAULT_THRESHOLD).unwrap();
+        let sim =
+            score_schemas(&source_schema_def(), &targets::excel(), DEFAULT_THRESHOLD).unwrap();
         // COMA++ reported 34 correspondences for Excel; our scorer should find a comparable
         // (same order of magnitude) number of scored pairs, with ambiguity on the workload
         // attributes.
@@ -178,7 +179,10 @@ mod tests {
             .iter()
             .filter(|s| sim.get(s, &telephone).unwrap() > 0.0)
             .count();
-        assert!(candidates >= 2, "telephone needs ambiguity, got {candidates}");
+        assert!(
+            candidates >= 2,
+            "telephone needs ambiguity, got {candidates}"
+        );
     }
 
     #[test]

@@ -36,7 +36,14 @@ pub fn source_schema_def() -> SchemaDef {
     SchemaDef::new("TPCH")
         .with_relation(
             "Orders",
-            ["orderNum", "orderDate", "orderStatus", "totalPrice", "orderPriority", "clerk"],
+            [
+                "orderNum",
+                "orderDate",
+                "orderStatus",
+                "totalPrice",
+                "orderPriority",
+                "clerk",
+            ],
         )
         .with_relation(
             "Customer",
@@ -103,7 +110,7 @@ fn order_number(i: usize) -> String {
 }
 
 fn person_name(rng: &mut StdRng, planted_every: usize, i: usize) -> Value {
-    if i % planted_every == 0 {
+    if i.is_multiple_of(planted_every) {
         Value::from(planted::PERSON)
     } else {
         Value::from(format!("person{}", rng.gen_range(0..10_000)))
@@ -111,15 +118,19 @@ fn person_name(rng: &mut StdRng, planted_every: usize, i: usize) -> Value {
 }
 
 fn phone(rng: &mut StdRng, planted_every: usize, i: usize) -> Value {
-    if i % planted_every == 0 {
+    if i.is_multiple_of(planted_every) {
         Value::from(planted::TELEPHONE)
     } else {
-        Value::from(format!("{:03}-{:04}", rng.gen_range(200..999), rng.gen_range(0..9999)))
+        Value::from(format!(
+            "{:03}-{:04}",
+            rng.gen_range(200..999),
+            rng.gen_range(0..9999)
+        ))
     }
 }
 
 fn street(rng: &mut StdRng, planted_every: usize, i: usize) -> Value {
-    if i % planted_every == 0 {
+    if i.is_multiple_of(planted_every) {
         Value::from(planted::STREET)
     } else {
         Value::from(format!("{} Road", rng.gen_range(1..500)))
@@ -127,7 +138,7 @@ fn street(rng: &mut StdRng, planted_every: usize, i: usize) -> Value {
 }
 
 fn company(rng: &mut StdRng, planted_every: usize, i: usize) -> Value {
-    if i % planted_every == 0 {
+    if i.is_multiple_of(planted_every) {
         Value::from(planted::COMPANY)
     } else {
         Value::from(format!("company{}", rng.gen_range(0..5_000)))
@@ -404,12 +415,28 @@ mod tests {
             let col = r.column(attr).unwrap();
             col.contains(&value)
         };
-        assert!(has("Customer", "telephone", Value::from(planted::TELEPHONE)));
+        assert!(has(
+            "Customer",
+            "telephone",
+            Value::from(planted::TELEPHONE)
+        ));
         assert!(has("Invoice", "invoiceTo", Value::from(planted::PERSON)));
-        assert!(has("Invoice", "billToAddress", Value::from(planted::COMPANY)));
-        assert!(has("Shipment", "deliverToStreet", Value::from(planted::STREET)));
+        assert!(has(
+            "Invoice",
+            "billToAddress",
+            Value::from(planted::COMPANY)
+        ));
+        assert!(has(
+            "Shipment",
+            "deliverToStreet",
+            Value::from(planted::STREET)
+        ));
         assert!(has("Orders", "orderNum", Value::from(planted::NUMBER)));
         assert!(has("LineItem", "itemNum", Value::from(planted::NUMBER)));
-        assert!(has("Orders", "orderPriority", Value::from(planted::PRIORITY)));
+        assert!(has(
+            "Orders",
+            "orderPriority",
+            Value::from(planted::PRIORITY)
+        ));
     }
 }

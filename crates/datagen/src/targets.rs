@@ -262,25 +262,67 @@ mod tests {
     #[test]
     fn workload_attributes_are_present() {
         let excel = excel();
-        for a in ["telephone", "priority", "invoiceTo", "company", "deliverToStreet", "orderNum"] {
-            assert!(excel.attributes_of("PO").unwrap().iter().any(|x| x == a), "Excel PO.{a}");
+        for a in [
+            "telephone",
+            "priority",
+            "invoiceTo",
+            "company",
+            "deliverToStreet",
+            "orderNum",
+        ] {
+            assert!(
+                excel.attributes_of("PO").unwrap().iter().any(|x| x == a),
+                "Excel PO.{a}"
+            );
         }
         for a in ["itemNum", "quantity", "orderNum"] {
-            assert!(excel.attributes_of("Item").unwrap().iter().any(|x| x == a), "Excel Item.{a}");
+            assert!(
+                excel.attributes_of("Item").unwrap().iter().any(|x| x == a),
+                "Excel Item.{a}"
+            );
         }
         let noris = noris();
-        for a in ["telephone", "invoiceTo", "deliverTo", "deliverToStreet", "orderNum"] {
-            assert!(noris.attributes_of("PO").unwrap().iter().any(|x| x == a), "Noris PO.{a}");
+        for a in [
+            "telephone",
+            "invoiceTo",
+            "deliverTo",
+            "deliverToStreet",
+            "orderNum",
+        ] {
+            assert!(
+                noris.attributes_of("PO").unwrap().iter().any(|x| x == a),
+                "Noris PO.{a}"
+            );
         }
         for a in ["itemNum", "unitPrice"] {
-            assert!(noris.attributes_of("Item").unwrap().iter().any(|x| x == a), "Noris Item.{a}");
+            assert!(
+                noris.attributes_of("Item").unwrap().iter().any(|x| x == a),
+                "Noris Item.{a}"
+            );
         }
         let paragon = paragon();
-        for a in ["billTo", "shipToAddress", "shipToPhone", "telephone", "billToAddress", "invoiceTo"] {
-            assert!(paragon.attributes_of("PO").unwrap().iter().any(|x| x == a), "Paragon PO.{a}");
+        for a in [
+            "billTo",
+            "shipToAddress",
+            "shipToPhone",
+            "telephone",
+            "billToAddress",
+            "invoiceTo",
+        ] {
+            assert!(
+                paragon.attributes_of("PO").unwrap().iter().any(|x| x == a),
+                "Paragon PO.{a}"
+            );
         }
         for a in ["itemNum", "price"] {
-            assert!(paragon.attributes_of("Item").unwrap().iter().any(|x| x == a), "Paragon Item.{a}");
+            assert!(
+                paragon
+                    .attributes_of("Item")
+                    .unwrap()
+                    .iter()
+                    .any(|x| x == a),
+                "Paragon Item.{a}"
+            );
         }
     }
 

@@ -228,7 +228,10 @@ mod tests {
         assert!(matches!(query(QueryId::Q5).output(), QueryOutput::Count));
         assert!(matches!(query(QueryId::Q9).output(), QueryOutput::Sum(_)));
         assert!(matches!(query(QueryId::Q10).output(), QueryOutput::Count));
-        assert!(matches!(query(QueryId::Q1).output(), QueryOutput::Tuples(_)));
+        assert!(matches!(
+            query(QueryId::Q1).output(),
+            QueryOutput::Tuples(_)
+        ));
     }
 
     #[test]

@@ -57,6 +57,12 @@ impl<'a> Executor<'a> {
         &self.stats
     }
 
+    /// Mutable access to the statistics, for callers that drive execution operator by operator
+    /// (the shared-plan cache) yet still want completed source queries accounted for.
+    pub fn stats_mut(&mut self) -> &mut ExecStats {
+        &mut self.stats
+    }
+
     /// Consumes the executor, returning its statistics.
     #[must_use]
     pub fn into_stats(self) -> ExecStats {
@@ -240,7 +246,10 @@ pub fn apply_aggregate(input: &Relation, func: &AggFunc) -> EngineResult<Relatio
         AggFunc::Count => {
             let out_schema = Schema::new(
                 format!("agg({})", schema.name()),
-                vec![urm_storage::Attribute::new("count", urm_storage::DataType::Int)],
+                vec![urm_storage::Attribute::new(
+                    "count",
+                    urm_storage::DataType::Int,
+                )],
             );
             let row = Tuple::new(vec![Value::from(input.len() as i64)]);
             Ok(Relation::from_validated(out_schema, vec![row]))
@@ -336,8 +345,16 @@ mod tests {
         let orders = Relation::new(
             order_schema,
             vec![
-                Tuple::new(vec![Value::from(10i64), Value::from(1i64), Value::from(99.5)]),
-                Tuple::new(vec![Value::from(11i64), Value::from(3i64), Value::from(12.0)]),
+                Tuple::new(vec![
+                    Value::from(10i64),
+                    Value::from(1i64),
+                    Value::from(99.5),
+                ]),
+                Tuple::new(vec![
+                    Value::from(11i64),
+                    Value::from(3i64),
+                    Value::from(12.0),
+                ]),
             ],
         )
         .unwrap();

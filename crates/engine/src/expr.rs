@@ -277,7 +277,11 @@ mod tests {
 
     #[test]
     fn column_eq_matches_equal_values() {
-        let t = Tuple::new(vec![Value::from(7i64), Value::from(7i64), Value::from(8i64)]);
+        let t = Tuple::new(vec![
+            Value::from(7i64),
+            Value::from(7i64),
+            Value::from(8i64),
+        ]);
         let r = resolver(&["x", "y", "z"]);
         assert!(Predicate::column_eq("x", "y").eval(&t, &r));
         assert!(!Predicate::column_eq("x", "z").eval(&t, &r));
@@ -335,7 +339,10 @@ mod tests {
         assert!(s.contains("PO.telephone = 335-1736"));
         assert!(s.contains(" AND "));
         assert_eq!(AggFunc::Count.to_string(), "COUNT(*)");
-        assert_eq!(AggFunc::Sum("Item.price".into()).to_string(), "SUM(Item.price)");
+        assert_eq!(
+            AggFunc::Sum("Item.price".into()).to_string(),
+            "SUM(Item.price)"
+        );
     }
 
     #[test]

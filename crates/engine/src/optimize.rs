@@ -60,18 +60,12 @@ pub fn optimize(plan: &Plan, catalog: &Catalog) -> EngineResult<Plan> {
 
 /// Pushes a set of conjunctive predicates into `child` as far as possible, converting products
 /// into hash joins when a cross-side equality predicate is available.
-fn apply_predicates(
-    child: Plan,
-    preds: Vec<Predicate>,
-    catalog: &Catalog,
-) -> EngineResult<Plan> {
+fn apply_predicates(child: Plan, preds: Vec<Predicate>, catalog: &Catalog) -> EngineResult<Plan> {
     if preds.is_empty() {
         return Ok(child);
     }
     match child {
-        Plan::Product { left, right } => {
-            apply_to_binary(*left, *right, Vec::new(), preds, catalog)
-        }
+        Plan::Product { left, right } => apply_to_binary(*left, *right, Vec::new(), preds, catalog),
         Plan::HashJoin { left, right, on } => apply_to_binary(*left, *right, on, preds, catalog),
         Plan::Select { predicate, input } => {
             let mut all = predicate.flatten();

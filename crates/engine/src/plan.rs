@@ -142,6 +142,16 @@ impl Plan {
         }
     }
 
+    /// The structural fingerprint of this plan (see [`crate::optimize::fingerprint`]).
+    ///
+    /// Identical plans — including plans built independently by different queries — share a
+    /// fingerprint, which is what the shared sub-plan cache, the batch evaluator and the
+    /// service-layer answer cache key on.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        crate::optimize::fingerprint(self)
+    }
+
     /// Number of operator nodes in the plan (scans and values leaves included).
     #[must_use]
     pub fn node_count(&self) -> usize {
@@ -224,12 +234,13 @@ impl Plan {
                 let input_schema = input.output_schema(catalog)?;
                 let mut attrs = Vec::with_capacity(columns.len());
                 for c in columns {
-                    let pos = input_schema.position(c).ok_or_else(|| {
-                        EngineError::UnknownColumn {
-                            column: c.clone(),
-                            schema: input_schema.to_string(),
-                        }
-                    })?;
+                    let pos =
+                        input_schema
+                            .position(c)
+                            .ok_or_else(|| EngineError::UnknownColumn {
+                                column: c.clone(),
+                                schema: input_schema.to_string(),
+                            })?;
                     attrs.push(input_schema.attributes()[pos].clone());
                 }
                 Ok(Schema::new(format!("π({})", input_schema.name()), attrs))
@@ -254,7 +265,10 @@ impl Plan {
                     AggFunc::Count => Attribute::new("count", DataType::Int),
                     AggFunc::Sum(c) => Attribute::new(format!("sum({c})"), DataType::Float),
                 };
-                Ok(Schema::new(format!("agg({})", input_schema.name()), vec![attr]))
+                Ok(Schema::new(
+                    format!("agg({})", input_schema.name()),
+                    vec![attr],
+                ))
             }
         }
     }
@@ -296,7 +310,12 @@ impl fmt::Display for Plan {
                     }
                 }
                 Plan::Values(rel) => {
-                    writeln!(f, "{pad}Values [{} rows of {}]", rel.len(), rel.schema().name())
+                    writeln!(
+                        f,
+                        "{pad}Values [{} rows of {}]",
+                        rel.len(),
+                        rel.schema().name()
+                    )
                 }
                 Plan::Select { predicate, input } => {
                     writeln!(f, "{pad}Select {predicate}")?;
@@ -312,8 +331,7 @@ impl fmt::Display for Plan {
                     go(right, f, indent + 1)
                 }
                 Plan::HashJoin { left, right, on } => {
-                    let conds: Vec<String> =
-                        on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+                    let conds: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
                     writeln!(f, "{pad}HashJoin on {}", conds.join(" AND "))?;
                     go(left, f, indent + 1)?;
                     go(right, f, indent + 1)
@@ -374,7 +392,10 @@ mod tests {
         let cat = test_catalog();
         let schema = Plan::scan("Customer").output_schema(&cat).unwrap();
         let names: Vec<_> = schema.attribute_names().collect();
-        assert_eq!(names, vec!["Customer.cid", "Customer.cname", "Customer.oaddr"]);
+        assert_eq!(
+            names,
+            vec!["Customer.cid", "Customer.cname", "Customer.oaddr"]
+        );
         assert_eq!(schema.name(), "Customer");
     }
 

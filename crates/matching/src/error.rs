@@ -66,7 +66,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(MatchingError::EmptySimilarity.to_string().contains("similarity"));
+        assert!(MatchingError::EmptySimilarity
+            .to_string()
+            .contains("similarity"));
         assert!(MatchingError::InvalidDistribution { sum: 0.5 }
             .to_string()
             .contains("0.5"));

@@ -136,16 +136,16 @@ pub fn max_weight_assignment(weights: &[Vec<f64>]) -> Assignment {
 
     let mut row_to_col = vec![None; rows];
     let mut total_weight = 0.0;
-    for j in 1..=m {
-        let i = p[j];
+    for (j, &i) in p.iter().enumerate().skip(1) {
         if i == 0 {
             continue;
         }
         let (r, c) = (i - 1, j - 1);
         if c < weights[r].len() {
             let w = weights[r][c];
-            // Keep only genuinely useful matches: positive weight and not a forbidden edge.
-            if w > 0.0 && w > FORBIDDEN_WEIGHT / 2.0 {
+            // Keep only genuinely useful matches: positive weight (forbidden edges carry a
+            // large negative weight and fail the same test).
+            if w > 0.0 {
                 row_to_col[r] = Some(c);
                 total_weight += w;
             }

@@ -118,7 +118,9 @@ impl Mapping {
     #[must_use]
     pub fn is_one_to_one(&self) -> bool {
         let mut sources = BTreeSet::new();
-        self.by_target.values().all(|(s, _)| sources.insert(s.clone()))
+        self.by_target
+            .values()
+            .all(|(s, _)| sources.insert(s.clone()))
     }
 
     /// The o-ratio (Jaccard overlap of correspondence pairs) between two mappings, as defined in
@@ -179,7 +181,11 @@ mod tests {
 
     #[test]
     fn source_for_resolves_correspondences() {
-        let m1 = figure3_mapping(1, 0.3, &[("cname", "pname"), ("ophone", "phone"), ("oaddr", "addr")]);
+        let m1 = figure3_mapping(
+            1,
+            0.3,
+            &[("cname", "pname"), ("ophone", "phone"), ("oaddr", "addr")],
+        );
         assert_eq!(
             m1.source_for(&AttrRef::new("Person", "phone")),
             Some(&AttrRef::new("Customer", "ophone"))
@@ -200,8 +206,16 @@ mod tests {
     #[test]
     fn o_ratio_matches_hand_computation() {
         // m1 and m3 of Figure 3 share (cname,pname) and (ophone,phone) out of 4 distinct pairs.
-        let m1 = figure3_mapping(1, 0.3, &[("cname", "pname"), ("ophone", "phone"), ("oaddr", "addr")]);
-        let m3 = figure3_mapping(3, 0.2, &[("cname", "pname"), ("ophone", "phone"), ("haddr", "addr")]);
+        let m1 = figure3_mapping(
+            1,
+            0.3,
+            &[("cname", "pname"), ("ophone", "phone"), ("oaddr", "addr")],
+        );
+        let m3 = figure3_mapping(
+            3,
+            0.2,
+            &[("cname", "pname"), ("ophone", "phone"), ("haddr", "addr")],
+        );
         assert!((m1.o_ratio(&m3) - 2.0 / 4.0).abs() < 1e-9);
         // o-ratio is symmetric and 1 on identical mappings.
         assert_eq!(m1.o_ratio(&m3), m3.o_ratio(&m1));
@@ -217,7 +231,11 @@ mod tests {
 
     #[test]
     fn restricted_to_keeps_only_query_attributes() {
-        let m = figure3_mapping(1, 0.3, &[("cname", "pname"), ("ophone", "phone"), ("oaddr", "addr")]);
+        let m = figure3_mapping(
+            1,
+            0.3,
+            &[("cname", "pname"), ("ophone", "phone"), ("oaddr", "addr")],
+        );
         let restriction = m.restricted_to(&[
             AttrRef::new("Person", "phone"),
             AttrRef::new("Person", "gender"),

@@ -291,7 +291,10 @@ mod tests {
             m.set_probability(0.1);
             m
         }]);
-        assert!(matches!(bad, Err(MatchingError::InvalidDistribution { .. })));
+        assert!(matches!(
+            bad,
+            Err(MatchingError::InvalidDistribution { .. })
+        ));
     }
 
     #[test]

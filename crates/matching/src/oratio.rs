@@ -48,7 +48,11 @@ mod tests {
         let cs = pairs
             .iter()
             .map(|(s, t)| {
-                Correspondence::new(AttrRef::new("S", s.to_string()), AttrRef::new("T", t.to_string()), 0.5)
+                Correspondence::new(
+                    AttrRef::new("S", s.to_string()),
+                    AttrRef::new("T", t.to_string()),
+                    0.5,
+                )
             })
             .collect();
         Mapping::new(id, cs, 0.5)
@@ -87,11 +91,11 @@ mod tests {
             mapping(3, &[("d", "x")]),
         ];
         let m = o_ratio_matrix(&ms);
-        for i in 0..3 {
-            assert_eq!(m[i][i], 1.0);
-            for j in 0..3 {
-                assert_eq!(m[i][j], m[j][i]);
-                assert!((0.0..=1.0).contains(&m[i][j]));
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, cell) in row.iter().enumerate() {
+                assert_eq!(*cell, m[j][i]);
+                assert!((0.0..=1.0).contains(cell));
             }
         }
     }

@@ -41,10 +41,8 @@ impl SchemaDef {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.relations.push((
-            relation.into(),
-            attrs.into_iter().map(Into::into).collect(),
-        ));
+        self.relations
+            .push((relation.into(), attrs.into_iter().map(Into::into).collect()));
     }
 
     /// The schema name.
@@ -69,7 +67,11 @@ impl SchemaDef {
     pub fn all_attributes(&self) -> Vec<AttrRef> {
         self.relations
             .iter()
-            .flat_map(|(rel, attrs)| attrs.iter().map(move |a| AttrRef::new(rel.clone(), a.clone())))
+            .flat_map(|(rel, attrs)| {
+                attrs
+                    .iter()
+                    .map(move |a| AttrRef::new(rel.clone(), a.clone()))
+            })
             .collect()
     }
 
@@ -84,7 +86,7 @@ impl SchemaDef {
     pub fn contains(&self, attr: &AttrRef) -> bool {
         self.relations
             .iter()
-            .any(|(rel, attrs)| *rel == attr.alias && attrs.iter().any(|a| *a == attr.attr))
+            .any(|(rel, attrs)| *rel == attr.alias && attrs.contains(&attr.attr))
     }
 
     /// Attributes of a particular relation.
@@ -99,7 +101,12 @@ impl SchemaDef {
 
 impl fmt::Display for SchemaDef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "schema {} ({} attributes)", self.name, self.attribute_count())?;
+        writeln!(
+            f,
+            "schema {} ({} attributes)",
+            self.name,
+            self.attribute_count()
+        )?;
         for (rel, attrs) in &self.relations {
             writeln!(f, "  {rel}({})", attrs.join(", "))?;
         }

@@ -190,8 +190,8 @@ mod tests {
     use super::*;
 
     fn schemas() -> (SchemaDef, SchemaDef) {
-        let source = SchemaDef::new("S")
-            .with_relation("Customer", ["cname", "ophone", "hphone", "mobile"]);
+        let source =
+            SchemaDef::new("S").with_relation("Customer", ["cname", "ophone", "hphone", "mobile"]);
         let target = SchemaDef::new("T").with_relation("Person", ["pname", "phone"]);
         (source, target)
     }
@@ -230,7 +230,10 @@ mod tests {
                 0.5,
             )
             .unwrap_err();
-        assert!(matches!(err, MatchingError::UnknownAttribute { side: "source", .. }));
+        assert!(matches!(
+            err,
+            MatchingError::UnknownAttribute { side: "source", .. }
+        ));
         let err = sim
             .try_set(
                 &AttrRef::new("Customer", "cname"),
@@ -238,7 +241,10 @@ mod tests {
                 0.5,
             )
             .unwrap_err();
-        assert!(matches!(err, MatchingError::UnknownAttribute { side: "target", .. }));
+        assert!(matches!(
+            err,
+            MatchingError::UnknownAttribute { side: "target", .. }
+        ));
     }
 
     #[test]

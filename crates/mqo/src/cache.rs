@@ -1,8 +1,7 @@
 //! Memoisation cache for shared sub-expressions.
 
-use std::collections::HashMap;
+use crate::lru::LruCache;
 use std::sync::Arc;
-use urm_engine::optimize::fingerprint;
 use urm_engine::{EngineResult, Executor, Plan};
 use urm_storage::Relation;
 
@@ -10,19 +9,51 @@ use urm_storage::Relation;
 ///
 /// Executing a plan "through" the cache evaluates each distinct sub-expression once; subsequent
 /// queries containing the same sub-expression reuse the materialised relation.  This is the
-/// execution-side half of the e-MQO baseline.
-#[derive(Debug, Default)]
+/// execution-side half of the e-MQO baseline, and — bounded — the batch-wide sub-plan cache of
+/// the serving layer.
+///
+/// By default the cache is unbounded (the e-MQO baseline materialises every distinct
+/// sub-expression of one evaluation).  [`with_capacity`](SharedPlanCache::with_capacity) bounds
+/// the number of resident materialised relations with least-recently-used eviction, which is
+/// what a long-lived service needs: an evicted sub-plan is simply recomputed on its next use.
+#[derive(Debug)]
 pub struct SharedPlanCache {
-    results: HashMap<u64, Arc<Relation>>,
+    results: LruCache<u64, Arc<Relation>>,
     hits: u64,
     misses: u64,
 }
 
+impl Default for SharedPlanCache {
+    fn default() -> Self {
+        SharedPlanCache::new()
+    }
+}
+
 impl SharedPlanCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     #[must_use]
     pub fn new() -> Self {
-        SharedPlanCache::default()
+        SharedPlanCache {
+            results: LruCache::unbounded(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Creates an empty cache holding at most `capacity` materialised sub-plans (LRU-evicted).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        SharedPlanCache {
+            results: LruCache::with_capacity(capacity),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configured capacity (`None` when unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.results.capacity()
     }
 
     /// Number of cache hits so far.
@@ -35,6 +66,23 @@ impl SharedPlanCache {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Number of materialised sub-plans evicted to stay within the capacity.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.results.evictions()
+    }
+
+    /// Fraction of lookups answered from the cache (0 when nothing was looked up yet).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
     }
 
     /// Number of distinct materialised sub-expressions.
@@ -59,7 +107,7 @@ impl SharedPlanCache {
         plan: &Plan,
         exec: &mut Executor<'_>,
     ) -> EngineResult<Arc<Relation>> {
-        let key = fingerprint(plan);
+        let key = plan.fingerprint();
         if let Some(hit) = self.results.get(&key) {
             self.hits += 1;
             return Ok(Arc::clone(hit));
@@ -183,5 +231,31 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.misses(), 0);
+        assert_eq!(cache.hit_rate(), 0.0);
+        assert_eq!(cache.capacity(), None);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_lru_and_recomputes() {
+        let cat = catalog();
+        // Capacity 2: the scan plus one selection fit; a second selection evicts the first.
+        let mut cache = SharedPlanCache::with_capacity(2);
+        let mut exec = Executor::new(&cat);
+        let sel_x = Plan::scan("R").select(Predicate::eq("R.b", Value::from("x")));
+        let sel_y = Plan::scan("R").select(Predicate::eq("R.b", Value::from("y")));
+
+        let first = cache.execute_shared(&sel_x, &mut exec).unwrap();
+        assert_eq!(cache.misses(), 2); // scan + selection
+        cache.execute_shared(&sel_y, &mut exec).unwrap();
+        assert_eq!(cache.hits(), 1); // the scan was reused…
+        assert_eq!(cache.evictions(), 1); // …and sel_x was evicted to admit sel_y
+        assert_eq!(cache.len(), 2);
+
+        // sel_x is gone, so running it again recomputes — with identical results.
+        let again = cache.execute_shared(&sel_x, &mut exec).unwrap();
+        assert_eq!(again.rows(), first.rows());
+        assert!(cache.misses() > 3);
+        assert!(cache.hit_rate() > 0.0 && cache.hit_rate() < 1.0);
+        assert_eq!(cache.capacity(), Some(2));
     }
 }

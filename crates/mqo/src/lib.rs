@@ -44,6 +44,8 @@
 
 pub mod cache;
 pub mod global;
+pub mod lru;
 
 pub use cache::SharedPlanCache;
 pub use global::GlobalPlan;
+pub use lru::LruCache;

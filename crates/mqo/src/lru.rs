@@ -1,0 +1,166 @@
+//! A small bounded map with least-recently-used eviction.
+//!
+//! Shared by the [`SharedPlanCache`](crate::SharedPlanCache) (materialised sub-plan results)
+//! and the service layer's answer cache.  Recency is tracked with a monotonic clock stamp per
+//! entry; eviction scans for the minimum stamp, which is `O(n)` but entirely adequate for the
+//! few-hundred-entry capacities these caches run with (and keeps the structure dependency-free).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+#[derive(Debug)]
+struct Slot<V> {
+    value: V,
+    last_used: u64,
+}
+
+/// A bounded `HashMap` that evicts the least-recently-used entry on overflow.
+///
+/// A capacity of `None` means unbounded. [`get`](LruCache::get) counts as a use.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: Option<usize>,
+    slots: HashMap<K, Slot<V>>,
+    clock: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// An unbounded cache (never evicts).
+    #[must_use]
+    pub fn unbounded() -> Self {
+        LruCache {
+            capacity: None,
+            slots: HashMap::new(),
+            clock: 0,
+            evictions: 0,
+        }
+    }
+
+    /// A cache holding at most `capacity` entries (at least 1).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        LruCache {
+            capacity: Some(capacity.max(1)),
+            slots: HashMap::new(),
+            clock: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The configured capacity (`None` when unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Number of resident entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of entries evicted so far.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Whether `key` is resident (does not refresh recency).
+    #[must_use]
+    pub fn contains(&self, key: &K) -> bool {
+        self.slots.contains_key(key)
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.slots.get_mut(key).map(|slot| {
+            slot.last_used = clock;
+            &slot.value
+        })
+    }
+
+    /// Inserts `key → value` as the most recent entry, evicting the least-recently-used
+    /// entry when that would exceed the capacity.  Returns the evicted key, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<K> {
+        self.clock += 1;
+        let slot = Slot {
+            value,
+            last_used: self.clock,
+        };
+        let fresh = self.slots.insert(key.clone(), slot).is_none();
+        let over = matches!(self.capacity, Some(cap) if self.slots.len() > cap);
+        if !(fresh && over) {
+            return None;
+        }
+        let victim = self
+            .slots
+            .iter()
+            .filter(|(k, _)| **k != key)
+            .min_by_key(|(_, slot)| slot.last_used)
+            .map(|(k, _)| k.clone())?;
+        self.slots.remove(&victim);
+        self.evictions += 1;
+        Some(victim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = LruCache::with_capacity(2);
+        assert_eq!(cache.capacity(), Some(2));
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        // Touch "a" so "b" becomes the LRU entry.
+        assert_eq!(cache.get(&"a"), Some(&1));
+        let evicted = cache.insert("c", 3);
+        assert_eq!(evicted, Some("b"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(&"a") && cache.contains(&"c"));
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn overwriting_does_not_evict() {
+        let mut cache = LruCache::with_capacity(2);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        assert_eq!(cache.insert("a", 10), None);
+        assert_eq!(cache.get(&"a"), Some(&10));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let mut cache = LruCache::unbounded();
+        for i in 0..1000 {
+            assert_eq!(cache.insert(i, i), None);
+        }
+        assert_eq!(cache.len(), 1000);
+        assert_eq!(cache.capacity(), None);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn capacity_is_at_least_one() {
+        let mut cache = LruCache::with_capacity(0);
+        assert_eq!(cache.capacity(), Some(1));
+        cache.insert(1, 1);
+        cache.insert(2, 2);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.contains(&2));
+    }
+}

@@ -1,0 +1,289 @@
+//! `urm-cli` — replay a query workload through the `urm-service` batch server.
+//!
+//! Loads (or synthesises) a workload, generates one `datagen` scenario per target schema the
+//! workload touches, registers each as a service epoch, and replays the workload one or more
+//! times, printing per-batch metrics: latency, operators evaluated and cache hit rates.  On the
+//! second replay every repeated query is served from the answer cache without evaluation.
+//!
+//! ```text
+//! cargo run --release -p urm-service --bin urm-cli -- --queries 50 --replays 2 --verify
+//! cargo run --release -p urm-service --bin urm-cli -- --workload workload.txt --batch-size 32
+//! ```
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use std::time::Instant;
+use urm_core::{evaluate, Algorithm, Strategy};
+use urm_datagen::replay::{parse_workload, synthetic_workload, WorkloadEntry};
+use urm_datagen::scenario::{Scenario, ScenarioConfig, TargetSchemaKind};
+use urm_service::{EpochId, QueryService, ServiceConfig, Ticket};
+
+struct Args {
+    workload: Option<String>,
+    queries: usize,
+    replays: usize,
+    scale: usize,
+    mappings: usize,
+    seed: u64,
+    workers: usize,
+    batch_size: usize,
+    plan_cache: usize,
+    answer_cache: usize,
+    verify: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            workload: None,
+            queries: 50,
+            replays: 2,
+            scale: 20,
+            mappings: 30,
+            seed: 42,
+            workers: 4,
+            batch_size: 64,
+            plan_cache: 512,
+            answer_cache: 1024,
+            verify: false,
+        }
+    }
+}
+
+const USAGE: &str = "\
+urm-cli — replay a query workload through the urm-service batch server
+
+USAGE:
+  urm-cli [OPTIONS]
+
+OPTIONS:
+  --workload FILE     replay the workload file (Q1..Q10, sel:N, prod:N; 'Q4 x10' repeats)
+  --queries N         synthesise an N-query workload instead (default 50)
+  --replays R         how many times to replay the workload (default 2)
+  --scale N           scenario scale factor (default 20)
+  --mappings H        possible mappings per scenario (default 30)
+  --seed S            data-generation seed (default 42)
+  --workers W         service worker threads (default 4)
+  --batch-size B      max queries per batch (default 64)
+  --plan-cache N      per-batch shared sub-plan cache capacity (default 512)
+  --answer-cache N    service answer cache capacity (default 1024)
+  --verify            check every answer against sequential o-sharing(SEF)
+  --help              print this help
+";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--workload" => args.workload = Some(value("--workload")?),
+            "--queries" => args.queries = parse_num(&value("--queries")?)?,
+            "--replays" => args.replays = parse_num(&value("--replays")?)?,
+            "--scale" => args.scale = parse_num(&value("--scale")?)?,
+            "--mappings" => args.mappings = parse_num(&value("--mappings")?)?,
+            "--seed" => args.seed = parse_num(&value("--seed")?)? as u64,
+            "--workers" => args.workers = parse_num(&value("--workers")?)?,
+            "--batch-size" => args.batch_size = parse_num(&value("--batch-size")?)?,
+            "--plan-cache" => args.plan_cache = parse_num(&value("--plan-cache")?)?,
+            "--answer-cache" => args.answer_cache = parse_num(&value("--answer-cache")?)?,
+            "--verify" => args.verify = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("invalid number '{s}'"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Load or synthesise the workload.
+    let workload: Vec<WorkloadEntry> = match &args.workload {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(err) => {
+                    eprintln!("error: cannot read workload '{path}': {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match parse_workload(&text) {
+                Ok(entries) => entries,
+                Err(err) => {
+                    eprintln!("error: bad workload '{path}': {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => synthetic_workload(args.queries, None),
+    };
+    if workload.is_empty() {
+        eprintln!("error: workload is empty");
+        return ExitCode::FAILURE;
+    }
+
+    // One scenario / epoch per target schema the workload touches.
+    let service = QueryService::new(ServiceConfig {
+        workers: args.workers,
+        batch_max: args.batch_size,
+        plan_cache_capacity: args.plan_cache,
+        answer_cache_capacity: args.answer_cache,
+    });
+    let mut epochs: BTreeMap<String, (EpochId, Scenario)> = BTreeMap::new();
+    for kind in TargetSchemaKind::all() {
+        if !workload.iter().any(|e| e.target == kind) {
+            continue;
+        }
+        eprintln!(
+            "generating scenario: target={kind} scale={} mappings={} seed={} …",
+            args.scale, args.mappings, args.seed
+        );
+        let scenario = match Scenario::generate(&ScenarioConfig {
+            target: kind,
+            scale: args.scale,
+            mappings: args.mappings,
+            seed: args.seed,
+        }) {
+            Ok(s) => s,
+            Err(err) => {
+                eprintln!("error: scenario generation failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let epoch = service.register_epoch(scenario.catalog.clone(), scenario.mappings.clone());
+        epochs.insert(kind.to_string(), (epoch, scenario));
+    }
+
+    println!(
+        "workload: {} queries over {} epoch(s); replays={} batch-size={} workers={}",
+        workload.len(),
+        epochs.len(),
+        args.replays,
+        args.batch_size,
+        args.workers
+    );
+
+    let mut verify_failures = 0usize;
+    let mut references: BTreeMap<String, urm_core::ProbabilisticAnswer> = BTreeMap::new();
+    let mut reported_batches = 0usize;
+    for replay in 1..=args.replays.max(1) {
+        let before = service.metrics();
+        let start = Instant::now();
+
+        let tickets: Vec<(usize, Ticket)> = workload
+            .iter()
+            .enumerate()
+            .map(|(i, entry)| {
+                let (epoch, _) = epochs[&entry.target.to_string()];
+                let ticket = service
+                    .submit(epoch, entry.query.clone())
+                    .expect("registered epoch");
+                (i, ticket)
+            })
+            .collect();
+        service.flush();
+        let responses: Vec<_> = tickets
+            .into_iter()
+            .map(|(i, t)| (i, t.wait().expect("service answered")))
+            .collect();
+        let elapsed = start.elapsed();
+        let after = service.metrics();
+
+        println!(
+            "\n== replay {replay} ({:.1} ms) ==",
+            elapsed.as_secs_f64() * 1000.0
+        );
+        for report in service.reports().iter().skip(reported_batches) {
+            reported_batches += 1;
+            println!(
+                "  batch#{:<3} epoch#{:<2} queries={:<3} evaluated={:<3} cache-served={:<3} \
+                 plan hits/misses={}/{} ops={} latency={:.1}ms",
+                report.id,
+                report.epoch,
+                report.queries,
+                report.evaluated,
+                report.served_from_cache,
+                report.plan_hits,
+                report.plan_misses,
+                report.source_operators,
+                report.latency.as_secs_f64() * 1000.0
+            );
+        }
+        println!(
+            "  answer-cache hits: {} | evaluated: {} | shared sub-plan hits: {} | operators: {}",
+            after.answer_cache_hits - before.answer_cache_hits,
+            after.queries_evaluated - before.queries_evaluated,
+            after.plan_cache_hits - before.plan_cache_hits,
+            after.source_operators - before.source_operators,
+        );
+
+        if args.verify {
+            for (i, response) in &responses {
+                let entry = &workload[*i];
+                let (_, scenario) = &epochs[&entry.target.to_string()];
+                // Memoise references per distinct query: sequential evaluation is the very
+                // cost the service amortises, so don't pay it once per duplicate per replay.
+                let reference_key = format!("{}::{}", entry.target, entry.query);
+                let reference = references.entry(reference_key).or_insert_with(|| {
+                    evaluate(
+                        &entry.query,
+                        &scenario.mappings,
+                        &scenario.catalog,
+                        Algorithm::OSharing(Strategy::Sef),
+                    )
+                    .expect("sequential evaluation")
+                    .answer
+                });
+                if !reference.approx_eq(&response.answer, 1e-9) {
+                    verify_failures += 1;
+                    eprintln!(
+                        "VERIFY FAIL (replay {replay}): {} disagrees with sequential o-sharing(SEF)",
+                        entry.label
+                    );
+                }
+            }
+            println!(
+                "  verify: {}",
+                if verify_failures == 0 {
+                    "all answers match sequential o-sharing(SEF)"
+                } else {
+                    "FAILURES"
+                }
+            );
+        }
+    }
+
+    let metrics = service.metrics();
+    println!(
+        "\ntotals: submitted={} evaluated={} batches={} deduped={} \
+         answer-cache hit rate={:.0}% plan-cache hit rate={:.0}% operators={}",
+        metrics.queries_submitted,
+        metrics.queries_evaluated,
+        metrics.batches,
+        metrics.batch_deduped,
+        metrics.answer_hit_rate() * 100.0,
+        metrics.plan_hit_rate() * 100.0,
+        metrics.source_operators,
+    );
+    service.shutdown();
+
+    if verify_failures > 0 {
+        eprintln!("error: {verify_failures} verification failure(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

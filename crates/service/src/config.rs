@@ -1,0 +1,53 @@
+//! Service tuning knobs.
+
+/// Configuration of a [`QueryService`](crate::QueryService).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of worker threads executing batches (at least 1).
+    pub workers: usize,
+    /// Maximum queries per batch; a pending epoch queue is dispatched as soon as it reaches
+    /// this size (or when [`flush`](crate::QueryService::flush) is called).
+    pub batch_max: usize,
+    /// Capacity of the per-batch shared sub-plan cache (materialised relations, LRU-evicted).
+    pub plan_cache_capacity: usize,
+    /// Capacity of the service-wide answer cache (entries, LRU-evicted).
+    pub answer_cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            batch_max: 64,
+            plan_cache_capacity: 512,
+            answer_cache_capacity: 1024,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A config suited to tests: single worker, tiny caches.
+    #[must_use]
+    pub fn tiny() -> Self {
+        ServiceConfig {
+            workers: 1,
+            batch_max: 8,
+            plan_cache_capacity: 32,
+            answer_cache_capacity: 32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive() {
+        let c = ServiceConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.batch_max >= 1);
+        assert!(c.plan_cache_capacity >= 1);
+        assert!(c.answer_cache_capacity >= 1);
+    }
+}

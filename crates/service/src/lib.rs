@@ -1,0 +1,53 @@
+//! # urm-service
+//!
+//! A concurrent batch query-serving subsystem for the URM workspace.
+//!
+//! The paper's central claim is that evaluating *many* probabilistic queries over an uncertain
+//! matching is cheap when computation is shared — yet one-shot
+//! [`evaluate`](urm_core::evaluate) calls never amortise that sharing across independent
+//! callers.  This crate adds the serving layer that does:
+//!
+//! * [`QueryService`] accepts [`TargetQuery`](urm_core::TargetQuery) submissions from many
+//!   concurrent clients and groups them into **batches** per registered *epoch* — an immutable
+//!   (catalog, mapping set) pair identified by an [`EpochId`];
+//! * each batch is planned and executed with a batch-wide
+//!   [`SharedPlanCache`](urm_mqo::SharedPlanCache) (bounded, LRU-evicted): every distinct
+//!   source sub-plan produced by any query of the batch is materialised exactly once;
+//! * batches run on a fixed **worker pool**, so independent batches (and epochs) evaluate in
+//!   parallel while each batch stays deterministic;
+//! * a bounded **answer cache** keyed by the query's canonical rendering + epoch lets repeated
+//!   queries skip evaluation entirely — within a batch, duplicate submissions are deduplicated
+//!   before evaluation.
+//!
+//! Answers are identical to sequential evaluation (the integration tests compare against
+//! `Algorithm::OSharing(Strategy::Sef)` tuple-for-tuple); only the work accounting differs.
+//!
+//! ```
+//! use urm_core::testkit;
+//! use urm_service::{QueryService, ServiceConfig};
+//!
+//! let service = QueryService::new(ServiceConfig::default());
+//! let epoch = service.register_epoch(testkit::figure2_catalog(), testkit::figure3_mappings());
+//!
+//! let responses = service
+//!     .execute_all(epoch, vec![testkit::q0(), testkit::q1(), testkit::q0()])
+//!     .unwrap();
+//! assert_eq!(responses.len(), 3);
+//! // The duplicate q0 was answered without re-evaluation.
+//! assert_eq!(responses[0].answer.sorted(), responses[2].answer.sorted());
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod answer_cache;
+pub mod config;
+pub mod metrics;
+pub mod service;
+
+pub use answer_cache::AnswerCache;
+pub use config::ServiceConfig;
+pub use metrics::{BatchReport, ServiceMetrics};
+pub use service::{
+    EpochId, QueryResponse, QueryService, ServedFrom, ServiceError, ServiceResult, Ticket,
+};

@@ -1,0 +1,102 @@
+//! Service-level work accounting.
+
+use std::time::Duration;
+
+/// A snapshot of the service-wide counters.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceMetrics {
+    /// Queries submitted (including ones answered from the cache).
+    pub queries_submitted: u64,
+    /// Queries answered straight from the answer cache at submit time.
+    pub answer_cache_hits: u64,
+    /// Queries that missed the answer cache at submit time.
+    pub answer_cache_misses: u64,
+    /// Answers evicted from the answer cache.
+    pub answer_cache_evictions: u64,
+    /// Duplicate submissions answered by another query of the same batch.
+    pub batch_deduped: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Queries evaluated (after caching and deduplication).
+    pub queries_evaluated: u64,
+    /// Sub-plan cache hits across all batches.
+    pub plan_cache_hits: u64,
+    /// Sub-plan cache misses (distinct sub-plans materialised) across all batches.
+    pub plan_cache_misses: u64,
+    /// Source operators executed across all batches.
+    pub source_operators: u64,
+    /// Total wall-clock time spent executing batches.
+    pub batch_time: Duration,
+}
+
+impl ServiceMetrics {
+    /// Fraction of submissions answered from the answer cache (0 when nothing was submitted).
+    #[must_use]
+    pub fn answer_hit_rate(&self) -> f64 {
+        let total = self.answer_cache_hits + self.answer_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.answer_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of sub-plan lookups shared across the batches (0 when nothing executed).
+    #[must_use]
+    pub fn plan_hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Per-batch accounting, retained (bounded) for inspection by clients such as `urm-cli`.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Monotonic batch id (1-based).
+    pub id: u64,
+    /// The epoch the batch ran against.
+    pub epoch: u64,
+    /// Submissions in the batch.
+    pub queries: usize,
+    /// Distinct queries actually evaluated (after in-batch dedup and cache re-checks).
+    pub evaluated: usize,
+    /// Submissions answered from the answer cache while the batch was being assembled.
+    pub served_from_cache: usize,
+    /// Sub-plan cache hits within this batch.
+    pub plan_hits: u64,
+    /// Sub-plan cache misses within this batch.
+    pub plan_misses: u64,
+    /// Source operators executed by this batch.
+    pub source_operators: u64,
+    /// Wall-clock latency of the batch.
+    pub latency: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rates_handle_zero_totals() {
+        let m = ServiceMetrics::default();
+        assert_eq!(m.answer_hit_rate(), 0.0);
+        assert_eq!(m.plan_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn hit_rates_divide() {
+        let m = ServiceMetrics {
+            answer_cache_hits: 3,
+            answer_cache_misses: 1,
+            plan_cache_hits: 1,
+            plan_cache_misses: 3,
+            ..ServiceMetrics::default()
+        };
+        assert!((m.answer_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((m.plan_hit_rate() - 0.25).abs() < 1e-12);
+    }
+}

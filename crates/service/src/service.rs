@@ -1,0 +1,725 @@
+//! The query service: epochs, batching, the worker pool.
+
+use crate::answer_cache::{AnswerCache, CachedAnswer};
+use crate::config::ServiceConfig;
+use crate::metrics::{BatchReport, ServiceMetrics};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+use urm_core::evaluate_batch;
+use urm_core::metrics::EvalMetrics;
+use urm_core::{CoreError, ProbabilisticAnswer, TargetQuery};
+use urm_matching::MappingSet;
+use urm_mqo::SharedPlanCache;
+use urm_storage::Catalog;
+
+/// How many [`BatchReport`]s the service retains for inspection.
+const RETAINED_REPORTS: usize = 4096;
+
+/// Identifier of a registered (catalog, mapping set) epoch.
+///
+/// Epochs are immutable: re-matching or loading new data registers a *new* epoch, which also
+/// versions the answer cache — cached answers of old epochs can never be confused with new ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EpochId(u64);
+
+impl EpochId {
+    /// The raw id (used as the answer-cache key component).
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an id from its raw value (test / tooling use).
+    #[must_use]
+    pub fn from_raw(raw: u64) -> Self {
+        EpochId(raw)
+    }
+}
+
+impl fmt::Display for EpochId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "epoch#{}", self.0)
+    }
+}
+
+/// Errors surfaced by the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The submission referenced an epoch that was never registered.
+    UnknownEpoch(EpochId),
+    /// Evaluation of the batch containing the query failed.
+    Eval(String),
+    /// The service shut down before the query was answered.
+    Shutdown,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnknownEpoch(id) => write!(f, "unknown {id}"),
+            ServiceError::Eval(msg) => write!(f, "evaluation failed: {msg}"),
+            ServiceError::Shutdown => f.write_str("service shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<CoreError> for ServiceError {
+    fn from(err: CoreError) -> Self {
+        ServiceError::Eval(err.to_string())
+    }
+}
+
+/// Result alias for service operations.
+pub type ServiceResult<T> = Result<T, ServiceError>;
+
+/// How a response was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedFrom {
+    /// Evaluated in a batch.
+    Evaluated,
+    /// Answered from the service answer cache without evaluation.
+    AnswerCache,
+    /// Duplicate of another query in the same batch; shared its evaluation.
+    BatchDedup,
+}
+
+/// The answer to one submitted query.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The probabilistic answer (shared: cache hits and in-batch duplicates alias the same
+    /// allocation instead of deep-copying it).
+    pub answer: Arc<ProbabilisticAnswer>,
+    /// Work accounting for the evaluation that produced the answer (zeroed for cache hits).
+    pub metrics: EvalMetrics,
+    /// How the answer was produced.
+    pub served_from: ServedFrom,
+    /// The batch that evaluated the answer (for cache hits: the batch that originally did).
+    pub batch: u64,
+}
+
+/// A claim on a submitted query's future response.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<ServiceResult<QueryResponse>>,
+}
+
+impl Ticket {
+    /// Blocks until the response is available.
+    pub fn wait(self) -> ServiceResult<QueryResponse> {
+        self.rx.recv().unwrap_or(Err(ServiceError::Shutdown))
+    }
+}
+
+struct Epoch {
+    catalog: Catalog,
+    mappings: MappingSet,
+}
+
+struct Submission {
+    query: TargetQuery,
+    /// The query's canonical `Debug` rendering: the exact dedup and cache key.  `Debug` (not
+    /// `Display`) because `Display` erases value type tags — `Int(1)` and `Text("1")` both
+    /// render as `1` — while the derived `Debug` output is injective.
+    key: String,
+    responder: mpsc::Sender<ServiceResult<QueryResponse>>,
+}
+
+struct Batch {
+    id: u64,
+    epoch_id: EpochId,
+    epoch: Arc<Epoch>,
+    submissions: Vec<Submission>,
+}
+
+struct Inner {
+    config: ServiceConfig,
+    epoch_counter: AtomicU64,
+    batch_counter: AtomicU64,
+    epochs: RwLock<HashMap<u64, Arc<Epoch>>>,
+    pending: Mutex<HashMap<u64, Vec<Submission>>>,
+    answer_cache: Mutex<AnswerCache>,
+    /// The running counters; the answer-cache fields are filled in at snapshot time.
+    metrics: Mutex<ServiceMetrics>,
+    reports: Mutex<Vec<BatchReport>>,
+}
+
+impl Inner {
+    fn respond(
+        submission: &Submission,
+        answer: Arc<ProbabilisticAnswer>,
+        metrics: EvalMetrics,
+        served_from: ServedFrom,
+        batch: u64,
+    ) {
+        // A dropped ticket just means the client stopped waiting; nothing to do.
+        let _ = submission.responder.send(Ok(QueryResponse {
+            answer,
+            metrics,
+            served_from,
+            batch,
+        }));
+    }
+
+    /// Executes one batch on a worker thread.
+    fn process_batch(&self, batch: Batch) {
+        let start = Instant::now();
+        let total = batch.submissions.len();
+
+        // Re-check the answer cache: an earlier batch may have answered a query that missed
+        // at submission time.  (`recheck` does not count a second miss for these.)  Responses
+        // are deferred until the batch is accounted, like every other response of the batch.
+        let mut cached_hits: Vec<(Submission, CachedAnswer)> = Vec::new();
+        let mut remaining = Vec::with_capacity(total);
+        {
+            let mut cache = self.answer_cache.lock().unwrap();
+            for submission in batch.submissions {
+                match cache.recheck(batch.epoch_id, &submission.key) {
+                    Some(found) => cached_hits.push((submission, found)),
+                    None => remaining.push(submission),
+                }
+            }
+        }
+        let served_from_cache = cached_hits.len();
+
+        // Deduplicate within the batch: identical queries (by canonical rendering, an exact
+        // comparison) share one evaluation, in first-submission order.
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: HashMap<String, Vec<Submission>> = HashMap::new();
+        for submission in remaining {
+            let entry = groups.entry(submission.key.clone()).or_default();
+            if entry.is_empty() {
+                order.push(submission.key.clone());
+            }
+            entry.push(submission);
+        }
+        let unique: Vec<TargetQuery> = order
+            .iter()
+            .map(|key| groups[key][0].query.clone())
+            .collect();
+
+        // Evaluate every distinct query through one batch-wide (bounded) sub-plan cache.
+        let mut plan_cache = SharedPlanCache::with_capacity(self.config.plan_cache_capacity);
+        let outcome = evaluate_batch(
+            &unique,
+            &batch.epoch.mappings,
+            &batch.epoch.catalog,
+            &mut plan_cache,
+        );
+        let outcome = match outcome {
+            Ok(outcome) => outcome,
+            Err(err) => {
+                let err = ServiceError::from(err);
+                for submissions in groups.values() {
+                    for submission in submissions {
+                        let _ = submission.responder.send(Err(err.clone()));
+                    }
+                }
+                return;
+            }
+        };
+
+        // Each unique answer is allocated once and shared by the cache entry and every
+        // responding ticket.
+        let evaluated = outcome.evaluations.len();
+        let source_operators = outcome.source_operators();
+        let shared: Vec<(EvalMetrics, Arc<ProbabilisticAnswer>)> = outcome
+            .evaluations
+            .into_iter()
+            .map(|evaluation| (evaluation.metrics, Arc::new(evaluation.answer)))
+            .collect();
+
+        // Publish answers to the cache.
+        {
+            let mut cache = self.answer_cache.lock().unwrap();
+            for (key, (_, answer)) in order.iter().zip(&shared) {
+                cache.insert(
+                    batch.epoch_id,
+                    key.clone(),
+                    CachedAnswer {
+                        answer: Arc::clone(answer),
+                        batch: batch.id,
+                    },
+                );
+            }
+        }
+        // Account for the batch *before* releasing the tickets, so a client that observed its
+        // response always finds the batch reflected in `metrics()` / `reports()`.
+        let deduped: u64 = groups
+            .values()
+            .map(|submissions| submissions.len().saturating_sub(1) as u64)
+            .sum();
+        let latency = start.elapsed();
+        let report = BatchReport {
+            id: batch.id,
+            epoch: batch.epoch_id.raw(),
+            queries: total,
+            evaluated,
+            served_from_cache,
+            plan_hits: outcome.plan_hits,
+            plan_misses: outcome.plan_misses,
+            source_operators,
+            latency,
+        };
+        {
+            let mut metrics = self.metrics.lock().unwrap();
+            metrics.batches += 1;
+            metrics.batch_deduped += deduped;
+            metrics.queries_evaluated += evaluated as u64;
+            metrics.plan_cache_hits += outcome.plan_hits;
+            metrics.plan_cache_misses += outcome.plan_misses;
+            metrics.source_operators += source_operators;
+            metrics.batch_time += latency;
+        }
+        {
+            let mut reports = self.reports.lock().unwrap();
+            reports.push(report);
+            if reports.len() > RETAINED_REPORTS {
+                let excess = reports.len() - RETAINED_REPORTS;
+                reports.drain(..excess);
+            }
+        }
+
+        for (submission, found) in cached_hits {
+            Inner::respond(
+                &submission,
+                found.answer,
+                EvalMetrics::new("answer-cache"),
+                ServedFrom::AnswerCache,
+                found.batch,
+            );
+        }
+        for (key, (eval_metrics, answer)) in order.iter().zip(&shared) {
+            let mut submissions = groups.remove(key).expect("group exists").into_iter();
+            let first = submissions.next().expect("non-empty group");
+            Inner::respond(
+                &first,
+                Arc::clone(answer),
+                eval_metrics.clone(),
+                ServedFrom::Evaluated,
+                batch.id,
+            );
+            for duplicate in submissions {
+                Inner::respond(
+                    &duplicate,
+                    Arc::clone(answer),
+                    eval_metrics.clone(),
+                    ServedFrom::BatchDedup,
+                    batch.id,
+                );
+            }
+        }
+    }
+}
+
+/// A thread-safe query service: concurrent submissions, per-epoch batching, cross-query
+/// sharing, and an answer cache.  See the crate docs for the architecture.
+pub struct QueryService {
+    inner: Arc<Inner>,
+    job_tx: Option<mpsc::Sender<Batch>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl QueryService {
+    /// Starts a service with `config.workers` worker threads.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> Self {
+        let inner = Arc::new(Inner {
+            answer_cache: Mutex::new(AnswerCache::with_capacity(config.answer_cache_capacity)),
+            config,
+            epoch_counter: AtomicU64::new(1),
+            batch_counter: AtomicU64::new(1),
+            epochs: RwLock::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            metrics: Mutex::new(ServiceMetrics::default()),
+            reports: Mutex::new(Vec::new()),
+        });
+        let (job_tx, job_rx) = mpsc::channel::<Batch>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let workers = (0..inner.config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let job_rx = Arc::clone(&job_rx);
+                std::thread::Builder::new()
+                    .name(format!("urm-service-worker-{i}"))
+                    .spawn(move || loop {
+                        let job = job_rx.lock().unwrap().recv();
+                        match job {
+                            Ok(batch) => inner.process_batch(batch),
+                            Err(_) => break, // channel closed: shutdown
+                        }
+                    })
+                    .expect("spawn service worker")
+            })
+            .collect();
+        QueryService {
+            inner,
+            job_tx: Some(job_tx),
+            workers,
+        }
+    }
+
+    /// Registers an immutable (catalog, mapping set) pair, returning its epoch id.
+    pub fn register_epoch(&self, catalog: Catalog, mappings: MappingSet) -> EpochId {
+        let id = self.inner.epoch_counter.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .epochs
+            .write()
+            .unwrap()
+            .insert(id, Arc::new(Epoch { catalog, mappings }));
+        EpochId(id)
+    }
+
+    /// Retires an epoch: new submissions against it are rejected and its catalog and mapping
+    /// set are dropped once in-flight batches finish.  Returns whether the epoch existed.
+    ///
+    /// A long-lived service that re-matches periodically should retire superseded epochs, or
+    /// every historical catalog stays resident.  Cached answers of the retired epoch remain in
+    /// the answer cache until evicted by LRU pressure, but are unreachable (submissions against
+    /// the retired id fail before the cache is consulted).
+    pub fn drop_epoch(&self, epoch: EpochId) -> bool {
+        let removed = self
+            .inner
+            .epochs
+            .write()
+            .unwrap()
+            .remove(&epoch.raw())
+            .is_some();
+        // Reject anything still pending against the retired epoch.
+        if let Some(submissions) = self.inner.pending.lock().unwrap().remove(&epoch.raw()) {
+            for submission in submissions {
+                let _ = submission
+                    .responder
+                    .send(Err(ServiceError::UnknownEpoch(epoch)));
+            }
+        }
+        removed
+    }
+
+    /// Submits a query against an epoch.
+    ///
+    /// Returns immediately with a [`Ticket`]; the query is answered from the answer cache when
+    /// possible, otherwise it joins the epoch's pending batch, which is dispatched when it
+    /// reaches [`ServiceConfig::batch_max`] or on [`flush`](QueryService::flush).
+    pub fn submit(&self, epoch: EpochId, query: TargetQuery) -> ServiceResult<Ticket> {
+        let epoch_arc = self
+            .inner
+            .epochs
+            .read()
+            .unwrap()
+            .get(&epoch.raw())
+            .cloned()
+            .ok_or(ServiceError::UnknownEpoch(epoch))?;
+        self.inner.metrics.lock().unwrap().queries_submitted += 1;
+
+        let key = format!("{query:?}");
+        let (tx, rx) = mpsc::channel();
+        let ticket = Ticket { rx };
+
+        if let Some(found) = self.inner.answer_cache.lock().unwrap().lookup(epoch, &key) {
+            let _ = tx.send(Ok(QueryResponse {
+                answer: found.answer,
+                metrics: EvalMetrics::new("answer-cache"),
+                served_from: ServedFrom::AnswerCache,
+                batch: found.batch,
+            }));
+            return Ok(ticket);
+        }
+
+        let submission = Submission {
+            query,
+            key,
+            responder: tx,
+        };
+        let ready = {
+            let mut pending = self.inner.pending.lock().unwrap();
+            // Re-check under the pending lock: a concurrent `drop_epoch` drains this queue
+            // only while holding it, so a submission enqueued after the epoch check above
+            // could otherwise be stranded (never dispatched, never rejected).
+            if !self.inner.epochs.read().unwrap().contains_key(&epoch.raw()) {
+                return Err(ServiceError::UnknownEpoch(epoch));
+            }
+            let queue = pending.entry(epoch.raw()).or_default();
+            queue.push(submission);
+            if queue.len() >= self.inner.config.batch_max {
+                pending.remove(&epoch.raw())
+            } else {
+                None
+            }
+        };
+        if let Some(submissions) = ready {
+            self.dispatch(epoch, epoch_arc, submissions);
+        }
+        Ok(ticket)
+    }
+
+    /// Dispatches every pending submission as batches, across all epochs.
+    pub fn flush(&self) {
+        let drained: Vec<(u64, Vec<Submission>)> =
+            self.inner.pending.lock().unwrap().drain().collect();
+        for (epoch_raw, submissions) in drained {
+            let epoch_arc = self.inner.epochs.read().unwrap().get(&epoch_raw).cloned();
+            match epoch_arc {
+                Some(epoch_arc) => self.dispatch(EpochId(epoch_raw), epoch_arc, submissions),
+                None => {
+                    for submission in submissions {
+                        let _ = submission
+                            .responder
+                            .send(Err(ServiceError::UnknownEpoch(EpochId(epoch_raw))));
+                    }
+                }
+            }
+        }
+    }
+
+    fn dispatch(&self, epoch_id: EpochId, epoch: Arc<Epoch>, submissions: Vec<Submission>) {
+        if submissions.is_empty() {
+            return;
+        }
+        let batch = Batch {
+            id: self.inner.batch_counter.fetch_add(1, Ordering::Relaxed),
+            epoch_id,
+            epoch,
+            submissions,
+        };
+        if let Some(tx) = &self.job_tx {
+            if let Err(mpsc::SendError(batch)) = tx.send(batch) {
+                for submission in batch.submissions {
+                    let _ = submission.responder.send(Err(ServiceError::Shutdown));
+                }
+            }
+        }
+    }
+
+    /// Submits a whole workload, flushes, and waits for every response (in submission order).
+    ///
+    /// This is the synchronous convenience path used by `urm-cli` and the benchmarks;
+    /// concurrent clients use [`submit`](QueryService::submit) / [`Ticket::wait`] directly.
+    pub fn execute_all(
+        &self,
+        epoch: EpochId,
+        queries: Vec<TargetQuery>,
+    ) -> ServiceResult<Vec<QueryResponse>> {
+        let tickets: Vec<Ticket> = queries
+            .into_iter()
+            .map(|q| self.submit(epoch, q))
+            .collect::<ServiceResult<_>>()?;
+        self.flush();
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    /// A snapshot of the service-wide metrics.
+    #[must_use]
+    pub fn metrics(&self) -> ServiceMetrics {
+        let mut snapshot = self.inner.metrics.lock().unwrap().clone();
+        let cache = self.inner.answer_cache.lock().unwrap();
+        snapshot.answer_cache_hits = cache.hits();
+        snapshot.answer_cache_misses = cache.misses();
+        snapshot.answer_cache_evictions = cache.evictions();
+        snapshot
+    }
+
+    /// The retained per-batch reports (most recent last).
+    #[must_use]
+    pub fn reports(&self) -> Vec<BatchReport> {
+        self.inner.reports.lock().unwrap().clone()
+    }
+
+    /// Flushes pending work, waits for the workers to drain, and stops them.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.flush();
+        self.job_tx = None; // closing the channel stops the workers once drained
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urm_core::testkit;
+
+    fn service() -> (QueryService, EpochId) {
+        let service = QueryService::new(ServiceConfig::tiny());
+        let epoch = service.register_epoch(testkit::figure2_catalog(), testkit::figure3_mappings());
+        (service, epoch)
+    }
+
+    #[test]
+    fn queries_differing_only_in_value_type_are_not_conflated() {
+        // `Display` renders Int(123) and Text("123") identically; the cache/dedup key must
+        // not, or one query would be served the other's answer.
+        let (service, epoch) = service();
+        let text_query = TargetQuery::builder("q")
+            .relation("Person")
+            .filter_eq("Person.phone", "123")
+            .returning(["Person.addr"])
+            .build()
+            .unwrap();
+        let int_query = TargetQuery::builder("q")
+            .relation("Person")
+            .filter_eq("Person.phone", 123i64)
+            .returning(["Person.addr"])
+            .build()
+            .unwrap();
+        let responses = service
+            .execute_all(epoch, vec![text_query, int_query])
+            .unwrap();
+        assert_eq!(responses[0].served_from, ServedFrom::Evaluated);
+        assert_eq!(
+            responses[1].served_from,
+            ServedFrom::Evaluated,
+            "typed variant was wrongly deduplicated against the text variant"
+        );
+        // Figure 2's phone column is Text: the Text predicate matches, the Int one cannot.
+        assert_eq!(responses[0].answer.len(), 2);
+        assert_eq!(responses[1].answer.len(), 0);
+    }
+
+    #[test]
+    fn dropped_epochs_reject_submissions_and_fail_pending_ones() {
+        let (service, epoch) = service();
+        // Warm the path once, then leave one submission pending and retire the epoch.
+        service.execute_all(epoch, vec![testkit::q0()]).unwrap();
+        let pending = service.submit(epoch, testkit::q1()).unwrap();
+        assert!(service.drop_epoch(epoch));
+        assert!(!service.drop_epoch(epoch), "second drop is a no-op");
+        assert_eq!(
+            pending.wait().unwrap_err(),
+            ServiceError::UnknownEpoch(epoch)
+        );
+        // New submissions are rejected outright — even ones the answer cache could serve.
+        let err = service.submit(epoch, testkit::q0()).unwrap_err();
+        assert_eq!(err, ServiceError::UnknownEpoch(epoch));
+    }
+
+    #[test]
+    fn unknown_epoch_is_rejected() {
+        let (service, _) = service();
+        let err = service
+            .submit(EpochId::from_raw(999), testkit::q0())
+            .unwrap_err();
+        assert_eq!(err, ServiceError::UnknownEpoch(EpochId::from_raw(999)));
+    }
+
+    #[test]
+    fn batch_dedup_and_answer_cache_paths() {
+        let (service, epoch) = service();
+        // First round: q0 twice and q1 — one batch, q0 deduplicated within it.
+        let responses = service
+            .execute_all(epoch, vec![testkit::q0(), testkit::q0(), testkit::q1()])
+            .unwrap();
+        assert_eq!(responses[0].served_from, ServedFrom::Evaluated);
+        assert_eq!(responses[1].served_from, ServedFrom::BatchDedup);
+        assert_eq!(responses[2].served_from, ServedFrom::Evaluated);
+        assert_eq!(responses[0].answer.sorted(), responses[1].answer.sorted());
+
+        // Second round: everything is answered from the answer cache at submit time.
+        let again = service
+            .execute_all(epoch, vec![testkit::q0(), testkit::q1()])
+            .unwrap();
+        assert!(again
+            .iter()
+            .all(|r| r.served_from == ServedFrom::AnswerCache));
+        assert_eq!(again[0].answer.sorted(), responses[0].answer.sorted());
+
+        let metrics = service.metrics();
+        assert_eq!(metrics.queries_submitted, 5);
+        assert_eq!(metrics.queries_evaluated, 2);
+        assert_eq!(metrics.batch_deduped, 1);
+        assert_eq!(metrics.answer_cache_hits, 2);
+        assert!(metrics.answer_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn full_batches_dispatch_without_flush() {
+        let (service, epoch) = service();
+        // tiny() has batch_max = 8: submitting 8 queries dispatches automatically.
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|_| service.submit(epoch, testkit::q2_product()).unwrap())
+            .collect();
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok());
+        }
+        assert!(service.metrics().batches >= 1);
+    }
+
+    #[test]
+    fn concurrent_submissions_are_all_answered() {
+        let service = Arc::new(QueryService::new(ServiceConfig {
+            workers: 4,
+            batch_max: 4,
+            ..ServiceConfig::default()
+        }));
+        let epoch = service.register_epoch(testkit::figure2_catalog(), testkit::figure3_mappings());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    let query = if i % 2 == 0 {
+                        testkit::q0()
+                    } else {
+                        testkit::q1()
+                    };
+                    let tickets: Vec<Ticket> = (0..6)
+                        .map(|_| service.submit(epoch, query.clone()).unwrap())
+                        .collect();
+                    service.flush();
+                    tickets
+                        .into_iter()
+                        .map(|t| t.wait().unwrap().answer)
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut q0_answers = Vec::new();
+        let mut q1_answers = Vec::new();
+        for (i, handle) in handles.into_iter().enumerate() {
+            let answers = handle.join().unwrap();
+            assert_eq!(answers.len(), 6);
+            if i % 2 == 0 {
+                q0_answers.extend(answers);
+            } else {
+                q1_answers.extend(answers);
+            }
+        }
+        // Every client saw the same answer regardless of which batch served it.
+        for a in &q0_answers {
+            assert_eq!(a.sorted(), q0_answers[0].sorted());
+        }
+        for a in &q1_answers {
+            assert_eq!(a.sorted(), q1_answers[0].sorted());
+        }
+    }
+
+    #[test]
+    fn batch_reports_account_for_the_work() {
+        let (service, epoch) = service();
+        service
+            .execute_all(epoch, vec![testkit::q0(), testkit::q1(), testkit::q0()])
+            .unwrap();
+        let reports = service.reports();
+        assert_eq!(reports.len(), 1);
+        let report = &reports[0];
+        assert_eq!(report.queries, 3);
+        assert_eq!(report.evaluated, 2);
+        assert!(report.plan_misses > 0);
+        assert!(report.source_operators > 0);
+    }
+}

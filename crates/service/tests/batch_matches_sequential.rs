@@ -1,0 +1,129 @@
+//! Integration: a batch of concurrent service submissions returns byte-identical
+//! `ProbabilisticAnswer`s to sequential `evaluate(…, Algorithm::OSharing(Strategy::Sef))` on
+//! the paper's Figure 2/3 fixtures.
+
+use std::sync::Arc;
+use urm_core::{evaluate, testkit, Algorithm, ProbabilisticAnswer, Strategy, TargetQuery};
+use urm_service::{QueryService, ServiceConfig, Ticket};
+
+fn fixture_queries() -> Vec<TargetQuery> {
+    vec![
+        testkit::q0(),
+        testkit::q1(),
+        testkit::basic_example_query(),
+        testkit::q2_product(),
+        testkit::count_query(),
+        testkit::sum_query(),
+    ]
+}
+
+fn sequential_sef(query: &TargetQuery) -> ProbabilisticAnswer {
+    let catalog = testkit::figure2_catalog();
+    let mappings = testkit::figure3_mappings();
+    evaluate(
+        query,
+        &mappings,
+        &catalog,
+        Algorithm::OSharing(Strategy::Sef),
+    )
+    .unwrap()
+    .answer
+}
+
+/// Byte-identical comparison of the reported answers: same tuples, same probabilities to the
+/// last bit.  (The diagnostic `empty_probability` mass is deliberately excluded — its
+/// accounting differs between algorithms by design and it is not part of the answer.)
+fn assert_identical(
+    name: &str,
+    service_answer: &ProbabilisticAnswer,
+    reference: &ProbabilisticAnswer,
+) {
+    let a = service_answer.sorted();
+    let b = reference.sorted();
+    assert_eq!(a.len(), b.len(), "{name}: answer cardinality differs");
+    for ((t1, p1), (t2, p2)) in a.iter().zip(&b) {
+        assert_eq!(t1, t2, "{name}: tuples differ");
+        assert_eq!(
+            p1.to_bits(),
+            p2.to_bits(),
+            "{name}: probabilities differ ({p1} vs {p2})"
+        );
+    }
+}
+
+#[test]
+fn one_batch_matches_sequential_sef() {
+    let service = QueryService::new(ServiceConfig {
+        workers: 2,
+        batch_max: 64,
+        ..ServiceConfig::default()
+    });
+    let epoch = service.register_epoch(testkit::figure2_catalog(), testkit::figure3_mappings());
+    let queries = fixture_queries();
+    let responses = service.execute_all(epoch, queries.clone()).unwrap();
+    for (query, response) in queries.iter().zip(&responses) {
+        assert_identical(query.name(), &response.answer, &sequential_sef(query));
+    }
+    // Everything landed in one batch and sub-plans were shared across the queries.
+    let metrics = service.metrics();
+    assert_eq!(metrics.batches, 1);
+    assert!(metrics.plan_cache_hits > 0, "no cross-query sharing");
+}
+
+#[test]
+fn concurrent_submissions_match_sequential_sef() {
+    let service = Arc::new(QueryService::new(ServiceConfig {
+        workers: 4,
+        batch_max: 16,
+        ..ServiceConfig::default()
+    }));
+    let epoch = service.register_epoch(testkit::figure2_catalog(), testkit::figure3_mappings());
+
+    // 6 client threads × 6 queries, interleaved submissions across threads.
+    let handles: Vec<_> = (0..6)
+        .map(|client| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let mut queries = fixture_queries();
+                queries.rotate_left(client); // different submission orders per client
+                let tickets: Vec<(TargetQuery, Ticket)> = queries
+                    .into_iter()
+                    .map(|q| {
+                        let t = service.submit(epoch, q.clone()).unwrap();
+                        (q, t)
+                    })
+                    .collect();
+                service.flush();
+                tickets
+                    .into_iter()
+                    .map(|(q, t)| (q, t.wait().unwrap()))
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+
+    for handle in handles {
+        for (query, response) in handle.join().unwrap() {
+            assert_identical(query.name(), &response.answer, &sequential_sef(&query));
+        }
+    }
+}
+
+#[test]
+fn answer_cache_replay_matches_sequential_sef() {
+    let service = QueryService::new(ServiceConfig::default());
+    let epoch = service.register_epoch(testkit::figure2_catalog(), testkit::figure3_mappings());
+    let queries = fixture_queries();
+    service.execute_all(epoch, queries.clone()).unwrap();
+    // The replay is served from the answer cache — and must still be byte-identical.
+    let replay = service.execute_all(epoch, queries.clone()).unwrap();
+    for (query, response) in queries.iter().zip(&replay) {
+        assert_eq!(
+            response.served_from,
+            urm_service::ServedFrom::AnswerCache,
+            "{} was re-evaluated",
+            query.name()
+        );
+        assert_identical(query.name(), &response.answer, &sequential_sef(query));
+    }
+}

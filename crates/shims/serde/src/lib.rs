@@ -1,0 +1,16 @@
+//! Offline shim for `serde`.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derive macros so that workspace types
+//! can keep their upstream derive annotations while building without registry access.
+//! The marker traits below exist so that generic code may bound on `serde::Serialize`;
+//! they are implemented for every type and carry no behaviour.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented for every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build environment has no access to a crate registry, so the workspace vendors a
+//! no-op stand-in: the derives accept the same input (including `#[serde(...)]` helper
+//! attributes) and expand to nothing.  Nothing in the workspace performs actual
+//! serialization; the derives exist so that type definitions can keep the upstream
+//! `#[derive(Serialize, Deserialize)]` annotations verbatim.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -202,7 +202,8 @@ mod tests {
     #[test]
     fn push_accepts_null_anywhere() {
         let mut rel = Relation::empty(schema());
-        rel.push(Tuple::new(vec![Value::Null, Value::Null])).unwrap();
+        rel.push(Tuple::new(vec![Value::Null, Value::Null]))
+            .unwrap();
         assert_eq!(rel.len(), 1);
     }
 

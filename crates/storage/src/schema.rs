@@ -275,10 +275,7 @@ mod tests {
                 Attribute::new("a", DataType::Text),
             ],
         );
-        assert!(matches!(
-            res,
-            Err(StorageError::DuplicateAttribute { .. })
-        ));
+        assert!(matches!(res, Err(StorageError::DuplicateAttribute { .. })));
     }
 
     #[test]

@@ -60,14 +60,24 @@ mod tests {
 
     #[test]
     fn accepts_same_type() {
-        for ty in [DataType::Int, DataType::Float, DataType::Text, DataType::Bool] {
+        for ty in [
+            DataType::Int,
+            DataType::Float,
+            DataType::Text,
+            DataType::Bool,
+        ] {
             assert!(ty.accepts(ty));
         }
     }
 
     #[test]
     fn accepts_null_everywhere() {
-        for ty in [DataType::Int, DataType::Float, DataType::Text, DataType::Bool] {
+        for ty in [
+            DataType::Int,
+            DataType::Float,
+            DataType::Text,
+            DataType::Bool,
+        ] {
             assert!(ty.accepts(DataType::Null));
             assert!(DataType::Null.accepts(ty));
         }

@@ -38,8 +38,14 @@ fn main() {
 
     // Top-k for increasing k: the smaller k is, the earlier the u-trace walk can stop.
     for k in [1usize, 5, 10] {
-        let topk = top_k(&query, &scenario.mappings, &scenario.catalog, k, Strategy::Sef)
-            .expect("top-k evaluation");
+        let topk = top_k(
+            &query,
+            &scenario.mappings,
+            &scenario.catalog,
+            k,
+            Strategy::Sef,
+        )
+        .expect("top-k evaluation");
         println!(
             "\ntop-{k}: {:.2} ms, {} source operators, stopped early: {}",
             topk.metrics.total_time.as_secs_f64() * 1000.0,

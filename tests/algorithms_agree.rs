@@ -60,9 +60,20 @@ fn sharing_reduces_source_queries_on_the_default_query() {
     let scenario = scenario(TargetSchemaKind::Excel);
     let q4 = workload::query(QueryId::Q4);
     let basic = evaluate(&q4, &scenario.mappings, &scenario.catalog, Algorithm::Basic).unwrap();
-    let ebasic = evaluate(&q4, &scenario.mappings, &scenario.catalog, Algorithm::EBasic).unwrap();
-    let qsharing =
-        evaluate(&q4, &scenario.mappings, &scenario.catalog, Algorithm::QSharing).unwrap();
+    let ebasic = evaluate(
+        &q4,
+        &scenario.mappings,
+        &scenario.catalog,
+        Algorithm::EBasic,
+    )
+    .unwrap();
+    let qsharing = evaluate(
+        &q4,
+        &scenario.mappings,
+        &scenario.catalog,
+        Algorithm::QSharing,
+    )
+    .unwrap();
     // basic runs one source query per mapping; the others deduplicate.
     assert_eq!(
         basic.metrics.exec.source_queries,
@@ -109,7 +120,14 @@ fn top_k_matches_exact_top_k_on_generated_data() {
     .unwrap();
     let exact_sorted = exact.answer.sorted();
     for k in [1usize, 2, 5] {
-        let topk = top_k(&q10, &scenario.mappings, &scenario.catalog, k, Strategy::Sef).unwrap();
+        let topk = top_k(
+            &q10,
+            &scenario.mappings,
+            &scenario.catalog,
+            k,
+            Strategy::Sef,
+        )
+        .unwrap();
         assert!(topk.entries.len() <= k);
         // Every returned entry's lower bound must not exceed its exact probability, and the
         // top-1 tuple must be an argmax of the exact distribution.

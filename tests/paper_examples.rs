@@ -47,8 +47,13 @@ fn basic_running_example_answer_is_exact() {
     let catalog = testkit::figure2_catalog();
     let mappings = testkit::figure3_mappings();
     for algorithm in all_algorithms() {
-        let eval =
-            evaluate(&testkit::basic_example_query(), &mappings, &catalog, algorithm).unwrap();
+        let eval = evaluate(
+            &testkit::basic_example_query(),
+            &mappings,
+            &catalog,
+            algorithm,
+        )
+        .unwrap();
         let expected = [("123", 0.5), ("456", 0.8), ("789", 0.2)];
         assert_eq!(eval.answer.len(), expected.len(), "{}", algorithm.name());
         for (value, probability) in expected {

@@ -2,6 +2,7 @@
 //! paper's worked-example schema, all evaluation algorithms agree, probabilities stay in range,
 //! and top-k is consistent with the exact answer.
 
+use proptest::prelude::Strategy;
 use proptest::prelude::*;
 use urm::core::testkit;
 use urm::core::Strategy as SelectionStrategy;
@@ -15,12 +16,13 @@ const CANDIDATES: &[(&str, &[(&str, &str)])] = &[
     ("pname", &[("Customer", "cname")]),
     (
         "phone",
-        &[("Customer", "ophone"), ("Customer", "hphone"), ("Customer", "mobile")],
+        &[
+            ("Customer", "ophone"),
+            ("Customer", "hphone"),
+            ("Customer", "mobile"),
+        ],
     ),
-    (
-        "addr",
-        &[("Customer", "oaddr"), ("Customer", "haddr")],
-    ),
+    ("addr", &[("Customer", "oaddr"), ("Customer", "haddr")]),
     ("nation", &[("Nation", "name"), ("Customer", "nid")]),
     ("price", &[("C_Order", "amount")]),
 ];
@@ -72,29 +74,27 @@ fn arb_mapping_set() -> impl Strategy<Value = MappingSet> {
 fn arb_query() -> impl Strategy<Value = TargetQuery> {
     let phone_values = prop_oneof![Just("123"), Just("456"), Just("789"), Just("555")];
     let addr_values = prop_oneof![Just("aaa"), Just("bbb"), Just("hk")];
-    (phone_values, addr_values, 0usize..3).prop_map(|(phone, addr, shape)| {
-        match shape {
-            0 => TargetQuery::builder("prop-q0")
-                .relation("Person")
-                .filter_eq("Person.phone", phone)
-                .returning(["Person.addr"])
-                .build()
-                .unwrap(),
-            1 => TargetQuery::builder("prop-q1")
-                .relation("Person")
-                .filter_eq("Person.addr", addr)
-                .returning(["Person.phone", "Person.pname"])
-                .build()
-                .unwrap(),
-            _ => TargetQuery::builder("prop-q2")
-                .relation("Person")
-                .relation("Order")
-                .filter_eq("Person.phone", phone)
-                .filter_eq("Person.addr", addr)
-                .returning(["Person.addr", "Order.price"])
-                .build()
-                .unwrap(),
-        }
+    (phone_values, addr_values, 0usize..3).prop_map(|(phone, addr, shape)| match shape {
+        0 => TargetQuery::builder("prop-q0")
+            .relation("Person")
+            .filter_eq("Person.phone", phone)
+            .returning(["Person.addr"])
+            .build()
+            .unwrap(),
+        1 => TargetQuery::builder("prop-q1")
+            .relation("Person")
+            .filter_eq("Person.addr", addr)
+            .returning(["Person.phone", "Person.pname"])
+            .build()
+            .unwrap(),
+        _ => TargetQuery::builder("prop-q2")
+            .relation("Person")
+            .relation("Order")
+            .filter_eq("Person.phone", phone)
+            .filter_eq("Person.addr", addr)
+            .returning(["Person.addr", "Order.price"])
+            .build()
+            .unwrap(),
     })
 }
 
