@@ -12,8 +12,10 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod executor_bench;
 pub mod experiments;
 pub mod report;
 
+pub use executor_bench::ExecutorBenchConfig;
 pub use experiments::{ExperimentRow, Harness, HarnessConfig};
 pub use report::{render_json, render_table};

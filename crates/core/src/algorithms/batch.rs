@@ -50,11 +50,13 @@ impl BatchEvaluation {
 /// materialised sub-plans across the *entire batch* through `cache`.
 ///
 /// The cache may be freshly created per batch (the service layer does this, bounding it) or
-/// reused across calls to keep hot sub-plans warm — **but only with the same `catalog`**:
-/// entries are keyed by plan structure alone, so a cache warmed against one catalog returns
-/// that catalog's materialised relations as hits for any other, silently producing stale
-/// answers.  Hit/miss deltas for this call are reported on the returned [`BatchEvaluation`]
-/// either way.
+/// reused across calls to keep hot sub-plans warm — **but only while `catalog` stays alive and
+/// unchanged**.  Entries are keyed by *bound-plan* fingerprints, which tie every scan to the
+/// identity (address) of its catalog snapshot's row buffer, so two live catalogs never collide;
+/// but once a catalog is dropped the allocator may recycle a buffer address, and a cache that
+/// outlives the catalog it was warmed against could then serve stale relations.  Create a fresh
+/// cache per catalog epoch, as the serving layer does.  Hit/miss deltas for this call are
+/// reported on the returned [`BatchEvaluation`] either way.
 pub fn evaluate_batch(
     queries: &[TargetQuery],
     mappings: &MappingSet,

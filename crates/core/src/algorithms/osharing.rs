@@ -257,14 +257,16 @@ impl<'a, S: LeafSink> UTraceRunner<'a, S> {
             &mut self.exec,
         )?;
         let data = data.expect("predicate attributes are mapped, so at least one scan exists");
+        // The shared entry point keeps the filtered batch behind an `Arc`, so feeding it into
+        // the child e-unit (and every operator that later consumes it) is a pointer bump.
         let filtered = self
             .exec
-            .run_operator(&Plan::values_shared(data).select(engine_pred))?;
+            .run_operator_shared(&Plan::values_shared(data).select(engine_pred))?;
 
         let mut child = u.clone();
         child.mapping_indices = indices;
         child.probability = probability;
-        child.components[ci].data = Some(Arc::new(filtered));
+        child.components[ci].data = Some(filtered);
         child.components[ci].scans = scans;
         child.mark_predicate(index);
         Ok(ChildOutcome::Child(child))
@@ -352,10 +354,11 @@ impl<'a, S: LeafSink> UTraceRunner<'a, S> {
         let left_plan = Plan::values_shared(ldata);
         let right_plan = Plan::values_shared(rdata);
         let joined = if on.is_empty() {
-            self.exec.run_operator(&left_plan.product(right_plan))?
+            self.exec
+                .run_operator_shared(&left_plan.product(right_plan))?
         } else {
             self.exec
-                .run_operator(&left_plan.hash_join(right_plan, on))?
+                .run_operator_shared(&left_plan.hash_join(right_plan, on))?
         };
 
         let mut child = u.clone();
@@ -363,7 +366,7 @@ impl<'a, S: LeafSink> UTraceRunner<'a, S> {
         child.probability = probability;
         child.components[li].scans = lscans;
         child.components[ri].scans = rscans;
-        child.merge_components(li, ri, Arc::new(joined));
+        child.merge_components(li, ri, joined);
         for pi in join_preds {
             child.mark_predicate(pi);
         }
@@ -378,7 +381,7 @@ impl<'a, S: LeafSink> UTraceRunner<'a, S> {
                     materialize_component(self.query, mapping, component, &mut self.exec)?;
                 let agg = self
                     .exec
-                    .run_operator(&Plan::values_shared(data).aggregate(AggFunc::Count))?;
+                    .run_operator_shared(&Plan::values_shared(data).aggregate(AggFunc::Count))?;
                 Ok(ChildOutcome::Answers(agg.rows().to_vec()))
             }
             QueryOutput::Sum(attr) => {
@@ -395,7 +398,7 @@ impl<'a, S: LeafSink> UTraceRunner<'a, S> {
                 let data = data.expect("SUM attribute is mapped");
                 let agg = self
                     .exec
-                    .run_operator(&Plan::values_shared(data).aggregate(AggFunc::Sum(col)))?;
+                    .run_operator_shared(&Plan::values_shared(data).aggregate(AggFunc::Sum(col)))?;
                 Ok(ChildOutcome::Answers(agg.rows().to_vec()))
             }
             QueryOutput::Tuples(attrs) => {
@@ -422,7 +425,7 @@ impl<'a, S: LeafSink> UTraceRunner<'a, S> {
                 }
                 let projected = self
                     .exec
-                    .run_operator(&Plan::values_shared(data).project(project))?;
+                    .run_operator_shared(&Plan::values_shared(data).project(project))?;
                 let tuples = extract_answers(&projected, &Extraction::Columns(cols));
                 Ok(ChildOutcome::Answers(tuples))
             }
@@ -460,12 +463,14 @@ fn ensure_columns(
         if scans.contains(&pair) {
             continue;
         }
-        let scanned = exec.run_operator(&Plan::scan_as(pair.1.clone(), pair.0.clone()))?;
+        // The scan is a zero-copy view of the base relation; folding it into an existing
+        // component feeds both sides to the product as shared batches.
+        let scanned = exec.run_operator_shared(&Plan::scan_as(pair.1.clone(), pair.0.clone()))?;
         data = Some(match data {
-            None => Arc::new(scanned),
-            Some(existing) => Arc::new(
-                exec.run_operator(&Plan::values_shared(existing).product(Plan::values(scanned)))?,
-            ),
+            None => scanned,
+            Some(existing) => exec.run_operator_shared(
+                &Plan::values_shared(existing).product(Plan::values_shared(scanned)),
+            )?,
         });
         scans.insert(pair);
     }
@@ -604,6 +609,21 @@ mod tests {
         let sef = evaluate(&query, &mappings, &catalog, Strategy::Sef).unwrap();
         let random = evaluate(&query, &mappings, &catalog, Strategy::Random { seed: 3 }).unwrap();
         assert!(sef.metrics.source_operators() <= random.metrics.source_operators());
+    }
+
+    #[test]
+    fn osharing_scans_are_shared_views_not_copies() {
+        // Every row a scan or a shared `Values` leaf hands to the u-trace is accounted as a
+        // shared view; a regression that reintroduces per-operator relation copies would show
+        // up as `rows_shared` falling behind the scan output.
+        let catalog = testkit::figure2_catalog();
+        let mappings = testkit::figure3_mappings();
+        let eval = evaluate(&testkit::q2_product(), &mappings, &catalog, Strategy::Sef).unwrap();
+        assert!(
+            eval.metrics.exec.rows_shared > 0,
+            "o-sharing must execute through the zero-copy physical path"
+        );
+        assert!(eval.metrics.exec.scans > 0);
     }
 
     #[test]

@@ -1,20 +1,30 @@
-//! Row-at-a-time plan executor.
+//! The plan executor: binds logical plans and evaluates physical operators batch-at-a-time.
+//!
+//! [`Executor::run`] is a thin wrapper over the two-phase pipeline — [`bind`] the logical plan
+//! into a [`PhysicalPlan`] (columns positional, predicates compiled, base row buffers
+//! captured), then evaluate the physical operators bottom-up.  Every operator consumes its
+//! children's output batches and produces one output batch behind an `Arc`, so:
+//!
+//! * scans and `Values` leaves hand out shared views of existing row buffers (zero copies);
+//! * cached sub-plan results flow into downstream operators without re-materialisation;
+//! * tuples are only constructed where rows genuinely come into existence (projection
+//!   narrowing, join/product concatenation).
+//!
+//! Two things matter for fidelity to the paper:
+//!
+//! * every executed operator is counted (the paper's Table IV metric), with accounting
+//!   identical to the retained row-at-a-time [`reference`](crate::reference) evaluator, and
+//! * equi-joins use a hash table so that even strategies that evaluate products early (the
+//!   Random strategy of Section VI-A) remain feasible on the benchmark instances.
 
-use crate::plan::qualify_schema;
-use crate::{AggFunc, EngineError, EngineResult, ExecStats, Plan, Predicate};
+use crate::physical::{bind, BoundAggregate, PhysicalPlan};
+use crate::{EngineError, EngineResult, ExecStats, Plan};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
-use urm_storage::{Catalog, Relation, Schema, Tuple, Value};
+use urm_storage::{Catalog, Relation, Tuple, Value};
 
 /// Executes [`Plan`]s against a [`Catalog`], accumulating [`ExecStats`].
-///
-/// The executor is deliberately simple — materialise every operator's output — because the
-/// paper's algorithms differ in *how many* operators and source queries they run, not in how a
-/// single operator is evaluated.  Two things matter for fidelity:
-///
-/// * every executed operator is counted (the paper's Table IV metric), and
-/// * equi-joins use a hash table so that even strategies that evaluate products early (the
-///   Random strategy of Section VI-A) remain feasible on the benchmark instances.
 pub struct Executor<'a> {
     catalog: &'a Catalog,
     stats: ExecStats,
@@ -30,23 +40,64 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// The catalog this executor runs against.
+    #[must_use]
+    pub fn catalog(&self) -> &'a Catalog {
+        self.catalog
+    }
+
+    /// Binds a logical plan against this executor's catalog (see [`bind`]).
+    pub fn bind(&self, plan: &Plan) -> EngineResult<PhysicalPlan> {
+        bind(plan, self.catalog)
+    }
+
     /// Runs a plan to completion, returning the materialised result.
+    ///
+    /// Equivalent to [`bind`](Executor::bind) + [`execute`](Executor::execute); kept as the
+    /// one-call entry point for callers that run a plan once.
     pub fn run(&mut self, plan: &Plan) -> EngineResult<Relation> {
-        let start = Instant::now();
-        let result = self.eval(plan);
-        self.stats.exec_time += start.elapsed();
-        if result.is_ok() {
-            self.stats.record_source_query();
-        }
-        result
+        self.run_shared(plan).map(unshare)
+    }
+
+    /// Like [`Executor::run`], but returns the result behind an `Arc` so callers can feed it
+    /// into further plans (via [`Plan::values_shared`]) without copying it.
+    pub fn run_shared(&mut self, plan: &Plan) -> EngineResult<Arc<Relation>> {
+        self.timed_eval(plan, true)
     }
 
     /// Runs a plan that represents a *single operator* application (o-sharing executes the
     /// target query one operator at a time); identical to [`Executor::run`] except that it does
     /// not count a completed source query.
     pub fn run_operator(&mut self, plan: &Plan) -> EngineResult<Relation> {
+        self.run_operator_shared(plan).map(unshare)
+    }
+
+    /// Like [`Executor::run_operator`], returning a shared result.
+    pub fn run_operator_shared(&mut self, plan: &Plan) -> EngineResult<Arc<Relation>> {
+        self.timed_eval(plan, false)
+    }
+
+    /// Evaluates an already-bound physical plan (does not count a completed source query).
+    pub fn execute(&mut self, plan: &PhysicalPlan) -> EngineResult<Arc<Relation>> {
         let start = Instant::now();
-        let result = self.eval(plan);
+        let result = self.eval_tree(plan);
+        self.stats.exec_time += start.elapsed();
+        result
+    }
+
+    /// Evaluates a *single* physical operator over already-materialised child results, in the
+    /// order [`PhysicalPlan::children`] lists them.
+    ///
+    /// This is the entry point of the shared-plan cache: it resolves each child through the
+    /// cache and hands the shared batches here, so a cache hit flows into its parent operator
+    /// without any copy.  `children` must match the node's child count.
+    pub fn execute_node(
+        &mut self,
+        node: &PhysicalPlan,
+        children: &[Arc<Relation>],
+    ) -> EngineResult<Arc<Relation>> {
+        let start = Instant::now();
+        let result = self.eval_node(node, children);
         self.stats.exec_time += start.elapsed();
         result
     }
@@ -74,224 +125,208 @@ impl<'a> Executor<'a> {
         self.stats = ExecStats::new();
     }
 
-    fn eval(&mut self, plan: &Plan) -> EngineResult<Relation> {
+    /// The single timing/accounting helper behind every `run*` entry point: bind, evaluate,
+    /// charge wall-clock time, and (for full source queries) count the completed query.
+    fn timed_eval(&mut self, plan: &Plan, count_source_query: bool) -> EngineResult<Arc<Relation>> {
+        let start = Instant::now();
+        let result = self
+            .bind(plan)
+            .and_then(|physical| self.eval_tree(&physical));
+        self.stats.exec_time += start.elapsed();
+        if count_source_query && result.is_ok() {
+            self.stats.record_source_query();
+        }
+        result
+    }
+
+    /// Bottom-up evaluation of a physical tree.
+    fn eval_tree(&mut self, plan: &PhysicalPlan) -> EngineResult<Arc<Relation>> {
+        let mut children = Vec::with_capacity(2);
+        for child in plan.children() {
+            children.push(self.eval_tree(child)?);
+        }
+        self.eval_node(plan, &children)
+    }
+
+    /// Evaluates one physical operator over its children's batches.
+    fn eval_node(
+        &mut self,
+        plan: &PhysicalPlan,
+        children: &[Arc<Relation>],
+    ) -> EngineResult<Arc<Relation>> {
         match plan {
-            Plan::Scan { relation, alias } => {
-                let base = self.catalog.require(relation)?;
-                let schema = qualify_schema(base.schema(), alias);
-                let rows = base.rows().to_vec();
-                self.stats.record_scan(rows.len() as u64);
-                Ok(Relation::from_validated(schema, rows))
+            PhysicalPlan::Scan { view, .. } => {
+                self.stats.record_scan(view.len() as u64);
+                self.stats.rows_shared += view.len() as u64;
+                Ok(Arc::clone(view))
             }
-            Plan::Values(rel) => Ok(rel.as_ref().clone()),
-            Plan::Select { predicate, input } => {
-                let input_rel = self.eval(input)?;
-                let out = apply_select(&input_rel, predicate);
-                self.stats
-                    .record_operator(input_rel.len() as u64, out.len() as u64);
-                Ok(out)
+            PhysicalPlan::Values { rel } => {
+                self.stats.rows_shared += rel.len() as u64;
+                Ok(Arc::clone(rel))
             }
-            Plan::Project { columns, input } => {
-                let input_rel = self.eval(input)?;
-                let out = apply_project(&input_rel, columns)?;
+            PhysicalPlan::Select {
+                predicate, schema, ..
+            } => {
+                let input = child(children, 0);
+                let rows: Vec<Tuple> = input
+                    .iter()
+                    .filter(|t| predicate.matches(t))
+                    .cloned()
+                    .collect();
                 self.stats
-                    .record_operator(input_rel.len() as u64, out.len() as u64);
-                Ok(out)
+                    .record_operator(input.len() as u64, rows.len() as u64);
+                Ok(Arc::new(Relation::from_validated(schema.clone(), rows)))
             }
-            Plan::Product { left, right } => {
-                let l = self.eval(left)?;
-                let r = self.eval(right)?;
-                let out = apply_product(&l, &r);
+            PhysicalPlan::Project {
+                positions, schema, ..
+            } => {
+                let input = child(children, 0);
+                let rows: Vec<Tuple> = input.iter().map(|t| t.project(positions)).collect();
                 self.stats
-                    .record_operator((l.len() + r.len()) as u64, out.len() as u64);
-                Ok(out)
+                    .record_operator(input.len() as u64, rows.len() as u64);
+                Ok(Arc::new(Relation::from_validated(schema.clone(), rows)))
             }
-            Plan::HashJoin { left, right, on } => {
-                let l = self.eval(left)?;
-                let r = self.eval(right)?;
-                let out = apply_hash_join(&l, &r, on)?;
+            PhysicalPlan::Product { schema, .. } => {
+                let l = child(children, 0);
+                let r = child(children, 1);
+                let mut rows = Vec::with_capacity(l.len().saturating_mul(r.len()));
+                for lt in l.iter() {
+                    for rt in r.iter() {
+                        rows.push(lt.concat(rt));
+                    }
+                }
                 self.stats
-                    .record_operator((l.len() + r.len()) as u64, out.len() as u64);
-                Ok(out)
+                    .record_operator((l.len() + r.len()) as u64, rows.len() as u64);
+                Ok(Arc::new(Relation::from_validated(schema.clone(), rows)))
             }
-            Plan::Aggregate { func, input } => {
-                let input_rel = self.eval(input)?;
-                let out = apply_aggregate(&input_rel, func)?;
+            PhysicalPlan::HashJoin {
+                left_keys,
+                right_keys,
+                schema,
+                ..
+            } => {
+                let l = child(children, 0);
+                let r = child(children, 1);
+                let rows = hash_join_rows(&l, &r, left_keys, right_keys);
                 self.stats
-                    .record_operator(input_rel.len() as u64, out.len() as u64);
-                Ok(out)
+                    .record_operator((l.len() + r.len()) as u64, rows.len() as u64);
+                Ok(Arc::new(Relation::from_validated(schema.clone(), rows)))
+            }
+            PhysicalPlan::Aggregate { func, schema, .. } => {
+                let input = child(children, 0);
+                let row = match func {
+                    BoundAggregate::Count => Tuple::new(vec![Value::from(input.len() as i64)]),
+                    BoundAggregate::Sum { pos, column } => {
+                        let mut sum = 0.0f64;
+                        for t in input.iter() {
+                            match t.get(*pos) {
+                                Some(v) if v.is_null() => {}
+                                Some(v) => {
+                                    sum += v.as_f64().ok_or_else(|| {
+                                        EngineError::InvalidAggregate {
+                                            func: "SUM",
+                                            column: column.clone(),
+                                        }
+                                    })?;
+                                }
+                                None => {}
+                            }
+                        }
+                        Tuple::new(vec![Value::from(sum)])
+                    }
+                };
+                self.stats.record_operator(input.len() as u64, 1);
+                Ok(Arc::new(Relation::from_validated(
+                    schema.clone(),
+                    vec![row],
+                )))
             }
         }
     }
 }
 
-/// Applies a selection to a materialised relation.
-#[must_use]
-pub fn apply_select(input: &Relation, predicate: &Predicate) -> Relation {
-    let schema = input.schema().clone();
-    let resolve = |c: &str| schema.position(c);
-    let rows = input
-        .iter()
-        .filter(|t| predicate.eval(t, &resolve))
-        .cloned()
-        .collect();
-    Relation::from_validated(schema, rows)
+/// Fetches a child batch, panicking on a caller bug (wrong arity) rather than misevaluating.
+fn child(children: &[Arc<Relation>], i: usize) -> Arc<Relation> {
+    Arc::clone(
+        children
+            .get(i)
+            .expect("physical operator invoked with too few child batches"),
+    )
 }
 
-/// Applies a projection to a materialised relation.
-pub fn apply_project(input: &Relation, columns: &[String]) -> EngineResult<Relation> {
-    if columns.is_empty() {
-        return Err(EngineError::InvalidPlan(
-            "projection must keep at least one column".into(),
-        ));
-    }
-    let schema = input.schema();
-    let mut positions = Vec::with_capacity(columns.len());
-    let mut attrs = Vec::with_capacity(columns.len());
-    for c in columns {
-        let pos = schema
-            .position(c)
-            .ok_or_else(|| EngineError::UnknownColumn {
-                column: c.clone(),
-                schema: schema.to_string(),
-            })?;
-        positions.push(pos);
-        attrs.push(schema.attributes()[pos].clone());
-    }
-    let out_schema = Schema::new(format!("π({})", schema.name()), attrs);
-    let rows = input.iter().map(|t| t.project(&positions)).collect();
-    Ok(Relation::from_validated(out_schema, rows))
+/// Unwraps a shared result, copying only the schema handle when the batch is still referenced
+/// elsewhere (the row buffer itself is shared either way).
+fn unshare(rel: Arc<Relation>) -> Relation {
+    Arc::try_unwrap(rel).unwrap_or_else(|shared| (*shared).clone())
 }
 
-/// Applies a Cartesian product to two materialised relations.
-#[must_use]
-pub fn apply_product(left: &Relation, right: &Relation) -> Relation {
-    let schema = left.schema().product(
-        right.schema(),
-        format!("{}×{}", left.schema().name(), right.schema().name()),
-    );
-    let mut rows = Vec::with_capacity(left.len().saturating_mul(right.len()));
-    for l in left.iter() {
-        for r in right.iter() {
-            rows.push(l.concat(r));
-        }
-    }
-    Relation::from_validated(schema, rows)
-}
-
-/// Applies a hash equi-join to two materialised relations.
-pub fn apply_hash_join(
+/// Probe-side hash join over positional keys.
+///
+/// Keys are *borrowed* from the input tuples — no per-row key cloning — and the single-key
+/// case (the overwhelmingly common one in the paper's workload) skips the composite-key
+/// allocation entirely.  Null keys never match, as in SQL.
+fn hash_join_rows(
     left: &Relation,
     right: &Relation,
-    on: &[(String, String)],
-) -> EngineResult<Relation> {
-    if on.is_empty() {
-        return Ok(apply_product(left, right));
-    }
-    let ls = left.schema();
-    let rs = right.schema();
-    let mut left_keys = Vec::with_capacity(on.len());
-    let mut right_keys = Vec::with_capacity(on.len());
-    for (l, r) in on {
-        // Join columns may arrive in either order; resolve each against the side that has it.
-        let (lcol, rcol) = if ls.contains(l) && rs.contains(r) {
-            (l, r)
-        } else if ls.contains(r) && rs.contains(l) {
-            (r, l)
-        } else {
-            return Err(EngineError::UnknownColumn {
-                column: format!("{l} / {r}"),
-                schema: format!("{ls} ⋈ {rs}"),
-            });
-        };
-        left_keys.push(ls.require(lcol).map_err(EngineError::from)?);
-        right_keys.push(rs.require(rcol).map_err(EngineError::from)?);
-    }
-
-    let mut table: HashMap<Vec<Value>, Vec<&Tuple>> = HashMap::with_capacity(right.len());
-    for t in right.iter() {
-        let key: Vec<Value> = right_keys
-            .iter()
-            .map(|&i| t.get(i).cloned().unwrap_or(Value::Null))
-            .collect();
-        if key.iter().any(Value::is_null) {
-            continue;
-        }
-        table.entry(key).or_default().push(t);
-    }
-
-    let schema = ls.product(rs, format!("{}⋈{}", ls.name(), rs.name()));
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> Vec<Tuple> {
     let mut rows = Vec::new();
-    for l in left.iter() {
-        let key: Vec<Value> = left_keys
-            .iter()
-            .map(|&i| l.get(i).cloned().unwrap_or(Value::Null))
-            .collect();
-        if key.iter().any(Value::is_null) {
-            continue;
-        }
-        if let Some(matches) = table.get(&key) {
-            for r in matches {
-                rows.push(l.concat(r));
+    if left_keys.len() == 1 {
+        let (lk, rk) = (left_keys[0], right_keys[0]);
+        let mut table: HashMap<&Value, Vec<&Tuple>> = HashMap::with_capacity(right.len());
+        for t in right.iter() {
+            match t.get(rk) {
+                Some(v) if !v.is_null() => table.entry(v).or_default().push(t),
+                _ => {}
             }
         }
-    }
-    Ok(Relation::from_validated(schema, rows))
-}
-
-/// Applies an aggregate, producing a single-row relation.
-pub fn apply_aggregate(input: &Relation, func: &AggFunc) -> EngineResult<Relation> {
-    let schema = input.schema();
-    match func {
-        AggFunc::Count => {
-            let out_schema = Schema::new(
-                format!("agg({})", schema.name()),
-                vec![urm_storage::Attribute::new(
-                    "count",
-                    urm_storage::DataType::Int,
-                )],
-            );
-            let row = Tuple::new(vec![Value::from(input.len() as i64)]);
-            Ok(Relation::from_validated(out_schema, vec![row]))
-        }
-        AggFunc::Sum(col) => {
-            let pos = schema
-                .position(col)
-                .ok_or_else(|| EngineError::UnknownColumn {
-                    column: col.clone(),
-                    schema: schema.to_string(),
-                })?;
-            let mut sum = 0.0f64;
-            for t in input.iter() {
-                match t.get(pos) {
-                    Some(v) if v.is_null() => {}
-                    Some(v) => {
-                        sum += v.as_f64().ok_or_else(|| EngineError::InvalidAggregate {
-                            func: "SUM",
-                            column: col.clone(),
-                        })?;
-                    }
-                    None => {}
+        for l in left.iter() {
+            let Some(v) = l.get(lk) else { continue };
+            if v.is_null() {
+                continue;
+            }
+            if let Some(matches) = table.get(v) {
+                for r in matches {
+                    rows.push(l.concat(r));
                 }
             }
-            let out_schema = Schema::new(
-                format!("agg({})", schema.name()),
-                vec![urm_storage::Attribute::new(
-                    format!("sum({col})"),
-                    urm_storage::DataType::Float,
-                )],
-            );
-            let row = Tuple::new(vec![Value::from(sum)]);
-            Ok(Relation::from_validated(out_schema, vec![row]))
+        }
+    } else {
+        let mut table: HashMap<Vec<&Value>, Vec<&Tuple>> = HashMap::with_capacity(right.len());
+        'right: for t in right.iter() {
+            let mut key = Vec::with_capacity(right_keys.len());
+            for &i in right_keys {
+                match t.get(i) {
+                    Some(v) if !v.is_null() => key.push(v),
+                    _ => continue 'right,
+                }
+            }
+            table.entry(key).or_default().push(t);
+        }
+        'left: for l in left.iter() {
+            let mut key = Vec::with_capacity(left_keys.len());
+            for &i in left_keys {
+                match l.get(i) {
+                    Some(v) if !v.is_null() => key.push(v),
+                    _ => continue 'left,
+                }
+            }
+            if let Some(matches) = table.get(&key) {
+                for r in matches {
+                    rows.push(l.concat(r));
+                }
+            }
         }
     }
+    rows
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::CompareOp;
-    use urm_storage::{Attribute, DataType};
+    use crate::{AggFunc, CompareOp, Predicate};
+    use urm_storage::{Attribute, DataType, Schema};
 
     /// The Customer relation of Figure 2 in the paper.
     fn figure2_catalog() -> Catalog {
@@ -457,6 +492,21 @@ mod tests {
     }
 
     #[test]
+    fn multi_key_hash_join_requires_all_keys_equal() {
+        let cat = figure2_catalog();
+        // Join Customer to itself on (cid, cname): only identical rows pair up.
+        let join = Plan::scan("Customer").hash_join(
+            Plan::scan_as("Customer", "C2"),
+            vec![
+                ("Customer.cid".into(), "C2.cid".into()),
+                ("Customer.cname".into(), "C2.cname".into()),
+            ],
+        );
+        let out = Executor::new(&cat).run(&join).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
     fn count_and_sum_aggregates() {
         let cat = figure2_catalog();
         let count = Plan::scan("Customer").aggregate(AggFunc::Count);
@@ -534,5 +584,60 @@ mod tests {
             .aggregate(AggFunc::Count);
         let out = Executor::new(&cat).run(&plan).unwrap();
         assert_eq!(out.rows()[0].get(0), Some(&Value::from(0i64)));
+    }
+
+    #[test]
+    fn scans_share_the_base_row_buffer() {
+        let cat = figure2_catalog();
+        let mut exec = Executor::new(&cat);
+        let out = exec.run(&Plan::scan("Customer")).unwrap();
+        assert!(
+            out.shares_rows_with(&cat.get("Customer").unwrap()),
+            "scan output must be a view of the base relation, not a copy"
+        );
+        assert_eq!(exec.stats().rows_shared, 3);
+    }
+
+    #[test]
+    fn values_plans_share_without_copying() {
+        let cat = figure2_catalog();
+        let base = cat.get("Customer").unwrap();
+        let mut exec = Executor::new(&cat);
+        let out = exec
+            .run_operator_shared(&Plan::values_shared(Arc::clone(&base)))
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&out, &base),
+            "a Values leaf must return the shared relation itself"
+        );
+    }
+
+    #[test]
+    fn bound_execution_matches_run() {
+        let cat = figure2_catalog();
+        let plan = Plan::scan("Customer")
+            .select(Predicate::eq("Customer.oaddr", Value::from("aaa")))
+            .project(vec!["Customer.ophone".into()]);
+        let mut exec = Executor::new(&cat);
+        let physical = exec.bind(&plan).unwrap();
+        let via_physical = exec.execute(&physical).unwrap();
+        let via_run = Executor::new(&cat).run(&plan).unwrap();
+        assert_eq!(via_physical.rows(), via_run.rows());
+        assert_eq!(via_physical.schema(), via_run.schema());
+        // `execute` does not count a completed source query.
+        assert_eq!(exec.stats().source_queries, 0);
+        assert_eq!(exec.stats().operators_executed, 2);
+    }
+
+    #[test]
+    fn execute_node_runs_one_operator_over_given_batches() {
+        let cat = figure2_catalog();
+        let mut exec = Executor::new(&cat);
+        let plan =
+            Plan::scan("Customer").select(Predicate::eq("Customer.oaddr", Value::from("aaa")));
+        let physical = exec.bind(&plan).unwrap();
+        let scan_out = exec.execute(physical.children().next().unwrap()).unwrap();
+        let out = exec.execute_node(&physical, &[scan_out]).unwrap();
+        assert_eq!(out.len(), 2);
     }
 }

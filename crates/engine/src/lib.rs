@@ -12,8 +12,14 @@
 //!   identical source queries can be detected (e-basic) and common sub-expressions shared
 //!   (e-MQO, o-sharing);
 //! * [`Predicate`] / [`AggFunc`] — the predicate and aggregate language of Table III;
-//! * [`Executor`] — a straightforward row-at-a-time executor with hash equi-joins, returning
-//!   materialised [`Relation`](urm_storage::Relation)s;
+//! * [`physical`] — the bound physical-plan layer: [`physical::bind`] compiles a logical plan
+//!   against a catalog (columns → positions, predicates → [`physical::BoundPredicate`], base
+//!   row buffers captured) into a [`PhysicalPlan`];
+//! * [`Executor`] — binds and evaluates physical operators batch-at-a-time over shared
+//!   (`Arc`-backed) [`Relation`](urm_storage::Relation)s, with zero-copy scans and `Values`
+//!   leaves;
+//! * [`reference`] — the retained row-at-a-time evaluator, the oracle of the property tests
+//!   and the baseline of the executor micro-benchmark;
 //! * [`ExecStats`] — counters for executed operators and produced tuples, the metric reported
 //!   in the paper's Table IV;
 //! * [`optimize`] — selection push-down and product→join rewrites used when lowering
@@ -59,11 +65,15 @@ pub mod error;
 pub mod executor;
 pub mod expr;
 pub mod optimize;
+pub mod physical;
 pub mod plan;
+pub mod reference;
 pub mod stats;
 
 pub use error::{EngineError, EngineResult};
 pub use executor::Executor;
 pub use expr::{AggFunc, CompareOp, Predicate};
+pub use physical::{BoundAggregate, BoundPredicate, PhysicalPlan};
 pub use plan::Plan;
+pub use reference::ReferenceExecutor;
 pub use stats::ExecStats;

@@ -1,0 +1,654 @@
+//! The bound physical-plan layer: logical [`Plan`]s compiled against a catalog.
+//!
+//! The logical [`Plan`] tree names columns by string (`alias.attr`) and names base relations by
+//! catalog key.  Executing it directly means re-resolving every column name per operator — and,
+//! before this layer existed, per *row* — and deep-copying every `Values` leaf.  Binding runs
+//! that resolution exactly once:
+//!
+//! ```text
+//!   logical Plan  ──bind()──►  PhysicalPlan  ──execute──►  row batches (Arc<Relation>)
+//!   columns by name            columns by index            shared, never cloned
+//!   relations by name          row buffers captured        one Vec<Tuple> per operator
+//! ```
+//!
+//! * every column reference becomes a positional index into the input batch;
+//! * every predicate is compiled to a [`BoundPredicate`] evaluated without name lookups;
+//! * every scan captures the base relation's shared row buffer (`Arc<Vec<Tuple>>`), so
+//!   executing a scan or a `Values` leaf hands out a *view* of existing rows, not a copy;
+//! * every node carries its output [`Schema`], computed once.
+//!
+//! The executor then evaluates physical operators batch-at-a-time: each operator consumes its
+//! children's output batches and produces one output batch, with tuple copies limited to the
+//! places where new rows genuinely come into existence (projection narrowing, join
+//! concatenation).  Binding errors (unknown relation, unknown projection column, unresolvable
+//! join key) surface before any operator runs.
+//!
+//! [`PhysicalPlan::fingerprint`] identifies bound sub-plans for the shared-plan cache: two
+//! queries that reformulate onto the same source sub-plan over the same row buffers share one
+//! fingerprint, which is what makes cross-query sub-plan reuse zero-copy end-to-end.
+
+use crate::plan::qualify_schema;
+use crate::{AggFunc, CompareOp, EngineError, EngineResult, Plan, Predicate};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use urm_storage::{Catalog, Relation, Schema, Tuple, Value};
+
+/// A predicate with every column reference resolved to a positional index.
+///
+/// Compiled once at bind time; evaluated per row with no name lookups.  A reference to a column
+/// the input schema does not provide compiles to [`BoundPredicate::Never`]: a reformulated
+/// predicate over an attribute a partial mapping did not cover can never be satisfied, matching
+/// the by-name evaluation semantics of [`Predicate::eval`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BoundPredicate {
+    /// `input[pos] op constant`.
+    Compare {
+        /// Position of the column in the input batch.
+        pos: usize,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Constant to compare against.
+        value: Value,
+    },
+    /// `input[left] = input[right]`.
+    ColumnEq {
+        /// Position of the left column.
+        left: usize,
+        /// Position of the right column.
+        right: usize,
+    },
+    /// Conjunction of bound predicates (empty conjunction is `true`).
+    And(Vec<BoundPredicate>),
+    /// A predicate that referenced a missing column: satisfied by no row.
+    Never,
+}
+
+impl BoundPredicate {
+    /// Evaluates the predicate against a tuple of the batch it was bound for.
+    #[inline]
+    #[must_use]
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        match self {
+            BoundPredicate::Compare { pos, op, value } => tuple
+                .get(*pos)
+                .map(|v| !v.is_null() && op.eval(v, value))
+                .unwrap_or(false),
+            BoundPredicate::ColumnEq { left, right } => {
+                match (tuple.get(*left), tuple.get(*right)) {
+                    (Some(a), Some(b)) => !a.is_null() && !b.is_null() && a == b,
+                    _ => false,
+                }
+            }
+            BoundPredicate::And(parts) => parts.iter().all(|p| p.matches(tuple)),
+            BoundPredicate::Never => false,
+        }
+    }
+}
+
+/// An aggregate with its input column resolved to a position.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BoundAggregate {
+    /// `COUNT(*)`.
+    Count,
+    /// `SUM(input[pos])`; the original column name is retained for error messages.
+    Sum {
+        /// Position of the summed column.
+        pos: usize,
+        /// Qualified name of the summed column (diagnostics only).
+        column: String,
+    },
+}
+
+/// A bound, executable plan: columns positional, predicates compiled, schemas precomputed, base
+/// row buffers captured.  Built by [`bind`]; evaluated by
+/// [`Executor`](crate::Executor) batch-at-a-time.
+#[derive(Debug, Clone)]
+pub enum PhysicalPlan {
+    /// Scan of a base relation: a zero-copy view of the captured row buffer under the
+    /// alias-qualified schema, built once at bind time so execution is a pure `Arc` clone.
+    Scan {
+        /// Catalog relation name (fingerprinting / display).
+        relation: String,
+        /// Scan alias (fingerprinting / display).
+        alias: String,
+        /// The base relation's row buffer under the qualified schema, sharing the catalog
+        /// relation's storage.
+        view: Arc<Relation>,
+    },
+    /// An already-materialised relation, handed out as a shared view.
+    Values {
+        /// The shared relation.
+        rel: Arc<Relation>,
+    },
+    /// Filter by a compiled predicate.
+    Select {
+        /// Compiled predicate.
+        predicate: BoundPredicate,
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Output schema (same attributes as the input).
+        schema: Schema,
+    },
+    /// Keep the columns at `positions`, in that order.
+    Project {
+        /// Input positions of the output columns.
+        positions: Vec<usize>,
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Output schema.
+        schema: Schema,
+    },
+    /// Cartesian product.
+    Product {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Output schema (left ++ right).
+        schema: Schema,
+    },
+    /// Hash equi-join on positional key pairs (`left_keys[i] = right_keys[i]`).
+    HashJoin {
+        /// Left input.
+        left: Box<PhysicalPlan>,
+        /// Right input.
+        right: Box<PhysicalPlan>,
+        /// Key positions in the left batch.
+        left_keys: Vec<usize>,
+        /// Key positions in the right batch.
+        right_keys: Vec<usize>,
+        /// Output schema (left ++ right).
+        schema: Schema,
+    },
+    /// Aggregation producing a single-row batch.
+    Aggregate {
+        /// Bound aggregate function.
+        func: BoundAggregate,
+        /// Input operator.
+        input: Box<PhysicalPlan>,
+        /// Output schema (one attribute).
+        schema: Schema,
+    },
+}
+
+impl PhysicalPlan {
+    /// The operator's output schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        match self {
+            PhysicalPlan::Select { schema, .. }
+            | PhysicalPlan::Project { schema, .. }
+            | PhysicalPlan::Product { schema, .. }
+            | PhysicalPlan::HashJoin { schema, .. }
+            | PhysicalPlan::Aggregate { schema, .. } => schema,
+            PhysicalPlan::Scan { view, .. } => view.schema(),
+            PhysicalPlan::Values { rel } => rel.schema(),
+        }
+    }
+
+    /// Direct children of this node, in evaluation order (allocation-free).
+    pub fn children(&self) -> impl Iterator<Item = &PhysicalPlan> {
+        let (a, b): (Option<&PhysicalPlan>, Option<&PhysicalPlan>) = match self {
+            PhysicalPlan::Scan { .. } | PhysicalPlan::Values { .. } => (None, None),
+            PhysicalPlan::Select { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Aggregate { input, .. } => (Some(input), None),
+            PhysicalPlan::Product { left, right, .. }
+            | PhysicalPlan::HashJoin { left, right, .. } => (Some(left), Some(right)),
+        };
+        a.into_iter().chain(b)
+    }
+
+    /// A structural fingerprint of the *bound* plan, the sharing key of the
+    /// [`SharedPlanCache`](../../urm_mqo/struct.SharedPlanCache.html).
+    ///
+    /// Leaves hash by identity, not content: a scan hashes its relation name, alias and the
+    /// *pointer* of the captured row buffer, and a `Values` leaf hashes its schema plus the
+    /// pointer of its shared row buffer.  Identity hashing makes fingerprints O(plan size)
+    /// instead of O(data size) and ties every fingerprint to a concrete catalog snapshot — two
+    /// epochs' scans of a same-named relation no longer collide.  The trade-off is that a cache
+    /// keyed on these fingerprints must not outlive the relations its plans were bound against
+    /// (the shared-plan cache is per batch/epoch, which guarantees exactly that).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        self.hash_structure(&mut hasher);
+        hasher.finish()
+    }
+
+    fn hash_structure(&self, h: &mut DefaultHasher) {
+        match self {
+            PhysicalPlan::Scan {
+                relation,
+                alias,
+                view,
+            } => {
+                0u8.hash(h);
+                relation.hash(h);
+                alias.hash(h);
+                (Arc::as_ptr(&view.shared_rows()) as usize).hash(h);
+            }
+            PhysicalPlan::Values { rel } => {
+                1u8.hash(h);
+                rel.schema().hash(h);
+                (Arc::as_ptr(&rel.shared_rows()) as usize).hash(h);
+            }
+            PhysicalPlan::Select {
+                predicate, input, ..
+            } => {
+                2u8.hash(h);
+                predicate.hash(h);
+                input.hash_structure(h);
+            }
+            PhysicalPlan::Project {
+                positions, input, ..
+            } => {
+                3u8.hash(h);
+                positions.hash(h);
+                input.hash_structure(h);
+            }
+            PhysicalPlan::Product { left, right, .. } => {
+                4u8.hash(h);
+                left.hash_structure(h);
+                right.hash_structure(h);
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                ..
+            } => {
+                5u8.hash(h);
+                left_keys.hash(h);
+                right_keys.hash(h);
+                left.hash_structure(h);
+                right.hash_structure(h);
+            }
+            PhysicalPlan::Aggregate { func, input, .. } => {
+                6u8.hash(h);
+                func.hash(h);
+                input.hash_structure(h);
+            }
+        }
+    }
+
+    /// Number of operator nodes (leaves excluded), mirroring
+    /// [`Plan::operator_count`](crate::Plan::operator_count).
+    #[must_use]
+    pub fn operator_count(&self) -> usize {
+        let own = match self {
+            PhysicalPlan::Scan { .. } | PhysicalPlan::Values { .. } => 0,
+            _ => 1,
+        };
+        own + self.children().map(|c| c.operator_count()).sum::<usize>()
+    }
+}
+
+/// Compiles a predicate against the schema of its input batch.
+fn bind_predicate(predicate: &Predicate, schema: &Schema) -> BoundPredicate {
+    match predicate {
+        Predicate::Compare { column, op, value } => match schema.position(column) {
+            Some(pos) => BoundPredicate::Compare {
+                pos,
+                op: *op,
+                value: value.clone(),
+            },
+            None => BoundPredicate::Never,
+        },
+        Predicate::ColumnEq { left, right } => {
+            match (schema.position(left), schema.position(right)) {
+                (Some(left), Some(right)) => BoundPredicate::ColumnEq { left, right },
+                _ => BoundPredicate::Never,
+            }
+        }
+        Predicate::And(parts) => {
+            let bound: Vec<BoundPredicate> =
+                parts.iter().map(|p| bind_predicate(p, schema)).collect();
+            if bound.iter().any(|p| matches!(p, BoundPredicate::Never)) {
+                BoundPredicate::Never
+            } else {
+                BoundPredicate::And(bound)
+            }
+        }
+    }
+}
+
+/// Binds a logical plan against a catalog: resolves relations to row buffers, columns to
+/// positions, predicates to [`BoundPredicate`]s, and precomputes every output schema.
+///
+/// Errors that the row-at-a-time evaluator reported lazily (unknown relation, unknown
+/// projection column, unresolvable join key) are reported here, before any operator executes.
+/// Missing *predicate* columns are not errors — they compile to [`BoundPredicate::Never`],
+/// preserving reformulation semantics.
+pub fn bind(plan: &Plan, catalog: &Catalog) -> EngineResult<PhysicalPlan> {
+    match plan {
+        Plan::Scan { relation, alias } => {
+            let base = catalog.require(relation)?;
+            // Build the qualified view once; every execution of this scan is then a pure
+            // `Arc` clone of it.
+            let view = Arc::new(Relation::from_shared(
+                qualify_schema(base.schema(), alias),
+                base.shared_rows(),
+            ));
+            Ok(PhysicalPlan::Scan {
+                relation: relation.clone(),
+                alias: alias.clone(),
+                view,
+            })
+        }
+        Plan::Values(rel) => Ok(PhysicalPlan::Values {
+            rel: Arc::clone(rel),
+        }),
+        Plan::Select { predicate, input } => {
+            let input = bind(input, catalog)?;
+            let predicate = bind_predicate(predicate, input.schema());
+            Ok(PhysicalPlan::Select {
+                predicate,
+                schema: input.schema().clone(),
+                input: Box::new(input),
+            })
+        }
+        Plan::Project { columns, input } => {
+            let input = bind(input, catalog)?;
+            if columns.is_empty() {
+                return Err(EngineError::InvalidPlan(
+                    "projection must keep at least one column".into(),
+                ));
+            }
+            let in_schema = input.schema();
+            let mut positions = Vec::with_capacity(columns.len());
+            let mut attrs = Vec::with_capacity(columns.len());
+            for c in columns {
+                let pos = in_schema
+                    .position(c)
+                    .ok_or_else(|| EngineError::UnknownColumn {
+                        column: c.clone(),
+                        schema: in_schema.to_string(),
+                    })?;
+                positions.push(pos);
+                attrs.push(in_schema.attributes()[pos].clone());
+            }
+            let schema = Schema::new(format!("π({})", in_schema.name()), attrs);
+            Ok(PhysicalPlan::Project {
+                positions,
+                schema,
+                input: Box::new(input),
+            })
+        }
+        Plan::Product { left, right } => {
+            let left = bind(left, catalog)?;
+            let right = bind(right, catalog)?;
+            Ok(product_node(left, right))
+        }
+        Plan::HashJoin { left, right, on } => {
+            let left = bind(left, catalog)?;
+            let right = bind(right, catalog)?;
+            if on.is_empty() {
+                // Mirrors the by-name evaluator: a join with no conditions *is* the product,
+                // down to the output schema name.
+                return Ok(product_node(left, right));
+            }
+            let ls = left.schema();
+            let rs = right.schema();
+            let mut left_keys = Vec::with_capacity(on.len());
+            let mut right_keys = Vec::with_capacity(on.len());
+            for (l, r) in on {
+                // Join columns may arrive in either order; resolve each against the side that
+                // has it.
+                let (lcol, rcol) = if ls.contains(l) && rs.contains(r) {
+                    (l, r)
+                } else if ls.contains(r) && rs.contains(l) {
+                    (r, l)
+                } else {
+                    return Err(EngineError::UnknownColumn {
+                        column: format!("{l} / {r}"),
+                        schema: format!("{ls} ⋈ {rs}"),
+                    });
+                };
+                left_keys.push(ls.require(lcol).map_err(EngineError::from)?);
+                right_keys.push(rs.require(rcol).map_err(EngineError::from)?);
+            }
+            let schema = ls.product(rs, format!("{}⋈{}", ls.name(), rs.name()));
+            Ok(PhysicalPlan::HashJoin {
+                left: Box::new(left),
+                right: Box::new(right),
+                left_keys,
+                right_keys,
+                schema,
+            })
+        }
+        Plan::Aggregate { func, input } => {
+            let input = bind(input, catalog)?;
+            let in_schema = input.schema();
+            let (func, attr) = match func {
+                AggFunc::Count => (
+                    BoundAggregate::Count,
+                    urm_storage::Attribute::new("count", urm_storage::DataType::Int),
+                ),
+                AggFunc::Sum(col) => {
+                    let pos =
+                        in_schema
+                            .position(col)
+                            .ok_or_else(|| EngineError::UnknownColumn {
+                                column: col.clone(),
+                                schema: in_schema.to_string(),
+                            })?;
+                    (
+                        BoundAggregate::Sum {
+                            pos,
+                            column: col.clone(),
+                        },
+                        urm_storage::Attribute::new(
+                            format!("sum({col})"),
+                            urm_storage::DataType::Float,
+                        ),
+                    )
+                }
+            };
+            let schema = Schema::new(format!("agg({})", in_schema.name()), vec![attr]);
+            Ok(PhysicalPlan::Aggregate {
+                func,
+                schema,
+                input: Box::new(input),
+            })
+        }
+    }
+}
+
+/// Builds a product node over two bound inputs (shared by `Product` and key-less `HashJoin`).
+fn product_node(left: PhysicalPlan, right: PhysicalPlan) -> PhysicalPlan {
+    let schema = left.schema().product(
+        right.schema(),
+        format!("{}×{}", left.schema().name(), right.schema().name()),
+    );
+    PhysicalPlan::Product {
+        left: Box::new(left),
+        right: Box::new(right),
+        schema,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urm_storage::{Attribute, DataType};
+
+    fn catalog() -> Catalog {
+        let schema = Schema::new(
+            "R",
+            vec![
+                Attribute::new("a", DataType::Int),
+                Attribute::new("b", DataType::Text),
+            ],
+        );
+        let rows = (0..4)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::from(i as i64),
+                    Value::from(if i % 2 == 0 { "x" } else { "y" }),
+                ])
+            })
+            .collect();
+        let mut cat = Catalog::new();
+        cat.insert(Relation::new(schema, rows).unwrap());
+        cat
+    }
+
+    #[test]
+    fn bind_resolves_columns_to_positions() {
+        let cat = catalog();
+        let plan = Plan::scan("R")
+            .select(Predicate::eq("R.b", Value::from("x")))
+            .project(vec!["R.a".into()]);
+        let phys = bind(&plan, &cat).unwrap();
+        let PhysicalPlan::Project {
+            positions, input, ..
+        } = &phys
+        else {
+            panic!("expected projection on top");
+        };
+        assert_eq!(positions, &vec![0]);
+        let PhysicalPlan::Select { predicate, .. } = input.as_ref() else {
+            panic!("expected selection below");
+        };
+        assert_eq!(
+            predicate,
+            &BoundPredicate::Compare {
+                pos: 1,
+                op: CompareOp::Eq,
+                value: Value::from("x"),
+            }
+        );
+    }
+
+    #[test]
+    fn bind_captures_the_base_row_buffer() {
+        let cat = catalog();
+        let phys = bind(&Plan::scan("R"), &cat).unwrap();
+        let PhysicalPlan::Scan { view, .. } = &phys else {
+            panic!("expected a scan");
+        };
+        assert!(view.shares_rows_with(&cat.get("R").unwrap()));
+    }
+
+    #[test]
+    fn missing_predicate_column_binds_to_never() {
+        let cat = catalog();
+        let plan = Plan::scan("R").select(Predicate::eq("R.ghost", Value::from(1i64)));
+        let phys = bind(&plan, &cat).unwrap();
+        let PhysicalPlan::Select { predicate, .. } = &phys else {
+            panic!("expected selection");
+        };
+        assert_eq!(predicate, &BoundPredicate::Never);
+
+        let conj = Plan::scan("R").select(Predicate::And(vec![
+            Predicate::eq("R.a", Value::from(1i64)),
+            Predicate::column_eq("R.a", "R.ghost"),
+        ]));
+        let phys = bind(&conj, &cat).unwrap();
+        let PhysicalPlan::Select { predicate, .. } = &phys else {
+            panic!("expected selection");
+        };
+        assert_eq!(predicate, &BoundPredicate::Never);
+    }
+
+    #[test]
+    fn missing_projection_column_is_a_bind_error() {
+        let cat = catalog();
+        let plan = Plan::scan("R").project(vec!["R.ghost".into()]);
+        assert!(matches!(
+            bind(&plan, &cat),
+            Err(EngineError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn keyless_join_binds_to_a_product() {
+        let cat = catalog();
+        let plan = Plan::scan("R").hash_join(Plan::scan_as("R", "S"), vec![]);
+        let phys = bind(&plan, &cat).unwrap();
+        assert!(matches!(phys, PhysicalPlan::Product { .. }));
+        assert!(phys.schema().name().contains('×'));
+    }
+
+    #[test]
+    fn join_keys_resolve_in_either_order() {
+        let cat = catalog();
+        let forward =
+            Plan::scan("R").hash_join(Plan::scan_as("R", "S"), vec![("R.a".into(), "S.a".into())]);
+        let swapped =
+            Plan::scan("R").hash_join(Plan::scan_as("R", "S"), vec![("S.a".into(), "R.a".into())]);
+        for plan in [forward, swapped] {
+            let PhysicalPlan::HashJoin {
+                left_keys,
+                right_keys,
+                ..
+            } = bind(&plan, &cat).unwrap()
+            else {
+                panic!("expected a hash join");
+            };
+            assert_eq!(left_keys, vec![0]);
+            assert_eq!(right_keys, vec![0]);
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_discriminating() {
+        let cat = catalog();
+        let make = || {
+            bind(
+                &Plan::scan("R")
+                    .select(Predicate::eq("R.b", Value::from("x")))
+                    .project(vec!["R.a".into()]),
+                &cat,
+            )
+            .unwrap()
+        };
+        assert_eq!(make().fingerprint(), make().fingerprint());
+        let scan = bind(&Plan::scan("R"), &cat).unwrap();
+        assert_ne!(make().fingerprint(), scan.fingerprint());
+        // An aliased scan of the same buffer is a different bound plan.
+        let aliased = bind(&Plan::scan_as("R", "S"), &cat).unwrap();
+        assert_ne!(scan.fingerprint(), aliased.fingerprint());
+    }
+
+    #[test]
+    fn values_fingerprints_are_identity_based() {
+        let rel = Relation::new(
+            Schema::new("V", vec![Attribute::new("v", DataType::Int)]),
+            vec![Tuple::new(vec![Value::from(1i64)])],
+        )
+        .unwrap();
+        let shared = Arc::new(rel.clone());
+        let cat = Catalog::new();
+        let a = bind(&Plan::values_shared(Arc::clone(&shared)), &cat).unwrap();
+        let b = bind(&Plan::values_shared(Arc::clone(&shared)), &cat).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // An equal-content relation in a *different* buffer is a different bound leaf.
+        let other = bind(
+            &Plan::values(rel.into_rows().into_iter().fold(
+                Relation::empty(Schema::new("V", vec![Attribute::new("v", DataType::Int)])),
+                |mut r, t| {
+                    r.push_unchecked(t);
+                    r
+                },
+            )),
+            &cat,
+        )
+        .unwrap();
+        assert_ne!(a.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn operator_count_matches_logical() {
+        let cat = catalog();
+        let plan = Plan::scan("R")
+            .select(Predicate::eq("R.b", Value::from("x")))
+            .product(Plan::scan_as("R", "S"))
+            .project(vec!["R.a".into()]);
+        let phys = bind(&plan, &cat).unwrap();
+        assert_eq!(phys.operator_count(), plan.operator_count());
+    }
+}

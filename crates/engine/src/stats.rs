@@ -22,6 +22,11 @@ pub struct ExecStats {
     pub tuples_output: u64,
     /// Number of complete source queries executed.
     pub source_queries: u64,
+    /// Number of rows handed to downstream operators as *shared views* (scans and `Values`
+    /// leaves) rather than copies — the clone-elimination metric of the physical-plan layer.
+    /// Before the zero-copy refactor every one of these rows was materialised into a private
+    /// buffer.
+    pub rows_shared: u64,
     /// Wall-clock time spent inside the executor.
     #[serde(skip)]
     pub exec_time: Duration,
@@ -59,6 +64,7 @@ impl ExecStats {
         self.tuples_read += other.tuples_read;
         self.tuples_output += other.tuples_output;
         self.source_queries += other.source_queries;
+        self.rows_shared += other.rows_shared;
         self.exec_time += other.exec_time;
     }
 }

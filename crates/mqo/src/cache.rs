@@ -2,15 +2,24 @@
 
 use crate::lru::LruCache;
 use std::sync::Arc;
-use urm_engine::{EngineResult, Executor, Plan};
+use urm_engine::{EngineResult, Executor, PhysicalPlan, Plan};
 use urm_storage::Relation;
 
-/// A cache mapping sub-plan fingerprints to their materialised results.
+/// A cache mapping *bound* sub-plan fingerprints to their materialised results.
 ///
-/// Executing a plan "through" the cache evaluates each distinct sub-expression once; subsequent
-/// queries containing the same sub-expression reuse the materialised relation.  This is the
-/// execution-side half of the e-MQO baseline, and — bounded — the batch-wide sub-plan cache of
-/// the serving layer.
+/// Executing a plan "through" the cache binds it once ([`Executor::bind`]) and evaluates each
+/// distinct physical sub-expression once; subsequent queries containing the same sub-expression
+/// reuse the materialised relation.  This is the execution-side half of the e-MQO baseline,
+/// and — bounded — the batch-wide sub-plan cache of the serving layer.
+///
+/// Keys are [`PhysicalPlan::fingerprint`]s: identity-based for leaves (relation name, alias and
+/// row-buffer pointer for scans; schema and row-buffer pointer for `Values`), structural above
+/// them.  Two epochs' same-named relations therefore never collide, fingerprinting never hashes
+/// row *contents*, and a cache hit returns the stored `Arc` itself — the hit flows into the
+/// parent operator as a shared view, with zero relation copies end-to-end.  The flip side of
+/// identity-based keys: a cache must not outlive the catalog (and any `Values` relations) its
+/// plans were bound against, which the per-batch/per-epoch caches of the serving layer satisfy
+/// by construction.
 ///
 /// By default the cache is unbounded (the e-MQO baseline materialises every distinct
 /// sub-expression of one evaluation).  [`with_capacity`](SharedPlanCache::with_capacity) bounds
@@ -97,14 +106,28 @@ impl SharedPlanCache {
         self.results.is_empty()
     }
 
-    /// Executes `plan` with sub-expression sharing: every sub-plan that is already cached is
-    /// replaced by its materialised result, and newly computed results are inserted.
-    ///
-    /// Only the immediate children of each node need to be considered because the recursion
-    /// caches results bottom-up: a parent is cached after (and built from) its cached children.
+    /// Executes `plan` with sub-expression sharing: the plan is bound once, then every bound
+    /// sub-plan that is already cached is replaced by its materialised result, and newly
+    /// computed results are inserted.
     pub fn execute_shared(
         &mut self,
         plan: &Plan,
+        exec: &mut Executor<'_>,
+    ) -> EngineResult<Arc<Relation>> {
+        let physical = exec.bind(plan)?;
+        self.execute_shared_physical(&physical, exec)
+    }
+
+    /// Executes an already-bound plan through the cache (see
+    /// [`execute_shared`](SharedPlanCache::execute_shared)).
+    ///
+    /// Only the immediate children of each node need to be considered because the recursion
+    /// caches results bottom-up: a parent is cached after (and built from) its cached children.
+    /// Child results — cached or fresh — are handed to the parent operator as shared views
+    /// ([`Executor::execute_node`]); no intermediate relation is ever copied.
+    pub fn execute_shared_physical(
+        &mut self,
+        plan: &PhysicalPlan,
         exec: &mut Executor<'_>,
     ) -> EngineResult<Arc<Relation>> {
         let key = plan.fingerprint();
@@ -114,39 +137,11 @@ impl SharedPlanCache {
         }
         self.misses += 1;
 
-        // Recursively resolve children through the cache, then run this single node on the
-        // materialised children.
-        let result = match plan {
-            Plan::Scan { .. } | Plan::Values(_) => exec.run_operator(plan)?,
-            Plan::Select { predicate, input } => {
-                let child = self.execute_shared(input, exec)?;
-                let node = Plan::values_shared(child).select(predicate.clone());
-                exec.run_operator(&node)?
-            }
-            Plan::Project { columns, input } => {
-                let child = self.execute_shared(input, exec)?;
-                let node = Plan::values_shared(child).project(columns.clone());
-                exec.run_operator(&node)?
-            }
-            Plan::Product { left, right } => {
-                let l = self.execute_shared(left, exec)?;
-                let r = self.execute_shared(right, exec)?;
-                let node = Plan::values_shared(l).product(Plan::values_shared(r));
-                exec.run_operator(&node)?
-            }
-            Plan::HashJoin { left, right, on } => {
-                let l = self.execute_shared(left, exec)?;
-                let r = self.execute_shared(right, exec)?;
-                let node = Plan::values_shared(l).hash_join(Plan::values_shared(r), on.clone());
-                exec.run_operator(&node)?
-            }
-            Plan::Aggregate { func, input } => {
-                let child = self.execute_shared(input, exec)?;
-                let node = Plan::values_shared(child).aggregate(func.clone());
-                exec.run_operator(&node)?
-            }
-        };
-        let shared = Arc::new(result);
+        let mut children = Vec::with_capacity(2);
+        for c in plan.children() {
+            children.push(self.execute_shared_physical(c, exec)?);
+        }
+        let shared = exec.execute_node(plan, &children)?;
         self.results.insert(key, Arc::clone(&shared));
         Ok(shared)
     }

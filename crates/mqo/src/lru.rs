@@ -2,11 +2,13 @@
 //!
 //! Shared by the [`SharedPlanCache`](crate::SharedPlanCache) (materialised sub-plan results)
 //! and the service layer's answer cache.  Recency is tracked with a monotonic clock stamp per
-//! entry; eviction scans for the minimum stamp, which is `O(n)` but entirely adequate for the
-//! few-hundred-entry capacities these caches run with (and keeps the structure dependency-free).
+//! entry plus an ordered stamp → key index, so lookup refresh and eviction are both
+//! `O(log n)` and no operation deep-copies a key: the key is allocated once per entry and
+//! shared (`Arc`) between the slot table and the recency index.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
+use std::sync::Arc;
 
 #[derive(Debug)]
 struct Slot<V> {
@@ -20,7 +22,10 @@ struct Slot<V> {
 #[derive(Debug)]
 pub struct LruCache<K, V> {
     capacity: Option<usize>,
-    slots: HashMap<K, Slot<V>>,
+    slots: HashMap<Arc<K>, Slot<V>>,
+    /// stamp → key, ordered oldest-first; stamps are unique (one per clock tick), so the first
+    /// entry is always the least-recently-used key.
+    recency: BTreeMap<u64, Arc<K>>,
     clock: u64,
     evictions: u64,
 }
@@ -32,6 +37,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         LruCache {
             capacity: None,
             slots: HashMap::new(),
+            recency: BTreeMap::new(),
             clock: 0,
             evictions: 0,
         }
@@ -43,6 +49,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         LruCache {
             capacity: Some(capacity.max(1)),
             slots: HashMap::new(),
+            recency: BTreeMap::new(),
             clock: 0,
             evictions: 0,
         }
@@ -82,34 +89,57 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn get(&mut self, key: &K) -> Option<&V> {
         self.clock += 1;
         let clock = self.clock;
-        self.slots.get_mut(key).map(|slot| {
-            slot.last_used = clock;
-            &slot.value
-        })
+        let slot = self.slots.get_mut(key)?;
+        let shared = self
+            .recency
+            .remove(&slot.last_used)
+            .expect("recency index tracks every resident slot");
+        slot.last_used = clock;
+        self.recency.insert(clock, shared);
+        Some(&slot.value)
     }
 
     /// Inserts `key → value` as the most recent entry, evicting the least-recently-used
     /// entry when that would exceed the capacity.  Returns the evicted key, if any.
     pub fn insert(&mut self, key: K, value: V) -> Option<K> {
         self.clock += 1;
-        let slot = Slot {
-            value,
-            last_used: self.clock,
-        };
-        let fresh = self.slots.insert(key.clone(), slot).is_none();
-        let over = matches!(self.capacity, Some(cap) if self.slots.len() > cap);
-        if !(fresh && over) {
+        let clock = self.clock;
+
+        if let Some(slot) = self.slots.get_mut(&key) {
+            // Overwrite in place: refresh recency, never evict.
+            let shared = self
+                .recency
+                .remove(&slot.last_used)
+                .expect("recency index tracks every resident slot");
+            slot.value = value;
+            slot.last_used = clock;
+            self.recency.insert(clock, shared);
             return None;
         }
-        let victim = self
-            .slots
-            .iter()
-            .filter(|(k, _)| **k != key)
-            .min_by_key(|(_, slot)| slot.last_used)
-            .map(|(k, _)| k.clone())?;
+
+        let shared = Arc::new(key);
+        self.slots.insert(
+            Arc::clone(&shared),
+            Slot {
+                value,
+                last_used: clock,
+            },
+        );
+        self.recency.insert(clock, shared);
+
+        if !matches!(self.capacity, Some(cap) if self.slots.len() > cap) {
+            return None;
+        }
+        // Oldest stamp = least-recently-used; it cannot be the entry just inserted because
+        // the new stamp is the maximum and at least one older entry exists.
+        let (_, victim) = self
+            .recency
+            .pop_first()
+            .expect("over-capacity cache is non-empty");
         self.slots.remove(&victim);
         self.evictions += 1;
-        Some(victim)
+        // Both owners (slot table + recency index) are gone, so this is a move, not a copy.
+        Some(Arc::try_unwrap(victim).unwrap_or_else(|shared| (*shared).clone()))
     }
 }
 
@@ -144,6 +174,17 @@ mod tests {
     }
 
     #[test]
+    fn overwriting_refreshes_recency() {
+        let mut cache = LruCache::with_capacity(2);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        // Overwriting "a" makes "b" the LRU entry.
+        cache.insert("a", 10);
+        assert_eq!(cache.insert("c", 3), Some("b"));
+        assert!(cache.contains(&"a") && cache.contains(&"c"));
+    }
+
+    #[test]
     fn unbounded_never_evicts() {
         let mut cache = LruCache::unbounded();
         for i in 0..1000 {
@@ -162,5 +203,21 @@ mod tests {
         cache.insert(2, 2);
         assert_eq!(cache.len(), 1);
         assert!(cache.contains(&2));
+    }
+
+    #[test]
+    fn eviction_order_follows_access_pattern_under_churn() {
+        let mut cache = LruCache::with_capacity(3);
+        for i in 0..3 {
+            cache.insert(i, i);
+        }
+        // Access order now 0, 1, 2 → touch 0 and 1, leaving 2 as LRU.
+        cache.get(&0);
+        cache.get(&1);
+        assert_eq!(cache.insert(3, 3), Some(2));
+        assert_eq!(cache.insert(4, 4), Some(0));
+        assert_eq!(cache.len(), 3);
+        assert!(cache.contains(&1) && cache.contains(&3) && cache.contains(&4));
+        assert_eq!(cache.evictions(), 2);
     }
 }

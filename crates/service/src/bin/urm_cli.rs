@@ -279,6 +279,11 @@ fn main() -> ExitCode {
         metrics.plan_hit_rate() * 100.0,
         metrics.source_operators,
     );
+    println!(
+        "executor: {:.0} rows/sec, {} rows served zero-copy (shared views)",
+        metrics.rows_per_second(),
+        metrics.rows_shared,
+    );
     service.shutdown();
 
     if verify_failures > 0 {

@@ -25,6 +25,13 @@ pub struct ServiceMetrics {
     pub plan_cache_misses: u64,
     /// Source operators executed across all batches.
     pub source_operators: u64,
+    /// Tuples read by operators across all batches.
+    pub tuples_read: u64,
+    /// Tuples produced by operators across all batches.
+    pub tuples_output: u64,
+    /// Rows handed to operators as shared views instead of copies (the physical executor's
+    /// clone-elimination counter, summed across all batches).
+    pub rows_shared: u64,
     /// Total wall-clock time spent executing batches.
     pub batch_time: Duration,
 }
@@ -49,6 +56,18 @@ impl ServiceMetrics {
             0.0
         } else {
             self.plan_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Executor throughput in tuples (read + produced) per second of batch wall-clock time
+    /// (0 before any batch ran).
+    #[must_use]
+    pub fn rows_per_second(&self) -> f64 {
+        let secs = self.batch_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            (self.tuples_read + self.tuples_output) as f64 / secs
         }
     }
 }

@@ -233,6 +233,14 @@ impl Inner {
             .into_iter()
             .map(|evaluation| (evaluation.metrics, Arc::new(evaluation.answer)))
             .collect();
+        let (tuples_read, tuples_output, rows_shared) =
+            shared.iter().fold((0u64, 0u64, 0u64), |acc, (m, _)| {
+                (
+                    acc.0 + m.exec.tuples_read,
+                    acc.1 + m.exec.tuples_output,
+                    acc.2 + m.exec.rows_shared,
+                )
+            });
 
         // Publish answers to the cache.
         {
@@ -274,6 +282,9 @@ impl Inner {
             metrics.plan_cache_hits += outcome.plan_hits;
             metrics.plan_cache_misses += outcome.plan_misses;
             metrics.source_operators += source_operators;
+            metrics.tuples_read += tuples_read;
+            metrics.tuples_output += tuples_output;
+            metrics.rows_shared += rows_shared;
             metrics.batch_time += latency;
         }
         {

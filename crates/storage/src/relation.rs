@@ -3,16 +3,24 @@
 use crate::{Schema, StorageError, StorageResult, Tuple, Value};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A materialised relation: a schema plus a bag (multiset) of tuples.
 ///
 /// Relations are bags, not sets: the paper's query semantics removes duplicates only during the
 /// final probabilistic aggregation step (or not at all, if the caller asks for bag semantics),
 /// so the storage layer never deduplicates.
+///
+/// The row storage is `Arc`-backed: cloning a relation, renaming it (aliased scans) or handing
+/// it to another operator shares the underlying row buffer instead of copying it.  Mutation
+/// ([`push`](Relation::push)) is copy-on-write — a relation whose rows are shared copies them
+/// once before appending — so sharing is invisible to code that builds relations row by row.
+/// [`shares_rows_with`](Relation::shares_rows_with) exposes buffer identity for the zero-copy
+/// regression tests of the engine and cache layers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Relation {
     schema: Schema,
-    rows: Vec<Tuple>,
+    rows: Arc<Vec<Tuple>>,
 }
 
 impl Relation {
@@ -21,7 +29,7 @@ impl Relation {
     pub fn empty(schema: Schema) -> Self {
         Relation {
             schema,
-            rows: Vec::new(),
+            rows: Arc::new(Vec::new()),
         }
     }
 
@@ -30,7 +38,7 @@ impl Relation {
     /// Row arity is validated; value types are checked against the schema.
     pub fn new(schema: Schema, rows: Vec<Tuple>) -> StorageResult<Self> {
         let mut rel = Relation::empty(schema);
-        rel.rows.reserve(rows.len());
+        Arc::make_mut(&mut rel.rows).reserve(rows.len());
         for row in rows {
             rel.push(row)?;
         }
@@ -41,7 +49,35 @@ impl Relation {
     /// tuples are constructed from already-validated inputs).
     #[must_use]
     pub fn from_validated(schema: Schema, rows: Vec<Tuple>) -> Self {
+        Relation {
+            schema,
+            rows: Arc::new(rows),
+        }
+    }
+
+    /// Creates a relation over an already-shared row buffer without copying it.
+    ///
+    /// This is the zero-copy constructor of the engine's physical plan layer: scans and cached
+    /// sub-plan results wrap the same `Arc<Vec<Tuple>>` under different schemas (aliased scans)
+    /// instead of materialising per-operator copies.  Rows are not validated against the schema.
+    #[must_use]
+    pub fn from_shared(schema: Schema, rows: Arc<Vec<Tuple>>) -> Self {
         Relation { schema, rows }
+    }
+
+    /// The shared row buffer (a pointer bump, never a copy).
+    #[must_use]
+    pub fn shared_rows(&self) -> Arc<Vec<Tuple>> {
+        Arc::clone(&self.rows)
+    }
+
+    /// Whether two relations share the same underlying row buffer.
+    ///
+    /// Used by regression tests to prove that scans, `Values` plans and sub-plan cache hits
+    /// hand out views rather than deep copies.
+    #[must_use]
+    pub fn shares_rows_with(&self, other: &Relation) -> bool {
+        Arc::ptr_eq(&self.rows, &other.rows)
     }
 
     /// The relation's schema.
@@ -68,10 +104,10 @@ impl Relation {
         &self.rows
     }
 
-    /// Consumes the relation, returning its rows.
+    /// Consumes the relation, returning its rows (copied only if the buffer is shared).
     #[must_use]
     pub fn into_rows(self) -> Vec<Tuple> {
-        self.rows
+        Arc::try_unwrap(self.rows).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Appends a tuple after validating arity and types.
@@ -93,13 +129,13 @@ impl Relation {
                 });
             }
         }
-        self.rows.push(tuple);
+        Arc::make_mut(&mut self.rows).push(tuple);
         Ok(())
     }
 
     /// Appends a tuple without validation (engine-internal fast path).
     pub fn push_unchecked(&mut self, tuple: Tuple) {
-        self.rows.push(tuple);
+        Arc::make_mut(&mut self.rows).push(tuple);
     }
 
     /// Iterates over the rows.
@@ -118,11 +154,13 @@ impl Relation {
     }
 
     /// Returns a relation with the same rows but a renamed schema (aliased scan).
+    ///
+    /// The rows are shared, not copied.
     #[must_use]
     pub fn renamed(&self, name: impl Into<String>) -> Relation {
         Relation {
             schema: self.schema.renamed(name),
-            rows: self.rows.clone(),
+            rows: Arc::clone(&self.rows),
         }
     }
 
@@ -131,7 +169,7 @@ impl Relation {
     #[must_use]
     pub fn estimated_bytes(&self) -> usize {
         let mut total = 0usize;
-        for row in &self.rows {
+        for row in self.rows.iter() {
             for v in row.iter() {
                 total += match v {
                     Value::Null => 1,
@@ -161,7 +199,7 @@ impl std::hash::Hash for Relation {
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{}", self.schema)?;
-        for row in &self.rows {
+        for row in self.rows.iter() {
             writeln!(f, "  {row}")?;
         }
         Ok(())
@@ -241,6 +279,51 @@ mod tests {
         rel.push(Tuple::new(vec![Value::from(1i64), Value::from("Alice")]))
             .unwrap();
         assert!(rel.estimated_bytes() > empty_size);
+    }
+
+    #[test]
+    fn clone_and_rename_share_the_row_buffer() {
+        let rel = Relation::new(
+            schema(),
+            vec![Tuple::new(vec![Value::from(1i64), Value::from("Alice")])],
+        )
+        .unwrap();
+        let cloned = rel.clone();
+        assert!(rel.shares_rows_with(&cloned));
+        let aliased = rel.renamed("C1");
+        assert!(rel.shares_rows_with(&aliased));
+        let shared = Relation::from_shared(rel.schema().clone(), rel.shared_rows());
+        assert!(rel.shares_rows_with(&shared));
+    }
+
+    #[test]
+    fn push_on_a_shared_buffer_is_copy_on_write() {
+        let mut rel = Relation::new(
+            schema(),
+            vec![Tuple::new(vec![Value::from(1i64), Value::from("Alice")])],
+        )
+        .unwrap();
+        let view = rel.clone();
+        rel.push(Tuple::new(vec![Value::from(2i64), Value::from("Bob")]))
+            .unwrap();
+        // The writer got a private buffer; the shared view is untouched.
+        assert!(!rel.shares_rows_with(&view));
+        assert_eq!(rel.len(), 2);
+        assert_eq!(view.len(), 1);
+    }
+
+    #[test]
+    fn into_rows_copies_only_when_shared() {
+        let rel = Relation::new(
+            schema(),
+            vec![Tuple::new(vec![Value::from(1i64), Value::from("Alice")])],
+        )
+        .unwrap();
+        let view = rel.clone();
+        let rows = rel.into_rows(); // shared with `view` → copied
+        assert_eq!(rows.len(), 1);
+        let rows = view.into_rows(); // sole owner → moved out
+        assert_eq!(rows.len(), 1);
     }
 
     #[test]
