@@ -1,0 +1,67 @@
+//! Runs the DAG-runtime micro-benchmark (parallel shared-operator scheduler vs. the sequential
+//! shared path) and writes `BENCH_dag.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p urm-bench --bin dag_bench \
+//!     [--scale N] [--queries N] [--iters N] [--workers N] [--json PATH]
+//! ```
+//!
+//! JSON goes to `BENCH_dag.json` by default (`--json -` disables it).
+
+use std::env;
+use urm_bench::dag_bench::{run, DagBenchConfig};
+use urm_bench::report;
+
+fn main() {
+    let args: Vec<String> = env::args().collect();
+    let mut config = DagBenchConfig::default();
+    let parse = |flag: &str| -> Option<usize> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|pos| args.get(pos + 1))
+            .and_then(|s| s.parse().ok())
+    };
+    if let Some(v) = parse("--scale") {
+        config.scale = v;
+    }
+    if let Some(v) = parse("--queries") {
+        config.queries = v;
+    }
+    if let Some(v) = parse("--iters") {
+        config.iters = v;
+    }
+    if let Some(v) = parse("--workers") {
+        config.workers = v;
+    }
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(pos) => match args.get(pos + 1) {
+            Some(path) if !path.starts_with("--") => path.clone(),
+            _ => {
+                eprintln!("error: --json needs a path argument (use '--json -' to disable)");
+                std::process::exit(1);
+            }
+        },
+        None => "BENCH_dag.json".to_string(),
+    };
+
+    eprintln!(
+        "dag micro-benchmark (scale={}, queries={}, iters={}, workers={}, seed={}) …",
+        config.scale, config.queries, config.iters, config.workers, config.seed
+    );
+    let rows = run(&config).expect("micro-benchmark failed");
+    println!("{}", report::render_table("dag", &rows));
+    for row in &rows {
+        if let Some((name, value)) = &row.extra {
+            if row.series != "shared-sequential" && !row.series.starts_with("dag-parallel") {
+                println!("{} {name}: {value:.2}", row.series);
+            }
+        }
+    }
+    if json_path != "-" {
+        std::fs::write(&json_path, report::render_json(&rows))
+            .unwrap_or_else(|err| panic!("cannot write {json_path}: {err}"));
+        eprintln!("wrote {json_path}");
+    }
+}

@@ -12,10 +12,12 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod dag_bench;
 pub mod executor_bench;
 pub mod experiments;
 pub mod report;
 
+pub use dag_bench::DagBenchConfig;
 pub use executor_bench::ExecutorBenchConfig;
 pub use experiments::{ExperimentRow, Harness, HarnessConfig};
 pub use report::{render_json, render_table};

@@ -1,13 +1,16 @@
-//! Batch evaluation: many probabilistic queries over one mapping set, sharing work across the
-//! whole batch.
+//! Batch evaluation: many probabilistic queries over one mapping set, lowered onto a single
+//! merged shared-operator DAG.
 //!
 //! The paper evaluates sharing *within* one probabilistic query (its `h` reformulations).  A
 //! serving layer gets a second amortisation axis: independent queries submitted concurrently
 //! against the same (catalog, mapping set) epoch overlap heavily — they scan the same source
 //! relations and, with ambiguous matchings, frequently reformulate onto identical source
-//! sub-plans.  [`evaluate_batch`] therefore routes the distinct source queries of *every* query
-//! in the batch through one [`SharedPlanCache`]: each distinct sub-plan (fingerprinted via
-//! [`Plan::fingerprint`](urm_engine::Plan::fingerprint)) is materialised once per batch.
+//! sub-plans.  [`evaluate_batch`] therefore binds the distinct source queries of *every* query
+//! in the batch and merges them into one [`OperatorDag`]: each distinct bound operator
+//! (deduplicated by bound-plan fingerprint) becomes one node, shared sub-plans become fan-out
+//! edges, and the [`DagScheduler`] executes every node **exactly once** — sequentially, or on
+//! parallel worker threads when [`BatchOptions::workers`] ≥ 2 (independent operators of
+//! different queries run concurrently; results are byte-identical either way).
 //!
 //! Per-query aggregation is unchanged from `e-basic` — each query's answer is the
 //! probability-weighted union of its distinct reformulations — so batch answers agree with
@@ -16,109 +19,173 @@
 use crate::answer::ProbabilisticAnswer;
 use crate::metrics::{EvalMetrics, Evaluation};
 use crate::query::TargetQuery;
-use crate::reformulate::{clustered_reformulations, extract_answers};
+use crate::reformulate::{clustered_reformulations, extract_answers, Extraction};
 use crate::CoreResult;
 use std::time::Instant;
-use urm_engine::{optimize::optimize, Executor};
+use urm_engine::{optimize::optimize, DagScheduler, ExecStats, Executor, OperatorDag};
 use urm_matching::MappingSet;
-use urm_mqo::SharedPlanCache;
 use urm_storage::Catalog;
+
+/// Tuning knobs of one batch evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchOptions {
+    /// Worker threads for the DAG scheduler (1 = sequential topological execution).
+    pub workers: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions { workers: 1 }
+    }
+}
+
+impl BatchOptions {
+    /// Sequential execution (the scheduler walks the topological order on the calling thread).
+    #[must_use]
+    pub fn sequential() -> Self {
+        BatchOptions::default()
+    }
+
+    /// Parallel execution over `workers` scoped threads (clamped to at least 1).
+    #[must_use]
+    pub fn parallel(workers: usize) -> Self {
+        BatchOptions {
+            workers: workers.max(1),
+        }
+    }
+}
 
 /// The outcome of one batch evaluation.
 #[derive(Debug)]
 pub struct BatchEvaluation {
-    /// One evaluation per input query, in input order.
+    /// One evaluation per input query, in input order.  Per-query `metrics.exec` is empty —
+    /// shared DAG nodes belong to several queries at once, so executor work is accounted
+    /// batch-wide in [`exec`](BatchEvaluation::exec) instead.
     pub evaluations: Vec<Evaluation>,
-    /// Sub-plan cache hits across the whole batch (delta over this call).
+    /// Operator insertions answered by an existing DAG node — the sharing the merged DAG
+    /// realised across the whole batch.
     pub plan_hits: u64,
-    /// Sub-plan cache misses across the whole batch (delta over this call).
+    /// Distinct operator nodes in the merged DAG (each executed exactly once).
     pub plan_misses: u64,
+    /// Batch-wide executor statistics (operators, scans, tuples, time).
+    pub exec: ExecStats,
+    /// Distinct nodes of the merged batch DAG (same value as `plan_misses`, by construction).
+    pub dag_nodes: usize,
+    /// Maximum number of DAG nodes in flight at once (1 for sequential runs).
+    pub peak_parallelism: usize,
+    /// Worker threads the DAG was scheduled on.
+    pub workers: usize,
 }
 
 impl BatchEvaluation {
-    /// Total source operators executed across the batch.
+    /// Total source operators executed across the batch (the paper's Table IV metric).
     #[must_use]
     pub fn source_operators(&self) -> u64 {
-        self.evaluations
-            .iter()
-            .map(|e| e.metrics.source_operators())
-            .sum()
+        self.exec.operators_executed + self.exec.scans
     }
 }
 
-/// Evaluates every query of a batch against the same mapping set and catalog, sharing
-/// materialised sub-plans across the *entire batch* through `cache`.
+/// Per-query bookkeeping between the DAG-build and aggregation phases.
+struct PendingQuery {
+    /// (index into the DAG's root results, probability, extraction rule) per distinct
+    /// reformulation.
+    roots: Vec<(usize, f64, Extraction)>,
+    empty_probability: f64,
+    metrics: EvalMetrics,
+    started: Instant,
+}
+
+/// Evaluates every query of a batch against the same mapping set and catalog through one merged
+/// shared-operator DAG (see the module docs).
 ///
-/// The cache may be freshly created per batch (the service layer does this, bounding it) or
-/// reused across calls to keep hot sub-plans warm — **but only while `catalog` stays alive and
-/// unchanged**.  Entries are keyed by *bound-plan* fingerprints, which tie every scan to the
-/// identity (address) of its catalog snapshot's row buffer, so two live catalogs never collide;
-/// but once a catalog is dropped the allocator may recycle a buffer address, and a cache that
-/// outlives the catalog it was warmed against could then serve stale relations.  Create a fresh
-/// cache per catalog epoch, as the serving layer does.  Hit/miss deltas for this call are
-/// reported on the returned [`BatchEvaluation`] either way.
+/// The DAG is built fresh per call and bound against `catalog`, so there is no cross-epoch
+/// staleness to manage: identity-based bound-plan fingerprints never outlive the catalog they
+/// were bound against.
 pub fn evaluate_batch(
     queries: &[TargetQuery],
     mappings: &MappingSet,
     catalog: &Catalog,
-    cache: &mut SharedPlanCache,
+    options: &BatchOptions,
 ) -> CoreResult<BatchEvaluation> {
-    let hits_before = cache.hits();
-    let misses_before = cache.misses();
-    let mut evaluations = Vec::with_capacity(queries.len());
+    let mut exec = Executor::new(catalog);
+    let mut dag = OperatorDag::new();
+    let mut pending: Vec<PendingQuery> = Vec::with_capacity(queries.len());
+    let mut next_root = 0usize;
+
+    // Phase 1: rewrite every query through every mapping, bind the distinct source queries and
+    // merge them into the batch DAG.  Sharing across queries happens here, structurally.
     for query in queries {
-        evaluations.push(evaluate_one(query, mappings, catalog, cache)?);
+        let started = Instant::now();
+        let mut metrics = EvalMetrics::new("batch");
+        metrics.representative_mappings = mappings.len();
+
+        let rewrite_start = Instant::now();
+        let (ordered, empty_probability) = clustered_reformulations(query, mappings, catalog)?;
+        metrics.rewrite_time = rewrite_start.elapsed();
+        metrics.distinct_source_queries = ordered.len();
+
+        let reused_before = dag.operators_reused();
+        let nodes_before = dag.node_count();
+        let mut roots = Vec::with_capacity(ordered.len());
+        let plan_start = Instant::now();
+        for (sq, probability) in ordered {
+            let plan = optimize(&sq.plan, catalog)?;
+            let physical = exec.bind(&plan)?;
+            dag.add_root(&physical);
+            roots.push((next_root, probability, sq.extraction));
+            next_root += 1;
+        }
+        metrics.plan_time = plan_start.elapsed();
+        metrics.shared_plan_hits = dag.operators_reused() - reused_before;
+        metrics.shared_plan_misses = (dag.node_count() - nodes_before) as u64;
+
+        pending.push(PendingQuery {
+            roots,
+            empty_probability,
+            metrics,
+            started,
+        });
     }
+
+    // Phase 2: execute every distinct operator exactly once, fanning results out to all
+    // consumers — in parallel when asked to.
+    let scheduler = DagScheduler::with_workers(options.workers);
+    let run = scheduler.execute(&dag, &mut exec)?;
+    for _ in 0..run.root_results.len() {
+        exec.stats_mut().record_source_query();
+    }
+
+    // Phase 3: per-query probabilistic aggregation, unchanged from e-basic.
+    let mut evaluations = Vec::with_capacity(pending.len());
+    for mut query in pending {
+        let agg_start = Instant::now();
+        let mut answer = ProbabilisticAnswer::new();
+        for (root, probability, extraction) in &query.roots {
+            let result = &run.root_results[*root];
+            answer.add_distinct(extract_answers(result, extraction), *probability);
+        }
+        if query.empty_probability > 0.0 {
+            answer.add_empty(query.empty_probability);
+        }
+        query.metrics.aggregation_time = agg_start.elapsed();
+        // Wall-clock spans submission to aggregation; the execution slice in the middle is
+        // indivisible across queries (shared nodes), so executor time is reported batch-wide.
+        query.metrics.total_time = query.started.elapsed();
+        evaluations.push(Evaluation {
+            answer,
+            metrics: query.metrics,
+        });
+    }
+
     Ok(BatchEvaluation {
         evaluations,
-        plan_hits: cache.hits() - hits_before,
-        plan_misses: cache.misses() - misses_before,
+        plan_hits: dag.operators_reused(),
+        plan_misses: dag.node_count() as u64,
+        exec: exec.into_stats(),
+        dag_nodes: run.report.nodes_executed as usize,
+        peak_parallelism: run.report.peak_parallelism,
+        workers: run.report.workers,
     })
-}
-
-/// Evaluates one query of a batch through the shared cache (`e-basic` per-query semantics).
-fn evaluate_one(
-    query: &TargetQuery,
-    mappings: &MappingSet,
-    catalog: &Catalog,
-    cache: &mut SharedPlanCache,
-) -> CoreResult<Evaluation> {
-    let total_start = Instant::now();
-    let mut metrics = EvalMetrics::new("batch");
-    metrics.representative_mappings = mappings.len();
-    let hits_before = cache.hits();
-    let misses_before = cache.misses();
-    let mut answer = ProbabilisticAnswer::new();
-
-    // Rewrite through every mapping and cluster identical source queries (as e-basic does).
-    let rewrite_start = Instant::now();
-    let (ordered, empty_probability) = clustered_reformulations(query, mappings, catalog)?;
-    metrics.rewrite_time = rewrite_start.elapsed();
-    metrics.distinct_source_queries = ordered.len();
-
-    // Execute each distinct source query through the batch-wide sub-plan cache.
-    let mut exec = Executor::new(catalog);
-    for (sq, probability) in ordered {
-        let plan_start = Instant::now();
-        let plan = optimize(&sq.plan, catalog)?;
-        metrics.plan_time += plan_start.elapsed();
-
-        let result = cache.execute_shared(&plan, &mut exec)?;
-        exec.stats_mut().record_source_query();
-
-        let agg_start = Instant::now();
-        answer.add_distinct(extract_answers(&result, &sq.extraction), probability);
-        metrics.aggregation_time += agg_start.elapsed();
-    }
-    if empty_probability > 0.0 {
-        answer.add_empty(empty_probability);
-    }
-
-    metrics.exec = exec.into_stats();
-    metrics.shared_plan_hits = cache.hits() - hits_before;
-    metrics.shared_plan_misses = cache.misses() - misses_before;
-    metrics.total_time = total_start.elapsed();
-    Ok(Evaluation { answer, metrics })
 }
 
 #[cfg(test)]
@@ -144,8 +211,8 @@ mod tests {
         let catalog = testkit::figure2_catalog();
         let mappings = testkit::figure3_mappings();
         let queries = paper_queries();
-        let mut cache = SharedPlanCache::new();
-        let batch = evaluate_batch(&queries, &mappings, &catalog, &mut cache).unwrap();
+        let batch =
+            evaluate_batch(&queries, &mappings, &catalog, &BatchOptions::sequential()).unwrap();
         assert_eq!(batch.evaluations.len(), queries.len());
         for (query, eval) in queries.iter().zip(&batch.evaluations) {
             let reference = basic::evaluate(query, &mappings, &catalog).unwrap();
@@ -170,15 +237,64 @@ mod tests {
     }
 
     #[test]
+    fn parallel_batch_is_byte_identical_to_sequential() {
+        let catalog = testkit::figure2_catalog();
+        let mappings = testkit::figure3_mappings();
+        let queries = paper_queries();
+        let sequential =
+            evaluate_batch(&queries, &mappings, &catalog, &BatchOptions::sequential()).unwrap();
+        for workers in [2, 4] {
+            let parallel = evaluate_batch(
+                &queries,
+                &mappings,
+                &catalog,
+                &BatchOptions::parallel(workers),
+            )
+            .unwrap();
+            for (a, b) in sequential.evaluations.iter().zip(&parallel.evaluations) {
+                let sa = a.answer.sorted();
+                let sb = b.answer.sorted();
+                assert_eq!(sa.len(), sb.len());
+                for ((t1, p1), (t2, p2)) in sa.iter().zip(&sb) {
+                    assert_eq!(t1, t2);
+                    assert_eq!(p1.to_bits(), p2.to_bits());
+                }
+            }
+            // Work totals are mode-independent; only the wall-clock layout differs.
+            assert_eq!(parallel.source_operators(), sequential.source_operators());
+            assert_eq!(parallel.dag_nodes, sequential.dag_nodes);
+            assert_eq!(parallel.workers, workers);
+        }
+    }
+
+    #[test]
+    fn each_distinct_operator_executes_exactly_once() {
+        // The node-dedup invariant: executed operators == distinct DAG nodes, with genuine
+        // sharing across the batch (reused > 0 because queries repeat and overlap).
+        let catalog = testkit::figure2_catalog();
+        let mappings = testkit::figure3_mappings();
+        let queries = vec![testkit::q0(), testkit::q1(), testkit::q0(), testkit::q0()];
+        let batch =
+            evaluate_batch(&queries, &mappings, &catalog, &BatchOptions::sequential()).unwrap();
+        assert_eq!(
+            batch.exec.operators_executed + batch.exec.scans,
+            batch.dag_nodes as u64,
+            "every distinct bound operator must execute exactly once"
+        );
+        assert_eq!(batch.plan_misses, batch.dag_nodes as u64);
+        assert!(batch.plan_hits > 0, "no cross-query operator sharing");
+    }
+
+    #[test]
     fn batch_shares_subplans_across_queries() {
         let catalog = testkit::figure2_catalog();
         let mappings = testkit::figure3_mappings();
         // q0 and q1 both select on Customer through overlapping correspondences.
         let queries = vec![testkit::q0(), testkit::q1(), testkit::q0()];
-        let mut cache = SharedPlanCache::new();
-        let batch = evaluate_batch(&queries, &mappings, &catalog, &mut cache).unwrap();
+        let batch =
+            evaluate_batch(&queries, &mappings, &catalog, &BatchOptions::sequential()).unwrap();
         assert!(batch.plan_hits > 0, "no cross-query sub-plan sharing");
-        // The duplicated q0 finds *all* of its sub-plans in the cache.
+        // The duplicated q0 contributes *no* new node to the merged DAG.
         let repeat = &batch.evaluations[2].metrics;
         assert_eq!(repeat.shared_plan_misses, 0);
         assert!(repeat.shared_plan_hits > 0);
@@ -189,10 +305,8 @@ mod tests {
         let catalog = testkit::figure2_catalog();
         let mappings = testkit::figure3_mappings();
         let queries = paper_queries();
-        let mut cache_a = SharedPlanCache::new();
-        let a = evaluate_batch(&queries, &mappings, &catalog, &mut cache_a).unwrap();
-        let mut cache_b = SharedPlanCache::new();
-        let b = evaluate_batch(&queries, &mappings, &catalog, &mut cache_b).unwrap();
+        let a = evaluate_batch(&queries, &mappings, &catalog, &BatchOptions::sequential()).unwrap();
+        let b = evaluate_batch(&queries, &mappings, &catalog, &BatchOptions::parallel(3)).unwrap();
         for (x, y) in a.evaluations.iter().zip(&b.evaluations) {
             assert_eq!(x.answer.sorted(), y.answer.sorted());
         }
@@ -202,10 +316,10 @@ mod tests {
     fn empty_batch_is_empty() {
         let catalog = testkit::figure2_catalog();
         let mappings = testkit::figure3_mappings();
-        let mut cache = SharedPlanCache::new();
-        let batch = evaluate_batch(&[], &mappings, &catalog, &mut cache).unwrap();
+        let batch = evaluate_batch(&[], &mappings, &catalog, &BatchOptions::parallel(4)).unwrap();
         assert!(batch.evaluations.is_empty());
         assert_eq!(batch.plan_hits + batch.plan_misses, 0);
         assert_eq!(batch.source_operators(), 0);
+        assert_eq!(batch.dag_nodes, 0);
     }
 }

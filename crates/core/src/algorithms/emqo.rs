@@ -7,7 +7,7 @@ use crate::query::TargetQuery;
 use crate::reformulate::{clustered_reformulations, extract_answers};
 use crate::CoreResult;
 use std::time::Instant;
-use urm_engine::{optimize::optimize, Executor};
+use urm_engine::{optimize::optimize, DagScheduler, Executor};
 use urm_matching::MappingSet;
 use urm_mqo::GlobalPlan;
 use urm_storage::Catalog;
@@ -41,9 +41,13 @@ pub fn evaluate(
     let global = GlobalPlan::build(&optimized, catalog)?;
     metrics.plan_time = plan_start.elapsed();
 
-    // Phase 3: execute the global plan; each distinct operator runs exactly once.
+    // Phase 3: lower the global plan onto one merged shared-operator DAG and execute it; each
+    // distinct operator runs exactly once (the node-dedup report makes that observable).
     let mut exec = Executor::new(catalog);
-    let results = global.execute(&mut exec)?;
+    let run = global.execute_dag(&mut exec, DagScheduler::sequential())?;
+    metrics.shared_plan_hits = run.report.operators_reused;
+    metrics.shared_plan_misses = run.report.nodes_executed;
+    let results = run.root_results;
 
     let agg_start = Instant::now();
     for ((sq, probability), result) in ordered.iter().zip(results.iter()) {

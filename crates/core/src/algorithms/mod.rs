@@ -9,8 +9,9 @@
 //! * [`osharing`] — interleave reformulation and execution operator by operator, sharing work
 //!   whenever mappings agree on the correspondences an operator needs (Sections V–VI);
 //! * [`topk`] — the probabilistic top-k algorithm built on the o-sharing u-trace (Section VII);
-//! * [`batch`] — batch evaluation of many queries over one mapping set, sharing materialised
-//!   sub-plans across the whole batch (the entry point of the `urm-service` serving layer).
+//! * [`batch`] — batch evaluation of many queries over one mapping set, lowered onto one
+//!   merged shared-operator DAG with optional parallel scheduling (the entry point of the
+//!   `urm-service` serving layer).
 
 pub mod basic;
 pub mod batch;

@@ -5,12 +5,20 @@
 //! land in the same partition exactly when they translate every query attribute identically,
 //! hence produce the same source query.  Only one *representative* mapping per partition is then
 //! reformulated and executed, carrying the partition's total probability.
+//!
+//! Execution goes through the bound physical path: every representative's plan is bound and
+//! merged into one [`DagExecutor`] DAG, so representatives that still overlap structurally
+//! (shared scans, shared selection prefixes — sharing *below* query granularity, which the
+//! partition tree cannot see) execute each distinct bound operator once.
 
-use crate::metrics::Evaluation;
+use crate::answer::ProbabilisticAnswer;
+use crate::metrics::{EvalMetrics, Evaluation};
 use crate::partition::{partition_mappings, representatives};
 use crate::query::TargetQuery;
+use crate::reformulate::{extract_answers, reformulate, Reformulated};
 use crate::CoreResult;
 use std::time::Instant;
+use urm_engine::{optimize::optimize, DagExecutor, Executor};
 use urm_matching::MappingSet;
 use urm_storage::Catalog;
 
@@ -21,19 +29,55 @@ pub fn evaluate(
     catalog: &Catalog,
 ) -> CoreResult<Evaluation> {
     let total_start = Instant::now();
+    let mut metrics = EvalMetrics::new("q-sharing");
 
     // Step 1-2: partition the mappings and pick representatives (Algorithm 1).
     let partition_start = Instant::now();
     let partitions = partition_mappings(query, mappings)?;
     let reps = representatives(&partitions, mappings);
-    let partition_time = partition_start.elapsed();
+    metrics.rewrite_time += partition_start.elapsed();
+    metrics.representative_mappings = reps.len();
 
-    // Step 3: evaluate the representatives with `basic`.
-    let mut evaluation = super::basic::evaluate_weighted(query, &reps, catalog, "q-sharing")?;
-    evaluation.metrics.rewrite_time += partition_time;
-    evaluation.metrics.representative_mappings = reps.len();
-    evaluation.metrics.total_time = total_start.elapsed();
-    Ok(evaluation)
+    // Step 3: reformulate and execute one source query per representative, all lowered onto
+    // one merged shared-operator DAG.
+    let mut answer = ProbabilisticAnswer::new();
+    let mut exec = Executor::new(catalog);
+    let mut dag = DagExecutor::new();
+    let mut distinct = std::collections::HashSet::new();
+    for (mapping, probability) in &reps {
+        let rewrite_start = Instant::now();
+        let reformulated = reformulate(query, mapping, catalog)?;
+        metrics.rewrite_time += rewrite_start.elapsed();
+
+        match reformulated {
+            Reformulated::Empty => {
+                let agg_start = Instant::now();
+                answer.add_empty(*probability);
+                metrics.aggregation_time += agg_start.elapsed();
+            }
+            Reformulated::Query(sq) => {
+                distinct.insert(sq.clone());
+                let plan_start = Instant::now();
+                let plan = optimize(&sq.plan, catalog)?;
+                metrics.plan_time += plan_start.elapsed();
+
+                let result = dag.run_shared(&plan, &mut exec)?;
+                exec.stats_mut().record_source_query();
+
+                let agg_start = Instant::now();
+                let tuples = extract_answers(&result, &sq.extraction);
+                answer.add_distinct(tuples, *probability);
+                metrics.aggregation_time += agg_start.elapsed();
+            }
+        }
+    }
+
+    metrics.exec = exec.into_stats();
+    metrics.distinct_source_queries = distinct.len();
+    metrics.shared_plan_hits = dag.hits();
+    metrics.shared_plan_misses = dag.executed();
+    metrics.total_time = total_start.elapsed();
+    Ok(Evaluation { answer, metrics })
 }
 
 #[cfg(test)]

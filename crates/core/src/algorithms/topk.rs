@@ -144,6 +144,8 @@ pub fn top_k(
     let sink = TopKSink::new(k);
     let mut runner = UTraceRunner::new(query, catalog, reps, strategy, sink);
     runner.run()?;
+    metrics.shared_plan_hits = runner.shared_hits();
+    metrics.shared_plan_misses = runner.distinct_nodes();
     let (sink, exec_stats, eunits, rewrite_time) = runner.into_parts();
 
     metrics.exec = exec_stats;

@@ -61,7 +61,7 @@ pub mod reformulate;
 pub mod strategy;
 pub mod testkit;
 
-pub use algorithms::batch::{evaluate_batch, BatchEvaluation};
+pub use algorithms::batch::{evaluate_batch, BatchEvaluation, BatchOptions};
 pub use algorithms::{evaluate, topk::top_k, topk::TopKEvaluation, Algorithm};
 pub use answer::ProbabilisticAnswer;
 pub use error::{CoreError, CoreResult};

@@ -11,6 +11,7 @@
 //! Q4 x10      # ten consecutive submissions of Q4
 //! sel:3       # selection-sweep query with 3 selections (Figure 11(d))
 //! prod:2      # product-sweep query with 2 products (Figure 11(e))
+//! join:3      # join-heavy query fanning 3 Item joins out of one PO scan
 //! ```
 
 use crate::scenario::TargetSchemaKind;
@@ -29,35 +30,34 @@ pub struct WorkloadEntry {
     pub query: TargetQuery,
 }
 
-/// Parses one workload spec (`Q1`–`Q10`, `sel:N` or `prod:N`) into an entry.
+/// Parses one workload spec (`Q1`–`Q10`, `sel:N`, `prod:N` or `join:N`) into an entry.
 pub fn parse_spec(spec: &str) -> CoreResult<WorkloadEntry> {
     let spec = spec.trim();
-    if let Some(n) = spec.strip_prefix("sel:") {
+    let sweep = |family: &'static str, n: &str, build: fn(usize) -> CoreResult<_>| {
         let n: usize = n
             .parse()
-            .map_err(|_| CoreError::InvalidQuery(format!("bad selection count in '{spec}'")))?;
-        return Ok(WorkloadEntry {
+            .map_err(|_| CoreError::InvalidQuery(format!("bad {family} count in '{spec}'")))?;
+        Ok(WorkloadEntry {
             label: spec.to_string(),
             target: TargetSchemaKind::Excel,
-            query: workload::selection_sweep(n)?,
-        });
+            query: build(n)?,
+        })
+    };
+    if let Some(n) = spec.strip_prefix("sel:") {
+        return sweep("selection", n, workload::selection_sweep);
     }
     if let Some(n) = spec.strip_prefix("prod:") {
-        let n: usize = n
-            .parse()
-            .map_err(|_| CoreError::InvalidQuery(format!("bad product count in '{spec}'")))?;
-        return Ok(WorkloadEntry {
-            label: spec.to_string(),
-            target: TargetSchemaKind::Excel,
-            query: workload::product_sweep(n)?,
-        });
+        return sweep("product", n, workload::product_sweep);
+    }
+    if let Some(n) = spec.strip_prefix("join:") {
+        return sweep("join", n, workload::join_sweep);
     }
     let id = QueryId::all()
         .into_iter()
         .find(|id| format!("Q{}", id.number()).eq_ignore_ascii_case(spec))
         .ok_or_else(|| {
             CoreError::InvalidQuery(format!(
-                "unknown workload spec '{spec}' (expected Q1–Q10, sel:N or prod:N)"
+                "unknown workload spec '{spec}' (expected Q1–Q10, sel:N, prod:N or join:N)"
             ))
         })?;
     Ok(WorkloadEntry {
@@ -111,6 +111,30 @@ pub fn synthetic_workload(n: usize, target: Option<TargetSchemaKind>) -> Vec<Wor
         .collect()
 }
 
+/// A deterministic join-heavy workload of `n` requests (all on the Excel schema): the
+/// multi-join Table III queries (Q3, Q4) interleaved with the `join:N` fan-out family.  This is
+/// the batch shape that exercises DAG fan-out — every request shares the `PO`/`Item` scans
+/// while contributing independent join nodes for the parallel scheduler.
+#[must_use]
+pub fn join_heavy_workload(n: usize) -> Vec<WorkloadEntry> {
+    let specs = ["Q3", "Q4", "join:2", "join:3", "Q4", "join:4"];
+    (0..n)
+        .map(|i| parse_spec(specs[i % specs.len()]).expect("join-heavy specs are well-formed"))
+        .collect()
+}
+
+/// A deterministic top-k candidate workload of `n` requests: the tuple-returning Excel queries
+/// whose answers have many distinct candidates, the shape the probabilistic top-k algorithm
+/// (Section VII) prunes.  Entries are plain target queries — callers choose `k` when invoking
+/// [`top_k`](urm_core::top_k) — so the same batch replays under exact and top-k evaluation.
+#[must_use]
+pub fn top_k_workload(n: usize) -> Vec<WorkloadEntry> {
+    let specs = ["Q1", "join:2", "Q2", "sel:2", "Q3"];
+    (0..n)
+        .map(|i| parse_spec(specs[i % specs.len()]).expect("top-k specs are well-formed"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,8 +145,22 @@ mod tests {
         assert_eq!(parse_spec("q10").unwrap().target, TargetSchemaKind::Paragon);
         assert_eq!(parse_spec("sel:3").unwrap().query.predicate_count(), 3);
         assert_eq!(parse_spec("prod:2").unwrap().query.product_count(), 2);
+        assert_eq!(parse_spec("join:3").unwrap().query.relations().len(), 4);
         assert!(parse_spec("Q11").is_err());
         assert!(parse_spec("sel:x").is_err());
+        assert!(parse_spec("join:x").is_err());
+    }
+
+    #[test]
+    fn join_heavy_and_topk_workloads_are_excel_only_and_cycle() {
+        let joins = join_heavy_workload(8);
+        assert_eq!(joins.len(), 8);
+        assert!(joins.iter().all(|e| e.target == TargetSchemaKind::Excel));
+        assert_eq!(joins[0].label, joins[6].label);
+        let topk = top_k_workload(7);
+        assert_eq!(topk.len(), 7);
+        assert!(topk.iter().all(|e| e.target == TargetSchemaKind::Excel));
+        assert_eq!(topk[0].label, topk[5].label);
     }
 
     #[test]

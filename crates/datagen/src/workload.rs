@@ -206,6 +206,26 @@ pub fn product_sweep(n: usize) -> CoreResult<TargetQuery> {
     builder.returning(["PO1.orderNum"]).build()
 }
 
+/// The join-heavy family: `n` (1–4) `Item` aliases all equi-joined to one Excel `PO` scan on
+/// `orderNum`, with one selective predicate.  Reformulated, these become the wide-fan-out
+/// plans the shared-operator DAG runtime exists for: the `PO` and `Item` scans are shared by
+/// every join, and the joins themselves are independent DAG nodes the parallel scheduler can
+/// run concurrently.
+pub fn join_sweep(n: usize) -> CoreResult<TargetQuery> {
+    let n = n.clamp(1, 4);
+    let mut builder = TargetQuery::builder(format!("join-{n}"))
+        .relation("PO")
+        .filter_eq("PO.telephone", planted::TELEPHONE);
+    for i in 1..=n {
+        builder = builder
+            .relation_as("Item", format!("Item{i}"))
+            .join("PO.orderNum", &format!("Item{i}.orderNum"));
+    }
+    builder
+        .returning(["PO.orderNum", &format!("Item{n}.itemNum")])
+        .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,5 +280,17 @@ mod tests {
             let q = product_sweep(n).unwrap();
             assert_eq!(q.product_count(), n);
         }
+    }
+
+    #[test]
+    fn join_sweep_fans_out_n_joins_from_one_po_scan() {
+        for n in 1..=4 {
+            let q = join_sweep(n).unwrap();
+            assert_eq!(q.relations().len(), n + 1);
+            // One selective predicate plus one join predicate per Item alias.
+            assert_eq!(q.predicate_count(), n + 1);
+        }
+        assert_eq!(join_sweep(0).unwrap().relations().len(), 2);
+        assert_eq!(join_sweep(9).unwrap().relations().len(), 5);
     }
 }

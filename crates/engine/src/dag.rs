@@ -1,0 +1,823 @@
+//! The shared-operator DAG runtime: sharing as a first-class graph edge.
+//!
+//! Every sharing mechanism of the paper — e-MQO's global plans (§III-B.3), q-sharing's
+//! representative queries (§IV) and o-sharing's e-units (§V–VI) — bottoms out in the same
+//! observation: two queries (or two mapping partitions) that need the *same bound operator over
+//! the same inputs* should execute it once and share the result.  Before this module, each
+//! mechanism realised that observation with its own cache convention.  Here the observation is
+//! the data structure:
+//!
+//! ```text
+//!   bound plans  ──add_root()──►  OperatorDag  ──DagScheduler──►  root results
+//!   (PhysicalPlan trees)          nodes deduplicated              every distinct node
+//!                                 by fingerprint;                 executed exactly once;
+//!                                 edges carry Arc<Relation>       fan-out is an Arc clone
+//! ```
+//!
+//! * [`OperatorDag`] — the IR.  Nodes are bound physical operators, deduplicated by
+//!   [`PhysicalPlan::fingerprint`]; an operator shared by `n` consumers is one node with `n`
+//!   incoming edges.  Because children are inserted before parents, the node vector is a
+//!   topological order by construction.
+//! * [`DagScheduler`] — executes a DAG bottom-up.  The sequential mode walks the topological
+//!   order; the parallel mode runs independent *ready* nodes on scoped worker threads (each
+//!   with its own [`Executor`] over the shared catalog), merging statistics afterwards.  Both
+//!   modes execute every distinct node **exactly once** and hand each result to all consumers
+//!   as a shared `Arc<Relation>` — results are byte-identical regardless of mode or worker
+//!   count because every operator is a pure function of its children's batches.
+//! * [`DagExecutor`] — an incremental front-end for callers that discover operators one at a
+//!   time (the o-sharing u-trace, q-sharing's representative queries): each submitted plan is
+//!   merged into a growing DAG and only the nodes never executed before run.
+//!
+//! External caches (the bounded LRU of [`SharedPlanCache`]) plug in through
+//! [`OperatorDag::resolve_root`], which consults a lookup closure before descending into a
+//! subgraph — a cache hit prunes the entire subtree below it, exactly as the recursive cache
+//! did, but the sharing structure itself now lives in one place.
+//!
+//! [`SharedPlanCache`]: ../../urm_mqo/struct.SharedPlanCache.html
+
+use crate::executor::Executor;
+use crate::physical::PhysicalPlan;
+use crate::{EngineError, EngineResult};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use urm_storage::Relation;
+
+/// Identifier of a node in an [`OperatorDag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// The node's position in the DAG's topological node order.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One deduplicated operator of the DAG.
+#[derive(Debug)]
+struct DagNode {
+    /// The bound sub-plan rooted at this operator.  Execution only inspects the top-level
+    /// variant (children arrive as materialised batches), but keeping the full subtree makes
+    /// nodes self-describing (schema, display, re-fingerprinting).
+    plan: PhysicalPlan,
+    /// Child node indices, in [`PhysicalPlan::children`] order (duplicates allowed: an operator
+    /// may consume the same shared node twice).
+    children: Vec<usize>,
+    /// Consumer node indices (one entry per incoming edge, duplicates allowed).
+    consumers: Vec<usize>,
+    /// The node's sharing key.
+    fingerprint: u64,
+}
+
+/// A shared-operator DAG over bound physical plans.
+///
+/// Insert whole plans with [`add_root`](OperatorDag::add_root); every sub-plan is deduplicated
+/// against everything inserted so far, so the DAG of a query batch contains each distinct bound
+/// operator once, with fan-out edges to every consumer.  See the [module docs](self) for the
+/// execution model and the sharing guarantees.
+#[derive(Debug, Default)]
+pub struct OperatorDag {
+    nodes: Vec<DagNode>,
+    index: HashMap<u64, usize>,
+    roots: Vec<usize>,
+    offered: u64,
+    reused: u64,
+}
+
+impl OperatorDag {
+    /// Creates an empty DAG.
+    #[must_use]
+    pub fn new() -> Self {
+        OperatorDag::default()
+    }
+
+    /// Merges a bound plan into the DAG, returning the node its root deduplicated onto.
+    ///
+    /// Children are inserted before parents, so node indices are a topological order.
+    pub fn add_plan(&mut self, plan: &PhysicalPlan) -> NodeId {
+        let children: Vec<usize> = plan.children().map(|c| self.add_plan(c).0).collect();
+        self.offered += 1;
+        let fingerprint = plan.fingerprint();
+        if let Some(&existing) = self.index.get(&fingerprint) {
+            self.reused += 1;
+            return NodeId(existing);
+        }
+        let id = self.nodes.len();
+        for &child in &children {
+            self.nodes[child].consumers.push(id);
+        }
+        self.nodes.push(DagNode {
+            plan: plan.clone(),
+            children,
+            consumers: Vec::new(),
+            fingerprint,
+        });
+        self.index.insert(fingerprint, id);
+        NodeId(id)
+    }
+
+    /// Like [`add_plan`](OperatorDag::add_plan), additionally recording the node as a *root*
+    /// whose result [`DagScheduler::execute`] returns (in insertion order).  The same node may
+    /// be a root many times — duplicate queries in a batch share one execution and one result.
+    pub fn add_root(&mut self, plan: &PhysicalPlan) -> NodeId {
+        let id = self.add_plan(plan);
+        self.roots.push(id.0);
+        id
+    }
+
+    /// Number of distinct operator nodes (scans and `Values` leaves included).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of roots registered via [`add_root`](OperatorDag::add_root).
+    #[must_use]
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Whether the DAG has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total sub-plan insertions offered (including ones answered by an existing node).
+    #[must_use]
+    pub fn operators_offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Insertions that deduplicated onto an existing node — the sharing the DAG realises.
+    #[must_use]
+    pub fn operators_reused(&self) -> u64 {
+        self.reused
+    }
+
+    /// The sharing key of a node.
+    #[must_use]
+    pub fn fingerprint_of(&self, id: NodeId) -> u64 {
+        self.nodes[id.0].fingerprint
+    }
+
+    /// Number of incoming edges (consumers) of a node — its fan-out degree.
+    #[must_use]
+    pub fn consumer_count(&self, id: NodeId) -> usize {
+        self.nodes[id.0].consumers.len()
+    }
+
+    /// The bound plan rooted at a node.
+    #[must_use]
+    pub fn plan_of(&self, id: NodeId) -> &PhysicalPlan {
+        &self.nodes[id.0].plan
+    }
+
+    /// How many times each node's result is still needed during a run: once per consumer edge
+    /// plus once per root registration.  The scheduler drops a node's materialised result as
+    /// soon as this count drains, bounding peak memory to the *live* frontier of the DAG
+    /// instead of every intermediate of the whole batch.
+    fn retention_counts(&self) -> Vec<usize> {
+        let mut retain: Vec<usize> = self.nodes.iter().map(|n| n.consumers.len()).collect();
+        for &root in &self.roots {
+            retain[root] += 1;
+        }
+        retain
+    }
+
+    /// Resolves a single root bottom-up through an external result cache.
+    ///
+    /// [`DagResultCache::lookup`] is consulted *before* descending into a node's children: a
+    /// hit prunes the whole subgraph below it (and is the cache's to count).  Every computed
+    /// result is handed to [`DagResultCache::publish`] exactly once.  Within one call, nodes
+    /// reached through several consumers are resolved once (an internal memo, not a `lookup`
+    /// hit).
+    pub fn resolve_root(
+        &self,
+        root: NodeId,
+        exec: &mut Executor<'_>,
+        cache: &mut dyn DagResultCache,
+    ) -> EngineResult<Arc<Relation>> {
+        let mut memo: HashMap<usize, Arc<Relation>> = HashMap::new();
+        self.resolve_node(root.0, exec, cache, &mut memo)
+    }
+
+    fn resolve_node(
+        &self,
+        node: usize,
+        exec: &mut Executor<'_>,
+        cache: &mut dyn DagResultCache,
+        memo: &mut HashMap<usize, Arc<Relation>>,
+    ) -> EngineResult<Arc<Relation>> {
+        if let Some(done) = memo.get(&node) {
+            return Ok(Arc::clone(done));
+        }
+        if let Some(hit) = cache.lookup(self.nodes[node].fingerprint) {
+            memo.insert(node, Arc::clone(&hit));
+            return Ok(hit);
+        }
+        let mut children = Vec::with_capacity(self.nodes[node].children.len());
+        for &child in &self.nodes[node].children {
+            children.push(self.resolve_node(child, exec, cache, memo)?);
+        }
+        let result = exec.execute_node(&self.nodes[node].plan, &children)?;
+        cache.publish(self.nodes[node].fingerprint, &result);
+        memo.insert(node, Arc::clone(&result));
+        Ok(result)
+    }
+}
+
+/// An external result store plugged into [`OperatorDag::resolve_root`].
+///
+/// The bounded LRU of the shared-plan cache and the unbounded memo of the incremental
+/// [`DagExecutor`] both implement this: `lookup` answers a node by fingerprint (pruning its
+/// whole subgraph), `publish` receives every freshly computed result exactly once.
+pub trait DagResultCache {
+    /// Returns the stored result for a fingerprint, if any.
+    fn lookup(&mut self, fingerprint: u64) -> Option<Arc<Relation>>;
+    /// Stores a freshly computed result.
+    fn publish(&mut self, fingerprint: u64, result: &Arc<Relation>);
+}
+
+/// Work accounting for one DAG run.
+#[derive(Debug, Clone, Default)]
+pub struct DagRunReport {
+    /// Nodes actually executed (each exactly once).
+    pub nodes_executed: u64,
+    /// Operator insertions the DAG answered with an existing node — work *not* done.
+    pub operators_reused: u64,
+    /// Worker threads the run was scheduled on (1 = sequential).
+    pub workers: usize,
+    /// Maximum number of nodes in flight at once (1 for sequential runs).
+    pub peak_parallelism: usize,
+}
+
+/// The outcome of executing a DAG: one result per registered root, plus accounting.
+#[derive(Debug)]
+pub struct DagRun {
+    /// Root results, in [`OperatorDag::add_root`] order.  Duplicate roots alias one `Arc`.
+    pub root_results: Vec<Arc<Relation>>,
+    /// Work accounting.
+    pub report: DagRunReport,
+}
+
+/// Executes [`OperatorDag`]s: sequential topological walk, or parallel over scoped workers.
+#[derive(Debug, Clone, Copy)]
+pub struct DagScheduler {
+    workers: usize,
+}
+
+impl DagScheduler {
+    /// A scheduler that executes nodes one at a time in topological order.
+    #[must_use]
+    pub fn sequential() -> Self {
+        DagScheduler { workers: 1 }
+    }
+
+    /// A scheduler running independent ready nodes on `workers` scoped threads (1 = sequential).
+    #[must_use]
+    pub fn with_workers(workers: usize) -> Self {
+        DagScheduler {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes every distinct node of the DAG exactly once, bottom-up, and returns the root
+    /// results in registration order.
+    ///
+    /// Statistics (operators, scans, tuples, time) are charged to `exec`; in parallel mode each
+    /// worker accumulates into a private [`Executor`] over the same catalog and the totals are
+    /// merged into `exec` when the run completes, so counter totals are mode-independent.
+    pub fn execute(&self, dag: &OperatorDag, exec: &mut Executor<'_>) -> EngineResult<DagRun> {
+        let (results, peak_parallelism) = if self.workers <= 1 || dag.node_count() <= 1 {
+            (
+                self.execute_sequential(dag, exec)?,
+                usize::from(!dag.is_empty()),
+            )
+        } else {
+            self.execute_parallel(dag, exec)?
+        };
+        let root_results = dag
+            .roots
+            .iter()
+            .map(|&r| Arc::clone(results[r].as_ref().expect("root result retained")))
+            .collect();
+        Ok(DagRun {
+            root_results,
+            report: DagRunReport {
+                nodes_executed: dag.node_count() as u64,
+                operators_reused: dag.operators_reused(),
+                workers: self.workers,
+                peak_parallelism,
+            },
+        })
+    }
+
+    fn execute_sequential(
+        &self,
+        dag: &OperatorDag,
+        exec: &mut Executor<'_>,
+    ) -> EngineResult<Vec<Option<Arc<Relation>>>> {
+        // Node indices are topological by construction: children precede parents.  A node's
+        // result is dropped as soon as its last consumer has executed (roots are retained for
+        // extraction), so peak memory tracks the live frontier, not the whole batch.
+        let mut retain = dag.retention_counts();
+        let mut results: Vec<Option<Arc<Relation>>> = vec![None; dag.nodes.len()];
+        for (i, node) in dag.nodes.iter().enumerate() {
+            let children: Vec<Arc<Relation>> = node
+                .children
+                .iter()
+                .map(|&c| Arc::clone(results[c].as_ref().expect("child resolved")))
+                .collect();
+            let out = exec.execute_node(&node.plan, &children)?;
+            if retain[i] > 0 {
+                results[i] = Some(out);
+            }
+            for &c in &node.children {
+                retain[c] -= 1;
+                if retain[c] == 0 {
+                    results[c] = None;
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    fn execute_parallel(
+        &self,
+        dag: &OperatorDag,
+        exec: &mut Executor<'_>,
+    ) -> EngineResult<(Vec<Option<Arc<Relation>>>, usize)> {
+        let catalog = exec.catalog();
+        let shared = SchedState::new(dag);
+        let worker_count = self.workers.min(dag.node_count().max(1));
+        let mut stats_parts = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..worker_count)
+                .map(|_| {
+                    let shared = &shared;
+                    scope.spawn(move || {
+                        let mut worker_exec = Executor::new(catalog);
+                        shared.run_worker(dag, &mut worker_exec);
+                        worker_exec.into_stats()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                stats_parts.push(handle.join().expect("DAG worker panicked"));
+            }
+        });
+        for part in &stats_parts {
+            exec.stats_mut().merge(part);
+        }
+        let state = shared.state.into_inner().unwrap();
+        if let Some(err) = state.error {
+            return Err(err);
+        }
+        Ok((state.results, state.peak_parallel))
+    }
+}
+
+/// Shared scheduling state of one parallel run.
+struct SchedState {
+    state: Mutex<SchedInner>,
+    ready_cv: Condvar,
+}
+
+struct SchedInner {
+    /// Nodes whose children are all resolved, awaiting a worker.
+    ready: Vec<usize>,
+    /// Per-node results (`None` until executed, and again once no longer needed).
+    results: Vec<Option<Arc<Relation>>>,
+    /// Unresolved-child count per node (counts duplicate edges).
+    pending: Vec<usize>,
+    /// Remaining uses of each node's result (consumer edges + root registrations); a result is
+    /// dropped when this drains, bounding peak memory to the live frontier.
+    retain: Vec<usize>,
+    /// Nodes not yet finished.
+    remaining: usize,
+    /// Nodes currently executing on some worker.
+    in_flight: usize,
+    /// Maximum `in_flight` observed.
+    peak_parallel: usize,
+    /// First error raised by any worker (fails the whole run).
+    error: Option<EngineError>,
+}
+
+impl SchedState {
+    fn new(dag: &OperatorDag) -> Self {
+        let pending: Vec<usize> = dag.nodes.iter().map(|n| n.children.len()).collect();
+        let ready: Vec<usize> = pending
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &p)| (p == 0).then_some(i))
+            .collect();
+        SchedState {
+            state: Mutex::new(SchedInner {
+                ready,
+                results: vec![None; dag.nodes.len()],
+                pending,
+                retain: dag.retention_counts(),
+                remaining: dag.nodes.len(),
+                in_flight: 0,
+                peak_parallel: 0,
+                error: None,
+            }),
+            ready_cv: Condvar::new(),
+        }
+    }
+
+    fn run_worker(&self, dag: &OperatorDag, exec: &mut Executor<'_>) {
+        let mut guard = self.state.lock().unwrap();
+        loop {
+            if guard.error.is_some() || guard.remaining == 0 {
+                return;
+            }
+            let Some(node) = guard.ready.pop() else {
+                if guard.in_flight == 0 {
+                    // Unreachable for a well-formed DAG; bail rather than deadlock.
+                    return;
+                }
+                guard = self.ready_cv.wait(guard).unwrap();
+                continue;
+            };
+            guard.in_flight += 1;
+            guard.peak_parallel = guard.peak_parallel.max(guard.in_flight);
+            let children: Vec<Arc<Relation>> = dag.nodes[node]
+                .children
+                .iter()
+                .map(|&c| Arc::clone(guard.results[c].as_ref().expect("child resolved")))
+                .collect();
+            drop(guard);
+
+            let outcome = exec.execute_node(&dag.nodes[node].plan, &children);
+
+            guard = self.state.lock().unwrap();
+            guard.in_flight -= 1;
+            match outcome {
+                Ok(result) => {
+                    if guard.retain[node] > 0 {
+                        guard.results[node] = Some(result);
+                    }
+                    guard.remaining -= 1;
+                    // This node is done with its inputs: release each child edge, dropping a
+                    // child's materialised result once its last use drains (roots keep one
+                    // registration alive for extraction).
+                    for &c in &dag.nodes[node].children {
+                        guard.retain[c] -= 1;
+                        if guard.retain[c] == 0 {
+                            guard.results[c] = None;
+                        }
+                    }
+                    let mut woke = 0usize;
+                    for &consumer in &dag.nodes[node].consumers {
+                        guard.pending[consumer] -= 1;
+                        if guard.pending[consumer] == 0 {
+                            guard.ready.push(consumer);
+                            woke += 1;
+                        }
+                    }
+                    // Wake peers only when there is genuinely something for them: newly ready
+                    // nodes beyond the one this worker will take itself, or run completion.
+                    if guard.remaining == 0 || woke > 1 {
+                        self.ready_cv.notify_all();
+                    } else if woke == 1 && guard.ready.len() > 1 {
+                        self.ready_cv.notify_one();
+                    }
+                }
+                Err(err) => {
+                    if guard.error.is_none() {
+                        guard.error = Some(err);
+                    }
+                    self.ready_cv.notify_all();
+                }
+            }
+        }
+    }
+}
+
+/// An incremental DAG executor: plans arrive one at a time, distinct operators execute once.
+///
+/// This is the front-end the o-sharing u-trace and q-sharing use.  Each submitted logical plan
+/// is bound, merged into a growing [`OperatorDag`], and resolved against the results of every
+/// earlier submission: an operator (or scan, or shared `Values` leaf) that any earlier step
+/// already executed is answered with the stored `Arc` — sharing across sibling e-units and
+/// across representative mappings falls out of the graph structure.
+#[derive(Debug, Default)]
+pub struct DagExecutor {
+    dag: OperatorDag,
+    results: HashMap<u64, Arc<Relation>>,
+    hits: u64,
+}
+
+impl DagExecutor {
+    /// Creates an empty incremental executor.
+    #[must_use]
+    pub fn new() -> Self {
+        DagExecutor::default()
+    }
+
+    /// Binds `plan`, merges it into the DAG, executes only the nodes never executed before, and
+    /// returns the (shared) root result.
+    pub fn run_shared(
+        &mut self,
+        plan: &crate::Plan,
+        exec: &mut Executor<'_>,
+    ) -> EngineResult<Arc<Relation>> {
+        let physical = exec.bind(plan)?;
+        self.run_physical(&physical, exec)
+    }
+
+    /// Like [`run_shared`](DagExecutor::run_shared) for an already-bound plan.
+    pub fn run_physical(
+        &mut self,
+        physical: &PhysicalPlan,
+        exec: &mut Executor<'_>,
+    ) -> EngineResult<Arc<Relation>> {
+        let root = self.dag.add_plan(physical);
+        let mut memo = MemoCache {
+            results: &mut self.results,
+            hits: &mut self.hits,
+        };
+        self.dag.resolve_root(root, exec, &mut memo)
+    }
+
+    /// Distinct operator nodes merged into the DAG so far.
+    #[must_use]
+    pub fn distinct_nodes(&self) -> usize {
+        self.dag.node_count()
+    }
+
+    /// Resolutions answered from an earlier execution (shared work).
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Nodes actually executed so far (each exactly once).
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.results.len() as u64
+    }
+
+    /// The underlying DAG (metrics, inspection).
+    #[must_use]
+    pub fn dag(&self) -> &OperatorDag {
+        &self.dag
+    }
+}
+
+/// The unbounded memo of [`DagExecutor`], counting hits as it answers them.
+struct MemoCache<'a> {
+    results: &'a mut HashMap<u64, Arc<Relation>>,
+    hits: &'a mut u64,
+}
+
+impl DagResultCache for MemoCache<'_> {
+    fn lookup(&mut self, fingerprint: u64) -> Option<Arc<Relation>> {
+        self.results.get(&fingerprint).map(|r| {
+            *self.hits += 1;
+            Arc::clone(r)
+        })
+    }
+
+    fn publish(&mut self, fingerprint: u64, result: &Arc<Relation>) {
+        self.results.insert(fingerprint, Arc::clone(result));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Plan, Predicate};
+    use urm_storage::{Attribute, Catalog, DataType, Schema, Tuple, Value};
+
+    fn catalog() -> Catalog {
+        let schema = Schema::new(
+            "R",
+            vec![
+                Attribute::new("a", DataType::Int),
+                Attribute::new("b", DataType::Text),
+            ],
+        );
+        let rows = (0..20)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::from(i as i64),
+                    Value::from(if i % 2 == 0 { "x" } else { "y" }),
+                ])
+            })
+            .collect();
+        let mut cat = Catalog::new();
+        cat.insert(urm_storage::Relation::new(schema, rows).unwrap());
+        cat
+    }
+
+    fn queries() -> Vec<Plan> {
+        let base = Plan::scan("R").select(Predicate::eq("R.b", Value::from("x")));
+        vec![
+            base.clone().project(vec!["R.a".into()]),
+            base.clone().project(vec!["R.b".into()]),
+            base.clone().project(vec!["R.a".into()]), // duplicate of the first
+            Plan::scan("R").select(Predicate::eq("R.b", Value::from("y"))),
+        ]
+    }
+
+    fn build_dag(exec: &Executor<'_>) -> OperatorDag {
+        let mut dag = OperatorDag::new();
+        for q in queries() {
+            let physical = exec.bind(&q).unwrap();
+            dag.add_root(&physical);
+        }
+        dag
+    }
+
+    #[test]
+    fn merged_dag_deduplicates_shared_operators() {
+        let cat = catalog();
+        let exec = Executor::new(&cat);
+        let dag = build_dag(&exec);
+        // Distinct nodes: scan, select-x, project-a, project-b, select-y = 5.
+        assert_eq!(dag.node_count(), 5);
+        assert_eq!(dag.root_count(), 4);
+        assert!(dag.operators_reused() > 0);
+        assert_eq!(
+            dag.operators_offered(),
+            dag.node_count() as u64 + dag.operators_reused()
+        );
+    }
+
+    #[test]
+    fn every_distinct_node_executes_exactly_once() {
+        let cat = catalog();
+        let mut exec = Executor::new(&cat);
+        let dag = build_dag(&exec);
+        let run = DagScheduler::sequential().execute(&dag, &mut exec).unwrap();
+        assert_eq!(run.report.nodes_executed, dag.node_count() as u64);
+        // The executor's own counters agree: one scan + one execution per operator node.
+        assert_eq!(
+            exec.stats().scans + exec.stats().operators_executed,
+            dag.node_count() as u64
+        );
+        assert_eq!(exec.stats().scans, 1);
+        // Duplicate roots share one result allocation.
+        assert!(Arc::ptr_eq(&run.root_results[0], &run.root_results[2]));
+    }
+
+    #[test]
+    fn parallel_execution_is_byte_identical_to_sequential() {
+        let cat = catalog();
+        let mut seq_exec = Executor::new(&cat);
+        let dag = build_dag(&seq_exec);
+        let seq = DagScheduler::sequential()
+            .execute(&dag, &mut seq_exec)
+            .unwrap();
+        for workers in [2, 4, 8] {
+            let mut par_exec = Executor::new(&cat);
+            let dag = build_dag(&par_exec);
+            let par = DagScheduler::with_workers(workers)
+                .execute(&dag, &mut par_exec)
+                .unwrap();
+            assert_eq!(par.root_results.len(), seq.root_results.len());
+            for (a, b) in par.root_results.iter().zip(&seq.root_results) {
+                assert_eq!(a.rows(), b.rows());
+                assert_eq!(a.schema(), b.schema());
+            }
+            // Work counters are mode-independent.
+            assert_eq!(par_exec.stats().scans, seq_exec.stats().scans);
+            assert_eq!(
+                par_exec.stats().operators_executed,
+                seq_exec.stats().operators_executed
+            );
+            assert_eq!(par.report.workers, workers);
+            assert!(par.report.peak_parallelism >= 1);
+        }
+    }
+
+    #[test]
+    fn parallel_execution_surfaces_errors() {
+        let cat = catalog();
+        let mut exec = Executor::new(&cat);
+        // SUM over a text column fails at execution time (not at bind time).
+        let plan = Plan::scan("R").aggregate(crate::AggFunc::Sum("R.b".into()));
+        let physical = exec.bind(&plan).unwrap();
+        let mut dag = OperatorDag::new();
+        dag.add_root(&physical);
+        // Pad with healthy work so the scheduler genuinely runs multi-node.
+        for q in queries() {
+            dag.add_root(&exec.bind(&q).unwrap());
+        }
+        let err = DagScheduler::with_workers(4).execute(&dag, &mut exec);
+        assert!(matches!(err, Err(EngineError::InvalidAggregate { .. })));
+    }
+
+    #[test]
+    fn empty_dag_executes_to_nothing() {
+        let cat = catalog();
+        let mut exec = Executor::new(&cat);
+        let dag = OperatorDag::new();
+        let run = DagScheduler::with_workers(4)
+            .execute(&dag, &mut exec)
+            .unwrap();
+        assert!(run.root_results.is_empty());
+        assert_eq!(run.report.nodes_executed, 0);
+        assert_eq!(run.report.peak_parallelism, 0);
+    }
+
+    #[test]
+    fn fan_out_degree_is_tracked() {
+        let cat = catalog();
+        let exec = Executor::new(&cat);
+        let mut dag = OperatorDag::new();
+        let base = Plan::scan("R").select(Predicate::eq("R.b", Value::from("x")));
+        let select = dag.add_root(&exec.bind(&base).unwrap());
+        dag.add_root(
+            &exec
+                .bind(&base.clone().project(vec!["R.a".into()]))
+                .unwrap(),
+        );
+        dag.add_root(
+            &exec
+                .bind(&base.clone().project(vec!["R.b".into()]))
+                .unwrap(),
+        );
+        assert_eq!(dag.consumer_count(select), 2);
+    }
+
+    #[test]
+    fn incremental_executor_shares_across_submissions() {
+        let cat = catalog();
+        let mut exec = Executor::new(&cat);
+        let mut dag = DagExecutor::new();
+        let base = Plan::scan("R").select(Predicate::eq("R.b", Value::from("x")));
+        let a = dag
+            .run_shared(&base.clone().project(vec!["R.a".into()]), &mut exec)
+            .unwrap();
+        let b = dag
+            .run_shared(&base.clone().project(vec!["R.a".into()]), &mut exec)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(exec.stats().scans, 1);
+        assert!(dag.hits() > 0);
+        assert_eq!(dag.executed(), dag.distinct_nodes() as u64);
+    }
+
+    #[test]
+    fn resolve_root_consults_the_external_cache_before_descending() {
+        let cat = catalog();
+        let mut exec = Executor::new(&cat);
+        let plan = Plan::scan("R")
+            .select(Predicate::eq("R.b", Value::from("x")))
+            .project(vec!["R.a".into()]);
+        let physical = exec.bind(&plan).unwrap();
+        let mut dag = OperatorDag::new();
+        let root = dag.add_root(&physical);
+
+        // Prime an external store with the run's results; the second resolve must answer the
+        // root from it without touching any node.
+        struct Probe {
+            store: HashMap<u64, Arc<Relation>>,
+            lookups: u64,
+            consult: bool,
+            forbid_publish: bool,
+        }
+        impl DagResultCache for Probe {
+            fn lookup(&mut self, fingerprint: u64) -> Option<Arc<Relation>> {
+                if !self.consult {
+                    return None;
+                }
+                self.lookups += 1;
+                self.store.get(&fingerprint).cloned()
+            }
+            fn publish(&mut self, fingerprint: u64, result: &Arc<Relation>) {
+                assert!(!self.forbid_publish, "nothing new should be published");
+                self.store.insert(fingerprint, Arc::clone(result));
+            }
+        }
+
+        let mut probe = Probe {
+            store: HashMap::new(),
+            lookups: 0,
+            consult: false,
+            forbid_publish: false,
+        };
+        let first = dag.resolve_root(root, &mut exec, &mut probe).unwrap();
+        let ops_before = exec.stats().operators_executed + exec.stats().scans;
+        probe.consult = true;
+        probe.forbid_publish = true;
+        let again = dag.resolve_root(root, &mut exec, &mut probe).unwrap();
+        assert!(Arc::ptr_eq(&first, &again));
+        assert_eq!(probe.lookups, 1, "a root hit must prune the whole subgraph");
+        assert_eq!(
+            exec.stats().operators_executed + exec.stats().scans,
+            ops_before
+        );
+    }
+}

@@ -18,6 +18,10 @@
 //! * [`Executor`] — binds and evaluates physical operators batch-at-a-time over shared
 //!   (`Arc`-backed) [`Relation`](urm_storage::Relation)s, with zero-copy scans and `Values`
 //!   leaves;
+//! * [`dag`] — the shared-operator DAG runtime: bound plans are merged into an
+//!   [`OperatorDag`] (nodes deduplicated by bound-plan fingerprint), which a [`DagScheduler`]
+//!   executes with every distinct operator running exactly once — sequentially or on parallel
+//!   worker threads.  All of the paper's sharing mechanisms lower onto it;
 //! * [`reference`] — the retained row-at-a-time evaluator, the oracle of the property tests
 //!   and the baseline of the executor micro-benchmark;
 //! * [`ExecStats`] — counters for executed operators and produced tuples, the metric reported
@@ -61,6 +65,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod dag;
 pub mod error;
 pub mod executor;
 pub mod expr;
@@ -70,6 +75,9 @@ pub mod plan;
 pub mod reference;
 pub mod stats;
 
+pub use dag::{
+    DagExecutor, DagResultCache, DagRun, DagRunReport, DagScheduler, NodeId, OperatorDag,
+};
 pub use error::{EngineError, EngineResult};
 pub use executor::Executor;
 pub use expr::{AggFunc, CompareOp, Predicate};

@@ -2,7 +2,7 @@
 
 use crate::lru::LruCache;
 use std::sync::Arc;
-use urm_engine::{EngineResult, Executor, PhysicalPlan, Plan};
+use urm_engine::{DagResultCache, EngineResult, Executor, OperatorDag, PhysicalPlan, Plan};
 use urm_storage::Relation;
 
 /// A cache mapping *bound* sub-plan fingerprints to their materialised results.
@@ -121,29 +121,39 @@ impl SharedPlanCache {
     /// Executes an already-bound plan through the cache (see
     /// [`execute_shared`](SharedPlanCache::execute_shared)).
     ///
-    /// Only the immediate children of each node need to be considered because the recursion
-    /// caches results bottom-up: a parent is cached after (and built from) its cached children.
-    /// Child results — cached or fresh — are handed to the parent operator as shared views
-    /// ([`Executor::execute_node`]); no intermediate relation is ever copied.
+    /// The cache is a thin builder over the engine's shared-operator DAG runtime: the bound
+    /// plan is merged into an [`OperatorDag`] (deduplicating every sub-expression structurally)
+    /// and resolved through [`OperatorDag::resolve_root`] with this cache's LRU store plugged
+    /// in as the [`DagResultCache`].  A stored node prunes its whole subgraph; child results —
+    /// cached or fresh — flow into parent operators as shared views
+    /// ([`Executor::execute_node`]), so no intermediate relation is ever copied.
     pub fn execute_shared_physical(
         &mut self,
         plan: &PhysicalPlan,
         exec: &mut Executor<'_>,
     ) -> EngineResult<Arc<Relation>> {
-        let key = plan.fingerprint();
-        if let Some(hit) = self.results.get(&key) {
-            self.hits += 1;
-            return Ok(Arc::clone(hit));
-        }
-        self.misses += 1;
+        let mut dag = OperatorDag::new();
+        let root = dag.add_root(plan);
+        dag.resolve_root(root, exec, self)
+    }
+}
 
-        let mut children = Vec::with_capacity(2);
-        for c in plan.children() {
-            children.push(self.execute_shared_physical(c, exec)?);
+impl DagResultCache for SharedPlanCache {
+    fn lookup(&mut self, fingerprint: u64) -> Option<Arc<Relation>> {
+        match self.results.get(&fingerprint) {
+            Some(hit) => {
+                self.hits += 1;
+                Some(Arc::clone(hit))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
         }
-        let shared = exec.execute_node(plan, &children)?;
-        self.results.insert(key, Arc::clone(&shared));
-        Ok(shared)
+    }
+
+    fn publish(&mut self, fingerprint: u64, result: &Arc<Relation>) {
+        self.results.insert(fingerprint, Arc::clone(result));
     }
 }
 

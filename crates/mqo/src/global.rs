@@ -1,11 +1,10 @@
 //! Global shared plans over a batch of source queries.
 
-use crate::SharedPlanCache;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use urm_engine::optimize::fingerprint;
-use urm_engine::{EngineResult, Executor, Plan};
+use urm_engine::{DagRun, DagScheduler, EngineResult, Executor, OperatorDag, Plan};
 use urm_storage::{Catalog, Relation};
 
 /// A global plan for a batch of source queries with common sub-expressions identified.
@@ -118,15 +117,30 @@ impl GlobalPlan {
         self.build_time
     }
 
-    /// Executes every query through a shared sub-expression cache, returning the results in the
-    /// order the queries were supplied to [`GlobalPlan::build`].
+    /// Executes every query through one merged shared-operator DAG, returning the results in
+    /// the order the queries were supplied to [`GlobalPlan::build`].
+    ///
+    /// Every query is bound and merged into a single [`OperatorDag`]; the scheduler then runs
+    /// each distinct operator exactly once — the defining property of the e-MQO global plan.
     pub fn execute(&self, exec: &mut Executor<'_>) -> EngineResult<Vec<Arc<Relation>>> {
-        let mut cache = SharedPlanCache::new();
-        let mut out = Vec::with_capacity(self.queries.len());
+        Ok(self
+            .execute_dag(exec, DagScheduler::sequential())?
+            .root_results)
+    }
+
+    /// Like [`execute`](GlobalPlan::execute) with an explicit scheduler (e.g. parallel
+    /// workers), returning the full [`DagRun`] including the node-dedup report.
+    pub fn execute_dag(
+        &self,
+        exec: &mut Executor<'_>,
+        scheduler: DagScheduler,
+    ) -> EngineResult<DagRun> {
+        let mut dag = OperatorDag::new();
         for q in &self.queries {
-            out.push(cache.execute_shared(q, exec)?);
+            let physical = exec.bind(q)?;
+            dag.add_root(&physical);
         }
-        Ok(out)
+        scheduler.execute(&dag, exec)
     }
 }
 
@@ -223,6 +237,35 @@ mod tests {
         let global = GlobalPlan::build(&queries, &cat).unwrap();
         assert_eq!(global.sharing_degree(fingerprint(&shared_sub)), 2);
         assert_eq!(global.sharing_degree(0xdead_beef), 0);
+    }
+
+    #[test]
+    fn parallel_dag_execution_matches_sequential() {
+        let cat = catalog();
+        let queries = vec![
+            select_b("hit").project(vec!["R.a".into()]),
+            select_b("hit").project(vec!["R.b".into()]),
+            select_b("miss").project(vec!["R.a".into()]),
+            select_b("hit"),
+        ];
+        let global = GlobalPlan::build(&queries, &cat).unwrap();
+        let mut seq_exec = Executor::new(&cat);
+        let sequential = global.execute(&mut seq_exec).unwrap();
+        let mut par_exec = Executor::new(&cat);
+        let parallel = global
+            .execute_dag(&mut par_exec, DagScheduler::with_workers(3))
+            .unwrap();
+        for (a, b) in sequential.iter().zip(&parallel.root_results) {
+            assert_eq!(a.rows(), b.rows());
+        }
+        // Same distinct work regardless of mode; dedup happened.
+        assert_eq!(par_exec.stats().scans, seq_exec.stats().scans);
+        assert_eq!(
+            par_exec.stats().operators_executed,
+            seq_exec.stats().operators_executed
+        );
+        assert!(parallel.report.operators_reused > 0);
+        assert_eq!(parallel.report.workers, 3);
     }
 
     #[test]

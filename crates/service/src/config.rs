@@ -8,10 +8,24 @@ pub struct ServiceConfig {
     /// Maximum queries per batch; a pending epoch queue is dispatched as soon as it reaches
     /// this size (or when [`flush`](crate::QueryService::flush) is called).
     pub batch_max: usize,
-    /// Capacity of the per-batch shared sub-plan cache (materialised relations, LRU-evicted).
-    pub plan_cache_capacity: usize,
+    /// Worker threads of the intra-batch DAG scheduler: each batch is merged into one
+    /// shared-operator DAG whose independent ready nodes run on this many scoped threads
+    /// (1 = sequential topological execution).
+    pub dag_workers: usize,
     /// Capacity of the service-wide answer cache (entries, LRU-evicted).
     pub answer_cache_capacity: usize,
+}
+
+/// A conservative default for the intra-batch scheduler: half the hardware threads (the other
+/// half is left to the batch worker pool, which runs several batches concurrently), capped at 4
+/// and degrading to sequential (1) on a single-core host — where parallel scheduling measurably
+/// loses to the topological walk.  Hosts with many cores and few concurrent batches should
+/// raise this explicitly.
+fn default_dag_workers() -> usize {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
+    (threads / 2).clamp(1, 4)
 }
 
 impl Default for ServiceConfig {
@@ -19,20 +33,20 @@ impl Default for ServiceConfig {
         ServiceConfig {
             workers: 4,
             batch_max: 64,
-            plan_cache_capacity: 512,
+            dag_workers: default_dag_workers(),
             answer_cache_capacity: 1024,
         }
     }
 }
 
 impl ServiceConfig {
-    /// A config suited to tests: single worker, tiny caches.
+    /// A config suited to tests: single worker, tiny caches, two DAG workers.
     #[must_use]
     pub fn tiny() -> Self {
         ServiceConfig {
             workers: 1,
             batch_max: 8,
-            plan_cache_capacity: 32,
+            dag_workers: 2,
             answer_cache_capacity: 32,
         }
     }
@@ -47,7 +61,7 @@ mod tests {
         let c = ServiceConfig::default();
         assert!(c.workers >= 1);
         assert!(c.batch_max >= 1);
-        assert!(c.plan_cache_capacity >= 1);
+        assert!((1..=4).contains(&c.dag_workers));
         assert!(c.answer_cache_capacity >= 1);
     }
 }

@@ -10,9 +10,11 @@
 //! * [`QueryService`] accepts [`TargetQuery`](urm_core::TargetQuery) submissions from many
 //!   concurrent clients and groups them into **batches** per registered *epoch* — an immutable
 //!   (catalog, mapping set) pair identified by an [`EpochId`];
-//! * each batch is planned and executed with a batch-wide
-//!   [`SharedPlanCache`](urm_mqo::SharedPlanCache) (bounded, LRU-evicted): every distinct
-//!   source sub-plan produced by any query of the batch is materialised exactly once;
+//! * each batch is lowered onto **one merged shared-operator DAG**
+//!   ([`urm_engine::dag`](urm_engine::dag)): the bound plans of every query in the batch are
+//!   deduplicated by fingerprint, every distinct operator executes exactly once, and the
+//!   [`DagScheduler`](urm_engine::DagScheduler) runs independent ready nodes on
+//!   [`ServiceConfig::dag_workers`] scoped threads (intra-batch parallelism);
 //! * batches run on a fixed **worker pool**, so independent batches (and epochs) evaluate in
 //!   parallel while each batch stays deterministic;
 //! * a bounded **answer cache** keyed by the query's canonical rendering + epoch lets repeated

@@ -19,10 +19,18 @@ pub struct ServiceMetrics {
     pub batches: u64,
     /// Queries evaluated (after caching and deduplication).
     pub queries_evaluated: u64,
-    /// Sub-plan cache hits across all batches.
+    /// Bound-operator insertions the batch DAGs answered with an existing node (cross-query
+    /// sub-plan sharing) across all batches.
     pub plan_cache_hits: u64,
-    /// Sub-plan cache misses (distinct sub-plans materialised) across all batches.
+    /// Distinct bound operators materialised (one DAG node each) across all batches.
     pub plan_cache_misses: u64,
+    /// Distinct DAG nodes executed across all batches (each exactly once within its batch).
+    pub dag_nodes_executed: u64,
+    /// Operator insertions deduplicated by the batch DAGs (same counter as `plan_cache_hits`,
+    /// kept under the DAG's name for dashboards that track node-dedup explicitly).
+    pub dag_operators_deduped: u64,
+    /// Highest number of DAG nodes observed in flight at once in any batch.
+    pub dag_peak_parallelism: u64,
     /// Source operators executed across all batches.
     pub source_operators: u64,
     /// Tuples read by operators across all batches.
@@ -85,10 +93,16 @@ pub struct BatchReport {
     pub evaluated: usize,
     /// Submissions answered from the answer cache while the batch was being assembled.
     pub served_from_cache: usize,
-    /// Sub-plan cache hits within this batch.
+    /// Operator insertions the batch DAG answered with an existing node (sub-plan sharing).
     pub plan_hits: u64,
-    /// Sub-plan cache misses within this batch.
+    /// Distinct bound operators of the batch DAG (each executed exactly once).
     pub plan_misses: u64,
+    /// Distinct DAG nodes executed by this batch (equals `plan_misses` by construction).
+    pub dag_nodes: usize,
+    /// Maximum number of DAG nodes in flight at once while this batch executed.
+    pub peak_parallelism: usize,
+    /// Worker threads the batch DAG was scheduled on.
+    pub dag_workers: usize,
     /// Source operators executed by this batch.
     pub source_operators: u64,
     /// Wall-clock latency of the batch.

@@ -9,11 +9,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
-use urm_core::evaluate_batch;
 use urm_core::metrics::EvalMetrics;
+use urm_core::{evaluate_batch, BatchOptions};
 use urm_core::{CoreError, ProbabilisticAnswer, TargetQuery};
 use urm_matching::MappingSet;
-use urm_mqo::SharedPlanCache;
 use urm_storage::Catalog;
 
 /// How many [`BatchReport`]s the service retains for inspection.
@@ -203,13 +202,13 @@ impl Inner {
             .map(|key| groups[key][0].query.clone())
             .collect();
 
-        // Evaluate every distinct query through one batch-wide (bounded) sub-plan cache.
-        let mut plan_cache = SharedPlanCache::with_capacity(self.config.plan_cache_capacity);
+        // Merge every distinct query's bound plans into one batch DAG and execute each distinct
+        // operator exactly once, on the configured number of scheduler workers.
         let outcome = evaluate_batch(
             &unique,
             &batch.epoch.mappings,
             &batch.epoch.catalog,
-            &mut plan_cache,
+            &BatchOptions::parallel(self.config.dag_workers),
         );
         let outcome = match outcome {
             Ok(outcome) => outcome,
@@ -228,19 +227,16 @@ impl Inner {
         // responding ticket.
         let evaluated = outcome.evaluations.len();
         let source_operators = outcome.source_operators();
+        let (tuples_read, tuples_output, rows_shared) = (
+            outcome.exec.tuples_read,
+            outcome.exec.tuples_output,
+            outcome.exec.rows_shared,
+        );
         let shared: Vec<(EvalMetrics, Arc<ProbabilisticAnswer>)> = outcome
             .evaluations
             .into_iter()
             .map(|evaluation| (evaluation.metrics, Arc::new(evaluation.answer)))
             .collect();
-        let (tuples_read, tuples_output, rows_shared) =
-            shared.iter().fold((0u64, 0u64, 0u64), |acc, (m, _)| {
-                (
-                    acc.0 + m.exec.tuples_read,
-                    acc.1 + m.exec.tuples_output,
-                    acc.2 + m.exec.rows_shared,
-                )
-            });
 
         // Publish answers to the cache.
         {
@@ -271,6 +267,9 @@ impl Inner {
             served_from_cache,
             plan_hits: outcome.plan_hits,
             plan_misses: outcome.plan_misses,
+            dag_nodes: outcome.dag_nodes,
+            peak_parallelism: outcome.peak_parallelism,
+            dag_workers: outcome.workers,
             source_operators,
             latency,
         };
@@ -281,6 +280,11 @@ impl Inner {
             metrics.queries_evaluated += evaluated as u64;
             metrics.plan_cache_hits += outcome.plan_hits;
             metrics.plan_cache_misses += outcome.plan_misses;
+            metrics.dag_nodes_executed += outcome.dag_nodes as u64;
+            metrics.dag_operators_deduped += outcome.plan_hits;
+            metrics.dag_peak_parallelism = metrics
+                .dag_peak_parallelism
+                .max(outcome.peak_parallelism as u64);
             metrics.source_operators += source_operators;
             metrics.tuples_read += tuples_read;
             metrics.tuples_output += tuples_output;

@@ -124,6 +124,36 @@ proptest! {
     }
 
     #[test]
+    fn batch_dag_agrees_with_basic_for_any_worker_count(mappings in arb_mapping_set(), query in arb_query()) {
+        // The merged batch DAG (the serving layer's execution path) must agree with the
+        // sequential algorithms on random inputs, sequentially and with parallel scheduling,
+        // and execute each distinct bound operator exactly once.
+        let catalog = testkit::figure2_catalog();
+        let reference = evaluate(&query, &mappings, &catalog, Algorithm::Basic).unwrap();
+        let queries = vec![query.clone(), query.clone()];
+        for workers in [1usize, 3] {
+            let batch = urm::core::evaluate_batch(
+                &queries,
+                &mappings,
+                &catalog,
+                &urm::core::BatchOptions::parallel(workers),
+            )
+            .unwrap();
+            for eval in &batch.evaluations {
+                prop_assert!(
+                    reference.answer.approx_eq(&eval.answer, 1e-9),
+                    "batch (workers={workers}) disagrees with basic on {query}"
+                );
+            }
+            prop_assert_eq!(
+                batch.exec.operators_executed + batch.exec.scans,
+                batch.dag_nodes as u64,
+                "a distinct bound operator executed more than once"
+            );
+        }
+    }
+
+    #[test]
     fn probabilities_are_bounded(mappings in arb_mapping_set(), query in arb_query()) {
         let catalog = testkit::figure2_catalog();
         let eval = evaluate(&query, &mappings, &catalog, Algorithm::QSharing).unwrap();
