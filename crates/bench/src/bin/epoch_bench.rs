@@ -1,0 +1,65 @@
+//! Runs the per-epoch DAG micro-benchmark (cold batch vs. warm repeat batch vs. the
+//! rebuild-every-batch baseline) and writes `BENCH_epoch.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p urm-bench --bin epoch_bench \
+//!     [--scale N] [--queries N] [--iters N] [--workers N] [--json PATH]
+//! ```
+//!
+//! JSON goes to `BENCH_epoch.json` by default (`--json -` disables it).
+
+use std::env;
+use urm_bench::epoch_bench::{run, EpochBenchConfig};
+use urm_bench::report;
+
+fn main() {
+    let args: Vec<String> = env::args().collect();
+    let mut config = EpochBenchConfig::default();
+    let parse = |flag: &str| -> Option<usize> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|pos| args.get(pos + 1))
+            .and_then(|s| s.parse().ok())
+    };
+    if let Some(v) = parse("--scale") {
+        config.scale = v;
+    }
+    if let Some(v) = parse("--queries") {
+        config.queries = v;
+    }
+    if let Some(v) = parse("--iters") {
+        config.iters = v;
+    }
+    if let Some(v) = parse("--workers") {
+        config.workers = v;
+    }
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(pos) => match args.get(pos + 1) {
+            Some(path) if !path.starts_with("--") => path.clone(),
+            _ => {
+                eprintln!("error: --json needs a path argument (use '--json -' to disable)");
+                std::process::exit(1);
+            }
+        },
+        None => "BENCH_epoch.json".to_string(),
+    };
+
+    eprintln!(
+        "epoch micro-benchmark (scale={}, queries={}, iters={}, workers={}, seed={}) …",
+        config.scale, config.queries, config.iters, config.workers, config.seed
+    );
+    let rows = run(&config).expect("micro-benchmark failed");
+    println!("{}", report::render_table("epoch", &rows));
+    for row in &rows {
+        if let Some((name, value)) = &row.extra {
+            println!("{} {name}: {value:.2}", row.series);
+        }
+    }
+    if json_path != "-" {
+        std::fs::write(&json_path, report::render_json(&rows))
+            .unwrap_or_else(|err| panic!("cannot write {json_path}: {err}"));
+        eprintln!("wrote {json_path}");
+    }
+}

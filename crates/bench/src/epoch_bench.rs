@@ -1,0 +1,281 @@
+//! Per-epoch DAG micro-benchmark: cold batch vs. warm repeat batch vs. the PR 3
+//! rebuild-every-batch baseline.
+//!
+//! The join-heavy batch of [`dag_bench`](crate::dag_bench) is executed three ways over a
+//! generated source instance:
+//!
+//! * **rebuild-every-batch** — the PR 3 shape: every iteration optimises and binds every plan,
+//!   merges a fresh [`OperatorDag`] and executes all of it (what the service did per batch
+//!   before the epoch DAG existed);
+//! * **epoch-cold** — a fresh [`EpochDag`] per iteration: one bind-cache miss and one
+//!   execution per distinct node, same total work as the rebuild path plus the (tiny) cache
+//!   bookkeeping;
+//! * **epoch-warm** — one persistent `EpochDag`, the same batch repeated: every submission is
+//!   a bind-cache hit and every root is answered from the pinned results of the previous
+//!   repeat — no binding, no DAG merging, no operator execution at all.
+//!
+//! All three produce identical answer sizes (asserted).  The rows carry per-mode times, the
+//! warm-over-cold and warm-over-rebuild speedups and the epoch reuse counters, and are written
+//! to `BENCH_epoch.json` by the `epoch_bench` binary so the cross-batch reuse trajectory is
+//! tracked from PR to PR.  The warm/cold ratio is scheduling-free bookkeeping, so it is
+//! meaningful on any host (unlike `BENCH_dag.json`'s parallel speedup, which needs ≥ 2
+//! hardware threads).
+
+use crate::dag_bench::joinheavy_batch;
+use crate::experiments::ExperimentRow;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use urm_core::CoreResult;
+use urm_datagen::source::generate_source;
+use urm_engine::optimize::optimize;
+use urm_engine::{DagScheduler, EpochDag, Executor, OperatorDag, Plan};
+use urm_storage::{Catalog, Relation};
+
+/// Configuration of one epoch micro-benchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochBenchConfig {
+    /// Source-instance scale factor (`Orders` gets `2 × scale` rows, `LineItem` `4 × scale`).
+    pub scale: usize,
+    /// Number of join-heavy queries in the batch.
+    pub queries: usize,
+    /// Timed iterations (batches) per mode.
+    pub iters: usize,
+    /// Data-generation seed.
+    pub seed: u64,
+    /// DAG-scheduler workers per batch (1 = sequential; the warm path never schedules work, so
+    /// the headline warm/cold ratio is worker-independent).
+    pub workers: usize,
+}
+
+impl Default for EpochBenchConfig {
+    fn default() -> Self {
+        EpochBenchConfig {
+            scale: 900,
+            queries: 12,
+            iters: 20,
+            seed: 42,
+            workers: 1,
+        }
+    }
+}
+
+struct Measurement {
+    total: Duration,
+    answers: Vec<usize>,
+}
+
+impl Measurement {
+    fn row(&self, series: &str) -> ExperimentRow {
+        ExperimentRow {
+            experiment: "epoch".into(),
+            series: series.into(),
+            x: "joinheavy".into(),
+            time: self.total,
+            source_operators: 0,
+            answers: self.answers.iter().sum(),
+            extra: None,
+        }
+    }
+}
+
+fn answer_sizes(results: &[Arc<Relation>]) -> Vec<usize> {
+    results.iter().map(|r| r.len()).collect()
+}
+
+/// The PR 3 baseline: every batch re-optimises, rebinds, rebuilds the DAG and executes it.
+fn measure_rebuild(catalog: &Catalog, batch: &[Plan], iters: usize, workers: usize) -> Measurement {
+    let mut exec = Executor::new(catalog);
+    let scheduler = DagScheduler::with_workers(workers);
+    let mut answers = Vec::new();
+    let start = Instant::now();
+    for _ in 0..iters {
+        let mut dag = OperatorDag::new();
+        for plan in batch {
+            let optimized = optimize(plan, catalog).expect("plan optimises");
+            let physical = exec.bind(&optimized).expect("plan binds");
+            dag.add_root(&physical);
+        }
+        let run = scheduler.execute(&dag, &mut exec).expect("batch runs");
+        answers = answer_sizes(&run.root_results);
+    }
+    Measurement {
+        total: start.elapsed(),
+        answers,
+    }
+}
+
+/// Cold epoch batches: a fresh [`EpochDag`] per iteration (same work as the rebuild path, run
+/// through the epoch machinery).
+fn measure_cold(catalog: &Catalog, batch: &[Plan], iters: usize, workers: usize) -> Measurement {
+    let mut exec = Executor::new(catalog);
+    let mut answers = Vec::new();
+    let start = Instant::now();
+    for _ in 0..iters {
+        let mut epoch = EpochDag::new();
+        for plan in batch {
+            epoch.submit(plan, &exec).expect("plan submits");
+        }
+        let run = epoch
+            .execute_pending(&mut exec, workers)
+            .expect("batch runs");
+        answers = answer_sizes(&run.root_results);
+    }
+    Measurement {
+        total: start.elapsed(),
+        answers,
+    }
+}
+
+/// Warm epoch batches: the same batch repeated on one persistent [`EpochDag`] (the first,
+/// cold, batch runs untimed).  Returns the measurement plus the last repeat's reuse counters.
+fn measure_warm(
+    catalog: &Catalog,
+    batch: &[Plan],
+    iters: usize,
+    workers: usize,
+) -> (Measurement, u64, u64) {
+    let mut exec = Executor::new(catalog);
+    let mut epoch = EpochDag::new();
+    for plan in batch {
+        epoch.submit(plan, &exec).expect("plan submits");
+    }
+    epoch
+        .execute_pending(&mut exec, workers)
+        .expect("cold batch runs");
+
+    let mut answers = Vec::new();
+    let (mut bind_hits, mut results_reused) = (0u64, 0u64);
+    let start = Instant::now();
+    for _ in 0..iters {
+        for plan in batch {
+            epoch.submit(plan, &exec).expect("plan submits");
+        }
+        let run = epoch
+            .execute_pending(&mut exec, workers)
+            .expect("batch runs");
+        answers = answer_sizes(&run.root_results);
+        bind_hits = run.report.bind_hits;
+        results_reused = run.report.results_reused;
+    }
+    let measurement = Measurement {
+        total: start.elapsed(),
+        answers,
+    };
+    (measurement, bind_hits, results_reused)
+}
+
+fn extra_row(series: &str, name: &str, value: f64) -> ExperimentRow {
+    ExperimentRow {
+        experiment: "epoch".into(),
+        series: series.into(),
+        x: "joinheavy".into(),
+        time: Duration::ZERO,
+        source_operators: 0,
+        answers: 0,
+        extra: Some((name.into(), value)),
+    }
+}
+
+/// Runs the micro-benchmark, returning `BENCH_epoch.json`-ready rows.
+pub fn run(config: &EpochBenchConfig) -> CoreResult<Vec<ExperimentRow>> {
+    let catalog = generate_source(config.scale, config.seed);
+    let batch = joinheavy_batch(config.queries.max(1));
+    let iters = config.iters.max(1);
+    let workers = config.workers.max(1);
+
+    // Warm-up + correctness: all three modes must agree tuple-count-for-tuple-count.
+    {
+        let rebuild = measure_rebuild(&catalog, &batch, 1, workers);
+        let cold = measure_cold(&catalog, &batch, 1, workers);
+        let (warm, _, _) = measure_warm(&catalog, &batch, 1, workers);
+        assert_eq!(rebuild.answers, cold.answers, "epoch-cold diverged");
+        assert_eq!(rebuild.answers, warm.answers, "epoch-warm diverged");
+    }
+
+    let rebuild = measure_rebuild(&catalog, &batch, iters, workers);
+    let cold = measure_cold(&catalog, &batch, iters, workers);
+    let (warm, bind_hits, results_reused) = measure_warm(&catalog, &batch, iters, workers);
+
+    let speedup = |base: &Measurement, new: &Measurement| {
+        if new.total.as_secs_f64() == 0.0 {
+            f64::INFINITY
+        } else {
+            base.total.as_secs_f64() / new.total.as_secs_f64()
+        }
+    };
+
+    Ok(vec![
+        rebuild.row("rebuild-every-batch"),
+        cold.row("epoch-cold"),
+        warm.row("epoch-warm"),
+        extra_row("speedup-warm-vs-cold", "speedup", speedup(&cold, &warm)),
+        extra_row(
+            "speedup-warm-vs-rebuild",
+            "speedup",
+            speedup(&rebuild, &warm),
+        ),
+        extra_row("epoch-reuse", "bind-hits-per-batch", bind_hits as f64),
+        extra_row(
+            "epoch-reuse",
+            "results-reused-per-batch",
+            results_reused as f64,
+        ),
+        extra_row(
+            "host-parallelism",
+            "hardware-threads",
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1) as f64,
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_bench_produces_consistent_rows() {
+        let rows = run(&EpochBenchConfig {
+            scale: 12,
+            queries: 6,
+            iters: 2,
+            seed: 7,
+            workers: 1,
+        })
+        .unwrap();
+        assert_eq!(rows.len(), 8);
+        let of = |series: &str, name: Option<&str>| {
+            rows.iter()
+                .find(|r| {
+                    r.series == series
+                        && name.is_none_or(|n| r.extra.as_ref().is_some_and(|(en, _)| en == n))
+                })
+                .unwrap_or_else(|| panic!("missing {series}"))
+        };
+        // run() itself asserts answer equality across modes; check the report shape.
+        assert!(of("rebuild-every-batch", None).time > Duration::ZERO);
+        assert!(of("epoch-cold", None).time > Duration::ZERO);
+        assert!(of("epoch-warm", None).time > Duration::ZERO);
+        // A warm repeat answers every submission from the bind cache and every node from the
+        // pinned results.
+        let bind_hits = of("epoch-reuse", Some("bind-hits-per-batch"))
+            .extra
+            .as_ref()
+            .unwrap()
+            .1;
+        assert_eq!(bind_hits, 6.0);
+        let reused = of("epoch-reuse", Some("results-reused-per-batch"))
+            .extra
+            .as_ref()
+            .unwrap()
+            .1;
+        assert!(reused >= 6.0, "every root must be answered from cache");
+        // Warm beats cold even at toy scale (no binding, no execution at all).
+        let warm_speedup = of("speedup-warm-vs-cold", None).extra.as_ref().unwrap().1;
+        assert!(
+            warm_speedup > 1.0,
+            "warm repeat slower than cold batch ({warm_speedup}×)"
+        );
+    }
+}

@@ -13,11 +13,13 @@
 #![deny(unsafe_code)]
 
 pub mod dag_bench;
+pub mod epoch_bench;
 pub mod executor_bench;
 pub mod experiments;
 pub mod report;
 
 pub use dag_bench::DagBenchConfig;
+pub use epoch_bench::EpochBenchConfig;
 pub use executor_bench::ExecutorBenchConfig;
 pub use experiments::{ExperimentRow, Harness, HarnessConfig};
 pub use report::{render_json, render_table};

@@ -15,6 +15,12 @@
 //! Per-query aggregation is unchanged from `e-basic` — each query's answer is the
 //! probability-weighted union of its distinct reformulations — so batch answers agree with
 //! every sequential algorithm (the service integration tests verify this).
+//!
+//! Batches run on an [`EpochDag`]: [`evaluate_batch`] builds a throwaway one (the
+//! rebuild-every-batch shape), while the serving layer keeps one epoch DAG alive per
+//! registered epoch and calls [`evaluate_batch_epoch`], so a hot epoch's later batches skip
+//! re-optimising, rebinding and re-executing every source query the epoch has seen whose
+//! result is still materialised — byte-identical answers either way (property-tested).
 
 use crate::answer::ProbabilisticAnswer;
 use crate::metrics::{EvalMetrics, Evaluation};
@@ -22,7 +28,8 @@ use crate::query::TargetQuery;
 use crate::reformulate::{clustered_reformulations, extract_answers, Extraction};
 use crate::CoreResult;
 use std::time::Instant;
-use urm_engine::{optimize::optimize, DagScheduler, ExecStats, Executor, OperatorDag};
+use urm_engine::optimize::{fingerprint, optimize};
+use urm_engine::{EpochDag, ExecStats, Executor};
 use urm_matching::MappingSet;
 use urm_storage::Catalog;
 
@@ -62,19 +69,26 @@ pub struct BatchEvaluation {
     /// shared DAG nodes belong to several queries at once, so executor work is accounted
     /// batch-wide in [`exec`](BatchEvaluation::exec) instead.
     pub evaluations: Vec<Evaluation>,
-    /// Operator insertions answered by an existing DAG node — the sharing the merged DAG
-    /// realised across the whole batch.
+    /// Source-query submissions this batch answered without new plan work: operator insertions
+    /// deduplicated onto existing DAG nodes plus whole plans answered by the epoch bind cache.
     pub plan_hits: u64,
-    /// Distinct operator nodes in the merged DAG (each executed exactly once).
+    /// Distinct operator nodes this batch added to the DAG (a cold batch executes exactly
+    /// these; a warm batch can add none and still answer everything).
     pub plan_misses: u64,
     /// Batch-wide executor statistics (operators, scans, tuples, time).
     pub exec: ExecStats,
-    /// Distinct nodes of the merged batch DAG (same value as `plan_misses`, by construction).
+    /// DAG nodes actually executed by this batch (each exactly once).
     pub dag_nodes: usize,
     /// Maximum number of DAG nodes in flight at once (1 for sequential runs).
     pub peak_parallelism: usize,
     /// Worker threads the DAG was scheduled on.
     pub workers: usize,
+    /// Source-query submissions answered by the epoch DAG's bind cache — optimise, bind and
+    /// DAG-merge skipped entirely (0 for a cold batch).
+    pub epoch_bind_hits: u64,
+    /// DAG nodes answered by a still-materialised result of an earlier batch of the same epoch
+    /// — executions skipped, whole subgraphs pruned (0 for a cold batch).
+    pub epoch_results_reused: u64,
 }
 
 impl BatchEvaluation {
@@ -95,25 +109,18 @@ struct PendingQuery {
     started: Instant,
 }
 
-/// Evaluates every query of a batch against the same mapping set and catalog through one merged
-/// shared-operator DAG (see the module docs).
-///
-/// The DAG is built fresh per call and bound against `catalog`, so there is no cross-epoch
-/// staleness to manage: identity-based bound-plan fingerprints never outlive the catalog they
-/// were bound against.
-pub fn evaluate_batch(
+/// Phase 1 of a batch: rewrite every query through every mapping and submit the distinct
+/// source queries to the epoch DAG.  A plan this epoch has bound before is a bind-cache
+/// lookup; a new plan is optimised, bound and merged (sharing across queries is structural).
+fn submit_batch(
     queries: &[TargetQuery],
     mappings: &MappingSet,
     catalog: &Catalog,
-    options: &BatchOptions,
-) -> CoreResult<BatchEvaluation> {
-    let mut exec = Executor::new(catalog);
-    let mut dag = OperatorDag::new();
+    epoch: &mut EpochDag,
+    exec: &Executor<'_>,
+) -> CoreResult<Vec<PendingQuery>> {
     let mut pending: Vec<PendingQuery> = Vec::with_capacity(queries.len());
     let mut next_root = 0usize;
-
-    // Phase 1: rewrite every query through every mapping, bind the distinct source queries and
-    // merge them into the batch DAG.  Sharing across queries happens here, structurally.
     for query in queries {
         let started = Instant::now();
         let mut metrics = EvalMetrics::new("batch");
@@ -124,20 +131,24 @@ pub fn evaluate_batch(
         metrics.rewrite_time = rewrite_start.elapsed();
         metrics.distinct_source_queries = ordered.len();
 
-        let reused_before = dag.operators_reused();
-        let nodes_before = dag.node_count();
+        let reused_before = epoch.dag().operators_reused();
+        let nodes_before = epoch.dag().node_count();
+        let bind_hits_before = epoch.bind_hits();
         let mut roots = Vec::with_capacity(ordered.len());
         let plan_start = Instant::now();
         for (sq, probability) in ordered {
-            let plan = optimize(&sq.plan, catalog)?;
-            let physical = exec.bind(&plan)?;
-            dag.add_root(&physical);
+            let key = fingerprint(&sq.plan);
+            epoch.submit_with(key, || {
+                let plan = optimize(&sq.plan, catalog)?;
+                exec.bind(&plan)
+            })?;
             roots.push((next_root, probability, sq.extraction));
             next_root += 1;
         }
         metrics.plan_time = plan_start.elapsed();
-        metrics.shared_plan_hits = dag.operators_reused() - reused_before;
-        metrics.shared_plan_misses = (dag.node_count() - nodes_before) as u64;
+        metrics.shared_plan_hits = (epoch.dag().operators_reused() - reused_before)
+            + (epoch.bind_hits() - bind_hits_before);
+        metrics.shared_plan_misses = (epoch.dag().node_count() - nodes_before) as u64;
 
         pending.push(PendingQuery {
             roots,
@@ -146,11 +157,59 @@ pub fn evaluate_batch(
             started,
         });
     }
+    Ok(pending)
+}
 
-    // Phase 2: execute every distinct operator exactly once, fanning results out to all
-    // consumers — in parallel when asked to.
-    let scheduler = DagScheduler::with_workers(options.workers);
-    let run = scheduler.execute(&dag, &mut exec)?;
+/// Evaluates every query of a batch against the same mapping set and catalog through one merged
+/// shared-operator DAG (see the module docs).
+///
+/// The epoch DAG is built fresh per call — the rebuild-every-batch baseline.  A serving layer
+/// that keeps one [`EpochDag`] per epoch should call [`evaluate_batch_epoch`] instead and get
+/// cross-batch bind/result reuse for free.
+pub fn evaluate_batch(
+    queries: &[TargetQuery],
+    mappings: &MappingSet,
+    catalog: &Catalog,
+    options: &BatchOptions,
+) -> CoreResult<BatchEvaluation> {
+    let mut epoch = EpochDag::new();
+    evaluate_batch_epoch(queries, mappings, catalog, options, &mut epoch)
+}
+
+/// Like [`evaluate_batch`], on a caller-owned per-epoch DAG.
+///
+/// The epoch DAG must have been created for (and only ever used with) this `catalog` — bound
+/// fingerprints are identity-based, so an epoch DAG must not outlive or migrate between
+/// catalogs.  Everything this epoch has bound before is submitted as a hash lookup, and every
+/// node whose result is still materialised (pinned from the previous batch, or alive in any
+/// consumer's hands) is answered without executing — see
+/// [`EpochDag`] for the pinning policy.
+pub fn evaluate_batch_epoch(
+    queries: &[TargetQuery],
+    mappings: &MappingSet,
+    catalog: &Catalog,
+    options: &BatchOptions,
+    epoch: &mut EpochDag,
+) -> CoreResult<BatchEvaluation> {
+    let mut exec = Executor::new(catalog);
+    let batch_reused_before = epoch.dag().operators_reused();
+    let batch_nodes_before = epoch.dag().node_count();
+
+    // Phase 1: rewrite and submit.  On any failure the half-assembled batch must be aborted,
+    // or its stale roots would prepend themselves to the epoch's *next* batch and misalign
+    // every one of that batch's answers.
+    let pending = match submit_batch(queries, mappings, catalog, epoch, &exec) {
+        Ok(pending) => pending,
+        Err(err) => {
+            epoch.abort_pending();
+            return Err(err);
+        }
+    };
+
+    // Phase 2: execute only what this batch needs — every distinct operator not answered by a
+    // live cached result runs exactly once, fanning its result out to all consumers, in
+    // parallel when asked to.
+    let run = epoch.execute_pending(&mut exec, options.workers)?;
     for _ in 0..run.root_results.len() {
         exec.stats_mut().record_source_query();
     }
@@ -179,12 +238,14 @@ pub fn evaluate_batch(
 
     Ok(BatchEvaluation {
         evaluations,
-        plan_hits: dag.operators_reused(),
-        plan_misses: dag.node_count() as u64,
+        plan_hits: (epoch.dag().operators_reused() - batch_reused_before) + run.report.bind_hits,
+        plan_misses: (epoch.dag().node_count() - batch_nodes_before) as u64,
         exec: exec.into_stats(),
         dag_nodes: run.report.nodes_executed as usize,
         peak_parallelism: run.report.peak_parallelism,
         workers: run.report.workers,
+        epoch_bind_hits: run.report.bind_hits,
+        epoch_results_reused: run.report.results_reused,
     })
 }
 
@@ -309,6 +370,103 @@ mod tests {
         let b = evaluate_batch(&queries, &mappings, &catalog, &BatchOptions::parallel(3)).unwrap();
         for (x, y) in a.evaluations.iter().zip(&b.evaluations) {
             assert_eq!(x.answer.sorted(), y.answer.sorted());
+        }
+    }
+
+    #[test]
+    fn warm_epoch_batch_skips_rebinding_and_execution_with_identical_answers() {
+        let catalog = testkit::figure2_catalog();
+        let mappings = testkit::figure3_mappings();
+        let queries = paper_queries();
+        let mut epoch = EpochDag::new();
+
+        let cold = evaluate_batch_epoch(
+            &queries,
+            &mappings,
+            &catalog,
+            &BatchOptions::sequential(),
+            &mut epoch,
+        )
+        .unwrap();
+        assert_eq!(cold.epoch_bind_hits, 0);
+        assert_eq!(cold.epoch_results_reused, 0);
+        assert!(cold.dag_nodes > 0);
+
+        let warm = evaluate_batch_epoch(
+            &queries,
+            &mappings,
+            &catalog,
+            &BatchOptions::sequential(),
+            &mut epoch,
+        )
+        .unwrap();
+        assert!(warm.epoch_bind_hits > 0, "warm batch must skip rebinding");
+        assert_eq!(warm.dag_nodes, 0, "warm batch must execute no DAG node");
+        assert!(warm.epoch_results_reused > 0);
+        assert_eq!(warm.plan_misses, 0, "warm batch adds no DAG nodes");
+        assert_eq!(
+            warm.exec.operators_executed + warm.exec.scans,
+            0,
+            "warm batch charged executor work"
+        );
+
+        // Answers are bit-identical to the cold batch and to the rebuild-every-batch path.
+        let rebuilt =
+            evaluate_batch(&queries, &mappings, &catalog, &BatchOptions::sequential()).unwrap();
+        for ((a, b), c) in cold
+            .evaluations
+            .iter()
+            .zip(&warm.evaluations)
+            .zip(&rebuilt.evaluations)
+        {
+            let (sa, sb, sc) = (a.answer.sorted(), b.answer.sorted(), c.answer.sorted());
+            assert_eq!(sa.len(), sb.len());
+            for (((t1, p1), (t2, p2)), (t3, p3)) in sa.iter().zip(&sb).zip(&sc) {
+                assert_eq!(t1, t2);
+                assert_eq!(p1.to_bits(), p2.to_bits());
+                assert_eq!(t1, t3);
+                assert_eq!(p1.to_bits(), p3.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_warm_batch_reuses_the_shared_frontier() {
+        // The second batch shares q0/q1 with the first but adds a new query: only the new
+        // query's frontier executes.
+        let catalog = testkit::figure2_catalog();
+        let mappings = testkit::figure3_mappings();
+        let mut epoch = EpochDag::new();
+        evaluate_batch_epoch(
+            &[testkit::q0(), testkit::q1()],
+            &mappings,
+            &catalog,
+            &BatchOptions::sequential(),
+            &mut epoch,
+        )
+        .unwrap();
+        let second = evaluate_batch_epoch(
+            &[testkit::q0(), testkit::q1(), testkit::q2_product()],
+            &mappings,
+            &catalog,
+            &BatchOptions::sequential(),
+            &mut epoch,
+        )
+        .unwrap();
+        assert!(second.epoch_bind_hits > 0);
+        assert!(second.epoch_results_reused > 0);
+        assert!(second.dag_nodes > 0, "the new query still has to run");
+        // The repeated queries' answers agree with the sequential reference.
+        for (query, eval) in [testkit::q0(), testkit::q1(), testkit::q2_product()]
+            .iter()
+            .zip(&second.evaluations)
+        {
+            let reference = basic::evaluate(query, &mappings, &catalog).unwrap();
+            assert!(
+                reference.answer.approx_eq(&eval.answer, 1e-9),
+                "warm epoch batch disagrees with basic on {}",
+                query.name()
+            );
         }
     }
 

@@ -61,13 +61,14 @@ pub mod reformulate;
 pub mod strategy;
 pub mod testkit;
 
-pub use algorithms::batch::{evaluate_batch, BatchEvaluation, BatchOptions};
+pub use algorithms::batch::{evaluate_batch, evaluate_batch_epoch, BatchEvaluation, BatchOptions};
 pub use algorithms::{evaluate, topk::top_k, topk::TopKEvaluation, Algorithm};
 pub use answer::ProbabilisticAnswer;
 pub use error::{CoreError, CoreResult};
 pub use metrics::{EvalMetrics, Evaluation};
 pub use query::{QueryOutput, TargetOp, TargetPredicate, TargetQuery};
 pub use strategy::Strategy;
+pub use urm_engine::EpochDag;
 
 /// Convenience re-exports for downstream code and examples.
 pub mod prelude {

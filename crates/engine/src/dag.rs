@@ -38,7 +38,7 @@
 use crate::executor::Executor;
 use crate::physical::PhysicalPlan;
 use crate::{EngineError, EngineResult};
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::{Arc, Condvar, Mutex};
 use urm_storage::Relation;
 
@@ -57,10 +57,11 @@ impl NodeId {
 /// One deduplicated operator of the DAG.
 #[derive(Debug)]
 struct DagNode {
-    /// The bound sub-plan rooted at this operator.  Execution only inspects the top-level
-    /// variant (children arrive as materialised batches), but keeping the full subtree makes
-    /// nodes self-describing (schema, display, re-fingerprinting).
-    plan: PhysicalPlan,
+    /// The bound sub-plan rooted at this operator, *shared* with the caller's bound tree —
+    /// inserting a node is an `Arc` clone, never a subtree deep-copy.  Execution only inspects
+    /// the top-level variant (children arrive as materialised batches), but keeping the full
+    /// subtree makes nodes self-describing (schema, display, re-fingerprinting).
+    plan: Arc<PhysicalPlan>,
     /// Child node indices, in [`PhysicalPlan::children`] order (duplicates allowed: an operator
     /// may consume the same shared node twice).
     children: Vec<usize>,
@@ -68,6 +69,11 @@ struct DagNode {
     consumers: Vec<usize>,
     /// The node's sharing key.
     fingerprint: u64,
+    /// Estimated output rows (bind-time, from captured row-buffer sizes).
+    est_rows: u64,
+    /// Estimated work to execute the node (input rows consumed + output rows produced); the
+    /// parallel scheduler's ready queue is a max-heap over this.
+    cost: u64,
 }
 
 /// A shared-operator DAG over bound physical plans.
@@ -94,9 +100,12 @@ impl OperatorDag {
 
     /// Merges a bound plan into the DAG, returning the node its root deduplicated onto.
     ///
-    /// Children are inserted before parents, so node indices are a topological order.
-    pub fn add_plan(&mut self, plan: &PhysicalPlan) -> NodeId {
-        let children: Vec<usize> = plan.children().map(|c| self.add_plan(c).0).collect();
+    /// Children are inserted before parents, so node indices are a topological order.  The
+    /// plan's nodes are taken over by `Arc` handle — zero subtree clones on this path; the DAG
+    /// node's stored plan (and each of its inputs) is pointer-identical to the caller's bound
+    /// tree.
+    pub fn add_plan(&mut self, plan: &Arc<PhysicalPlan>) -> NodeId {
+        let children: Vec<usize> = plan.children_shared().map(|c| self.add_plan(c).0).collect();
         self.offered += 1;
         let fingerprint = plan.fingerprint();
         if let Some(&existing) = self.index.get(&fingerprint) {
@@ -107,11 +116,16 @@ impl OperatorDag {
         for &child in &children {
             self.nodes[child].consumers.push(id);
         }
+        let child_rows: Vec<u64> = children.iter().map(|&c| self.nodes[c].est_rows).collect();
+        let est_rows = plan.estimate_from(&child_rows);
+        let cost = child_rows.iter().sum::<u64>() + est_rows;
         self.nodes.push(DagNode {
-            plan: plan.clone(),
+            plan: Arc::clone(plan),
             children,
             consumers: Vec::new(),
             fingerprint,
+            est_rows,
+            cost,
         });
         self.index.insert(fingerprint, id);
         NodeId(id)
@@ -120,7 +134,7 @@ impl OperatorDag {
     /// Like [`add_plan`](OperatorDag::add_plan), additionally recording the node as a *root*
     /// whose result [`DagScheduler::execute`] returns (in insertion order).  The same node may
     /// be a root many times — duplicate queries in a batch share one execution and one result.
-    pub fn add_root(&mut self, plan: &PhysicalPlan) -> NodeId {
+    pub fn add_root(&mut self, plan: &Arc<PhysicalPlan>) -> NodeId {
         let id = self.add_plan(plan);
         self.roots.push(id.0);
         id
@@ -174,16 +188,18 @@ impl OperatorDag {
         &self.nodes[id.0].plan
     }
 
-    /// How many times each node's result is still needed during a run: once per consumer edge
-    /// plus once per root registration.  The scheduler drops a node's materialised result as
-    /// soon as this count drains, bounding peak memory to the *live* frontier of the DAG
-    /// instead of every intermediate of the whole batch.
-    fn retention_counts(&self) -> Vec<usize> {
-        let mut retain: Vec<usize> = self.nodes.iter().map(|n| n.consumers.len()).collect();
-        for &root in &self.roots {
-            retain[root] += 1;
-        }
-        retain
+    /// The shared handle of the bound plan rooted at a node — pointer-identical to the tree the
+    /// node was inserted from (the zero-clone invariant of [`add_plan`](OperatorDag::add_plan)).
+    #[must_use]
+    pub fn plan_shared(&self, id: NodeId) -> &Arc<PhysicalPlan> {
+        &self.nodes[id.0].plan
+    }
+
+    /// The bind-time cost estimate of a node (input rows consumed + estimated output rows).
+    /// The parallel scheduler starts expensive ready nodes — joins over big buffers — first.
+    #[must_use]
+    pub fn cost_of(&self, id: NodeId) -> u64 {
+        self.nodes[id.0].cost
     }
 
     /// Resolves a single root bottom-up through an external result cache.
@@ -247,6 +263,9 @@ pub struct DagRunReport {
     pub nodes_executed: u64,
     /// Operator insertions the DAG answered with an existing node — work *not* done.
     pub operators_reused: u64,
+    /// Nodes answered by the external result cache instead of executing (the whole subgraph
+    /// below each of them was pruned too).  Always 0 for plain [`DagScheduler::execute`].
+    pub results_reused: u64,
     /// Worker threads the run was scheduled on (1 = sequential).
     pub workers: usize,
     /// Maximum number of nodes in flight at once (1 for sequential runs).
@@ -296,47 +315,113 @@ impl DagScheduler {
     /// worker accumulates into a private [`Executor`] over the same catalog and the totals are
     /// merged into `exec` when the run completes, so counter totals are mode-independent.
     pub fn execute(&self, dag: &OperatorDag, exec: &mut Executor<'_>) -> EngineResult<DagRun> {
-        let (results, peak_parallelism) = if self.workers <= 1 || dag.node_count() <= 1 {
+        let needed = vec![true; dag.nodes.len()];
+        let roots = dag.roots.clone();
+        self.run_nodes(
+            dag,
+            &roots,
+            needed,
+            HashMap::new(),
+            exec,
+            &mut NoCache,
+            false,
+        )
+    }
+
+    /// Executes only what the given roots need, answering nodes from an external result cache.
+    ///
+    /// This is the entry point of the per-epoch DAG: `cache.lookup` is consulted once per
+    /// distinct node reachable from `roots`, a hit prunes the node's whole subgraph, and every
+    /// freshly computed node result is handed to `cache.publish` exactly once.  Nodes of the
+    /// DAG that no root reaches are not touched at all — a persistent DAG can therefore hold an
+    /// epoch's whole operator history while each batch pays only for its own frontier.  Root
+    /// results come back in `roots` order; duplicate roots alias one `Arc`.
+    pub fn execute_roots(
+        &self,
+        dag: &OperatorDag,
+        roots: &[NodeId],
+        exec: &mut Executor<'_>,
+        cache: &mut dyn DagResultCache,
+    ) -> EngineResult<DagRun> {
+        let roots: Vec<usize> = roots.iter().map(|r| r.0).collect();
+        let (needed, seeds) = plan_nodes(dag, &roots, cache);
+        self.run_nodes(dag, &roots, needed, seeds, exec, cache, true)
+    }
+
+    /// The shared engine behind [`execute`](DagScheduler::execute) and
+    /// [`execute_roots`](DagScheduler::execute_roots): runs the `needed` nodes (sequentially or
+    /// on workers), seeds child batches from `seeds`, and — when `publish` is set — hands every
+    /// fresh result to `cache`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_nodes(
+        &self,
+        dag: &OperatorDag,
+        roots: &[usize],
+        needed: Vec<bool>,
+        seeds: HashMap<usize, Arc<Relation>>,
+        exec: &mut Executor<'_>,
+        cache: &mut dyn DagResultCache,
+        publish: bool,
+    ) -> EngineResult<DagRun> {
+        let needed_count = needed.iter().filter(|&&n| n).count();
+        let results_reused = seeds.len() as u64;
+        let (results, peak_parallelism) = if self.workers <= 1 || needed_count <= 1 {
             (
-                self.execute_sequential(dag, exec)?,
-                usize::from(!dag.is_empty()),
+                self.run_sequential(dag, roots, &needed, &seeds, exec, cache, publish)?,
+                usize::from(needed_count > 0),
             )
         } else {
-            self.execute_parallel(dag, exec)?
+            self.run_parallel(dag, roots, &needed, &seeds, exec, cache, publish)?
         };
-        let root_results = dag
-            .roots
+        let root_results = roots
             .iter()
             .map(|&r| Arc::clone(results[r].as_ref().expect("root result retained")))
             .collect();
         Ok(DagRun {
             root_results,
             report: DagRunReport {
-                nodes_executed: dag.node_count() as u64,
+                nodes_executed: needed_count as u64,
                 operators_reused: dag.operators_reused(),
+                results_reused,
                 workers: self.workers,
                 peak_parallelism,
             },
         })
     }
 
-    fn execute_sequential(
+    #[allow(clippy::too_many_arguments)]
+    fn run_sequential(
         &self,
         dag: &OperatorDag,
+        roots: &[usize],
+        needed: &[bool],
+        seeds: &HashMap<usize, Arc<Relation>>,
         exec: &mut Executor<'_>,
+        cache: &mut dyn DagResultCache,
+        publish: bool,
     ) -> EngineResult<Vec<Option<Arc<Relation>>>> {
         // Node indices are topological by construction: children precede parents.  A node's
         // result is dropped as soon as its last consumer has executed (roots are retained for
         // extraction), so peak memory tracks the live frontier, not the whole batch.
-        let mut retain = dag.retention_counts();
+        let mut retain = retention(dag, needed, roots);
         let mut results: Vec<Option<Arc<Relation>>> = vec![None; dag.nodes.len()];
-        for (i, node) in dag.nodes.iter().enumerate() {
+        for (&i, seed) in seeds {
+            results[i] = Some(Arc::clone(seed));
+        }
+        for i in 0..dag.nodes.len() {
+            if !needed[i] {
+                continue;
+            }
+            let node = &dag.nodes[i];
             let children: Vec<Arc<Relation>> = node
                 .children
                 .iter()
                 .map(|&c| Arc::clone(results[c].as_ref().expect("child resolved")))
                 .collect();
             let out = exec.execute_node(&node.plan, &children)?;
+            if publish {
+                cache.publish(node.fingerprint, &out);
+            }
             if retain[i] > 0 {
                 results[i] = Some(out);
             }
@@ -350,14 +435,25 @@ impl DagScheduler {
         Ok(results)
     }
 
-    fn execute_parallel(
+    #[allow(clippy::too_many_arguments)]
+    fn run_parallel(
         &self,
         dag: &OperatorDag,
+        roots: &[usize],
+        needed: &[bool],
+        seeds: &HashMap<usize, Arc<Relation>>,
         exec: &mut Executor<'_>,
+        cache: &mut dyn DagResultCache,
+        publish: bool,
     ) -> EngineResult<(Vec<Option<Arc<Relation>>>, usize)> {
         let catalog = exec.catalog();
-        let shared = SchedState::new(dag);
-        let worker_count = self.workers.min(dag.node_count().max(1));
+        let needed_count = needed.iter().filter(|&&n| n).count();
+        // Publishing happens single-threaded after the run, so a cache-backed run must keep
+        // every fresh result alive until then (the cache wants all of them anyway — that is
+        // what makes the next batch warm).
+        let keep_all = publish;
+        let shared = SchedState::new(dag, roots, needed, seeds, keep_all);
+        let worker_count = self.workers.min(needed_count.max(1));
         let mut stats_parts = Vec::new();
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..worker_count)
@@ -381,7 +477,99 @@ impl DagScheduler {
         if let Some(err) = state.error {
             return Err(err);
         }
+        if publish {
+            for (i, node) in dag.nodes.iter().enumerate() {
+                if !needed[i] {
+                    continue;
+                }
+                let result = state.results[i].as_ref().expect("fresh result retained");
+                cache.publish(node.fingerprint, result);
+            }
+        }
         Ok((state.results, state.peak_parallel))
+    }
+}
+
+/// The cache of a plain [`DagScheduler::execute`] run: answers nothing, records nothing.
+struct NoCache;
+
+impl DagResultCache for NoCache {
+    fn lookup(&mut self, _fingerprint: u64) -> Option<Arc<Relation>> {
+        None
+    }
+    fn publish(&mut self, _fingerprint: u64, _result: &Arc<Relation>) {}
+}
+
+/// Walks the DAG from `roots`, consulting the cache once per distinct node: a hit seeds the
+/// node's result and prunes its subgraph, a miss marks the node (and its frontier below) as
+/// needing execution.
+fn plan_nodes(
+    dag: &OperatorDag,
+    roots: &[usize],
+    cache: &mut dyn DagResultCache,
+) -> (Vec<bool>, HashMap<usize, Arc<Relation>>) {
+    let mut needed = vec![false; dag.nodes.len()];
+    let mut visited = vec![false; dag.nodes.len()];
+    let mut seeds: HashMap<usize, Arc<Relation>> = HashMap::new();
+    let mut stack: Vec<usize> = roots.to_vec();
+    while let Some(node) = stack.pop() {
+        if visited[node] {
+            continue;
+        }
+        visited[node] = true;
+        if let Some(hit) = cache.lookup(dag.nodes[node].fingerprint) {
+            seeds.insert(node, hit);
+            continue;
+        }
+        needed[node] = true;
+        stack.extend(dag.nodes[node].children.iter().copied());
+    }
+    (needed, seeds)
+}
+
+/// How many times each node's result is still needed during a run: once per consuming edge of
+/// an executing node plus once per root registration.  The scheduler drops a node's
+/// materialised result as soon as this count drains, bounding peak memory to the *live*
+/// frontier of the DAG instead of every intermediate of the whole batch.
+fn retention(dag: &OperatorDag, needed: &[bool], roots: &[usize]) -> Vec<usize> {
+    let mut retain = vec![0usize; dag.nodes.len()];
+    for (i, node) in dag.nodes.iter().enumerate() {
+        if !needed[i] {
+            continue;
+        }
+        for &c in &node.children {
+            retain[c] += 1;
+        }
+    }
+    for &r in roots {
+        retain[r] += 1;
+    }
+    retain
+}
+
+/// A ready node in the parallel scheduler's queue, ordered by bind-time cost estimate.
+///
+/// The queue is a max-heap: the most expensive ready node (a hash join over big captured row
+/// buffers rather than a cheap selection) is started first, which shortens the critical path
+/// whenever workers outnumber heavy nodes.  Ties break towards the smaller node index — the
+/// older, deeper node — keeping pop order deterministic.
+#[derive(Debug, PartialEq, Eq)]
+struct ReadyNode {
+    cost: u64,
+    node: usize,
+}
+
+impl Ord for ReadyNode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.cost
+            .cmp(&other.cost)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for ReadyNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
     }
 }
 
@@ -389,14 +577,17 @@ impl DagScheduler {
 struct SchedState {
     state: Mutex<SchedInner>,
     ready_cv: Condvar,
+    /// Which nodes this run executes (immutable; seeded or unreachable nodes are skipped).
+    needed: Vec<bool>,
 }
 
 struct SchedInner {
-    /// Nodes whose children are all resolved, awaiting a worker.
-    ready: Vec<usize>,
+    /// Nodes whose children are all resolved, awaiting a worker — max-heap by cost estimate,
+    /// so expensive joins start before cheap selections.
+    ready: BinaryHeap<ReadyNode>,
     /// Per-node results (`None` until executed, and again once no longer needed).
     results: Vec<Option<Arc<Relation>>>,
-    /// Unresolved-child count per node (counts duplicate edges).
+    /// Unresolved-child count per node (counts duplicate edges; seeded children are resolved).
     pending: Vec<usize>,
     /// Remaining uses of each node's result (consumer edges + root registrations); a result is
     /// dropped when this drains, bounding peak memory to the live frontier.
@@ -412,25 +603,59 @@ struct SchedInner {
 }
 
 impl SchedState {
-    fn new(dag: &OperatorDag) -> Self {
-        let pending: Vec<usize> = dag.nodes.iter().map(|n| n.children.len()).collect();
-        let ready: Vec<usize> = pending
+    fn new(
+        dag: &OperatorDag,
+        roots: &[usize],
+        needed: &[bool],
+        seeds: &HashMap<usize, Arc<Relation>>,
+        keep_all: bool,
+    ) -> Self {
+        let pending: Vec<usize> = dag
+            .nodes
             .iter()
             .enumerate()
-            .filter_map(|(i, &p)| (p == 0).then_some(i))
+            .map(|(i, n)| {
+                if needed[i] {
+                    n.children.iter().filter(|&&c| needed[c]).count()
+                } else {
+                    0
+                }
+            })
             .collect();
+        let ready: BinaryHeap<ReadyNode> = pending
+            .iter()
+            .enumerate()
+            .filter(|&(i, &p)| needed[i] && p == 0)
+            .map(|(i, _)| ReadyNode {
+                cost: dag.nodes[i].cost,
+                node: i,
+            })
+            .collect();
+        let mut results: Vec<Option<Arc<Relation>>> = vec![None; dag.nodes.len()];
+        for (&i, seed) in seeds {
+            results[i] = Some(Arc::clone(seed));
+        }
+        let mut retain = retention(dag, needed, roots);
+        if keep_all {
+            for (i, r) in retain.iter_mut().enumerate() {
+                if needed[i] {
+                    *r += 1;
+                }
+            }
+        }
         SchedState {
             state: Mutex::new(SchedInner {
                 ready,
-                results: vec![None; dag.nodes.len()],
+                results,
                 pending,
-                retain: dag.retention_counts(),
-                remaining: dag.nodes.len(),
+                retain,
+                remaining: needed.iter().filter(|&&n| n).count(),
                 in_flight: 0,
                 peak_parallel: 0,
                 error: None,
             }),
             ready_cv: Condvar::new(),
+            needed: needed.to_vec(),
         }
     }
 
@@ -440,7 +665,7 @@ impl SchedState {
             if guard.error.is_some() || guard.remaining == 0 {
                 return;
             }
-            let Some(node) = guard.ready.pop() else {
+            let Some(ReadyNode { node, .. }) = guard.ready.pop() else {
                 if guard.in_flight == 0 {
                     // Unreachable for a well-formed DAG; bail rather than deadlock.
                     return;
@@ -478,9 +703,15 @@ impl SchedState {
                     }
                     let mut woke = 0usize;
                     for &consumer in &dag.nodes[node].consumers {
+                        if !self.needed[consumer] {
+                            continue;
+                        }
                         guard.pending[consumer] -= 1;
                         if guard.pending[consumer] == 0 {
-                            guard.ready.push(consumer);
+                            guard.ready.push(ReadyNode {
+                                cost: dag.nodes[consumer].cost,
+                                node: consumer,
+                            });
                             woke += 1;
                         }
                     }
@@ -506,22 +737,29 @@ impl SchedState {
 /// An incremental DAG executor: plans arrive one at a time, distinct operators execute once.
 ///
 /// This is the front-end the o-sharing u-trace and q-sharing use.  Each submitted logical plan
-/// is bound, merged into a growing [`OperatorDag`], and resolved against the results of every
+/// is bound, merged into a growing per-evaluation [`EpochDag`](crate::epoch::EpochDag) (pinning
+/// every result — the evaluation *is* the epoch), and resolved against the results of every
 /// earlier submission: an operator (or scan, or shared `Values` leaf) that any earlier step
 /// already executed is answered with the stored `Arc` — sharing across sibling e-units and
 /// across representative mappings falls out of the graph structure.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DagExecutor {
-    dag: OperatorDag,
-    results: HashMap<u64, Arc<Relation>>,
-    hits: u64,
+    epoch: crate::epoch::EpochDag,
+}
+
+impl Default for DagExecutor {
+    fn default() -> Self {
+        DagExecutor::new()
+    }
 }
 
 impl DagExecutor {
     /// Creates an empty incremental executor.
     #[must_use]
     pub fn new() -> Self {
-        DagExecutor::default()
+        DagExecutor {
+            epoch: crate::epoch::EpochDag::pinning_all(),
+        }
     }
 
     /// Binds `plan`, merges it into the DAG, executes only the nodes never executed before, and
@@ -535,61 +773,38 @@ impl DagExecutor {
         self.run_physical(&physical, exec)
     }
 
-    /// Like [`run_shared`](DagExecutor::run_shared) for an already-bound plan.
+    /// Like [`run_shared`](DagExecutor::run_shared) for an already-bound plan (merged by `Arc`
+    /// handle — no subtree is ever cloned).
     pub fn run_physical(
         &mut self,
-        physical: &PhysicalPlan,
+        physical: &Arc<PhysicalPlan>,
         exec: &mut Executor<'_>,
     ) -> EngineResult<Arc<Relation>> {
-        let root = self.dag.add_plan(physical);
-        let mut memo = MemoCache {
-            results: &mut self.results,
-            hits: &mut self.hits,
-        };
-        self.dag.resolve_root(root, exec, &mut memo)
+        self.epoch.resolve(physical, exec)
     }
 
     /// Distinct operator nodes merged into the DAG so far.
     #[must_use]
     pub fn distinct_nodes(&self) -> usize {
-        self.dag.node_count()
+        self.epoch.node_count()
     }
 
     /// Resolutions answered from an earlier execution (shared work).
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.epoch.result_hits()
     }
 
     /// Nodes actually executed so far (each exactly once).
     #[must_use]
     pub fn executed(&self) -> u64 {
-        self.results.len() as u64
+        self.epoch.nodes_executed()
     }
 
     /// The underlying DAG (metrics, inspection).
     #[must_use]
     pub fn dag(&self) -> &OperatorDag {
-        &self.dag
-    }
-}
-
-/// The unbounded memo of [`DagExecutor`], counting hits as it answers them.
-struct MemoCache<'a> {
-    results: &'a mut HashMap<u64, Arc<Relation>>,
-    hits: &'a mut u64,
-}
-
-impl DagResultCache for MemoCache<'_> {
-    fn lookup(&mut self, fingerprint: u64) -> Option<Arc<Relation>> {
-        self.results.get(&fingerprint).map(|r| {
-            *self.hits += 1;
-            Arc::clone(r)
-        })
-    }
-
-    fn publish(&mut self, fingerprint: u64, result: &Arc<Relation>) {
-        self.results.insert(fingerprint, Arc::clone(result));
+        self.epoch.dag()
     }
 }
 
@@ -729,6 +944,121 @@ mod tests {
         assert!(run.root_results.is_empty());
         assert_eq!(run.report.nodes_executed, 0);
         assert_eq!(run.report.peak_parallelism, 0);
+    }
+
+    #[test]
+    fn dag_construction_never_deep_clones_a_subtree() {
+        // The zero-clone invariant of the Arc'd plan refactor: every DAG node stores the bound
+        // plan by pointer, so a node's input IS the bound plan's child, not a copy.
+        let cat = catalog();
+        let exec = Executor::new(&cat);
+        let physical = exec
+            .bind(
+                &Plan::scan("R")
+                    .select(Predicate::eq("R.b", Value::from("x")))
+                    .hash_join(Plan::scan_as("R", "S"), vec![("R.a".into(), "S.a".into())])
+                    .project(vec!["R.a".into()]),
+            )
+            .unwrap();
+        let mut dag = OperatorDag::new();
+        let root = dag.add_root(&physical);
+        assert!(
+            Arc::ptr_eq(dag.plan_shared(root), &physical),
+            "root node must hold the bound tree itself"
+        );
+        // Walk the whole tree: re-adding any subtree dedups onto its node, and that node's
+        // stored plan must be pointer-identical to the bound plan's child handle.
+        fn check(dag: &mut OperatorDag, plan: &Arc<crate::PhysicalPlan>) {
+            for child in plan.children_shared() {
+                let node = dag.add_plan(child);
+                assert!(
+                    Arc::ptr_eq(dag.plan_shared(node), child),
+                    "DAG node input is not the bound plan's child"
+                );
+                check(dag, child);
+            }
+        }
+        check(&mut dag, &physical);
+    }
+
+    #[test]
+    fn cost_estimates_rank_joins_above_selections() {
+        let cat = catalog();
+        let exec = Executor::new(&cat);
+        let mut dag = OperatorDag::new();
+        let select = dag.add_root(
+            &exec
+                .bind(&Plan::scan("R").select(Predicate::eq("R.b", Value::from("x"))))
+                .unwrap(),
+        );
+        let join = dag.add_root(
+            &exec
+                .bind(
+                    &Plan::scan("R")
+                        .hash_join(Plan::scan_as("R", "S"), vec![("R.a".into(), "S.a".into())]),
+                )
+                .unwrap(),
+        );
+        let product = dag.add_root(
+            &exec
+                .bind(&Plan::scan("R").product(Plan::scan_as("R", "P")))
+                .unwrap(),
+        );
+        assert!(
+            dag.cost_of(join) > dag.cost_of(select),
+            "a join over the same buffers must cost more than a selection"
+        );
+        assert!(
+            dag.cost_of(product) > dag.cost_of(join),
+            "a product must out-cost the equi-join"
+        );
+    }
+
+    #[test]
+    fn execute_roots_prunes_cached_subgraphs_and_skips_unrelated_nodes() {
+        let cat = catalog();
+        let mut exec = Executor::new(&cat);
+        let mut dag = OperatorDag::new();
+        let base = Plan::scan("R").select(Predicate::eq("R.b", Value::from("x")));
+        let wanted = dag.add_plan(
+            &exec
+                .bind(&base.clone().project(vec!["R.a".into()]))
+                .unwrap(),
+        );
+        // An unrelated plan merged into the same DAG must not execute.
+        dag.add_plan(
+            &exec
+                .bind(&Plan::scan("R").select(Predicate::eq("R.b", Value::from("y"))))
+                .unwrap(),
+        );
+
+        struct Memo(HashMap<u64, Arc<Relation>>);
+        impl DagResultCache for Memo {
+            fn lookup(&mut self, fingerprint: u64) -> Option<Arc<Relation>> {
+                self.0.get(&fingerprint).cloned()
+            }
+            fn publish(&mut self, fingerprint: u64, result: &Arc<Relation>) {
+                self.0.insert(fingerprint, Arc::clone(result));
+            }
+        }
+        let mut memo = Memo(HashMap::new());
+        for workers in [1usize, 3] {
+            let cold = DagScheduler::with_workers(workers)
+                .execute_roots(&dag, &[wanted], &mut exec, &mut memo)
+                .unwrap();
+            assert_eq!(cold.root_results.len(), 1);
+            assert_eq!(cold.root_results[0].len(), 10);
+            if workers == 1 {
+                // First run: only the root's own 3 nodes execute, never the unrelated select.
+                assert_eq!(cold.report.nodes_executed, 3);
+                assert_eq!(exec.stats().scans + exec.stats().operators_executed, 3);
+            } else {
+                // Second run: the primed memo answers the root outright.
+                assert_eq!(cold.report.nodes_executed, 0);
+                assert_eq!(cold.report.results_reused, 1);
+                assert_eq!(exec.stats().scans + exec.stats().operators_executed, 3);
+            }
+        }
     }
 
     #[test]

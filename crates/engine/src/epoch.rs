@@ -1,0 +1,592 @@
+//! The per-epoch persistent DAG: cross-batch operator reuse as a cache layer.
+//!
+//! PR 3's batch runtime rebuilt its [`OperatorDag`] from scratch for every batch, even though
+//! bound-plan fingerprints are identity-safe for the whole life of an epoch (they hash the
+//! *pointers* of the captured row buffers, and an epoch's catalog is immutable).  This module
+//! keeps one DAG alive per (catalog, mapping set) epoch and layers two caches over it:
+//!
+//! ```text
+//!              logical plan ──(logical fingerprint)──► bind cache ──► Arc<PhysicalPlan>, NodeId
+//!   batch 1:   miss → optimize + bind + add_plan            batch 2+: pointer lookup, no rebind
+//!
+//!              NodeId ──DagScheduler::execute_roots──► results
+//!   batch 1:   every frontier node executes                 batch 2+: live results answer nodes,
+//!              and is published (weakly + pinned)           pruning whole subgraphs
+//! ```
+//!
+//! * **Bind cache** — logical-plan fingerprint → (bound plan, DAG node).  A warm batch skips
+//!   plan optimisation, binding *and* DAG merging for every source query the epoch has seen
+//!   before; submitting it is one hash lookup.
+//! * **Weak result cache** — bound fingerprint → [`Weak`]`<Relation>`.  Node results are
+//!   remembered as long as *someone* still holds them; the cache itself never forces an
+//!   epoch's whole history to stay resident.
+//! * **Pinning** — what keeps warm batches warm.  With the default last-batch policy the epoch
+//!   holds strong references to exactly the results the most recent batch touched (computed or
+//!   reused), so consecutive overlapping batches reuse each other's operators while peak
+//!   memory stays bounded by one batch's working set.  [`EpochDag::pinning_all`] pins
+//!   everything — the policy of the u-trace front-end, whose lifetime is a single evaluation.
+//!
+//! The epoch DAG is dropped with its epoch, which is what makes the identity-based
+//! fingerprints safe: no cache entry can outlive the row buffers its key points to.
+
+use crate::dag::{DagResultCache, DagScheduler, NodeId, OperatorDag};
+use crate::executor::Executor;
+use crate::optimize::{fingerprint, optimize};
+use crate::physical::PhysicalPlan;
+use crate::{EngineResult, Plan};
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+use urm_storage::Relation;
+
+/// A persistent per-epoch [`OperatorDag`] with bind and result caching (see the module docs).
+#[derive(Debug, Default)]
+pub struct EpochDag {
+    dag: OperatorDag,
+    /// Logical-plan fingerprint → (bound root, its DAG node): the rebind-skipping cache.
+    bind_cache: HashMap<u64, (Arc<PhysicalPlan>, NodeId)>,
+    /// Bound fingerprint → weakly held result: live results answer future batches.
+    weak_results: HashMap<u64, Weak<Relation>>,
+    /// Strongly held results (the pin policy decides for how long).
+    pinned: HashMap<u64, Arc<Relation>>,
+    /// `true`: pin every result ever computed (u-trace mode); `false`: pin only the results
+    /// the most recent batch touched.
+    pin_all: bool,
+    /// Roots submitted since the last [`execute_pending`](EpochDag::execute_pending).
+    pending: Vec<NodeId>,
+    bind_hits: u64,
+    bind_misses: u64,
+    bind_hits_reported: u64,
+    bind_misses_reported: u64,
+    result_hits: u64,
+    nodes_executed: u64,
+    batches: u64,
+}
+
+/// Accounting for one [`EpochDag::execute_pending`] run.
+#[derive(Debug, Clone, Default)]
+pub struct EpochRunReport {
+    /// DAG nodes actually executed by this batch (each exactly once).
+    pub nodes_executed: u64,
+    /// DAG nodes answered by a live cached result — executions skipped, subgraphs pruned.
+    pub results_reused: u64,
+    /// Submissions answered by the bind cache — optimise/bind/merge work skipped.
+    pub bind_hits: u64,
+    /// Submissions that had to be optimised, bound and merged into the DAG.
+    pub bind_misses: u64,
+    /// Maximum nodes in flight at once (1 for sequential runs).
+    pub peak_parallelism: usize,
+    /// Worker threads the run was scheduled on.
+    pub workers: usize,
+}
+
+/// The outcome of one batch on the epoch DAG: root results in submission order plus accounting.
+#[derive(Debug)]
+pub struct EpochRun {
+    /// One result per submitted root, in submission order; duplicate roots alias one `Arc`.
+    pub root_results: Vec<Arc<Relation>>,
+    /// Work accounting for the run.
+    pub report: EpochRunReport,
+}
+
+impl EpochDag {
+    /// An empty epoch DAG with the last-batch pinning policy (the serving layer's default).
+    #[must_use]
+    pub fn new() -> Self {
+        EpochDag::default()
+    }
+
+    /// An empty epoch DAG that pins every result for its whole lifetime — the policy of
+    /// short-lived users like the o-sharing u-trace, where the "epoch" is one evaluation.
+    #[must_use]
+    pub fn pinning_all() -> Self {
+        EpochDag {
+            pin_all: true,
+            ..EpochDag::default()
+        }
+    }
+
+    /// Submits a logical plan as a root of the current batch: optimised, bound and merged into
+    /// the DAG on first sight, answered by the bind cache (a hash lookup, zero allocation on
+    /// the plan path) ever after.
+    pub fn submit(&mut self, plan: &Plan, exec: &Executor<'_>) -> EngineResult<NodeId> {
+        let key = fingerprint(plan);
+        self.submit_with(key, || {
+            let optimized = optimize(plan, exec.catalog())?;
+            exec.bind(&optimized)
+        })
+    }
+
+    /// Like [`submit`](EpochDag::submit) with the caller supplying the logical fingerprint and
+    /// the binder — for callers that time or customise the optimise/bind step.  `key` must
+    /// identify the logical plan within this epoch (two different plans must not share a key;
+    /// the same plan should, or it forfeits its rebind skip).
+    pub fn submit_with(
+        &mut self,
+        key: u64,
+        bind: impl FnOnce() -> EngineResult<Arc<PhysicalPlan>>,
+    ) -> EngineResult<NodeId> {
+        let node = match self.bind_cache.get(&key) {
+            Some(&(_, node)) => {
+                self.bind_hits += 1;
+                node
+            }
+            None => {
+                self.bind_misses += 1;
+                let physical = bind()?;
+                let node = self.dag.add_plan(&physical);
+                self.bind_cache.insert(key, (physical, node));
+                node
+            }
+        };
+        self.pending.push(node);
+        Ok(node)
+    }
+
+    /// Submits an already-bound plan as a root of the current batch (no bind cache involved;
+    /// merging is a pointer walk thanks to `Arc`-shared children).
+    pub fn submit_bound(&mut self, physical: &Arc<PhysicalPlan>) -> NodeId {
+        let node = self.dag.add_plan(physical);
+        self.pending.push(node);
+        node
+    }
+
+    /// Abandons the current batch: drops every root submitted since the last
+    /// [`execute_pending`](EpochDag::execute_pending) and resynchronises the per-batch bind
+    /// counters.  Callers **must** invoke this when batch assembly fails partway (a later
+    /// query failed to reformulate or bind), or the stale roots would silently prepend
+    /// themselves to the next batch's results.  Returns how many roots were dropped.
+    pub fn abort_pending(&mut self) -> usize {
+        let dropped = self.pending.len();
+        self.pending.clear();
+        self.bind_hits_reported = self.bind_hits;
+        self.bind_misses_reported = self.bind_misses;
+        dropped
+    }
+
+    /// Executes the batch submitted since the last call: only the nodes the batch's roots need
+    /// and no live cached result answers are run (on `workers` threads when > 1), results come
+    /// back in submission order, and the pin policy rotates to this batch's working set.
+    pub fn execute_pending(
+        &mut self,
+        exec: &mut Executor<'_>,
+        workers: usize,
+    ) -> EngineResult<EpochRun> {
+        let roots = std::mem::take(&mut self.pending);
+        if roots.is_empty() {
+            // An empty batch must not rotate the pin set — it would silently flush the warm
+            // working set a heartbeat-style flush has no business touching.
+            let report = EpochRunReport {
+                nodes_executed: 0,
+                results_reused: 0,
+                bind_hits: self.bind_hits - self.bind_hits_reported,
+                bind_misses: self.bind_misses - self.bind_misses_reported,
+                peak_parallelism: 0,
+                workers: workers.max(1),
+            };
+            self.bind_hits_reported = self.bind_hits;
+            self.bind_misses_reported = self.bind_misses;
+            self.batches += 1;
+            return Ok(EpochRun {
+                root_results: Vec::new(),
+                report,
+            });
+        }
+        let mut touched: HashMap<u64, Arc<Relation>> = HashMap::new();
+        let mut hits = 0u64;
+        let mut executed = 0u64;
+        let run = {
+            let mut cache = EpochResultCache {
+                weak: &mut self.weak_results,
+                pinned: &self.pinned,
+                touched: &mut touched,
+                hits: &mut hits,
+                executed: &mut executed,
+            };
+            DagScheduler::with_workers(workers)
+                .execute_roots(&self.dag, &roots, exec, &mut cache)?
+        };
+        self.result_hits += hits;
+        self.nodes_executed += executed;
+        self.batches += 1;
+        if self.pin_all {
+            self.pinned.extend(touched);
+        } else {
+            self.pinned = touched;
+        }
+        // Drop dead weak entries so the map tracks live results, not the epoch's history.
+        self.weak_results.retain(|_, w| w.strong_count() > 0);
+
+        let report = EpochRunReport {
+            nodes_executed: run.report.nodes_executed,
+            results_reused: run.report.results_reused,
+            bind_hits: self.bind_hits - self.bind_hits_reported,
+            bind_misses: self.bind_misses - self.bind_misses_reported,
+            peak_parallelism: run.report.peak_parallelism,
+            workers: run.report.workers,
+        };
+        self.bind_hits_reported = self.bind_hits;
+        self.bind_misses_reported = self.bind_misses;
+        Ok(EpochRun {
+            root_results: run.root_results,
+            report,
+        })
+    }
+
+    /// Resolves one bound plan immediately (the incremental front-end of the u-trace): the plan
+    /// is merged into the DAG and only the nodes without a live cached result execute.  Results
+    /// are pinned like any batch result; rotation still happens at
+    /// [`execute_pending`](EpochDag::execute_pending) (never called in pin-all mode).
+    pub fn resolve(
+        &mut self,
+        physical: &Arc<PhysicalPlan>,
+        exec: &mut Executor<'_>,
+    ) -> EngineResult<Arc<Relation>> {
+        let root = self.dag.add_plan(physical);
+        let mut touched: HashMap<u64, Arc<Relation>> = HashMap::new();
+        let mut hits = 0u64;
+        let mut executed = 0u64;
+        let result = {
+            let mut cache = EpochResultCache {
+                weak: &mut self.weak_results,
+                pinned: &self.pinned,
+                touched: &mut touched,
+                hits: &mut hits,
+                executed: &mut executed,
+            };
+            self.dag.resolve_root(root, exec, &mut cache)?
+        };
+        self.result_hits += hits;
+        self.nodes_executed += executed;
+        self.pinned.extend(touched);
+        Ok(result)
+    }
+
+    /// The underlying shared-operator DAG (metrics, inspection).
+    #[must_use]
+    pub fn dag(&self) -> &OperatorDag {
+        &self.dag
+    }
+
+    /// Distinct operator nodes merged into the epoch DAG so far.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.dag.node_count()
+    }
+
+    /// Submissions answered by the bind cache over the epoch's lifetime.
+    #[must_use]
+    pub fn bind_hits(&self) -> u64 {
+        self.bind_hits
+    }
+
+    /// Submissions that were optimised, bound and merged over the epoch's lifetime.
+    #[must_use]
+    pub fn bind_misses(&self) -> u64 {
+        self.bind_misses
+    }
+
+    /// Node executions skipped because a live cached result answered the node.
+    #[must_use]
+    pub fn result_hits(&self) -> u64 {
+        self.result_hits
+    }
+
+    /// Node executions actually performed over the epoch's lifetime.
+    #[must_use]
+    pub fn nodes_executed(&self) -> u64 {
+        self.nodes_executed
+    }
+
+    /// Batches executed via [`execute_pending`](EpochDag::execute_pending).
+    #[must_use]
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Results currently held strongly by the pin policy.
+    #[must_use]
+    pub fn pinned_results(&self) -> usize {
+        self.pinned.len()
+    }
+
+    /// Results still alive in the weak cache (pinned here or held by any consumer).
+    #[must_use]
+    pub fn live_results(&self) -> usize {
+        self.weak_results
+            .values()
+            .filter(|w| w.strong_count() > 0)
+            .count()
+    }
+}
+
+/// The [`DagResultCache`] adapter of one epoch run: answers lookups from this run's results,
+/// the pinned set, then the weak cache; collects everything it touches for pin rotation.
+struct EpochResultCache<'a> {
+    weak: &'a mut HashMap<u64, Weak<Relation>>,
+    pinned: &'a HashMap<u64, Arc<Relation>>,
+    touched: &'a mut HashMap<u64, Arc<Relation>>,
+    hits: &'a mut u64,
+    executed: &'a mut u64,
+}
+
+impl DagResultCache for EpochResultCache<'_> {
+    fn lookup(&mut self, fingerprint: u64) -> Option<Arc<Relation>> {
+        let hit = self
+            .touched
+            .get(&fingerprint)
+            .cloned()
+            .or_else(|| self.pinned.get(&fingerprint).cloned())
+            .or_else(|| self.weak.get(&fingerprint).and_then(Weak::upgrade))?;
+        *self.hits += 1;
+        self.touched.insert(fingerprint, Arc::clone(&hit));
+        Some(hit)
+    }
+
+    fn publish(&mut self, fingerprint: u64, result: &Arc<Relation>) {
+        *self.executed += 1;
+        self.weak.insert(fingerprint, Arc::downgrade(result));
+        self.touched.insert(fingerprint, Arc::clone(result));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompareOp, Predicate};
+    use urm_storage::{Attribute, Catalog, DataType, Schema, Tuple, Value};
+
+    fn catalog() -> Catalog {
+        let schema = Schema::new(
+            "R",
+            vec![
+                Attribute::new("a", DataType::Int),
+                Attribute::new("b", DataType::Text),
+            ],
+        );
+        let rows = (0..30)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::from(i as i64),
+                    Value::from(if i % 3 == 0 { "x" } else { "y" }),
+                ])
+            })
+            .collect();
+        let mut cat = Catalog::new();
+        cat.insert(Relation::new(schema, rows).unwrap());
+        cat
+    }
+
+    fn queries() -> Vec<Plan> {
+        let base = Plan::scan("R").select(Predicate::eq("R.b", Value::from("x")));
+        vec![
+            base.clone().project(vec!["R.a".into()]),
+            base.clone().project(vec!["R.b".into()]),
+            Plan::scan("R").select(Predicate::compare("R.a", CompareOp::Gt, Value::from(10i64))),
+        ]
+    }
+
+    fn run_batch(epoch: &mut EpochDag, exec: &mut Executor<'_>, workers: usize) -> EpochRun {
+        for q in queries() {
+            epoch.submit(&q, exec).unwrap();
+        }
+        epoch.execute_pending(exec, workers).unwrap()
+    }
+
+    #[test]
+    fn warm_batch_skips_rebinding_and_re_execution_entirely() {
+        let cat = catalog();
+        let mut exec = Executor::new(&cat);
+        let mut epoch = EpochDag::new();
+
+        let cold = run_batch(&mut epoch, &mut exec, 1);
+        assert_eq!(cold.report.bind_hits, 0);
+        assert_eq!(cold.report.bind_misses, 3);
+        assert!(cold.report.nodes_executed > 0);
+        assert_eq!(cold.report.results_reused, 0);
+        let work_after_cold = exec.stats().operators_executed + exec.stats().scans;
+
+        let warm = run_batch(&mut epoch, &mut exec, 1);
+        assert_eq!(warm.report.bind_hits, 3, "warm batch must skip rebinding");
+        assert_eq!(warm.report.bind_misses, 0);
+        assert_eq!(
+            warm.report.nodes_executed, 0,
+            "warm batch must not execute a single node"
+        );
+        assert_eq!(warm.report.results_reused, 3, "all roots answered by cache");
+        assert_eq!(
+            exec.stats().operators_executed + exec.stats().scans,
+            work_after_cold,
+            "warm batch charged executor work"
+        );
+
+        // Warm results are the cold batch's allocations, shared by pointer.
+        for (a, b) in cold.root_results.iter().zip(&warm.root_results) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+        assert_eq!(epoch.batches(), 2);
+    }
+
+    #[test]
+    fn warm_results_match_rebuild_every_batch_for_any_worker_count() {
+        let cat = catalog();
+        for workers in [1usize, 2, 4] {
+            let mut exec = Executor::new(&cat);
+            let mut epoch = EpochDag::new();
+            let cold = run_batch(&mut epoch, &mut exec, workers);
+            let warm = run_batch(&mut epoch, &mut exec, workers);
+            // The rebuild-every-batch baseline: a throwaway epoch per batch.
+            let mut fresh = EpochDag::new();
+            let rebuilt = run_batch(&mut fresh, &mut exec, workers);
+            for ((a, b), c) in cold
+                .root_results
+                .iter()
+                .zip(&warm.root_results)
+                .zip(&rebuilt.root_results)
+            {
+                assert_eq!(a.rows(), b.rows());
+                assert_eq!(a.rows(), c.rows());
+                assert_eq!(a.schema(), c.schema());
+            }
+        }
+    }
+
+    #[test]
+    fn pin_rotation_keeps_only_the_last_batch_resident() {
+        let cat = catalog();
+        let mut exec = Executor::new(&cat);
+        let mut epoch = EpochDag::new();
+
+        run_batch(&mut epoch, &mut exec, 1);
+        let pinned_after_first = epoch.pinned_results();
+        assert!(pinned_after_first > 0);
+
+        // A disjoint second batch: the first batch's results must be unpinned (and, with no
+        // other holders, dead in the weak cache), so a third batch re-executes them.
+        epoch
+            .submit(
+                &Plan::scan("R").select(Predicate::eq("R.b", Value::from("y"))),
+                &exec,
+            )
+            .unwrap();
+        epoch.execute_pending(&mut exec, 1).unwrap();
+        for q in queries() {
+            epoch.submit(&q, &exec).unwrap();
+        }
+        let third = epoch.execute_pending(&mut exec, 1).unwrap();
+        assert!(
+            third.report.nodes_executed > 0,
+            "rotated-out results must be recomputed once they died"
+        );
+        // The shared scan survived inside the second batch's pins, so part of the work is
+        // still answered from cache.
+        assert!(third.report.results_reused > 0);
+        // Rebinding was never repeated, dead or alive.
+        assert_eq!(third.report.bind_hits, 3);
+    }
+
+    #[test]
+    fn live_external_results_answer_even_rotated_nodes() {
+        let cat = catalog();
+        let mut exec = Executor::new(&cat);
+        let mut epoch = EpochDag::new();
+
+        // Hold the cold batch's results alive externally across an unrelated batch.
+        let cold = run_batch(&mut epoch, &mut exec, 1);
+        epoch
+            .submit(
+                &Plan::scan("R").select(Predicate::eq("R.b", Value::from("y"))),
+                &exec,
+            )
+            .unwrap();
+        epoch.execute_pending(&mut exec, 1).unwrap();
+
+        // Although the pins rotated, the weak cache upgrades the externally held Arcs.
+        let warm = run_batch(&mut epoch, &mut exec, 1);
+        assert_eq!(warm.report.nodes_executed, 0);
+        for (a, b) in cold.root_results.iter().zip(&warm.root_results) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+    }
+
+    #[test]
+    fn pinning_all_never_recomputes() {
+        let cat = catalog();
+        let mut exec = Executor::new(&cat);
+        let mut epoch = EpochDag::pinning_all();
+        run_batch(&mut epoch, &mut exec, 1);
+        let first_pins = epoch.pinned_results();
+        epoch
+            .submit(
+                &Plan::scan("R").select(Predicate::eq("R.b", Value::from("y"))),
+                &exec,
+            )
+            .unwrap();
+        epoch.execute_pending(&mut exec, 1).unwrap();
+        assert!(epoch.pinned_results() > first_pins, "pins must accumulate");
+        let warm = run_batch(&mut epoch, &mut exec, 1);
+        assert_eq!(warm.report.nodes_executed, 0);
+    }
+
+    #[test]
+    fn empty_batch_does_not_flush_the_pin_set() {
+        let cat = catalog();
+        let mut exec = Executor::new(&cat);
+        let mut epoch = EpochDag::new();
+        run_batch(&mut epoch, &mut exec, 1);
+        let pins = epoch.pinned_results();
+        assert!(pins > 0);
+
+        // A heartbeat-style flush with nothing pending must not rotate the pins away.
+        let empty = epoch.execute_pending(&mut exec, 1).unwrap();
+        assert!(empty.root_results.is_empty());
+        assert_eq!(empty.report.nodes_executed, 0);
+        assert_eq!(epoch.pinned_results(), pins, "empty batch flushed the pins");
+
+        let warm = run_batch(&mut epoch, &mut exec, 1);
+        assert_eq!(warm.report.nodes_executed, 0, "epoch went cold");
+    }
+
+    #[test]
+    fn abort_pending_discards_the_half_assembled_batch() {
+        let cat = catalog();
+        let mut exec = Executor::new(&cat);
+        let mut epoch = EpochDag::new();
+        run_batch(&mut epoch, &mut exec, 1);
+
+        // A batch that fails partway leaves stale roots pending; aborting must drop them so
+        // the next batch's results stay aligned with its own submissions.
+        epoch
+            .submit(
+                &Plan::scan("R").select(Predicate::eq("R.b", Value::from("y"))),
+                &exec,
+            )
+            .unwrap();
+        assert_eq!(epoch.abort_pending(), 1);
+
+        let next = run_batch(&mut epoch, &mut exec, 1);
+        assert_eq!(
+            next.root_results.len(),
+            queries().len(),
+            "stale roots leaked into the next batch"
+        );
+        // Results line up with the submissions, not with the aborted leftover.
+        assert_eq!(next.root_results[0].schema().arity(), 1);
+        // The aborted batch's bind-counter deltas were resynchronised too.
+        assert_eq!(next.report.bind_misses, 0);
+    }
+
+    #[test]
+    fn submit_bound_roots_share_the_callers_tree() {
+        let cat = catalog();
+        let mut exec = Executor::new(&cat);
+        let mut epoch = EpochDag::new();
+        let physical = exec
+            .bind(&Plan::scan("R").select(Predicate::eq("R.b", Value::from("x"))))
+            .unwrap();
+        let node = epoch.submit_bound(&physical);
+        assert!(Arc::ptr_eq(epoch.dag().plan_shared(node), &physical));
+        let run = epoch.execute_pending(&mut exec, 1).unwrap();
+        assert_eq!(run.root_results.len(), 1);
+        assert_eq!(run.root_results[0].len(), 10);
+    }
+}

@@ -47,7 +47,10 @@ impl<'a> Executor<'a> {
     }
 
     /// Binds a logical plan against this executor's catalog (see [`bind`]).
-    pub fn bind(&self, plan: &Plan) -> EngineResult<PhysicalPlan> {
+    ///
+    /// The returned plan is a shared handle: merging it (or any subtree of it) into a DAG or a
+    /// cache is a pointer bump.
+    pub fn bind(&self, plan: &Plan) -> EngineResult<Arc<PhysicalPlan>> {
         bind(plan, self.catalog)
     }
 

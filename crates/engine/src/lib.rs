@@ -21,7 +21,11 @@
 //! * [`dag`] — the shared-operator DAG runtime: bound plans are merged into an
 //!   [`OperatorDag`] (nodes deduplicated by bound-plan fingerprint), which a [`DagScheduler`]
 //!   executes with every distinct operator running exactly once — sequentially or on parallel
-//!   worker threads.  All of the paper's sharing mechanisms lower onto it;
+//!   worker threads, expensive ready nodes first.  All of the paper's sharing mechanisms lower
+//!   onto it;
+//! * [`epoch`] — the per-epoch persistent DAG: one [`EpochDag`] per (catalog, mapping set)
+//!   epoch caches bindings by logical fingerprint and node results weakly, so a hot epoch's
+//!   later batches skip rebinding and re-executing everything still materialised;
 //! * [`reference`] — the retained row-at-a-time evaluator, the oracle of the property tests
 //!   and the baseline of the executor micro-benchmark;
 //! * [`ExecStats`] — counters for executed operators and produced tuples, the metric reported
@@ -66,6 +70,7 @@
 #![deny(unsafe_code)]
 
 pub mod dag;
+pub mod epoch;
 pub mod error;
 pub mod executor;
 pub mod expr;
@@ -78,6 +83,7 @@ pub mod stats;
 pub use dag::{
     DagExecutor, DagResultCache, DagRun, DagRunReport, DagScheduler, NodeId, OperatorDag,
 };
+pub use epoch::{EpochDag, EpochRun, EpochRunReport};
 pub use error::{EngineError, EngineResult};
 pub use executor::Executor;
 pub use expr::{AggFunc, CompareOp, Predicate};

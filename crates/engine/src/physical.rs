@@ -103,6 +103,10 @@ pub enum BoundAggregate {
 /// A bound, executable plan: columns positional, predicates compiled, schemas precomputed, base
 /// row buffers captured.  Built by [`bind`]; evaluated by
 /// [`Executor`](crate::Executor) batch-at-a-time.
+///
+/// Children are `Arc`-shared: handing a bound subtree to the shared-operator DAG, the
+/// shared-plan cache or the per-epoch DAG is a pointer bump, never a deep clone — the same
+/// zero-copy discipline [`Relation`] rows follow.
 #[derive(Debug, Clone)]
 pub enum PhysicalPlan {
     /// Scan of a base relation: a zero-copy view of the captured row buffer under the
@@ -125,8 +129,8 @@ pub enum PhysicalPlan {
     Select {
         /// Compiled predicate.
         predicate: BoundPredicate,
-        /// Input operator.
-        input: Box<PhysicalPlan>,
+        /// Input operator (shared).
+        input: Arc<PhysicalPlan>,
         /// Output schema (same attributes as the input).
         schema: Schema,
     },
@@ -134,26 +138,26 @@ pub enum PhysicalPlan {
     Project {
         /// Input positions of the output columns.
         positions: Vec<usize>,
-        /// Input operator.
-        input: Box<PhysicalPlan>,
+        /// Input operator (shared).
+        input: Arc<PhysicalPlan>,
         /// Output schema.
         schema: Schema,
     },
     /// Cartesian product.
     Product {
-        /// Left input.
-        left: Box<PhysicalPlan>,
-        /// Right input.
-        right: Box<PhysicalPlan>,
+        /// Left input (shared).
+        left: Arc<PhysicalPlan>,
+        /// Right input (shared).
+        right: Arc<PhysicalPlan>,
         /// Output schema (left ++ right).
         schema: Schema,
     },
     /// Hash equi-join on positional key pairs (`left_keys[i] = right_keys[i]`).
     HashJoin {
-        /// Left input.
-        left: Box<PhysicalPlan>,
-        /// Right input.
-        right: Box<PhysicalPlan>,
+        /// Left input (shared).
+        left: Arc<PhysicalPlan>,
+        /// Right input (shared).
+        right: Arc<PhysicalPlan>,
         /// Key positions in the left batch.
         left_keys: Vec<usize>,
         /// Key positions in the right batch.
@@ -165,8 +169,8 @@ pub enum PhysicalPlan {
     Aggregate {
         /// Bound aggregate function.
         func: BoundAggregate,
-        /// Input operator.
-        input: Box<PhysicalPlan>,
+        /// Input operator (shared).
+        input: Arc<PhysicalPlan>,
         /// Output schema (one attribute).
         schema: Schema,
     },
@@ -189,7 +193,15 @@ impl PhysicalPlan {
 
     /// Direct children of this node, in evaluation order (allocation-free).
     pub fn children(&self) -> impl Iterator<Item = &PhysicalPlan> {
-        let (a, b): (Option<&PhysicalPlan>, Option<&PhysicalPlan>) = match self {
+        self.children_shared().map(Arc::as_ref)
+    }
+
+    /// Direct children as their shared handles, in evaluation order.
+    ///
+    /// This is what the shared-operator DAG consumes: storing a child is `Arc::clone`, so a
+    /// DAG node's input *is* the bound plan's child (pointer-identical), never a copy.
+    pub fn children_shared(&self) -> impl Iterator<Item = &Arc<PhysicalPlan>> {
+        let (a, b): (Option<&Arc<PhysicalPlan>>, Option<&Arc<PhysicalPlan>>) = match self {
             PhysicalPlan::Scan { .. } | PhysicalPlan::Values { .. } => (None, None),
             PhysicalPlan::Select { input, .. }
             | PhysicalPlan::Project { input, .. }
@@ -198,6 +210,27 @@ impl PhysicalPlan {
             | PhysicalPlan::HashJoin { left, right, .. } => (Some(left), Some(right)),
         };
         a.into_iter().chain(b)
+    }
+
+    /// The number of rows this operator is estimated to produce, given its children's
+    /// estimates — from the row buffers captured at bind time (leaves are exact; operators use
+    /// coarse selectivity rules).  This is the cost signal the parallel DAG scheduler orders
+    /// its ready queue by; the DAG supplies the child estimates so each node's estimate is
+    /// computed exactly once even when subtrees are shared.
+    #[must_use]
+    pub fn estimate_from(&self, child_rows: &[u64]) -> u64 {
+        match self {
+            PhysicalPlan::Scan { view, .. } => view.len() as u64,
+            PhysicalPlan::Values { rel } => rel.len() as u64,
+            // Equality-style filters are selective; keep a floor of 1 so chains of selections
+            // never decay to "free".
+            PhysicalPlan::Select { .. } => (child_rows[0] / 2).max(1),
+            PhysicalPlan::Project { .. } => child_rows[0],
+            PhysicalPlan::Product { .. } => child_rows[0].saturating_mul(child_rows[1]).max(1),
+            // The common shape is a foreign-key join: output on the order of the larger side.
+            PhysicalPlan::HashJoin { .. } => child_rows[0].max(child_rows[1]).max(1),
+            PhysicalPlan::Aggregate { .. } => 1,
+        }
     }
 
     /// A structural fingerprint of the *bound* plan, the sharing key of the
@@ -318,11 +351,15 @@ fn bind_predicate(predicate: &Predicate, schema: &Schema) -> BoundPredicate {
 /// Binds a logical plan against a catalog: resolves relations to row buffers, columns to
 /// positions, predicates to [`BoundPredicate`]s, and precomputes every output schema.
 ///
+/// Every node of the returned tree is behind an `Arc` (see [`PhysicalPlan`]), so downstream
+/// layers — the shared-operator DAG, the shared-plan cache, the per-epoch DAG — take over
+/// subtrees by pointer, never by deep clone.
+///
 /// Errors that the row-at-a-time evaluator reported lazily (unknown relation, unknown
 /// projection column, unresolvable join key) are reported here, before any operator executes.
 /// Missing *predicate* columns are not errors — they compile to [`BoundPredicate::Never`],
 /// preserving reformulation semantics.
-pub fn bind(plan: &Plan, catalog: &Catalog) -> EngineResult<PhysicalPlan> {
+pub fn bind(plan: &Plan, catalog: &Catalog) -> EngineResult<Arc<PhysicalPlan>> {
     match plan {
         Plan::Scan { relation, alias } => {
             let base = catalog.require(relation)?;
@@ -332,23 +369,23 @@ pub fn bind(plan: &Plan, catalog: &Catalog) -> EngineResult<PhysicalPlan> {
                 qualify_schema(base.schema(), alias),
                 base.shared_rows(),
             ));
-            Ok(PhysicalPlan::Scan {
+            Ok(Arc::new(PhysicalPlan::Scan {
                 relation: relation.clone(),
                 alias: alias.clone(),
                 view,
-            })
+            }))
         }
-        Plan::Values(rel) => Ok(PhysicalPlan::Values {
+        Plan::Values(rel) => Ok(Arc::new(PhysicalPlan::Values {
             rel: Arc::clone(rel),
-        }),
+        })),
         Plan::Select { predicate, input } => {
             let input = bind(input, catalog)?;
             let predicate = bind_predicate(predicate, input.schema());
-            Ok(PhysicalPlan::Select {
+            Ok(Arc::new(PhysicalPlan::Select {
                 predicate,
                 schema: input.schema().clone(),
-                input: Box::new(input),
-            })
+                input,
+            }))
         }
         Plan::Project { columns, input } => {
             let input = bind(input, catalog)?;
@@ -371,11 +408,11 @@ pub fn bind(plan: &Plan, catalog: &Catalog) -> EngineResult<PhysicalPlan> {
                 attrs.push(in_schema.attributes()[pos].clone());
             }
             let schema = Schema::new(format!("π({})", in_schema.name()), attrs);
-            Ok(PhysicalPlan::Project {
+            Ok(Arc::new(PhysicalPlan::Project {
                 positions,
                 schema,
-                input: Box::new(input),
-            })
+                input,
+            }))
         }
         Plan::Product { left, right } => {
             let left = bind(left, catalog)?;
@@ -411,13 +448,13 @@ pub fn bind(plan: &Plan, catalog: &Catalog) -> EngineResult<PhysicalPlan> {
                 right_keys.push(rs.require(rcol).map_err(EngineError::from)?);
             }
             let schema = ls.product(rs, format!("{}⋈{}", ls.name(), rs.name()));
-            Ok(PhysicalPlan::HashJoin {
-                left: Box::new(left),
-                right: Box::new(right),
+            Ok(Arc::new(PhysicalPlan::HashJoin {
+                left,
+                right,
                 left_keys,
                 right_keys,
                 schema,
-            })
+            }))
         }
         Plan::Aggregate { func, input } => {
             let input = bind(input, catalog)?;
@@ -448,26 +485,26 @@ pub fn bind(plan: &Plan, catalog: &Catalog) -> EngineResult<PhysicalPlan> {
                 }
             };
             let schema = Schema::new(format!("agg({})", in_schema.name()), vec![attr]);
-            Ok(PhysicalPlan::Aggregate {
+            Ok(Arc::new(PhysicalPlan::Aggregate {
                 func,
                 schema,
-                input: Box::new(input),
-            })
+                input,
+            }))
         }
     }
 }
 
 /// Builds a product node over two bound inputs (shared by `Product` and key-less `HashJoin`).
-fn product_node(left: PhysicalPlan, right: PhysicalPlan) -> PhysicalPlan {
+fn product_node(left: Arc<PhysicalPlan>, right: Arc<PhysicalPlan>) -> Arc<PhysicalPlan> {
     let schema = left.schema().product(
         right.schema(),
         format!("{}×{}", left.schema().name(), right.schema().name()),
     );
-    PhysicalPlan::Product {
-        left: Box::new(left),
-        right: Box::new(right),
+    Arc::new(PhysicalPlan::Product {
+        left,
+        right,
         schema,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -505,7 +542,7 @@ mod tests {
         let phys = bind(&plan, &cat).unwrap();
         let PhysicalPlan::Project {
             positions, input, ..
-        } = &phys
+        } = phys.as_ref()
         else {
             panic!("expected projection on top");
         };
@@ -527,7 +564,7 @@ mod tests {
     fn bind_captures_the_base_row_buffer() {
         let cat = catalog();
         let phys = bind(&Plan::scan("R"), &cat).unwrap();
-        let PhysicalPlan::Scan { view, .. } = &phys else {
+        let PhysicalPlan::Scan { view, .. } = phys.as_ref() else {
             panic!("expected a scan");
         };
         assert!(view.shares_rows_with(&cat.get("R").unwrap()));
@@ -538,7 +575,7 @@ mod tests {
         let cat = catalog();
         let plan = Plan::scan("R").select(Predicate::eq("R.ghost", Value::from(1i64)));
         let phys = bind(&plan, &cat).unwrap();
-        let PhysicalPlan::Select { predicate, .. } = &phys else {
+        let PhysicalPlan::Select { predicate, .. } = phys.as_ref() else {
             panic!("expected selection");
         };
         assert_eq!(predicate, &BoundPredicate::Never);
@@ -548,7 +585,7 @@ mod tests {
             Predicate::column_eq("R.a", "R.ghost"),
         ]));
         let phys = bind(&conj, &cat).unwrap();
-        let PhysicalPlan::Select { predicate, .. } = &phys else {
+        let PhysicalPlan::Select { predicate, .. } = phys.as_ref() else {
             panic!("expected selection");
         };
         assert_eq!(predicate, &BoundPredicate::Never);
@@ -569,7 +606,7 @@ mod tests {
         let cat = catalog();
         let plan = Plan::scan("R").hash_join(Plan::scan_as("R", "S"), vec![]);
         let phys = bind(&plan, &cat).unwrap();
-        assert!(matches!(phys, PhysicalPlan::Product { .. }));
+        assert!(matches!(phys.as_ref(), PhysicalPlan::Product { .. }));
         assert!(phys.schema().name().contains('×'));
     }
 
@@ -581,16 +618,17 @@ mod tests {
         let swapped =
             Plan::scan("R").hash_join(Plan::scan_as("R", "S"), vec![("S.a".into(), "R.a".into())]);
         for plan in [forward, swapped] {
+            let phys = bind(&plan, &cat).unwrap();
             let PhysicalPlan::HashJoin {
                 left_keys,
                 right_keys,
                 ..
-            } = bind(&plan, &cat).unwrap()
+            } = phys.as_ref()
             else {
                 panic!("expected a hash join");
             };
-            assert_eq!(left_keys, vec![0]);
-            assert_eq!(right_keys, vec![0]);
+            assert_eq!(left_keys, &vec![0]);
+            assert_eq!(right_keys, &vec![0]);
         }
     }
 

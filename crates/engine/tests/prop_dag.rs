@@ -10,8 +10,10 @@
 
 use proptest::prelude::*;
 use proptest::TestRng;
+use urm_engine::optimize::fingerprint;
 use urm_engine::{
-    AggFunc, CompareOp, DagScheduler, Executor, OperatorDag, Plan, Predicate, ReferenceExecutor,
+    AggFunc, CompareOp, DagScheduler, EpochDag, Executor, OperatorDag, Plan, Predicate,
+    ReferenceExecutor,
 };
 use urm_storage::{Attribute, Catalog, DataType, Relation, Schema, Tuple, Value};
 
@@ -223,6 +225,75 @@ proptest! {
             );
             // The duplicated root never added nodes.
             prop_assert!(dag.operators_reused() > 0);
+        }
+    }
+
+    /// Per-epoch persistent DAG: cold and warm batches on one [`EpochDag`] return, for every
+    /// root and any worker count, exactly the rows of the rebuild-every-batch path and of the
+    /// reference evaluator — and the warm repeat neither rebinds nor executes anything.
+    #[test]
+    fn epoch_warm_batches_match_rebuild_every_batch(seed in any::<u64>()) {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let catalog = random_catalog(&mut rng);
+        let mut pool: Vec<Plan> = Vec::new();
+        let mut alias_seq = 0usize;
+        let nplans = 2 + rng.index(4);
+        let mut batch: Vec<(Plan, Relation)> = Vec::new();
+        for _ in 0..nplans {
+            let depth = 1 + rng.index(3);
+            let plan = random_plan(&mut rng, &catalog, &mut pool, &mut alias_seq, depth);
+            if let Ok(expected) = ReferenceExecutor::new(&catalog).run(&plan) {
+                batch.push((plan, expected));
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+
+        for workers in [1usize, 3] {
+            let mut exec = Executor::new(&catalog);
+            let mut epoch = EpochDag::new();
+            for round in 0..3 {
+                for (plan, _) in &batch {
+                    // Bind the raw plan (no optimiser pass) so expectations stay row-exact.
+                    epoch
+                        .submit_with(fingerprint(plan), || exec.bind(plan))
+                        .expect("reference-accepted plan binds");
+                }
+                let run = epoch.execute_pending(&mut exec, workers).expect("batch executes");
+                prop_assert_eq!(run.root_results.len(), batch.len());
+                for ((plan, expected), got) in batch.iter().zip(&run.root_results) {
+                    prop_assert_eq!(
+                        expected.rows(),
+                        got.rows(),
+                        "round {} (workers={}) diverges for plan:\n{}",
+                        round,
+                        workers,
+                        plan
+                    );
+                }
+                if round > 0 {
+                    prop_assert_eq!(run.report.bind_misses, 0, "warm round rebound a plan");
+                    prop_assert_eq!(run.report.nodes_executed, 0, "warm round executed a node");
+                    // Duplicate plans in the batch dedup onto one root node, so the reuse
+                    // count is per distinct root.
+                    prop_assert!(run.report.results_reused >= 1);
+                    prop_assert!(run.report.results_reused <= batch.len() as u64);
+                }
+            }
+
+            // The rebuild-every-batch path over the same plans agrees bit-for-bit.
+            let mut rebuild_exec = Executor::new(&catalog);
+            let mut dag = OperatorDag::new();
+            for (plan, _) in &batch {
+                dag.add_root(&rebuild_exec.bind(plan).expect("plan binds"));
+            }
+            let rebuilt = DagScheduler::with_workers(workers)
+                .execute(&dag, &mut rebuild_exec)
+                .expect("rebuild batch executes");
+            for ((plan, expected), got) in batch.iter().zip(&rebuilt.root_results) {
+                prop_assert_eq!(expected.rows(), got.rows(), "rebuild diverges for plan:\n{}", plan);
+            }
         }
     }
 

@@ -28,8 +28,12 @@ use urm_storage::Relation;
 #[derive(Debug)]
 pub struct SharedPlanCache {
     results: LruCache<u64, Arc<Relation>>,
-    hits: u64,
-    misses: u64,
+    /// The persistent sharing graph: bound plans are merged once (an `Arc` pointer walk) and
+    /// every later execution of an already-merged plan reuses its nodes instead of rebuilding a
+    /// DAG from scratch.  Nodes are tiny (shared plan handle + edge lists), so this grows with
+    /// the number of *distinct* bound operators the cache has seen, while the LRU keeps the
+    /// materialised results bounded.
+    dag: OperatorDag,
 }
 
 impl Default for SharedPlanCache {
@@ -44,8 +48,7 @@ impl SharedPlanCache {
     pub fn new() -> Self {
         SharedPlanCache {
             results: LruCache::unbounded(),
-            hits: 0,
-            misses: 0,
+            dag: OperatorDag::new(),
         }
     }
 
@@ -54,8 +57,7 @@ impl SharedPlanCache {
     pub fn with_capacity(capacity: usize) -> Self {
         SharedPlanCache {
             results: LruCache::with_capacity(capacity),
-            hits: 0,
-            misses: 0,
+            dag: OperatorDag::new(),
         }
     }
 
@@ -65,16 +67,16 @@ impl SharedPlanCache {
         self.results.capacity()
     }
 
-    /// Number of cache hits so far.
+    /// Number of cache hits so far (delegated to the LRU store — one counter set, no drift).
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.results.hits()
     }
 
     /// Number of cache misses (distinct sub-expressions executed).
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.results.misses()
     }
 
     /// Number of materialised sub-plans evicted to stay within the capacity.
@@ -86,12 +88,7 @@ impl SharedPlanCache {
     /// Fraction of lookups answered from the cache (0 when nothing was looked up yet).
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
+        self.results.hit_rate()
     }
 
     /// Number of distinct materialised sub-expressions.
@@ -121,35 +118,42 @@ impl SharedPlanCache {
     /// Executes an already-bound plan through the cache (see
     /// [`execute_shared`](SharedPlanCache::execute_shared)).
     ///
-    /// The cache is a thin builder over the engine's shared-operator DAG runtime: the bound
-    /// plan is merged into an [`OperatorDag`] (deduplicating every sub-expression structurally)
-    /// and resolved through [`OperatorDag::resolve_root`] with this cache's LRU store plugged
-    /// in as the [`DagResultCache`].  A stored node prunes its whole subgraph; child results —
-    /// cached or fresh — flow into parent operators as shared views
+    /// The cache is a thin front-end of the engine's shared-operator DAG runtime: the bound
+    /// plan is merged into the cache's *persistent* [`OperatorDag`] (an `Arc` pointer walk —
+    /// the plan's children are Arc-shared, so no subtree is cloned, and a plan seen before adds
+    /// zero nodes) and resolved through [`OperatorDag::resolve_root`] with this cache's LRU
+    /// store plugged in as the [`DagResultCache`].  A stored node prunes its whole subgraph;
+    /// child results — cached or fresh — flow into parent operators as shared views
     /// ([`Executor::execute_node`]), so no intermediate relation is ever copied.
     pub fn execute_shared_physical(
         &mut self,
-        plan: &PhysicalPlan,
+        plan: &Arc<PhysicalPlan>,
         exec: &mut Executor<'_>,
     ) -> EngineResult<Arc<Relation>> {
-        let mut dag = OperatorDag::new();
-        let root = dag.add_root(plan);
-        dag.resolve_root(root, exec, self)
+        let root = self.dag.add_plan(plan);
+        let mut store = LruStore {
+            results: &mut self.results,
+        };
+        self.dag.resolve_root(root, exec, &mut store)
+    }
+
+    /// Distinct bound operators merged into the cache's persistent sharing graph.
+    #[must_use]
+    pub fn dag_nodes(&self) -> usize {
+        self.dag.node_count()
     }
 }
 
-impl DagResultCache for SharedPlanCache {
+/// The [`DagResultCache`] view of the LRU store (split off so the persistent DAG can be
+/// borrowed alongside it during resolution).  Hit/miss accounting lives in the
+/// [`LruCache`] itself.
+struct LruStore<'a> {
+    results: &'a mut LruCache<u64, Arc<Relation>>,
+}
+
+impl DagResultCache for LruStore<'_> {
     fn lookup(&mut self, fingerprint: u64) -> Option<Arc<Relation>> {
-        match self.results.get(&fingerprint) {
-            Some(hit) => {
-                self.hits += 1;
-                Some(Arc::clone(hit))
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
+        self.results.get(&fingerprint).map(Arc::clone)
     }
 
     fn publish(&mut self, fingerprint: u64, result: &Arc<Relation>) {
@@ -199,6 +203,9 @@ mod tests {
         assert_eq!(cache.misses(), 2);
         // The scan itself executed only once.
         assert_eq!(exec.stats().scans, 1);
+        // The persistent sharing graph holds each distinct bound operator once, however many
+        // times the plan is re-executed (the re-bound tree dedups onto the same nodes).
+        assert_eq!(cache.dag_nodes(), 2);
     }
 
     #[test]

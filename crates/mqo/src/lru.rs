@@ -28,6 +28,8 @@ pub struct LruCache<K, V> {
     recency: BTreeMap<u64, Arc<K>>,
     clock: u64,
     evictions: u64,
+    hits: u64,
+    misses: u64,
 }
 
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
@@ -40,6 +42,8 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             recency: BTreeMap::new(),
             clock: 0,
             evictions: 0,
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -52,6 +56,8 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             recency: BTreeMap::new(),
             clock: 0,
             evictions: 0,
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -79,17 +85,51 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.evictions
     }
 
+    /// Number of [`get`](LruCache::get) calls answered by a resident entry.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of [`get`](LruCache::get) calls that found nothing.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Fraction of lookups answered by the cache (0 before any lookup).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
     /// Whether `key` is resident (does not refresh recency).
     #[must_use]
     pub fn contains(&self, key: &K) -> bool {
         self.slots.contains_key(key)
     }
 
-    /// Looks up `key`, refreshing its recency on a hit.
+    /// Looks up `key`, refreshing its recency on a hit.  Hits and misses are counted
+    /// ([`hits`](LruCache::hits) / [`misses`](LruCache::misses)); [`contains`](LruCache::contains)
+    /// counts nothing.
     pub fn get(&mut self, key: &K) -> Option<&V> {
         self.clock += 1;
         let clock = self.clock;
-        let slot = self.slots.get_mut(key)?;
+        let slot = match self.slots.get_mut(key) {
+            None => {
+                self.misses += 1;
+                return None;
+            }
+            Some(slot) => {
+                self.hits += 1;
+                slot
+            }
+        };
         let shared = self
             .recency
             .remove(&slot.last_used)
@@ -203,6 +243,67 @@ mod tests {
         cache.insert(2, 2);
         assert_eq!(cache.len(), 1);
         assert!(cache.contains(&2));
+    }
+
+    #[test]
+    fn hit_rate_accounting_tracks_gets_only() {
+        let mut cache = LruCache::with_capacity(2);
+        assert_eq!(cache.hit_rate(), 0.0, "no lookups yet");
+        cache.insert("a", 1);
+        // contains() is a probe, not a use: it must not move the needle.
+        assert!(cache.contains(&"a"));
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+
+        assert_eq!(cache.get(&"a"), Some(&1)); // hit
+        assert_eq!(cache.get(&"b"), None); // miss
+        assert_eq!(cache.get(&"a"), Some(&1)); // hit
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
+        assert!((cache.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+
+        // An evicted key counts as a miss like any other absent key.
+        cache.insert("b", 2);
+        assert_eq!(cache.get(&"a"), Some(&1)); // hit; "b" is now least recent
+        cache.insert("c", 3); // evicts "b"
+        assert_eq!(cache.get(&"b"), None);
+        assert_eq!((cache.hits(), cache.misses()), (3, 2));
+        assert_eq!(cache.hit_rate(), 0.6);
+    }
+
+    #[test]
+    fn interleaved_gets_and_inserts_evict_in_recency_order() {
+        let mut cache = LruCache::with_capacity(3);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        assert_eq!(cache.get(&"a"), Some(&1)); // order now b, a
+        cache.insert("c", 3); // order b, a, c
+        assert_eq!(cache.get(&"b"), Some(&2)); // order a, c, b
+        assert_eq!(cache.insert("d", 4), Some("a"), "a was least recent");
+        assert_eq!(cache.get(&"c"), Some(&3)); // order b, d, c
+        assert_eq!(cache.insert("e", 5), Some("b"));
+        assert_eq!(cache.insert("f", 6), Some("d"));
+        assert!(cache.contains(&"c") && cache.contains(&"e") && cache.contains(&"f"));
+        assert_eq!(cache.evictions(), 3);
+        // A miss on an evicted key does not disturb the recency of residents.
+        assert_eq!(cache.get(&"a"), None);
+        assert_eq!(cache.insert("g", 7), Some("c"));
+    }
+
+    #[test]
+    fn capacity_zero_clamps_to_one_and_still_counts() {
+        let mut cache = LruCache::with_capacity(0);
+        assert_eq!(cache.capacity(), Some(1), "capacity 0 is clamped to 1");
+        assert_eq!(cache.get(&"a"), None);
+        cache.insert("a", 1);
+        assert_eq!(cache.get(&"a"), Some(&1));
+        // Every further insert evicts the sole resident.
+        assert_eq!(cache.insert("b", 2), Some("a"));
+        assert_eq!(cache.insert("c", 3), Some("b"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // Overwriting the sole resident is still not an eviction.
+        assert_eq!(cache.insert("c", 30), None);
+        assert_eq!(cache.get(&"c"), Some(&30));
     }
 
     #[test]

@@ -61,6 +61,7 @@ struct Args {
     dag_workers: usize,
     batch_size: usize,
     answer_cache: usize,
+    epoch_cache: bool,
     verify: bool,
 }
 
@@ -79,6 +80,7 @@ impl Default for Args {
             dag_workers: defaults.dag_workers,
             batch_size: 64,
             answer_cache: 1024,
+            epoch_cache: defaults.epoch_cache,
             verify: false,
         }
     }
@@ -102,6 +104,9 @@ OPTIONS:
   --dag-workers D     intra-batch DAG scheduler threads (default: half the host threads, 1–4)
   --batch-size B      max queries per batch (default 64)
   --answer-cache N    service answer cache capacity (default 1024)
+  --epoch-cache on|off
+                      keep one persistent DAG per epoch across batches (bind cache + weakly
+                      cached node results; default on) — 'off' rebuilds per batch for A/B runs
   --verify            check every answer against an independent sequential algorithm
                       (o-sharing(SEF); basic when --algorithm is o-sharing itself)
   --help              print this help
@@ -124,6 +129,13 @@ fn parse_args() -> Result<Args, String> {
             "--dag-workers" => args.dag_workers = parse_num(&value("--dag-workers")?)?,
             "--batch-size" => args.batch_size = parse_num(&value("--batch-size")?)?,
             "--answer-cache" => args.answer_cache = parse_num(&value("--answer-cache")?)?,
+            "--epoch-cache" => {
+                args.epoch_cache = match value("--epoch-cache")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--epoch-cache expects on|off, got '{other}'")),
+                }
+            }
             "--verify" => args.verify = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -283,6 +295,7 @@ fn run_service(
         batch_max: args.batch_size,
         dag_workers: args.dag_workers,
         answer_cache_capacity: args.answer_cache,
+        epoch_cache: args.epoch_cache,
     });
     let epochs: BTreeMap<String, EpochId> = scenarios
         .iter()
@@ -294,13 +307,14 @@ fn run_service(
 
     println!(
         "workload: {} queries over {} epoch(s); algorithm=service replays={} batch-size={} \
-         workers={} dag-workers={}",
+         workers={} dag-workers={} epoch-cache={}",
         workload.len(),
         epochs.len(),
         args.replays,
         args.batch_size,
         args.workers,
         args.dag_workers,
+        if args.epoch_cache { "on" } else { "off" },
     );
 
     let mut verifier = Verifier::for_mode(Mode::Service);
@@ -336,7 +350,8 @@ fn run_service(
             reported_batches += 1;
             println!(
                 "  batch#{:<3} epoch#{:<2} queries={:<3} evaluated={:<3} cache-served={:<3} \
-                 dag-nodes={:<4} deduped={:<4} peak-par={} ops={} latency={:.1}ms",
+                 dag-nodes={:<4} deduped={:<4} epoch-reuse={:<4} bind-hits={:<4} peak-par={} \
+                 ops={} latency={:.1}ms",
                 report.id,
                 report.epoch,
                 report.queries,
@@ -344,6 +359,8 @@ fn run_service(
                 report.served_from_cache,
                 report.dag_nodes,
                 report.plan_hits,
+                report.epoch_results_reused,
+                report.epoch_bind_hits,
                 report.peak_parallelism,
                 report.source_operators,
                 report.latency.as_secs_f64() * 1000.0
@@ -382,6 +399,12 @@ fn run_service(
     println!(
         "dag: {} distinct nodes executed, {} operator insertions deduplicated, peak parallelism {}",
         metrics.dag_nodes_executed, metrics.dag_operators_deduped, metrics.dag_peak_parallelism,
+    );
+    println!(
+        "epoch-dag: {} node executions skipped ({:.0}% reuse rate), {} rebinds skipped",
+        metrics.epoch_results_reused,
+        metrics.epoch_reuse_rate() * 100.0,
+        metrics.epoch_bind_hits,
     );
     println!(
         "executor: {:.0} rows/sec, {} rows served zero-copy (shared views)",
@@ -477,6 +500,7 @@ fn run_sequential(
         },
         total_ops,
     );
+    println!("epoch-dag: n/a (sequential algorithms evaluate query by query)");
     println!(
         "executor: {:.0} rows/sec, sequential {} evaluation",
         if total_exec.as_secs_f64() == 0.0 {

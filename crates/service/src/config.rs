@@ -14,6 +14,12 @@ pub struct ServiceConfig {
     pub dag_workers: usize,
     /// Capacity of the service-wide answer cache (entries, LRU-evicted).
     pub answer_cache_capacity: usize,
+    /// Whether each epoch keeps a persistent shared-operator DAG across its batches
+    /// (bind cache + weakly cached node results, last batch pinned), so a hot epoch's later
+    /// batches skip rebinding and re-executing still-materialised operators.  `false` rebuilds
+    /// the DAG from scratch per batch (the pre-epoch behaviour; `urm-cli --epoch-cache off`
+    /// A/Bs the two).
+    pub epoch_cache: bool,
 }
 
 /// A conservative default for the intra-batch scheduler: half the hardware threads (the other
@@ -35,6 +41,7 @@ impl Default for ServiceConfig {
             batch_max: 64,
             dag_workers: default_dag_workers(),
             answer_cache_capacity: 1024,
+            epoch_cache: true,
         }
     }
 }
@@ -48,6 +55,7 @@ impl ServiceConfig {
             batch_max: 8,
             dag_workers: 2,
             answer_cache_capacity: 32,
+            epoch_cache: true,
         }
     }
 }

@@ -31,6 +31,12 @@ pub struct ServiceMetrics {
     pub dag_operators_deduped: u64,
     /// Highest number of DAG nodes observed in flight at once in any batch.
     pub dag_peak_parallelism: u64,
+    /// Source-query submissions answered by an epoch DAG's bind cache — plan optimisation,
+    /// binding and DAG merging skipped (cross-batch reuse within an epoch).
+    pub epoch_bind_hits: u64,
+    /// DAG nodes answered by a still-materialised result of an earlier batch of the same epoch
+    /// — node executions skipped, whole subgraphs pruned.
+    pub epoch_results_reused: u64,
     /// Source operators executed across all batches.
     pub source_operators: u64,
     /// Tuples read by operators across all batches.
@@ -67,6 +73,18 @@ impl ServiceMetrics {
         }
     }
 
+    /// Fraction of needed DAG nodes answered by a previous batch of the same epoch instead of
+    /// executing (0 when nothing executed, or when the epoch cache is off).
+    #[must_use]
+    pub fn epoch_reuse_rate(&self) -> f64 {
+        let total = self.epoch_results_reused + self.dag_nodes_executed;
+        if total == 0 {
+            0.0
+        } else {
+            self.epoch_results_reused as f64 / total as f64
+        }
+    }
+
     /// Executor throughput in tuples (read + produced) per second of batch wall-clock time
     /// (0 before any batch ran).
     #[must_use]
@@ -97,8 +115,13 @@ pub struct BatchReport {
     pub plan_hits: u64,
     /// Distinct bound operators of the batch DAG (each executed exactly once).
     pub plan_misses: u64,
-    /// Distinct DAG nodes executed by this batch (equals `plan_misses` by construction).
+    /// Distinct DAG nodes executed by this batch (for a cold batch this equals `plan_misses`;
+    /// a warm batch on a hot epoch can execute none at all).
     pub dag_nodes: usize,
+    /// Source-query submissions this batch answered from the epoch's bind cache.
+    pub epoch_bind_hits: u64,
+    /// DAG nodes this batch answered from a previous batch's still-materialised results.
+    pub epoch_results_reused: u64,
     /// Maximum number of DAG nodes in flight at once while this batch executed.
     pub peak_parallelism: usize,
     /// Worker threads the batch DAG was scheduled on.
@@ -127,9 +150,12 @@ mod tests {
             answer_cache_misses: 1,
             plan_cache_hits: 1,
             plan_cache_misses: 3,
+            epoch_results_reused: 6,
+            dag_nodes_executed: 2,
             ..ServiceMetrics::default()
         };
         assert!((m.answer_hit_rate() - 0.75).abs() < 1e-12);
         assert!((m.plan_hit_rate() - 0.25).abs() < 1e-12);
+        assert!((m.epoch_reuse_rate() - 0.75).abs() < 1e-12);
     }
 }

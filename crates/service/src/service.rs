@@ -10,7 +10,7 @@ use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 use urm_core::metrics::EvalMetrics;
-use urm_core::{evaluate_batch, BatchOptions};
+use urm_core::{evaluate_batch, evaluate_batch_epoch, BatchOptions, EpochDag};
 use urm_core::{CoreError, ProbabilisticAnswer, TargetQuery};
 use urm_matching::MappingSet;
 use urm_storage::Catalog;
@@ -118,6 +118,11 @@ impl Ticket {
 struct Epoch {
     catalog: Catalog,
     mappings: MappingSet,
+    /// The epoch's persistent shared-operator DAG (bind cache + weak result cache).  Batches
+    /// of one epoch serialise on this lock while they execute — worker-pool parallelism comes
+    /// from batches of *different* epochs, DAG-scheduler parallelism from within the batch.
+    /// Dropped with the epoch, which is what keeps identity-based fingerprints safe.
+    dag: Mutex<EpochDag>,
 }
 
 struct Submission {
@@ -202,14 +207,27 @@ impl Inner {
             .map(|key| groups[key][0].query.clone())
             .collect();
 
-        // Merge every distinct query's bound plans into one batch DAG and execute each distinct
-        // operator exactly once, on the configured number of scheduler workers.
-        let outcome = evaluate_batch(
-            &unique,
-            &batch.epoch.mappings,
-            &batch.epoch.catalog,
-            &BatchOptions::parallel(self.config.dag_workers),
-        );
+        // Merge every distinct query's plans into the epoch's persistent DAG (or a throwaway
+        // one when the epoch cache is off) and execute each distinct operator this batch still
+        // needs exactly once, on the configured number of scheduler workers.
+        let options = BatchOptions::parallel(self.config.dag_workers);
+        let outcome = if self.config.epoch_cache {
+            let mut epoch_dag = batch.epoch.dag.lock().unwrap();
+            evaluate_batch_epoch(
+                &unique,
+                &batch.epoch.mappings,
+                &batch.epoch.catalog,
+                &options,
+                &mut epoch_dag,
+            )
+        } else {
+            evaluate_batch(
+                &unique,
+                &batch.epoch.mappings,
+                &batch.epoch.catalog,
+                &options,
+            )
+        };
         let outcome = match outcome {
             Ok(outcome) => outcome,
             Err(err) => {
@@ -268,6 +286,8 @@ impl Inner {
             plan_hits: outcome.plan_hits,
             plan_misses: outcome.plan_misses,
             dag_nodes: outcome.dag_nodes,
+            epoch_bind_hits: outcome.epoch_bind_hits,
+            epoch_results_reused: outcome.epoch_results_reused,
             peak_parallelism: outcome.peak_parallelism,
             dag_workers: outcome.workers,
             source_operators,
@@ -285,6 +305,8 @@ impl Inner {
             metrics.dag_peak_parallelism = metrics
                 .dag_peak_parallelism
                 .max(outcome.peak_parallelism as u64);
+            metrics.epoch_bind_hits += outcome.epoch_bind_hits;
+            metrics.epoch_results_reused += outcome.epoch_results_reused;
             metrics.source_operators += source_operators;
             metrics.tuples_read += tuples_read;
             metrics.tuples_output += tuples_output;
@@ -379,14 +401,18 @@ impl QueryService {
         }
     }
 
-    /// Registers an immutable (catalog, mapping set) pair, returning its epoch id.
+    /// Registers an immutable (catalog, mapping set) pair, returning its epoch id.  The epoch
+    /// is born with an empty persistent DAG; its first batch is the cold one.
     pub fn register_epoch(&self, catalog: Catalog, mappings: MappingSet) -> EpochId {
         let id = self.inner.epoch_counter.fetch_add(1, Ordering::Relaxed);
-        self.inner
-            .epochs
-            .write()
-            .unwrap()
-            .insert(id, Arc::new(Epoch { catalog, mappings }));
+        self.inner.epochs.write().unwrap().insert(
+            id,
+            Arc::new(Epoch {
+                catalog,
+                mappings,
+                dag: Mutex::new(EpochDag::new()),
+            }),
+        );
         EpochId(id)
     }
 
@@ -660,6 +686,39 @@ mod tests {
         assert_eq!(metrics.batch_deduped, 1);
         assert_eq!(metrics.answer_cache_hits, 2);
         assert!(metrics.answer_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn epoch_dag_reuses_across_batches_of_one_epoch() {
+        // q0 and q1 are different queries (so the answer cache stays out of the way) whose
+        // reformulations overlap on scans/selections: the second batch must answer the shared
+        // frontier from the epoch DAG instead of re-executing it.
+        let (service, epoch) = service();
+        service.execute_all(epoch, vec![testkit::q0()]).unwrap();
+        service.execute_all(epoch, vec![testkit::q1()]).unwrap();
+        let metrics = service.metrics();
+        assert!(
+            metrics.epoch_results_reused > 0,
+            "second batch re-executed the epoch's materialised operators"
+        );
+        assert!(metrics.epoch_reuse_rate() > 0.0);
+        let reports = service.reports();
+        assert_eq!(reports[0].epoch_results_reused, 0, "first batch is cold");
+        assert!(reports[1].epoch_results_reused > 0);
+
+        // The same workload with the epoch cache off: every batch rebuilds from scratch.
+        let service = QueryService::new(ServiceConfig {
+            epoch_cache: false,
+            ..ServiceConfig::tiny()
+        });
+        let epoch = service.register_epoch(testkit::figure2_catalog(), testkit::figure3_mappings());
+        let a = service.execute_all(epoch, vec![testkit::q0()]).unwrap();
+        let b = service.execute_all(epoch, vec![testkit::q1()]).unwrap();
+        let metrics = service.metrics();
+        assert_eq!(metrics.epoch_results_reused, 0);
+        assert_eq!(metrics.epoch_bind_hits, 0);
+        assert_eq!(metrics.epoch_reuse_rate(), 0.0);
+        assert!(!a[0].answer.is_empty() || !b[0].answer.is_empty());
     }
 
     #[test]

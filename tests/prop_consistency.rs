@@ -154,6 +154,41 @@ proptest! {
     }
 
     #[test]
+    fn epoch_batches_agree_with_rebuild_for_any_worker_count(mappings in arb_mapping_set(), query in arb_query()) {
+        // The per-epoch persistent DAG must answer cold, overlapping and fully warm batches
+        // byte-identically to the rebuild-every-batch path, whatever the worker count.
+        let catalog = testkit::figure2_catalog();
+        for workers in [1usize, 3] {
+            let mut epoch = urm::core::EpochDag::new();
+            let batches = [
+                vec![query.clone()],
+                vec![query.clone(), query.clone()], // warm repeat with an in-batch duplicate
+            ];
+            for batch in &batches {
+                let options = urm::core::BatchOptions::parallel(workers);
+                let warm = urm::core::evaluate_batch_epoch(
+                    batch, &mappings, &catalog, &options, &mut epoch,
+                ).unwrap();
+                let rebuilt = urm::core::evaluate_batch(batch, &mappings, &catalog, &options).unwrap();
+                for (a, b) in warm.evaluations.iter().zip(&rebuilt.evaluations) {
+                    let (sa, sb) = (a.answer.sorted(), b.answer.sorted());
+                    prop_assert_eq!(sa.len(), sb.len(), "answer sizes diverge (workers={})", workers);
+                    for ((t1, p1), (t2, p2)) in sa.iter().zip(&sb) {
+                        prop_assert_eq!(t1, t2);
+                        prop_assert_eq!(p1.to_bits(), p2.to_bits(), "probabilities not byte-identical");
+                    }
+                }
+            }
+            // If the query produced any source queries at all, the second batch was warm:
+            // every submission was answered by the bind cache.  (A query may reformulate to
+            // nothing when no mapping covers its attributes.)
+            if epoch.bind_misses() > 0 {
+                prop_assert!(epoch.bind_hits() > 0);
+            }
+        }
+    }
+
+    #[test]
     fn probabilities_are_bounded(mappings in arb_mapping_set(), query in arb_query()) {
         let catalog = testkit::figure2_catalog();
         let eval = evaluate(&query, &mappings, &catalog, Algorithm::QSharing).unwrap();
