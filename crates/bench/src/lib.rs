@@ -17,9 +17,11 @@ pub mod epoch_bench;
 pub mod executor_bench;
 pub mod experiments;
 pub mod report;
+pub mod spill_bench;
 
 pub use dag_bench::DagBenchConfig;
 pub use epoch_bench::EpochBenchConfig;
 pub use executor_bench::ExecutorBenchConfig;
 pub use experiments::{ExperimentRow, Harness, HarnessConfig};
 pub use report::{render_json, render_table};
+pub use spill_bench::SpillBenchConfig;

@@ -191,7 +191,15 @@ pub fn evaluate_batch_epoch(
     options: &BatchOptions,
     epoch: &mut EpochDag,
 ) -> CoreResult<BatchEvaluation> {
-    let mut exec = Executor::new(catalog);
+    // A memory-budgeted epoch carries a spill pool: the batch executor shares it, so grace
+    // hash joins and spilled-pin reloads draw on one budget, and the pool's counter deltas are
+    // folded into this batch's `ExecStats` below (once per batch — batches of one epoch
+    // serialise on the epoch, so deltas never interleave).
+    let spill_before = epoch.pool().map(|pool| pool.stats());
+    let mut exec = match epoch.pool() {
+        Some(pool) => Executor::with_pool(catalog, pool.clone()),
+        None => Executor::new(catalog),
+    };
     let batch_reused_before = epoch.dag().operators_reused();
     let batch_nodes_before = epoch.dag().node_count();
 
@@ -236,11 +244,16 @@ pub fn evaluate_batch_epoch(
         });
     }
 
+    let mut exec_stats = exec.into_stats();
+    if let (Some(before), Some(pool)) = (&spill_before, epoch.pool()) {
+        exec_stats.absorb_spill_delta(before, &pool.stats());
+    }
+
     Ok(BatchEvaluation {
         evaluations,
         plan_hits: (epoch.dag().operators_reused() - batch_reused_before) + run.report.bind_hits,
         plan_misses: (epoch.dag().node_count() - batch_nodes_before) as u64,
-        exec: exec.into_stats(),
+        exec: exec_stats,
         dag_nodes: run.report.nodes_executed as usize,
         peak_parallelism: run.report.peak_parallelism,
         workers: run.report.workers,
@@ -467,6 +480,55 @@ mod tests {
                 "warm epoch batch disagrees with basic on {}",
                 query.name()
             );
+        }
+    }
+
+    #[test]
+    fn memory_budgeted_epoch_matches_unconstrained_and_counts_spills() {
+        let catalog = testkit::figure2_catalog();
+        let mappings = testkit::figure3_mappings();
+        let queries = paper_queries();
+        let unconstrained =
+            evaluate_batch(&queries, &mappings, &catalog, &BatchOptions::sequential()).unwrap();
+
+        // Budget 0: every pinned result spills; answers must not change by a bit.
+        let mut epoch = EpochDag::with_memory_budget(0);
+        let cold = evaluate_batch_epoch(
+            &queries,
+            &mappings,
+            &catalog,
+            &BatchOptions::sequential(),
+            &mut epoch,
+        )
+        .unwrap();
+        assert!(cold.exec.bytes_spilled > 0, "budget 0 must spill pins");
+        let warm = evaluate_batch_epoch(
+            &queries,
+            &mappings,
+            &catalog,
+            &BatchOptions::sequential(),
+            &mut epoch,
+        )
+        .unwrap();
+        assert_eq!(warm.dag_nodes, 0, "warm batch re-executed under budget");
+        assert!(
+            warm.exec.spill_reloads > 0,
+            "warm batch must reload spilled pins"
+        );
+        for ((a, b), c) in unconstrained
+            .evaluations
+            .iter()
+            .zip(&cold.evaluations)
+            .zip(&warm.evaluations)
+        {
+            let (sa, sb, sc) = (a.answer.sorted(), b.answer.sorted(), c.answer.sorted());
+            assert_eq!(sa.len(), sb.len());
+            for (((t1, p1), (t2, p2)), (t3, p3)) in sa.iter().zip(&sb).zip(&sc) {
+                assert_eq!(t1, t2);
+                assert_eq!(p1.to_bits(), p2.to_bits());
+                assert_eq!(t1, t3);
+                assert_eq!(p1.to_bits(), p3.to_bits());
+            }
         }
     }
 

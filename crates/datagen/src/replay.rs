@@ -12,6 +12,7 @@
 //! sel:3       # selection-sweep query with 3 selections (Figure 11(d))
 //! prod:2      # product-sweep query with 2 products (Figure 11(e))
 //! join:3      # join-heavy query fanning 3 Item joins out of one PO scan
+//! scale:2     # oversized query: 2 unfiltered PO self-joins (spill/memory-budget workloads)
 //! ```
 
 use crate::scenario::TargetSchemaKind;
@@ -30,7 +31,8 @@ pub struct WorkloadEntry {
     pub query: TargetQuery,
 }
 
-/// Parses one workload spec (`Q1`–`Q10`, `sel:N`, `prod:N` or `join:N`) into an entry.
+/// Parses one workload spec (`Q1`–`Q10`, `sel:N`, `prod:N`, `join:N` or `scale:N`) into an
+/// entry.
 pub fn parse_spec(spec: &str) -> CoreResult<WorkloadEntry> {
     let spec = spec.trim();
     let sweep = |family: &'static str, n: &str, build: fn(usize) -> CoreResult<_>| {
@@ -52,12 +54,16 @@ pub fn parse_spec(spec: &str) -> CoreResult<WorkloadEntry> {
     if let Some(n) = spec.strip_prefix("join:") {
         return sweep("join", n, workload::join_sweep);
     }
+    if let Some(n) = spec.strip_prefix("scale:") {
+        return sweep("oversized", n, workload::oversized_sweep);
+    }
     let id = QueryId::all()
         .into_iter()
         .find(|id| format!("Q{}", id.number()).eq_ignore_ascii_case(spec))
         .ok_or_else(|| {
             CoreError::InvalidQuery(format!(
-                "unknown workload spec '{spec}' (expected Q1–Q10, sel:N, prod:N or join:N)"
+                "unknown workload spec '{spec}' (expected Q1–Q10, sel:N, prod:N, join:N or \
+                 scale:N)"
             ))
         })?;
     Ok(WorkloadEntry {
@@ -123,6 +129,19 @@ pub fn join_heavy_workload(n: usize) -> Vec<WorkloadEntry> {
         .collect()
 }
 
+/// A deterministic *oversized* workload of `n` requests (all on the Excel schema): the
+/// unfiltered `scale:N` self-join family interleaved with the join-heavy Table III queries.
+/// Replayed under `urm-cli --memory-budget`, the total bytes these requests materialise dwarf
+/// any reasonable budget — the workload the spill path (grace hash joins, spill-backed pins)
+/// exists for.
+#[must_use]
+pub fn oversized_workload(n: usize) -> Vec<WorkloadEntry> {
+    let specs = ["scale:2", "Q4", "scale:3", "scale:2", "Q3", "scale:3"];
+    (0..n)
+        .map(|i| parse_spec(specs[i % specs.len()]).expect("oversized specs are well-formed"))
+        .collect()
+}
+
 /// A deterministic top-k candidate workload of `n` requests: the tuple-returning Excel queries
 /// whose answers have many distinct candidates, the shape the probabilistic top-k algorithm
 /// (Section VII) prunes.  Entries are plain target queries — callers choose `k` when invoking
@@ -146,9 +165,20 @@ mod tests {
         assert_eq!(parse_spec("sel:3").unwrap().query.predicate_count(), 3);
         assert_eq!(parse_spec("prod:2").unwrap().query.product_count(), 2);
         assert_eq!(parse_spec("join:3").unwrap().query.relations().len(), 4);
+        assert_eq!(parse_spec("scale:2").unwrap().query.relations().len(), 3);
         assert!(parse_spec("Q11").is_err());
         assert!(parse_spec("sel:x").is_err());
         assert!(parse_spec("join:x").is_err());
+        assert!(parse_spec("scale:x").is_err());
+    }
+
+    #[test]
+    fn oversized_workload_is_excel_only_and_cycles() {
+        let entries = oversized_workload(8);
+        assert_eq!(entries.len(), 8);
+        assert!(entries.iter().all(|e| e.target == TargetSchemaKind::Excel));
+        assert_eq!(entries[0].label, "scale:2");
+        assert_eq!(entries[0].label, entries[6].label);
     }
 
     #[test]

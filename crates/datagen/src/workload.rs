@@ -226,6 +226,23 @@ pub fn join_sweep(n: usize) -> CoreResult<TargetQuery> {
         .build()
 }
 
+/// The oversized family: `scale:N` — `n` (1–3) *unfiltered* self-joins of the Excel `PO`
+/// relation chained on `orderNum`.  Unlike [`product_sweep`] there is no selective predicate,
+/// so every intermediate materialises at full source-relation cardinality with rows `n + 1`
+/// relations wide: the total bytes a batch of these touches scales with `scale × n`, which is
+/// what makes a workload bigger than any fixed `--memory-budget`.  This is the family the
+/// spill benchmark and the larger-than-memory CI smoke replay.
+pub fn oversized_sweep(n: usize) -> CoreResult<TargetQuery> {
+    let n = n.clamp(1, 3);
+    let mut builder = TargetQuery::builder(format!("scale-{n}")).relation_as("PO", "PO1");
+    for i in 2..=(n + 1) {
+        builder = builder
+            .relation_as("PO", format!("PO{i}"))
+            .join("PO1.orderNum", &format!("PO{i}.orderNum"));
+    }
+    builder.returning(["PO1.orderNum", "PO1.telephone"]).build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +297,18 @@ mod tests {
             let q = product_sweep(n).unwrap();
             assert_eq!(q.product_count(), n);
         }
+    }
+
+    #[test]
+    fn oversized_sweep_chains_unfiltered_self_joins() {
+        for n in 1..=3 {
+            let q = oversized_sweep(n).unwrap();
+            assert_eq!(q.relations().len(), n + 1);
+            // Only the join predicates — nothing selective to shrink intermediates.
+            assert_eq!(q.predicate_count(), n);
+        }
+        assert_eq!(oversized_sweep(0).unwrap().relations().len(), 2);
+        assert_eq!(oversized_sweep(9).unwrap().relations().len(), 4);
     }
 
     #[test]

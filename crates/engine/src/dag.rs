@@ -447,6 +447,9 @@ impl DagScheduler {
         publish: bool,
     ) -> EngineResult<(Vec<Option<Arc<Relation>>>, usize)> {
         let catalog = exec.catalog();
+        // Workers inherit the driving executor's spill pool (one shared budget, not one per
+        // worker), so budgeted grace joins behave identically under parallel scheduling.
+        let pool = exec.pool().cloned();
         let needed_count = needed.iter().filter(|&&n| n).count();
         // Publishing happens single-threaded after the run, so a cache-backed run must keep
         // every fresh result alive until then (the cache wants all of them anyway — that is
@@ -459,8 +462,12 @@ impl DagScheduler {
             let handles: Vec<_> = (0..worker_count)
                 .map(|_| {
                     let shared = &shared;
+                    let pool = pool.clone();
                     scope.spawn(move || {
-                        let mut worker_exec = Executor::new(catalog);
+                        let mut worker_exec = match pool {
+                            Some(pool) => Executor::with_pool(catalog, pool),
+                            None => Executor::new(catalog),
+                        };
                         shared.run_worker(dag, &mut worker_exec);
                         worker_exec.into_stats()
                     })

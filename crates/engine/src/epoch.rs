@@ -20,11 +20,14 @@
 //! * **Weak result cache** — bound fingerprint → [`Weak`]`<Relation>`.  Node results are
 //!   remembered as long as *someone* still holds them; the cache itself never forces an
 //!   epoch's whole history to stay resident.
-//! * **Pinning** — what keeps warm batches warm.  With the default last-batch policy the epoch
-//!   holds strong references to exactly the results the most recent batch touched (computed or
-//!   reused), so consecutive overlapping batches reuse each other's operators while peak
-//!   memory stays bounded by one batch's working set.  [`EpochDag::pinning_all`] pins
-//!   everything — the policy of the u-trace front-end, whose lifetime is a single evaluation.
+//! * **Pinning** — what keeps warm batches warm, governed by a [`PinPolicy`]: last-batch
+//!   (strong references to exactly the results the most recent batch touched), pin-all
+//!   ([`EpochDag::pinning_all`], the u-trace front-end whose lifetime is one evaluation), or a
+//!   size-budgeted LRU ([`PinPolicy::Bytes`], the serving layer's policy) that keeps
+//!   alternating batch working sets warm up to a byte budget.  Under a memory budget
+//!   ([`EpochDag::with_memory_budget`]) pins are *spill-backed*: a completed node's result is
+//!   paged out to a disk segment once its last consumer finishes — instead of only dropped —
+//!   and streams back in transparently when a later batch needs it.
 //!
 //! The epoch DAG is dropped with its epoch, which is what makes the identity-based
 //! fingerprints safe: no cache entry can outlive the row buffers its key points to.
@@ -34,9 +37,58 @@ use crate::executor::Executor;
 use crate::optimize::{fingerprint, optimize};
 use crate::physical::PhysicalPlan;
 use crate::{EngineResult, Plan};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Weak};
-use urm_storage::Relation;
+use urm_storage::{BufferPool, RecencyIndex, Relation, SpillableRelation};
+
+/// Default byte budget of the size-budgeted pin policy when no explicit budget is configured
+/// (64 MiB): generous enough that alternating A/B/A/B batch workloads stay warm, bounded
+/// enough that a long-lived epoch cannot pin its whole history.
+pub const DEFAULT_PIN_BUDGET_BYTES: usize = 64 << 20;
+
+/// How an epoch decides which node results stay pinned (strongly held) between batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PinPolicy {
+    /// Pin exactly the results the most recent batch touched (the pre-spill service policy).
+    #[default]
+    LastBatch,
+    /// Pin every result ever computed — the policy of short-lived users like the o-sharing
+    /// u-trace, where the "epoch" is one evaluation.
+    All,
+    /// Pin a size-budgeted LRU over results: recently touched results stay pinned until their
+    /// cumulative estimated bytes exceed the budget, then the least-recently-used are evicted.
+    /// Unlike [`LastBatch`](PinPolicy::LastBatch), alternating A/B/A/B batch workloads stay
+    /// warm as long as both working sets fit the budget.  When the epoch has a
+    /// [`BufferPool`], pinned results are spill-backed (disk, not RAM), so the budget bounds
+    /// the warm history's footprint rather than resident memory.
+    Bytes(usize),
+}
+
+/// One pinned result: resident, or a spill-pool handle that pages back in on demand.
+#[derive(Debug)]
+enum PinnedData {
+    Mem(Arc<Relation>),
+    Spilled(SpillableRelation),
+}
+
+#[derive(Debug)]
+struct PinnedResult {
+    data: PinnedData,
+    /// Estimated in-memory footprint (the [`PinPolicy::Bytes`] accounting unit).
+    bytes: usize,
+    /// Recency stamp for LRU eviction.
+    last_used: u64,
+}
+
+impl PinnedResult {
+    fn load(&self) -> Option<Arc<Relation>> {
+        match &self.data {
+            PinnedData::Mem(rel) => Some(Arc::clone(rel)),
+            // A failed segment read degrades to a recompute, never an error.
+            PinnedData::Spilled(handle) => handle.load().ok(),
+        }
+    }
+}
 
 /// A persistent per-epoch [`OperatorDag`] with bind and result caching (see the module docs).
 #[derive(Debug, Default)]
@@ -46,11 +98,20 @@ pub struct EpochDag {
     bind_cache: HashMap<u64, (Arc<PhysicalPlan>, NodeId)>,
     /// Bound fingerprint → weakly held result: live results answer future batches.
     weak_results: HashMap<u64, Weak<Relation>>,
-    /// Strongly held results (the pin policy decides for how long).
-    pinned: HashMap<u64, Arc<Relation>>,
-    /// `true`: pin every result ever computed (u-trace mode); `false`: pin only the results
-    /// the most recent batch touched.
-    pin_all: bool,
+    /// Strongly held results (the pin policy decides which, and for how long).
+    pinned: HashMap<u64, PinnedResult>,
+    /// Sum of the estimated bytes of everything in `pinned`.
+    pinned_bytes: usize,
+    /// O(log n) LRU victim selection for the byte-budgeted pin policy; stale stamps are
+    /// validated against `PinnedResult::last_used` when popped (see [`RecencyIndex`]).
+    pin_recency: RecencyIndex<u64>,
+    /// Which results stay pinned between batches.
+    policy: PinPolicy,
+    /// The spill pool, when this epoch runs under a memory budget: pinned results become
+    /// spill-backed handles (a completed node's result is *spilled* once its last consumer
+    /// finishes, instead of only dropped) and executors created for this epoch route oversized
+    /// hash joins through the grace path.
+    pool: Option<BufferPool>,
     /// Roots submitted since the last [`execute_pending`](EpochDag::execute_pending).
     pending: Vec<NodeId>,
     bind_hits: u64,
@@ -100,9 +161,57 @@ impl EpochDag {
     #[must_use]
     pub fn pinning_all() -> Self {
         EpochDag {
-            pin_all: true,
+            policy: PinPolicy::All,
             ..EpochDag::default()
         }
+    }
+
+    /// An epoch DAG with the size-budgeted LRU pin policy ([`PinPolicy::Bytes`]) and no spill
+    /// pool: recently touched results stay resident up to `bytes`, so alternating batch
+    /// working sets keep each other warm instead of being rotated out at every batch boundary.
+    #[must_use]
+    pub fn with_pin_budget(bytes: usize) -> Self {
+        EpochDag {
+            policy: PinPolicy::Bytes(bytes),
+            ..EpochDag::default()
+        }
+    }
+
+    /// An epoch DAG for running under a memory budget of `bytes`: a [`BufferPool`] with that
+    /// budget backs every pinned result (results spill to disk segments under pressure and
+    /// page back in on access), and executors created via this epoch's pool route oversized
+    /// hash joins through the grace path.  The pin policy is [`PinPolicy::Bytes`] over the
+    /// spill-backed history: `max(4 × bytes, DEFAULT_PIN_BUDGET_BYTES)` — disk is cheaper
+    /// than RAM, so the warm history may exceed the resident budget.
+    #[must_use]
+    pub fn with_memory_budget(bytes: usize) -> Self {
+        EpochDag::with_pool(
+            BufferPool::with_budget(bytes),
+            PinPolicy::Bytes(bytes.saturating_mul(4).max(DEFAULT_PIN_BUDGET_BYTES)),
+        )
+    }
+
+    /// The general spill-aware constructor: an explicit pool and pin policy.
+    #[must_use]
+    pub fn with_pool(pool: BufferPool, policy: PinPolicy) -> Self {
+        EpochDag {
+            policy,
+            pool: Some(pool),
+            ..EpochDag::default()
+        }
+    }
+
+    /// The epoch's spill pool, when it runs under a memory budget.  The batch layer builds its
+    /// executors from this, so grace joins and pinned-result spilling share one budget.
+    #[must_use]
+    pub fn pool(&self) -> Option<&BufferPool> {
+        self.pool.as_ref()
+    }
+
+    /// The configured pin policy.
+    #[must_use]
+    pub fn pin_policy(&self) -> PinPolicy {
+        self.policy
     }
 
     /// Submits a logical plan as a root of the current batch: optimised, bound and merged into
@@ -197,7 +306,9 @@ impl EpochDag {
         let run = {
             let mut cache = EpochResultCache {
                 weak: &mut self.weak_results,
-                pinned: &self.pinned,
+                pinned: &mut self.pinned,
+                pinned_bytes: &mut self.pinned_bytes,
+                pin_recency: &mut self.pin_recency,
                 touched: &mut touched,
                 hits: &mut hits,
                 executed: &mut executed,
@@ -208,11 +319,8 @@ impl EpochDag {
         self.result_hits += hits;
         self.nodes_executed += executed;
         self.batches += 1;
-        if self.pin_all {
-            self.pinned.extend(touched);
-        } else {
-            self.pinned = touched;
-        }
+        let touched_fps = self.pin_touched(touched);
+        self.trim_pins(Some(&touched_fps));
         // Drop dead weak entries so the map tracks live results, not the epoch's history.
         self.weak_results.retain(|_, w| w.strong_count() > 0);
 
@@ -248,7 +356,9 @@ impl EpochDag {
         let result = {
             let mut cache = EpochResultCache {
                 weak: &mut self.weak_results,
-                pinned: &self.pinned,
+                pinned: &mut self.pinned,
+                pinned_bytes: &mut self.pinned_bytes,
+                pin_recency: &mut self.pin_recency,
                 touched: &mut touched,
                 hits: &mut hits,
                 executed: &mut executed,
@@ -257,8 +367,81 @@ impl EpochDag {
         };
         self.result_hits += hits;
         self.nodes_executed += executed;
-        self.pinned.extend(touched);
+        self.pin_touched(touched);
+        // `resolve` is not a batch boundary: only the byte budget (if any) trims here.
+        self.trim_pins(None);
         Ok(result)
+    }
+
+    /// Upserts every touched result into the pin set (spill-backed when a pool is attached),
+    /// refreshing recency; returns the touched fingerprints for batch-boundary trimming.
+    fn pin_touched(&mut self, touched: HashMap<u64, Arc<Relation>>) -> HashSet<u64> {
+        let mut fps = HashSet::with_capacity(touched.len());
+        for (fp, rel) in touched {
+            fps.insert(fp);
+            if let Some(entry) = self.pinned.get_mut(&fp) {
+                // Fingerprint-identical results have identical content (operators are pure
+                // functions of immutable inputs), so the existing pin stays; only recency moves.
+                self.pin_recency.touch(fp, &mut entry.last_used);
+                continue;
+            }
+            let bytes = rel.estimated_bytes().max(1);
+            let data = match &self.pool {
+                Some(pool) => match pool.admit_shared(rel) {
+                    Ok(handle) => PinnedData::Spilled(handle),
+                    // An I/O failure while spilling degrades to "not pinned" (recomputed on
+                    // next use) rather than failing the batch that already produced answers.
+                    Err(_) => continue,
+                },
+                None => PinnedData::Mem(rel),
+            };
+            let stamp = self.pin_recency.insert_fresh(fp);
+            self.pinned.insert(
+                fp,
+                PinnedResult {
+                    data,
+                    bytes,
+                    last_used: stamp,
+                },
+            );
+            self.pinned_bytes += bytes;
+        }
+        fps
+    }
+
+    /// Applies the pin policy: `last_batch` carries the batch's touched set at batch
+    /// boundaries ([`PinPolicy::LastBatch`] drops everything else); the byte budget evicts
+    /// least-recently-used pins whenever it is exceeded.
+    fn trim_pins(&mut self, last_batch: Option<&HashSet<u64>>) {
+        match self.policy {
+            PinPolicy::All => {}
+            PinPolicy::LastBatch => {
+                if let Some(keep) = last_batch {
+                    let bytes = &mut self.pinned_bytes;
+                    let recency = &mut self.pin_recency;
+                    self.pinned.retain(|fp, entry| {
+                        let stays = keep.contains(fp);
+                        if !stays {
+                            *bytes -= entry.bytes;
+                            recency.forget(entry.last_used);
+                        }
+                        stays
+                    });
+                }
+            }
+            PinPolicy::Bytes(budget) => {
+                while self.pinned_bytes > budget {
+                    // Pop oldest-first, discarding stale stamps, until a live victim surfaces.
+                    let pinned = &self.pinned;
+                    let victim = self.pin_recency.pop_oldest(|fp, stamp| {
+                        pinned.get(fp).is_some_and(|e| e.last_used == stamp)
+                    });
+                    let Some(fp) = victim else { break };
+                    let entry = self.pinned.remove(&fp).expect("victim pinned");
+                    self.pinned_bytes -= entry.bytes;
+                }
+            }
+        }
     }
 
     /// The underlying shared-operator DAG (metrics, inspection).
@@ -303,10 +486,18 @@ impl EpochDag {
         self.batches
     }
 
-    /// Results currently held strongly by the pin policy.
+    /// Results currently held by the pin policy (resident or spill-backed).
     #[must_use]
     pub fn pinned_results(&self) -> usize {
         self.pinned.len()
+    }
+
+    /// Estimated bytes of everything the pin policy currently holds (the
+    /// [`PinPolicy::Bytes`] accounting; spill-backed pins count their in-memory estimate even
+    /// while paged out).
+    #[must_use]
+    pub fn pinned_bytes(&self) -> usize {
+        self.pinned_bytes
     }
 
     /// Results still alive in the weak cache (pinned here or held by any consumer).
@@ -320,13 +511,36 @@ impl EpochDag {
 }
 
 /// The [`DagResultCache`] adapter of one epoch run: answers lookups from this run's results,
-/// the pinned set, then the weak cache; collects everything it touches for pin rotation.
+/// the pinned set (transparently reloading spilled pins from their segments), then the weak
+/// cache; collects everything it touches for pin rotation.
 struct EpochResultCache<'a> {
     weak: &'a mut HashMap<u64, Weak<Relation>>,
-    pinned: &'a HashMap<u64, Arc<Relation>>,
+    pinned: &'a mut HashMap<u64, PinnedResult>,
+    pinned_bytes: &'a mut usize,
+    pin_recency: &'a mut RecencyIndex<u64>,
     touched: &'a mut HashMap<u64, Arc<Relation>>,
     hits: &'a mut u64,
     executed: &'a mut u64,
+}
+
+impl EpochResultCache<'_> {
+    /// Answers a lookup from the pin set, refreshing recency; a pin whose segment cannot be
+    /// read any more is dropped (the node simply recomputes).
+    fn lookup_pinned(&mut self, fingerprint: u64) -> Option<Arc<Relation>> {
+        let entry = self.pinned.get_mut(&fingerprint)?;
+        self.pin_recency.touch(fingerprint, &mut entry.last_used);
+        match entry.load() {
+            // `load` fails only when this pin's own segment is unreadable (pool-rebalancing
+            // errors are swallowed inside the pool), so dropping the pin here is correct.
+            Some(rel) => Some(rel),
+            None => {
+                let entry = self.pinned.remove(&fingerprint).expect("entry looked up");
+                self.pin_recency.forget(entry.last_used);
+                *self.pinned_bytes -= entry.bytes;
+                None
+            }
+        }
+    }
 }
 
 impl DagResultCache for EpochResultCache<'_> {
@@ -335,7 +549,7 @@ impl DagResultCache for EpochResultCache<'_> {
             .touched
             .get(&fingerprint)
             .cloned()
-            .or_else(|| self.pinned.get(&fingerprint).cloned())
+            .or_else(|| self.lookup_pinned(fingerprint))
             .or_else(|| self.weak.get(&fingerprint).and_then(Weak::upgrade))?;
         *self.hits += 1;
         self.touched.insert(fingerprint, Arc::clone(&hit));
@@ -573,6 +787,94 @@ mod tests {
         assert_eq!(next.root_results[0].schema().arity(), 1);
         // The aborted batch's bind-counter deltas were resynchronised too.
         assert_eq!(next.report.bind_misses, 0);
+    }
+
+    #[test]
+    fn spilled_pins_answer_warm_batches_from_disk() {
+        let cat = catalog();
+        let mut exec = Executor::new(&cat);
+        // Memory budget 0: every pinned result is paged out to a segment immediately.
+        let mut epoch = EpochDag::with_memory_budget(0);
+        let pool = epoch.pool().unwrap().clone();
+
+        let cold = run_batch(&mut epoch, &mut exec, 1);
+        assert!(cold.report.nodes_executed > 0);
+        assert!(
+            pool.stats().segments_written > 0,
+            "budget 0 must spill every pin"
+        );
+        let reloads_after_cold = pool.stats().spill_reloads;
+        let cold_rows: Vec<_> = cold
+            .root_results
+            .iter()
+            .map(|r| r.rows().to_vec())
+            .collect();
+        drop(cold);
+
+        // With every external Arc dropped, the warm batch can only be answered from disk.
+        let warm = run_batch(&mut epoch, &mut exec, 1);
+        assert_eq!(
+            warm.report.nodes_executed, 0,
+            "warm batch must be answered from spilled pins, not recomputed"
+        );
+        assert!(
+            pool.stats().spill_reloads > reloads_after_cold,
+            "warm batch never touched the segments"
+        );
+        for (want, got) in cold_rows.iter().zip(&warm.root_results) {
+            assert_eq!(want, &got.rows().to_vec(), "reload changed the rows");
+        }
+    }
+
+    #[test]
+    fn byte_budget_pins_keep_alternating_batches_warm() {
+        let cat = catalog();
+        let mut exec = Executor::new(&cat);
+        // A generous in-memory byte budget: both working sets fit.
+        let mut epoch = EpochDag::with_pin_budget(1 << 20);
+        assert_eq!(epoch.pin_policy(), PinPolicy::Bytes(1 << 20));
+
+        let batch_a = || queries();
+        let batch_b = || vec![Plan::scan("R").select(Predicate::eq("R.b", Value::from("y")))];
+        for plan in batch_a() {
+            epoch.submit(&plan, &exec).unwrap();
+        }
+        epoch.execute_pending(&mut exec, 1).unwrap();
+        for plan in batch_b() {
+            epoch.submit(&plan, &exec).unwrap();
+        }
+        epoch.execute_pending(&mut exec, 1).unwrap();
+        assert!(epoch.pinned_bytes() > 0);
+
+        // A again, then B again: with last-batch pinning both would recompute (the existing
+        // `pin_rotation_keeps_only_the_last_batch_resident` test proves it); the byte budget
+        // keeps both warm.
+        for plan in batch_a() {
+            epoch.submit(&plan, &exec).unwrap();
+        }
+        let third = epoch.execute_pending(&mut exec, 1).unwrap();
+        assert_eq!(third.report.nodes_executed, 0, "batch A went cold");
+        for plan in batch_b() {
+            epoch.submit(&plan, &exec).unwrap();
+        }
+        let fourth = epoch.execute_pending(&mut exec, 1).unwrap();
+        assert_eq!(fourth.report.nodes_executed, 0, "batch B went cold");
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used_pins() {
+        let cat = catalog();
+        let mut exec = Executor::new(&cat);
+        // A budget of one byte: after every batch at most one (the most recent) pin survives…
+        let mut epoch = EpochDag::with_pin_budget(1);
+        run_batch(&mut epoch, &mut exec, 1);
+        assert!(epoch.pinned_results() <= 1);
+        assert!(epoch.pinned_bytes() <= epoch.pinned_results());
+        // …so a repeat batch has to re-execute most nodes, and answers stay correct.
+        let warm = run_batch(&mut epoch, &mut exec, 1);
+        assert!(warm.report.nodes_executed > 0);
+        assert_eq!(warm.root_results.len(), queries().len());
+        assert_eq!(warm.report.bind_hits, 3, "bind cache is unaffected by pins");
     }
 
     #[test]

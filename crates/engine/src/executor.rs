@@ -19,15 +19,21 @@
 
 use crate::physical::{bind, BoundAggregate, PhysicalPlan};
 use crate::{EngineError, EngineResult, ExecStats, Plan};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
-use urm_storage::{Catalog, Relation, Tuple, Value};
+use urm_storage::{Attribute, BufferPool, Catalog, DataType, Relation, Schema, Tuple, Value};
 
 /// Executes [`Plan`]s against a [`Catalog`], accumulating [`ExecStats`].
 pub struct Executor<'a> {
     catalog: &'a Catalog,
     stats: ExecStats,
+    /// The spill pool of a byte-budgeted execution: hash joins whose build side exceeds the
+    /// pool's budget fall back to the grace (partitioned) join, staging partitions through the
+    /// pool.  `None` (the default) keeps the pre-spill all-in-memory behaviour byte for byte.
+    pool: Option<BufferPool>,
 }
 
 impl<'a> Executor<'a> {
@@ -37,7 +43,27 @@ impl<'a> Executor<'a> {
         Executor {
             catalog,
             stats: ExecStats::new(),
+            pool: None,
         }
+    }
+
+    /// Creates an executor whose hash joins respect `pool`'s byte budget: a build side bigger
+    /// than half the budget takes the grace (partitioned) path, spilling its partitions
+    /// through the pool and joining them pair by pair.  Results are byte-identical to the
+    /// in-memory path, row order included.
+    #[must_use]
+    pub fn with_pool(catalog: &'a Catalog, pool: BufferPool) -> Self {
+        Executor {
+            catalog,
+            stats: ExecStats::new(),
+            pool: Some(pool),
+        }
+    }
+
+    /// The spill pool, when this executor runs under a memory budget.
+    #[must_use]
+    pub fn pool(&self) -> Option<&BufferPool> {
+        self.pool.as_ref()
     }
 
     /// The catalog this executor runs against.
@@ -210,7 +236,12 @@ impl<'a> Executor<'a> {
             } => {
                 let l = child(children, 0);
                 let r = child(children, 1);
-                let rows = hash_join_rows(&l, &r, left_keys, right_keys);
+                let rows = match self.grace_partition_count(&r) {
+                    Some(partitions) => {
+                        self.grace_hash_join_rows(&l, &r, left_keys, right_keys, partitions)?
+                    }
+                    None => hash_join_rows(&l, &r, left_keys, right_keys),
+                };
                 self.stats
                     .record_operator((l.len() + r.len()) as u64, rows.len() as u64);
                 Ok(Arc::new(Relation::from_validated(schema.clone(), rows)))
@@ -246,6 +277,146 @@ impl<'a> Executor<'a> {
             }
         }
     }
+}
+
+impl Executor<'_> {
+    /// Decides whether a hash join must take the grace (partitioned) path: only under a
+    /// budgeted pool, and only when the build (right) side exceeds half the budget — the
+    /// in-memory join needs the build rows *and* their hash table resident at once.  Returns
+    /// the partition fan-out, sized so each build partition targets a quarter of the budget.
+    fn grace_partition_count(&self, build: &Relation) -> Option<usize> {
+        let budget = self.pool.as_ref()?.budget()?;
+        let build_bytes = build.estimated_bytes();
+        if build_bytes <= budget / 2 {
+            return None;
+        }
+        let target = (budget / 4).max(1);
+        Some(build_bytes.div_ceil(target).clamp(2, 64))
+    }
+
+    /// The grace hash join: both sides are hash-partitioned on the join key into spill-pool
+    /// relations (so the pool can page them out under budget pressure), then each partition
+    /// pair is loaded and joined one at a time.  Probe rows carry their original index in an
+    /// extra column, and the concatenated per-partition outputs are stably re-sorted on it —
+    /// a key's rows all land in one partition, so this reproduces the in-memory join's output
+    /// *exactly*, row order included (the property tests hold it to that).
+    fn grace_hash_join_rows(
+        &mut self,
+        left: &Relation,
+        right: &Relation,
+        left_keys: &[usize],
+        right_keys: &[usize],
+        partitions: usize,
+    ) -> EngineResult<Vec<Tuple>> {
+        let pool = self.pool.clone().expect("grace join runs under a pool");
+        self.stats.grace_partitions += partitions as u64;
+
+        // One pass per side computes, per partition, the list of row indices it owns (rows
+        // with a null key component can never match and are dropped here, exactly as the
+        // in-memory build loop does).  The partitions are then *staged one at a time* from
+        // those index lists: materialise partition p, admit it (the pool may page it straight
+        // out), drop the local buffer, move to p+1.  Peak transient memory is one partition
+        // plus the 4-bytes-per-row index lists, not a full deep copy of the side — the inputs
+        // themselves are already materialised `Arc`s owned by the scheduler, which is the
+        // floor this path cannot go below.  Empty partitions never touch the pool (no segment
+        // I/O) and empty *pairs* skip the join outright.
+        let partition_rows = |rel: &Relation, keys: &[usize]| -> Vec<Vec<u32>> {
+            let mut ids: Vec<Vec<u32>> = vec![Vec::new(); partitions];
+            for (idx, row) in rel.iter().enumerate() {
+                if let Some(p) = key_partition(row, keys, partitions) {
+                    ids[p].push(idx as u32);
+                }
+            }
+            ids
+        };
+        let stage = |schema: &Schema,
+                     rel: &Relation,
+                     ids: Vec<Vec<u32>>,
+                     tag: bool|
+         -> EngineResult<Vec<Option<urm_storage::SpillableRelation>>> {
+            let all_rows = rel.rows();
+            let mut handles = Vec::with_capacity(partitions);
+            for indices in ids {
+                if indices.is_empty() {
+                    handles.push(None);
+                    continue;
+                }
+                let rows: Vec<Tuple> = indices
+                    .into_iter()
+                    .map(|idx| {
+                        let row = &all_rows[idx as usize];
+                        if tag {
+                            row.concat(&Tuple::new(vec![Value::from(i64::from(idx))]))
+                        } else {
+                            row.clone()
+                        }
+                    })
+                    .collect();
+                handles.push(Some(
+                    pool.admit(Relation::from_validated(schema.clone(), rows))?,
+                ));
+            }
+            Ok(handles)
+        };
+
+        // Build (right) side, then the probe (left) side — probe rows additionally carry their
+        // original row index as a tag column so the final merge can restore probe order.
+        let right_handles = stage(
+            right.schema(),
+            right,
+            partition_rows(right, right_keys),
+            false,
+        )?;
+        let left_arity = left.schema().arity();
+        let mut tagged_attrs = left.schema().attributes().to_vec();
+        tagged_attrs.push(Attribute::new(GRACE_INDEX_COLUMN, DataType::Int));
+        let tagged_schema = Schema::new(format!("grace({})", left.schema().name()), tagged_attrs);
+        let left_handles = stage(&tagged_schema, left, partition_rows(left, left_keys), true)?;
+
+        // Join partition pairs one at a time; only the current pair needs to be resident.
+        // Output tuples strip the tag column back out: positions 0..left_arity then the right
+        // side after the tag.
+        let keep: Vec<usize> = (0..left_arity)
+            .chain(left_arity + 1..left_arity + 1 + right.schema().arity())
+            .collect();
+        let mut out: Vec<(usize, Tuple)> = Vec::new();
+        for (lh, rh) in left_handles.iter().zip(&right_handles) {
+            let (Some(lh), Some(rh)) = (lh, rh) else {
+                continue; // one side empty: the pair can produce nothing
+            };
+            let lp = lh.load()?;
+            let rp = rh.load()?;
+            for row in hash_join_rows(&lp, &rp, left_keys, right_keys) {
+                let idx = row
+                    .get(left_arity)
+                    .and_then(Value::as_i64)
+                    .expect("grace tag column is an index") as usize;
+                out.push((idx, row.project(&keep)));
+            }
+        }
+        // Stable: within one probe index all matches come from a single partition, already in
+        // build order, so this restores the in-memory output order exactly.
+        out.sort_by_key(|(idx, _)| *idx);
+        Ok(out.into_iter().map(|(_, row)| row).collect())
+    }
+}
+
+/// Name of the probe-order tag column the grace join appends while partitioning (qualified
+/// engine columns are `alias.attr`, so this can never collide with a real attribute).
+const GRACE_INDEX_COLUMN: &str = "⟨grace-idx⟩";
+
+/// The partition a row's join key hashes to, or `None` when a key component is null (null keys
+/// never match, as in SQL — the row can be dropped before it ever reaches a partition).
+/// Equal keys hash equally on both sides, so a key's matches always meet in one partition.
+fn key_partition(row: &Tuple, keys: &[usize], partitions: usize) -> Option<usize> {
+    let mut hasher = DefaultHasher::new();
+    for &k in keys {
+        match row.get(k) {
+            Some(v) if !v.is_null() => v.hash(&mut hasher),
+            _ => return None,
+        }
+    }
+    Some((hasher.finish() % partitions as u64) as usize)
 }
 
 /// Fetches a child batch, panicking on a caller bug (wrong arity) rather than misevaluating.
@@ -630,6 +801,119 @@ mod tests {
         // `execute` does not count a completed source query.
         assert_eq!(exec.stats().source_queries, 0);
         assert_eq!(exec.stats().operators_executed, 2);
+    }
+
+    /// A catalog big enough that tiny budgets force the grace path, with duplicate and null
+    /// join keys so order preservation is genuinely exercised.
+    fn join_catalog() -> Catalog {
+        let left = Schema::new(
+            "L",
+            vec![
+                Attribute::new("lid", DataType::Int),
+                Attribute::new("lkey", DataType::Int),
+                Attribute::new("ltag", DataType::Text),
+            ],
+        );
+        let lrows = (0..120)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::from(i as i64),
+                    if i % 11 == 0 {
+                        Value::Null
+                    } else {
+                        Value::from((i % 17) as i64)
+                    },
+                    Value::from(format!("l{i}")),
+                ])
+            })
+            .collect();
+        let right = Schema::new(
+            "R",
+            vec![
+                Attribute::new("rid", DataType::Int),
+                Attribute::new("rkey", DataType::Int),
+            ],
+        );
+        let rrows = (0..90)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::from(1000 + i as i64),
+                    if i % 13 == 0 {
+                        Value::Null
+                    } else {
+                        Value::from((i % 17) as i64)
+                    },
+                ])
+            })
+            .collect();
+        let mut cat = Catalog::new();
+        cat.insert(Relation::new(left, lrows).unwrap());
+        cat.insert(Relation::new(right, rrows).unwrap());
+        cat
+    }
+
+    #[test]
+    fn grace_hash_join_is_byte_identical_to_in_memory() {
+        let cat = join_catalog();
+        let plan =
+            Plan::scan("L").hash_join(Plan::scan("R"), vec![("L.lkey".into(), "R.rkey".into())]);
+        let reference = Executor::new(&cat).run(&plan).unwrap();
+        assert!(reference.len() > 100, "join must produce real fan-out");
+
+        for budget in [0usize, 64, 512] {
+            let pool = urm_storage::BufferPool::with_budget(budget);
+            let mut exec = Executor::with_pool(&cat, pool.clone());
+            let out = exec.run(&plan).unwrap();
+            assert_eq!(out.schema(), reference.schema());
+            assert_eq!(out.rows(), reference.rows(), "budget {budget} changed rows");
+            assert!(
+                exec.stats().grace_partitions >= 2,
+                "budget {budget} did not take the grace path"
+            );
+            assert!(pool.stats().bytes_spilled > 0 || budget >= 512);
+        }
+    }
+
+    #[test]
+    fn grace_multi_key_join_matches_in_memory() {
+        let cat = join_catalog();
+        // Self-join on (lkey, ltag): multi-key path, duplicates included.
+        let plan = Plan::scan("L").hash_join(
+            Plan::scan_as("L", "L2"),
+            vec![
+                ("L.lkey".into(), "L2.lkey".into()),
+                ("L.ltag".into(), "L2.ltag".into()),
+            ],
+        );
+        let reference = Executor::new(&cat).run(&plan).unwrap();
+        let mut exec = Executor::with_pool(&cat, urm_storage::BufferPool::with_budget(0));
+        let out = exec.run(&plan).unwrap();
+        assert_eq!(out.rows(), reference.rows());
+        assert!(exec.stats().grace_partitions >= 2);
+    }
+
+    #[test]
+    fn unbounded_pool_never_takes_the_grace_path() {
+        let cat = join_catalog();
+        let plan =
+            Plan::scan("L").hash_join(Plan::scan("R"), vec![("L.lkey".into(), "R.rkey".into())]);
+        let pool = urm_storage::BufferPool::unbounded();
+        let mut exec = Executor::with_pool(&cat, pool.clone());
+        let reference = Executor::new(&cat).run(&plan).unwrap();
+        assert_eq!(exec.run(&plan).unwrap().rows(), reference.rows());
+        assert_eq!(exec.stats().grace_partitions, 0);
+        assert_eq!(pool.stats().segments_written, 0, "never-spill fast path");
+    }
+
+    #[test]
+    fn grace_join_handles_empty_sides() {
+        let cat = join_catalog();
+        let plan = Plan::scan("L")
+            .select(Predicate::eq("L.ltag", Value::from("nope")))
+            .hash_join(Plan::scan("R"), vec![("L.lkey".into(), "R.rkey".into())]);
+        let mut exec = Executor::with_pool(&cat, urm_storage::BufferPool::with_budget(0));
+        let out = exec.run(&plan).unwrap();
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -27,6 +27,15 @@ pub struct ExecStats {
     /// Before the zero-copy refactor every one of these rows was materialised into a private
     /// buffer.
     pub rows_shared: u64,
+    /// Bytes of materialised relations written to spill segments under a memory budget
+    /// (copied in from the owning [`BufferPool`](urm_storage::BufferPool) by the layer that
+    /// runs the batch, so parallel workers sharing one pool never double-count).
+    pub bytes_spilled: u64,
+    /// Spilled relations read back from their segments on access.
+    pub spill_reloads: u64,
+    /// Partitions produced by grace hash joins — joins whose build side exceeded the memory
+    /// budget and fell back to partitioned build/probe over spill segments.
+    pub grace_partitions: u64,
     /// Wall-clock time spent inside the executor.
     #[serde(skip)]
     pub exec_time: Duration,
@@ -65,7 +74,21 @@ impl ExecStats {
         self.tuples_output += other.tuples_output;
         self.source_queries += other.source_queries;
         self.rows_shared += other.rows_shared;
+        self.bytes_spilled += other.bytes_spilled;
+        self.spill_reloads += other.spill_reloads;
+        self.grace_partitions += other.grace_partitions;
         self.exec_time += other.exec_time;
+    }
+
+    /// Folds a buffer pool's counter *delta* (after minus before a run) into these statistics.
+    /// Called once per batch by whichever layer owns the pool, never per worker.
+    pub fn absorb_spill_delta(
+        &mut self,
+        before: &urm_storage::SpillStats,
+        after: &urm_storage::SpillStats,
+    ) {
+        self.bytes_spilled += after.bytes_spilled - before.bytes_spilled;
+        self.spill_reloads += after.spill_reloads - before.spill_reloads;
     }
 }
 

@@ -61,6 +61,26 @@ impl SharedPlanCache {
         }
     }
 
+    /// Creates an empty cache bounded by *bytes of materialised rows* instead of entry count:
+    /// each published sub-plan result is weighted by its
+    /// [`estimated_bytes`](urm_storage::Relation::estimated_bytes), and least-recently-used
+    /// results are evicted once the total exceeds `bytes` — the accounting a memory-budgeted
+    /// deployment wants, since one join result can outweigh a thousand selections.
+    #[must_use]
+    pub fn with_byte_budget(bytes: usize) -> Self {
+        SharedPlanCache {
+            results: LruCache::with_byte_budget(bytes),
+            dag: OperatorDag::new(),
+        }
+    }
+
+    /// Estimated bytes of the materialised results currently resident (entry count when the
+    /// cache is count-bounded — plain inserts weigh 1).
+    #[must_use]
+    pub fn resident_weight(&self) -> usize {
+        self.results.total_weight()
+    }
+
     /// The configured capacity (`None` when unbounded).
     #[must_use]
     pub fn capacity(&self) -> Option<usize> {
@@ -157,7 +177,13 @@ impl DagResultCache for LruStore<'_> {
     }
 
     fn publish(&mut self, fingerprint: u64, result: &Arc<Relation>) {
-        self.results.insert(fingerprint, Arc::clone(result));
+        if self.results.weight_budget().is_some() {
+            let bytes = result.estimated_bytes().max(1);
+            self.results
+                .insert_weighted(fingerprint, Arc::clone(result), bytes);
+        } else {
+            self.results.insert(fingerprint, Arc::clone(result));
+        }
     }
 }
 
@@ -245,6 +271,30 @@ mod tests {
         assert_eq!(cache.misses(), 0);
         assert_eq!(cache.hit_rate(), 0.0);
         assert_eq!(cache.capacity(), None);
+    }
+
+    #[test]
+    fn byte_budgeted_cache_evicts_by_result_size() {
+        let cat = catalog();
+        let scan_bytes = cat.get("R").unwrap().estimated_bytes();
+        // Room for the scan plus one selection result, nothing more.
+        let mut cache = SharedPlanCache::with_byte_budget(scan_bytes + scan_bytes / 2);
+        let mut exec = Executor::new(&cat);
+        let sel_x = Plan::scan("R").select(Predicate::eq("R.b", Value::from("x")));
+        let sel_y = Plan::scan("R").select(Predicate::eq("R.b", Value::from("y")));
+
+        let first = cache.execute_shared(&sel_x, &mut exec).unwrap();
+        assert!(cache.resident_weight() > 0);
+        assert!(cache.resident_weight() <= scan_bytes + scan_bytes / 2);
+        cache.execute_shared(&sel_y, &mut exec).unwrap();
+        assert!(
+            cache.evictions() > 0,
+            "the second selection must displace something by bytes"
+        );
+        assert!(cache.resident_weight() <= scan_bytes + scan_bytes / 2);
+        // Evicted or not, recomputation reproduces identical rows.
+        let again = cache.execute_shared(&sel_x, &mut exec).unwrap();
+        assert_eq!(again.rows(), first.rows());
     }
 
     #[test]

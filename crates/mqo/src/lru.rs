@@ -6,27 +6,37 @@
 //! `O(log n)` and no operation deep-copies a key: the key is allocated once per entry and
 //! shared (`Arc`) between the slot table and the recency index.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
+use urm_storage::RecencyIndex;
 
 #[derive(Debug)]
 struct Slot<V> {
     value: V,
     last_used: u64,
+    /// The entry's eviction weight: 1 for count-capacity caches, a byte estimate for
+    /// byte-budgeted ones (see [`LruCache::with_byte_budget`]).
+    weight: usize,
 }
 
 /// A bounded `HashMap` that evicts the least-recently-used entry on overflow.
 ///
-/// A capacity of `None` means unbounded. [`get`](LruCache::get) counts as a use.
+/// Two bounding modes: a count capacity (at most `capacity` entries) and a *weight* budget
+/// ([`with_byte_budget`](LruCache::with_byte_budget)) where each entry carries a caller-supplied
+/// weight — the byte accounting the spill-aware caches use.  A capacity of `None` with no
+/// budget means unbounded. [`get`](LruCache::get) counts as a use.
 #[derive(Debug)]
 pub struct LruCache<K, V> {
     capacity: Option<usize>,
+    /// Maximum total entry weight (`None` = no weight bound).
+    weight_budget: Option<usize>,
+    /// Sum of resident entry weights.
+    total_weight: usize,
     slots: HashMap<Arc<K>, Slot<V>>,
-    /// stamp → key, ordered oldest-first; stamps are unique (one per clock tick), so the first
-    /// entry is always the least-recently-used key.
-    recency: BTreeMap<u64, Arc<K>>,
-    clock: u64,
+    /// The shared LRU machinery ([`RecencyIndex`], also behind the spill pool and the epoch
+    /// pin LRU); the key is `Arc`-shared with the slot table, so no operation deep-copies it.
+    recency: RecencyIndex<Arc<K>>,
     evictions: u64,
     hits: u64,
     misses: u64,
@@ -38,9 +48,10 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn unbounded() -> Self {
         LruCache {
             capacity: None,
+            weight_budget: None,
+            total_weight: 0,
             slots: HashMap::new(),
-            recency: BTreeMap::new(),
-            clock: 0,
+            recency: RecencyIndex::new(),
             evictions: 0,
             hits: 0,
             misses: 0,
@@ -52,12 +63,25 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn with_capacity(capacity: usize) -> Self {
         LruCache {
             capacity: Some(capacity.max(1)),
+            weight_budget: None,
+            total_weight: 0,
             slots: HashMap::new(),
-            recency: BTreeMap::new(),
-            clock: 0,
+            recency: RecencyIndex::new(),
             evictions: 0,
             hits: 0,
             misses: 0,
+        }
+    }
+
+    /// A cache bounded by total entry *weight* instead of entry count: insert with
+    /// [`insert_weighted`](LruCache::insert_weighted) (typically a byte estimate) and the
+    /// least-recently-used entries are evicted until the total weight fits `budget` again.
+    /// The spill-aware shared-plan cache sizes its materialised sub-plans this way.
+    #[must_use]
+    pub fn with_byte_budget(budget: usize) -> Self {
+        LruCache {
+            weight_budget: Some(budget),
+            ..LruCache::unbounded()
         }
     }
 
@@ -65,6 +89,18 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     #[must_use]
     pub fn capacity(&self) -> Option<usize> {
         self.capacity
+    }
+
+    /// The configured weight budget (`None` when the cache is count-bounded or unbounded).
+    #[must_use]
+    pub fn weight_budget(&self) -> Option<usize> {
+        self.weight_budget
+    }
+
+    /// Sum of the weights of every resident entry (entry count for plain `insert`).
+    #[must_use]
+    pub fn total_weight(&self) -> usize {
+        self.total_weight
     }
 
     /// Number of resident entries.
@@ -118,8 +154,6 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// ([`hits`](LruCache::hits) / [`misses`](LruCache::misses)); [`contains`](LruCache::contains)
     /// counts nothing.
     pub fn get(&mut self, key: &K) -> Option<&V> {
-        self.clock += 1;
-        let clock = self.clock;
         let slot = match self.slots.get_mut(key) {
             None => {
                 self.misses += 1;
@@ -130,56 +164,71 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                 slot
             }
         };
-        let shared = self
-            .recency
-            .remove(&slot.last_used)
-            .expect("recency index tracks every resident slot");
-        slot.last_used = clock;
-        self.recency.insert(clock, shared);
+        // The index recovers the shared key from the old stamp itself (every resident slot
+        // is indexed, so this is never the stale-stamp no-op).
+        self.recency.refresh(&mut slot.last_used);
         Some(&slot.value)
     }
 
-    /// Inserts `key → value` as the most recent entry, evicting the least-recently-used
-    /// entry when that would exceed the capacity.  Returns the evicted key, if any.
+    /// Inserts `key → value` as the most recent entry (weight 1), evicting the
+    /// least-recently-used entry when that would exceed the capacity.  Returns the first
+    /// evicted key, if any.
     pub fn insert(&mut self, key: K, value: V) -> Option<K> {
-        self.clock += 1;
-        let clock = self.clock;
+        self.insert_weighted(key, value, 1).into_iter().next()
+    }
 
+    /// Inserts `key → value` as the most recent entry carrying `weight`, evicting
+    /// least-recently-used entries while the count capacity or the weight budget is exceeded.
+    /// Returns every evicted key (a heavy insert into a byte-budgeted cache can displace
+    /// several light entries; an entry heavier than the whole budget is admitted and then
+    /// immediately evicted itself — the cache never rejects, it recomputes).
+    pub fn insert_weighted(&mut self, key: K, value: V, weight: usize) -> Vec<K> {
         if let Some(slot) = self.slots.get_mut(&key) {
-            // Overwrite in place: refresh recency, never evict.
-            let shared = self
-                .recency
-                .remove(&slot.last_used)
-                .expect("recency index tracks every resident slot");
+            // Overwrite in place: refresh recency and weight, then rebalance.
+            self.total_weight = self.total_weight - slot.weight + weight;
             slot.value = value;
-            slot.last_used = clock;
-            self.recency.insert(clock, shared);
-            return None;
+            slot.weight = weight;
+            self.recency.refresh(&mut slot.last_used);
+            return self.evict_to_bounds();
         }
 
         let shared = Arc::new(key);
+        let last_used = self.recency.insert_fresh(Arc::clone(&shared));
         self.slots.insert(
-            Arc::clone(&shared),
+            shared,
             Slot {
                 value,
-                last_used: clock,
+                last_used,
+                weight,
             },
         );
-        self.recency.insert(clock, shared);
+        self.total_weight += weight;
+        self.evict_to_bounds()
+    }
 
-        if !matches!(self.capacity, Some(cap) if self.slots.len() > cap) {
-            return None;
+    /// Evicts oldest-first until both the count capacity and the weight budget hold.
+    fn evict_to_bounds(&mut self) -> Vec<K> {
+        let mut evicted = Vec::new();
+        loop {
+            let over_capacity = matches!(self.capacity, Some(cap) if self.slots.len() > cap);
+            let over_weight =
+                matches!(self.weight_budget, Some(budget) if self.total_weight > budget);
+            if !over_capacity && !over_weight {
+                return evicted;
+            }
+            // Oldest stamp = least-recently-used; every indexed stamp is current here because
+            // the cache evicts stamps eagerly.  (With a weight budget the newest entry can
+            // itself be the last one standing and still overweight; it is evicted like any
+            // other, leaving the cache empty.)
+            let Some(victim) = self.recency.pop_oldest(|_, _| true) else {
+                return evicted;
+            };
+            let slot = self.slots.remove(&victim).expect("slot for recency entry");
+            self.total_weight -= slot.weight;
+            self.evictions += 1;
+            // Both owners (slot table + recency index) are gone, so this is a move, not a copy.
+            evicted.push(Arc::try_unwrap(victim).unwrap_or_else(|shared| (*shared).clone()));
         }
-        // Oldest stamp = least-recently-used; it cannot be the entry just inserted because
-        // the new stamp is the maximum and at least one older entry exists.
-        let (_, victim) = self
-            .recency
-            .pop_first()
-            .expect("over-capacity cache is non-empty");
-        self.slots.remove(&victim);
-        self.evictions += 1;
-        // Both owners (slot table + recency index) are gone, so this is a move, not a copy.
-        Some(Arc::try_unwrap(victim).unwrap_or_else(|shared| (*shared).clone()))
     }
 }
 
@@ -304,6 +353,56 @@ mod tests {
         // Overwriting the sole resident is still not an eviction.
         assert_eq!(cache.insert("c", 30), None);
         assert_eq!(cache.get(&"c"), Some(&30));
+    }
+
+    #[test]
+    fn weight_budget_evicts_by_bytes_not_count() {
+        let mut cache = LruCache::with_byte_budget(100);
+        assert_eq!(cache.weight_budget(), Some(100));
+        assert_eq!(cache.capacity(), None);
+        assert!(cache.insert_weighted("a", 1, 40).is_empty());
+        assert!(cache.insert_weighted("b", 2, 40).is_empty());
+        assert_eq!(cache.total_weight(), 80);
+        // 40 more bytes exceed the budget: the LRU entry goes, however many entries reside.
+        assert_eq!(cache.insert_weighted("c", 3, 40), vec!["a"]);
+        assert_eq!(cache.total_weight(), 80);
+        // A heavy insert displaces *several* light entries at once.
+        assert_eq!(cache.insert_weighted("d", 4, 90), vec!["b", "c"]);
+        assert_eq!(cache.total_weight(), 90);
+        assert_eq!(cache.evictions(), 3);
+    }
+
+    #[test]
+    fn entry_heavier_than_the_budget_is_evicted_immediately() {
+        let mut cache = LruCache::with_byte_budget(10);
+        let evicted = cache.insert_weighted("huge", 1, 1000);
+        assert_eq!(evicted, vec!["huge"]);
+        assert!(cache.is_empty());
+        assert_eq!(cache.total_weight(), 0);
+        // The cache still works for entries that do fit.
+        assert!(cache.insert_weighted("small", 2, 5).is_empty());
+        assert_eq!(cache.get(&"small"), Some(&2));
+    }
+
+    #[test]
+    fn weighted_overwrite_rebalances_weight() {
+        let mut cache = LruCache::with_byte_budget(100);
+        cache.insert_weighted("a", 1, 30);
+        cache.insert_weighted("b", 2, 30);
+        // Growing `a` past the budget evicts `b` (the LRU entry), not `a` itself.
+        assert_eq!(cache.insert_weighted("a", 10, 90), vec!["b"]);
+        assert_eq!(cache.get(&"a"), Some(&10));
+        assert_eq!(cache.total_weight(), 90);
+    }
+
+    #[test]
+    fn weighted_gets_refresh_recency_like_plain_ones() {
+        let mut cache = LruCache::with_byte_budget(100);
+        cache.insert_weighted("a", 1, 40);
+        cache.insert_weighted("b", 2, 40);
+        assert_eq!(cache.get(&"a"), Some(&1)); // b is now least recent
+        assert_eq!(cache.insert_weighted("c", 3, 40), vec!["b"]);
+        assert!(cache.contains(&"a") && cache.contains(&"c"));
     }
 
     #[test]

@@ -62,6 +62,7 @@ struct Args {
     batch_size: usize,
     answer_cache: usize,
     epoch_cache: bool,
+    memory_budget: Option<usize>,
     verify: bool,
 }
 
@@ -81,6 +82,7 @@ impl Default for Args {
             batch_size: 64,
             answer_cache: 1024,
             epoch_cache: defaults.epoch_cache,
+            memory_budget: defaults.memory_budget,
             verify: false,
         }
     }
@@ -107,6 +109,9 @@ OPTIONS:
   --epoch-cache on|off
                       keep one persistent DAG per epoch across batches (bind cache + weakly
                       cached node results; default on) — 'off' rebuilds per batch for A/B runs
+  --memory-budget B   byte budget for materialised relations, per epoch (default: unbudgeted);
+                      under a budget, pinned results spill to disk segments and oversized hash
+                      joins take the grace (partitioned) path — answers are byte-identical
   --verify            check every answer against an independent sequential algorithm
                       (o-sharing(SEF); basic when --algorithm is o-sharing itself)
   --help              print this help
@@ -129,6 +134,7 @@ fn parse_args() -> Result<Args, String> {
             "--dag-workers" => args.dag_workers = parse_num(&value("--dag-workers")?)?,
             "--batch-size" => args.batch_size = parse_num(&value("--batch-size")?)?,
             "--answer-cache" => args.answer_cache = parse_num(&value("--answer-cache")?)?,
+            "--memory-budget" => args.memory_budget = Some(parse_num(&value("--memory-budget")?)?),
             "--epoch-cache" => {
                 args.epoch_cache = match value("--epoch-cache")?.as_str() {
                     "on" => true,
@@ -296,6 +302,7 @@ fn run_service(
         dag_workers: args.dag_workers,
         answer_cache_capacity: args.answer_cache,
         epoch_cache: args.epoch_cache,
+        memory_budget: args.memory_budget,
     });
     let epochs: BTreeMap<String, EpochId> = scenarios
         .iter()
@@ -307,7 +314,7 @@ fn run_service(
 
     println!(
         "workload: {} queries over {} epoch(s); algorithm=service replays={} batch-size={} \
-         workers={} dag-workers={} epoch-cache={}",
+         workers={} dag-workers={} epoch-cache={} memory-budget={}",
         workload.len(),
         epochs.len(),
         args.replays,
@@ -315,6 +322,8 @@ fn run_service(
         args.workers,
         args.dag_workers,
         if args.epoch_cache { "on" } else { "off" },
+        args.memory_budget
+            .map_or_else(|| "off".to_string(), |b| format!("{b}B")),
     );
 
     let mut verifier = Verifier::for_mode(Mode::Service);
@@ -411,6 +420,13 @@ fn run_service(
         metrics.rows_per_second(),
         metrics.rows_shared,
     );
+    match args.memory_budget {
+        Some(budget) => println!(
+            "spill: budget={budget} bytes, {} bytes spilled, {} reloads, {} grace partitions",
+            metrics.bytes_spilled, metrics.spill_reloads, metrics.grace_partitions,
+        ),
+        None => println!("spill: n/a (no --memory-budget)"),
+    }
     service.shutdown();
 
     if verifier.failures > 0 {
@@ -426,6 +442,12 @@ fn run_sequential(
     workload: &[WorkloadEntry],
     scenarios: &BTreeMap<String, Scenario>,
 ) -> ExitCode {
+    if args.memory_budget.is_some() {
+        eprintln!(
+            "warning: --memory-budget applies to --algorithm service only; the sequential \
+             algorithms run unbudgeted"
+        );
+    }
     println!(
         "workload: {} queries over {} scenario(s); algorithm={} replays={}",
         workload.len(),

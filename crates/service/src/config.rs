@@ -15,11 +15,21 @@ pub struct ServiceConfig {
     /// Capacity of the service-wide answer cache (entries, LRU-evicted).
     pub answer_cache_capacity: usize,
     /// Whether each epoch keeps a persistent shared-operator DAG across its batches
-    /// (bind cache + weakly cached node results, last batch pinned), so a hot epoch's later
-    /// batches skip rebinding and re-executing still-materialised operators.  `false` rebuilds
-    /// the DAG from scratch per batch (the pre-epoch behaviour; `urm-cli --epoch-cache off`
-    /// A/Bs the two).
+    /// (bind cache + weakly cached node results, byte-budgeted LRU pinning), so a hot epoch's
+    /// later batches skip rebinding and re-executing still-materialised operators.  `false`
+    /// rebuilds the DAG from scratch per batch (the pre-epoch behaviour; `urm-cli
+    /// --epoch-cache off` A/Bs the two).
     pub epoch_cache: bool,
+    /// Byte budget for materialised relations, per epoch (`None` = unbudgeted, all in memory).
+    ///
+    /// With a budget, each epoch owns a spill [`BufferPool`](urm_storage::BufferPool): pinned
+    /// node results are spill-backed (paged out to disk segments under pressure, reloaded
+    /// transparently), and hash joins whose build side exceeds *half* the budget take the
+    /// grace (partitioned) path — so workloads bigger than RAM complete instead of OOMing,
+    /// with byte-identical answers.  Spill work is reported in
+    /// [`ServiceMetrics`](crate::ServiceMetrics) (`bytes_spilled`, `spill_reloads`,
+    /// `grace_partitions`).
+    pub memory_budget: Option<usize>,
 }
 
 /// A conservative default for the intra-batch scheduler: half the hardware threads (the other
@@ -42,6 +52,7 @@ impl Default for ServiceConfig {
             dag_workers: default_dag_workers(),
             answer_cache_capacity: 1024,
             epoch_cache: true,
+            memory_budget: None,
         }
     }
 }
@@ -56,6 +67,7 @@ impl ServiceConfig {
             dag_workers: 2,
             answer_cache_capacity: 32,
             epoch_cache: true,
+            memory_budget: None,
         }
     }
 }

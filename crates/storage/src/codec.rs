@@ -91,9 +91,19 @@ pub fn encode_tuple(buf: &mut BytesMut, tuple: &Tuple) {
 }
 
 /// Decodes a tuple.
+///
+/// Corrupt input yields a typed [`StorageError::Codec`], never a panic or a pathological
+/// allocation: a declared arity larger than the remaining payload (every encoded value takes
+/// at least one byte) is rejected *before* any buffer is sized from it.
 pub fn decode_tuple(buf: &mut Bytes) -> StorageResult<Tuple> {
     ensure_remaining(buf, 4)?;
     let arity = buf.get_u32_le() as usize;
+    if arity > buf.remaining() {
+        return Err(StorageError::Codec(format!(
+            "declared tuple arity {arity} exceeds the {} remaining payload bytes",
+            buf.remaining()
+        )));
+    }
     let mut values = Vec::with_capacity(arity);
     for _ in 0..arity {
         values.push(decode_value(buf)?);
@@ -114,9 +124,22 @@ pub fn encode_rows(relation: &Relation) -> Bytes {
 }
 
 /// Decodes rows previously produced by [`encode_rows`] into a relation with the given schema.
+///
+/// Decoding is fully validating and never panics on hostile input: truncated or corrupt
+/// payloads are typed [`StorageError::Codec`] errors (a declared row count that could not
+/// possibly fit the remaining bytes is rejected up front — every encoded tuple takes at least
+/// four bytes), and a payload whose tuples do not fit `schema` surfaces the same typed
+/// [`StorageError::ArityMismatch`] / [`StorageError::TypeMismatch`] errors as
+/// [`Relation::push`].
 pub fn decode_rows(schema: Schema, mut bytes: Bytes) -> StorageResult<Relation> {
     ensure_remaining(&bytes, 8)?;
     let n = bytes.get_u64_le() as usize;
+    if n.saturating_mul(4) > bytes.remaining() {
+        return Err(StorageError::Codec(format!(
+            "declared row count {n} exceeds the {} remaining payload bytes",
+            bytes.remaining()
+        )));
+    }
     let mut rel = Relation::empty(schema);
     for _ in 0..n {
         let tuple = decode_tuple(&mut bytes)?;
@@ -236,6 +259,86 @@ mod tests {
         let mut bytes = buf.freeze();
         assert!(matches!(
             decode_value(&mut bytes),
+            Err(StorageError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn zero_length_input_is_an_error_everywhere() {
+        let rel = sample_relation();
+        assert!(matches!(
+            decode_rows(rel.schema().clone(), Bytes::from(Vec::new())),
+            Err(StorageError::Codec(_))
+        ));
+        assert!(matches!(
+            decode_tuple(&mut Bytes::from(Vec::new())),
+            Err(StorageError::Codec(_))
+        ));
+        assert!(matches!(
+            decode_value(&mut Bytes::from(Vec::new())),
+            Err(StorageError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn mid_value_truncation_is_an_error() {
+        // Cut inside the second row's text payload: the row-count header is intact, the first
+        // row decodes, the truncation surfaces as a typed codec error (never a panic).
+        let rel = sample_relation();
+        let bytes = encode_rows(&rel);
+        for cut in [bytes.len() - 1, bytes.len() - 5, bytes.len() / 2, 9, 12] {
+            let truncated = bytes.slice(0..cut);
+            let err = decode_rows(rel.schema().clone(), truncated).unwrap_err();
+            assert!(
+                matches!(err, StorageError::Codec(_)),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_schema_payloads_are_typed_errors() {
+        let rel = sample_relation();
+        let bytes = encode_rows(&rel);
+        // Fewer attributes than the payload's tuples: arity mismatch.
+        let narrow = Schema::new("Narrow", vec![Attribute::new("id", DataType::Int)]);
+        assert!(matches!(
+            decode_rows(narrow, bytes.clone()),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+        // Same arity, incompatible attribute type: type mismatch.
+        let wrong_type = Schema::new(
+            "Wrong",
+            vec![
+                Attribute::new("id", DataType::Text), // payload has Int here
+                Attribute::new("name", DataType::Text),
+                Attribute::new("price", DataType::Float),
+                Attribute::new("active", DataType::Bool),
+                Attribute::new("note", DataType::Text),
+            ],
+        );
+        assert!(matches!(
+            decode_rows(wrong_type, bytes),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn absurd_declared_counts_are_rejected_before_allocating() {
+        // A row count far beyond the payload must fail fast instead of looping or reserving.
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(u64::MAX);
+        let rel = sample_relation();
+        assert!(matches!(
+            decode_rows(rel.schema().clone(), buf.freeze()),
+            Err(StorageError::Codec(_))
+        ));
+        // Same for a tuple whose declared arity exceeds the remaining bytes.
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(u32::MAX);
+        buf.put_u8(TAG_NULL);
+        assert!(matches!(
+            decode_tuple(&mut buf.freeze()),
             Err(StorageError::Codec(_))
         ));
     }

@@ -48,6 +48,10 @@ pub enum StorageError {
     },
     /// A serialised tuple could not be decoded.
     Codec(String),
+    /// An I/O operation on a spill segment (or other storage file) failed.
+    ///
+    /// Carries the rendered `std::io::Error` so the error type stays `Clone + PartialEq`.
+    Io(String),
 }
 
 impl fmt::Display for StorageError {
@@ -86,6 +90,7 @@ impl fmt::Display for StorageError {
                 "relation '{relation}' declares attribute '{attribute}' more than once"
             ),
             StorageError::Codec(msg) => write!(f, "codec error: {msg}"),
+            StorageError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }

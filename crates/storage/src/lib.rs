@@ -8,11 +8,13 @@
 //! source instance: typed [`Value`]s, [`Tuple`]s, relation [`Schema`]s, materialised
 //! [`Relation`]s and a [`Catalog`] mapping relation names to relations.
 //!
-//! The storage layer is deliberately simple (row-oriented, fully in memory) — the paper's
+//! The storage layer is deliberately simple (row-oriented, memory-first) — the paper's
 //! algorithms are about *how many* source operators and queries are executed, not about disk
 //! layout — but the types are designed so the query engine built on top
 //! ([`urm-engine`](https://docs.rs/urm-engine)) can count and share work exactly the way the
-//! paper describes.
+//! paper describes.  For workloads bigger than RAM, the [`spill`] module adds a byte-budgeted
+//! [`BufferPool`] that pages materialised relations to disk segments and reloads them
+//! transparently.
 //!
 //! ## Quick example
 //!
@@ -53,16 +55,20 @@
 pub mod catalog;
 pub mod codec;
 pub mod error;
+pub mod recency;
 pub mod relation;
 pub mod schema;
+pub mod spill;
 pub mod tuple;
 pub mod types;
 pub mod value;
 
 pub use catalog::Catalog;
 pub use error::{StorageError, StorageResult};
+pub use recency::RecencyIndex;
 pub use relation::Relation;
 pub use schema::{AttrRef, Attribute, Schema};
+pub use spill::{BufferPool, SpillStats, SpillableRelation, DEFAULT_PAGE_BYTES};
 pub use tuple::Tuple;
 pub use types::DataType;
 pub use value::Value;

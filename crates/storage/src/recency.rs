@@ -1,0 +1,151 @@
+//! A reusable least-recently-used recency index: monotonic stamps plus an ordered
+//! stamp → key map.
+//!
+//! Stamps are unique (one per clock tick), so the oldest stamp is always the
+//! least-recently-used entry and every operation is O(log n).  The index does not own the
+//! entries: callers keep each entry's current stamp (`last_used`) themselves, which lets one
+//! map serve entries living in any container — and lets stamps go stale harmlessly (a popped
+//! stamp is validated by the caller's `is_victim` predicate and discarded when it no longer
+//! matches).  This is the one home of the LRU machinery shared by the spill
+//! [`BufferPool`](crate::BufferPool), the engine's pinned-result LRU and `urm-mqo`'s
+//! `LruCache` (whose recency half is built on this type).
+
+use std::collections::BTreeMap;
+
+/// An LRU recency index (see the [module docs](self)).
+#[derive(Debug)]
+pub struct RecencyIndex<K> {
+    clock: u64,
+    /// stamp → key, ordered oldest-first; stamps are unique (one per clock tick).
+    index: BTreeMap<u64, K>,
+}
+
+impl<K> Default for RecencyIndex<K> {
+    fn default() -> Self {
+        RecencyIndex::new()
+    }
+}
+
+impl<K> RecencyIndex<K> {
+    /// An empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        RecencyIndex {
+            clock: 0,
+            index: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a new entry as the most recent one, returning the stamp the caller must keep
+    /// (and hand back on [`touch`](RecencyIndex::touch) / [`forget`](RecencyIndex::forget)).
+    pub fn insert_fresh(&mut self, key: K) -> u64 {
+        self.clock += 1;
+        self.index.insert(self.clock, key);
+        self.clock
+    }
+
+    /// Refreshes an entry's recency with a caller-supplied key: drops its old stamp and stores
+    /// the new one in `last_used`.
+    pub fn touch(&mut self, key: K, last_used: &mut u64) {
+        self.index.remove(last_used);
+        self.clock += 1;
+        *last_used = self.clock;
+        self.index.insert(self.clock, key);
+    }
+
+    /// Refreshes an entry's recency *recovering the key from the index itself* — for callers
+    /// (like a cache keyed by shared allocations) that do not have the owned key at hand.
+    /// A stale `last_used` (stamp no longer indexed) is a no-op.
+    pub fn refresh(&mut self, last_used: &mut u64) {
+        if let Some(key) = self.index.remove(last_used) {
+            self.clock += 1;
+            *last_used = self.clock;
+            self.index.insert(self.clock, key);
+        }
+    }
+
+    /// Removes an entry's stamp (entry evicted or deleted).  Tolerates stamps already gone —
+    /// popped stamps and never-indexed entries are not errors.
+    pub fn forget(&mut self, last_used: u64) {
+        self.index.remove(&last_used);
+    }
+
+    /// Re-inserts a key under a stamp previously popped (an eviction that failed and must stay
+    /// discoverable).
+    pub fn restore(&mut self, key: K, last_used: u64) {
+        self.index.insert(last_used, key);
+    }
+
+    /// Pops stamps oldest-first until `is_victim(&key, stamp)` accepts one, returning that
+    /// key; rejected stamps are stale (superseded, evicted or deleted entries) and are
+    /// discarded.  Returns `None` when the index drains without a victim.
+    pub fn pop_oldest(&mut self, mut is_victim: impl FnMut(&K, u64) -> bool) -> Option<K> {
+        loop {
+            let (stamp, key) = self.index.pop_first()?;
+            if is_victim(&key, stamp) {
+                return Some(key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_recency_order_with_touch_refresh() {
+        let mut idx = RecencyIndex::new();
+        let mut a = idx.insert_fresh('a');
+        let b = idx.insert_fresh('b');
+        idx.touch('a', &mut a); // order is now b, a
+        assert_eq!(idx.pop_oldest(|_, _| true), Some('b'));
+        assert_eq!(idx.pop_oldest(|_, _| true), Some('a'));
+        assert_eq!(idx.pop_oldest(|_, _| true), None);
+        let _ = b;
+    }
+
+    #[test]
+    fn stale_stamps_are_discarded_by_the_predicate() {
+        let mut idx = RecencyIndex::new();
+        let mut a = idx.insert_fresh('a');
+        let b = idx.insert_fresh('b');
+        let old_a = a;
+        idx.restore('a', old_a); // duplicate, stale once touched
+        idx.touch('a', &mut a);
+        // Only the stamp matching the caller's current `last_used` is a valid victim.
+        let current = |key: &char, stamp: u64| match key {
+            'a' => stamp == a,
+            'b' => stamp == b,
+            _ => false,
+        };
+        assert_eq!(idx.pop_oldest(current), Some('b'));
+        assert_eq!(idx.pop_oldest(current), Some('a'));
+    }
+
+    #[test]
+    fn refresh_recovers_the_key_from_the_index() {
+        let mut idx = RecencyIndex::new();
+        let mut a = idx.insert_fresh("a".to_string()); // non-Copy keys work too
+        let b = idx.insert_fresh("b".to_string());
+        idx.refresh(&mut a); // order is now b, a — without re-supplying the key
+        assert!(a > b);
+        assert_eq!(idx.pop_oldest(|_, _| true).as_deref(), Some("b"));
+        // A stale stamp is a harmless no-op.
+        let mut gone = b;
+        idx.refresh(&mut gone);
+        assert_eq!(gone, b);
+        assert_eq!(idx.pop_oldest(|_, _| true).as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn forget_and_restore_round_trip() {
+        let mut idx = RecencyIndex::new();
+        let a = idx.insert_fresh(1u64);
+        idx.forget(a);
+        assert_eq!(idx.pop_oldest(|_, _| true), None);
+        idx.restore(1u64, a);
+        assert_eq!(idx.pop_oldest(|_, _| true), Some(1));
+        idx.forget(999); // unknown stamps are fine
+    }
+}
