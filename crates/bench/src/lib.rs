@@ -16,6 +16,7 @@ pub mod dag_bench;
 pub mod epoch_bench;
 pub mod executor_bench;
 pub mod experiments;
+pub mod http_bench;
 pub mod report;
 pub mod spill_bench;
 
@@ -23,5 +24,6 @@ pub use dag_bench::DagBenchConfig;
 pub use epoch_bench::EpochBenchConfig;
 pub use executor_bench::ExecutorBenchConfig;
 pub use experiments::{ExperimentRow, Harness, HarnessConfig};
+pub use http_bench::HttpBenchConfig;
 pub use report::{render_json, render_table};
 pub use spill_bench::SpillBenchConfig;

@@ -29,9 +29,9 @@ use crate::reformulate::{clustered_reformulations, extract_answers, Extraction};
 use crate::CoreResult;
 use std::time::Instant;
 use urm_engine::optimize::{fingerprint, optimize};
-use urm_engine::{EpochDag, ExecStats, Executor};
+use urm_engine::{EpochDag, ExecStats, Executor, PreparedBatch};
 use urm_matching::MappingSet;
-use urm_storage::Catalog;
+use urm_storage::{BufferPool, Catalog};
 
 /// Tuning knobs of one batch evaluation.
 #[derive(Debug, Clone, Copy)]
@@ -100,6 +100,7 @@ impl BatchEvaluation {
 }
 
 /// Per-query bookkeeping between the DAG-build and aggregation phases.
+#[derive(Debug)]
 struct PendingQuery {
     /// (index into the DAG's root results, probability, extraction rule) per distinct
     /// reformulation.
@@ -184,6 +185,11 @@ pub fn evaluate_batch(
 /// node whose result is still materialised (pinned from the previous batch, or alive in any
 /// consumer's hands) is answered without executing — see
 /// [`EpochDag`] for the pinning policy.
+///
+/// This is [`prepare_batch_epoch`] followed by [`execute_prepared_batch`] — the single-lock
+/// convenience path.  A serving layer that wants cross-batch pipelining splits the two: it
+/// holds its epoch lock only across `prepare_batch_epoch` (rewrite + optimise + bind), so the
+/// next batch's bind stage overlaps this batch's execution.
 pub fn evaluate_batch_epoch(
     queries: &[TargetQuery],
     mappings: &MappingSet,
@@ -191,21 +197,61 @@ pub fn evaluate_batch_epoch(
     options: &BatchOptions,
     epoch: &mut EpochDag,
 ) -> CoreResult<BatchEvaluation> {
-    // A memory-budgeted epoch carries a spill pool: the batch executor shares it, so grace
-    // hash joins and spilled-pin reloads draw on one budget, and the pool's counter deltas are
-    // folded into this batch's `ExecStats` below (once per batch — batches of one epoch
-    // serialise on the epoch, so deltas never interleave).
-    let spill_before = epoch.pool().map(|pool| pool.stats());
-    let mut exec = match epoch.pool() {
-        Some(pool) => Executor::with_pool(catalog, pool.clone()),
-        None => Executor::new(catalog),
-    };
+    let prepared = prepare_batch_epoch(queries, mappings, catalog, epoch)?;
+    execute_prepared_batch(prepared, catalog, options)
+}
+
+/// The closed bind stage of one batch: every query rewritten through every mapping, every
+/// distinct source query optimised, bound and merged into the epoch DAG, and the batch's
+/// subgraph snapshotted out of the epoch ([`EpochDag::prepare_pending`]).
+///
+/// Self-contained: executing it no longer needs the [`EpochDag`] (executions of one epoch
+/// serialise on the epoch's internal result lock instead), which is what lets a serving layer
+/// bind batch N+1 while batch N executes.
+#[derive(Debug)]
+pub struct PreparedBatchEvaluation {
+    pending: Vec<PendingQuery>,
+    prepared: PreparedBatch,
+    /// Operator insertions deduplicated onto existing DAG nodes during this batch's submission.
+    dag_plan_hits: u64,
+    /// Distinct operator nodes this batch added to the DAG.
+    dag_plan_misses: u64,
+}
+
+impl PreparedBatchEvaluation {
+    /// Number of queries in the batch (one [`Evaluation`] each, in input order).
+    #[must_use]
+    pub fn query_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The epoch's spill pool, when it runs under a memory budget — the executor that runs
+    /// this batch is built from it, so grace joins share the epoch's budget.
+    #[must_use]
+    pub fn pool(&self) -> Option<&BufferPool> {
+        self.prepared.pool()
+    }
+}
+
+/// Phase 1+: rewrite, optimise, bind and snapshot one batch on the caller's epoch DAG (the
+/// bind stage of [`evaluate_batch_epoch`]).  The caller's epoch lock is only needed for the
+/// duration of this call; the returned [`PreparedBatchEvaluation`] executes without it via
+/// [`execute_prepared_batch`].
+pub fn prepare_batch_epoch(
+    queries: &[TargetQuery],
+    mappings: &MappingSet,
+    catalog: &Catalog,
+    epoch: &mut EpochDag,
+) -> CoreResult<PreparedBatchEvaluation> {
+    // Binding needs only the catalog; the spill pool matters to execution, so the bind-stage
+    // executor is deliberately pool-free (and cheap to construct).
+    let exec = Executor::new(catalog);
     let batch_reused_before = epoch.dag().operators_reused();
     let batch_nodes_before = epoch.dag().node_count();
 
-    // Phase 1: rewrite and submit.  On any failure the half-assembled batch must be aborted,
-    // or its stale roots would prepend themselves to the epoch's *next* batch and misalign
-    // every one of that batch's answers.
+    // Rewrite and submit.  On any failure the half-assembled batch must be aborted, or its
+    // stale roots would prepend themselves to the epoch's *next* batch and misalign every one
+    // of that batch's answers.
     let pending = match submit_batch(queries, mappings, catalog, epoch, &exec) {
         Ok(pending) => pending,
         Err(err) => {
@@ -213,16 +259,50 @@ pub fn evaluate_batch_epoch(
             return Err(err);
         }
     };
+    let dag_plan_hits = epoch.dag().operators_reused() - batch_reused_before;
+    let dag_plan_misses = (epoch.dag().node_count() - batch_nodes_before) as u64;
 
-    // Phase 2: execute only what this batch needs — every distinct operator not answered by a
-    // live cached result runs exactly once, fanning its result out to all consumers, in
-    // parallel when asked to.
-    let run = epoch.execute_pending(&mut exec, options.workers)?;
+    Ok(PreparedBatchEvaluation {
+        pending,
+        prepared: epoch.prepare_pending(),
+        dag_plan_hits,
+        dag_plan_misses,
+    })
+}
+
+/// Phases 2–3: execute a prepared batch and aggregate per-query probabilistic answers (the
+/// execute stage of [`evaluate_batch_epoch`]).  `catalog` must be the one the batch was
+/// prepared against.  Executions of one epoch serialise on the epoch's internal result lock;
+/// the epoch itself is free to bind the next batch concurrently.
+pub fn execute_prepared_batch(
+    batch: PreparedBatchEvaluation,
+    catalog: &Catalog,
+    options: &BatchOptions,
+) -> CoreResult<BatchEvaluation> {
+    let PreparedBatchEvaluation {
+        pending,
+        prepared,
+        dag_plan_hits,
+        dag_plan_misses,
+    } = batch;
+    // A memory-budgeted epoch carries a spill pool: the batch executor shares it, so grace
+    // hash joins and spilled-pin reloads draw on one budget.  The pool's counter delta over
+    // the execution is folded into `ExecStats` inside the engine, under the epoch's result
+    // lock, so deltas of pipelined batches never interleave.
+    let mut exec = match prepared.pool().cloned() {
+        Some(pool) => Executor::with_pool(catalog, pool),
+        None => Executor::new(catalog),
+    };
+
+    // Execute only what this batch needs — every distinct operator not answered by a live
+    // cached result runs exactly once, fanning its result out to all consumers, in parallel
+    // when asked to.
+    let run = prepared.execute(&mut exec, options.workers)?;
     for _ in 0..run.root_results.len() {
         exec.stats_mut().record_source_query();
     }
 
-    // Phase 3: per-query probabilistic aggregation, unchanged from e-basic.
+    // Per-query probabilistic aggregation, unchanged from e-basic.
     let mut evaluations = Vec::with_capacity(pending.len());
     for mut query in pending {
         let agg_start = Instant::now();
@@ -244,16 +324,11 @@ pub fn evaluate_batch_epoch(
         });
     }
 
-    let mut exec_stats = exec.into_stats();
-    if let (Some(before), Some(pool)) = (&spill_before, epoch.pool()) {
-        exec_stats.absorb_spill_delta(before, &pool.stats());
-    }
-
     Ok(BatchEvaluation {
         evaluations,
-        plan_hits: (epoch.dag().operators_reused() - batch_reused_before) + run.report.bind_hits,
-        plan_misses: (epoch.dag().node_count() - batch_nodes_before) as u64,
-        exec: exec_stats,
+        plan_hits: dag_plan_hits + run.report.bind_hits,
+        plan_misses: dag_plan_misses,
+        exec: exec.into_stats(),
         dag_nodes: run.report.nodes_executed as usize,
         peak_parallelism: run.report.peak_parallelism,
         workers: run.report.workers,
@@ -528,6 +603,63 @@ mod tests {
                 assert_eq!(p1.to_bits(), p2.to_bits());
                 assert_eq!(t1, t3);
                 assert_eq!(p1.to_bits(), p3.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_prepare_execute_matches_the_serialised_path() {
+        // The serving layer's pipeline shape: batch 2 is prepared (rewritten + bound) before
+        // batch 1 executes, both then execute in order — answers and accounting must match
+        // the serialised evaluate_batch_epoch path bit for bit.
+        let catalog = testkit::figure2_catalog();
+        let mappings = testkit::figure3_mappings();
+        let queries = paper_queries();
+
+        let mut serial = EpochDag::new();
+        let serial_cold = evaluate_batch_epoch(
+            &queries,
+            &mappings,
+            &catalog,
+            &BatchOptions::sequential(),
+            &mut serial,
+        )
+        .unwrap();
+        let serial_warm = evaluate_batch_epoch(
+            &queries,
+            &mappings,
+            &catalog,
+            &BatchOptions::sequential(),
+            &mut serial,
+        )
+        .unwrap();
+
+        let mut epoch = EpochDag::new();
+        let first = prepare_batch_epoch(&queries, &mappings, &catalog, &mut epoch).unwrap();
+        assert_eq!(first.query_count(), queries.len());
+        // Batch 2 binds entirely from the bind cache although batch 1 has not executed.
+        let second = prepare_batch_epoch(&queries, &mappings, &catalog, &mut epoch).unwrap();
+        let cold = execute_prepared_batch(first, &catalog, &BatchOptions::sequential()).unwrap();
+        let warm = execute_prepared_batch(second, &catalog, &BatchOptions::parallel(2)).unwrap();
+
+        assert_eq!(cold.dag_nodes, serial_cold.dag_nodes);
+        assert_eq!(cold.plan_hits, serial_cold.plan_hits);
+        assert_eq!(cold.plan_misses, serial_cold.plan_misses);
+        assert!(warm.epoch_bind_hits > 0, "batch 2 must bind from the cache");
+        assert_eq!(warm.dag_nodes, 0, "batch 2 must reuse batch 1's results");
+        assert_eq!(warm.epoch_results_reused, serial_warm.epoch_results_reused);
+        for ((a, b), (c, d)) in cold
+            .evaluations
+            .iter()
+            .zip(&warm.evaluations)
+            .zip(serial_cold.evaluations.iter().zip(&serial_warm.evaluations))
+        {
+            let (sa, sb) = (a.answer.sorted(), b.answer.sorted());
+            assert_eq!(sa, c.answer.sorted());
+            assert_eq!(sb, d.answer.sorted());
+            for ((t1, p1), (t2, p2)) in sa.iter().zip(&sb) {
+                assert_eq!(t1, t2);
+                assert_eq!(p1.to_bits(), p2.to_bits());
             }
         }
     }

@@ -61,7 +61,10 @@ pub mod reformulate;
 pub mod strategy;
 pub mod testkit;
 
-pub use algorithms::batch::{evaluate_batch, evaluate_batch_epoch, BatchEvaluation, BatchOptions};
+pub use algorithms::batch::{
+    evaluate_batch, evaluate_batch_epoch, execute_prepared_batch, prepare_batch_epoch,
+    BatchEvaluation, BatchOptions, PreparedBatchEvaluation,
+};
 pub use algorithms::{evaluate, topk::top_k, topk::TopKEvaluation, Algorithm};
 pub use answer::ProbabilisticAnswer;
 pub use error::{CoreError, CoreResult};

@@ -20,7 +20,9 @@
 //!   set) from a small config;
 //! * [`workload`] — the ten queries of Table III plus the selection-count and product-count
 //!   sweeps of Figures 11(d)/(e);
-//! * [`replay`] — replayable workload files (and synthetic workloads) for the serving layer.
+//! * [`replay`] — replayable workload files (and synthetic workloads) for the serving layer;
+//! * [`openloop`] — precomputed Poisson arrival schedules (client mixes, warm/cold phases)
+//!   for the open-loop HTTP latency harness.
 //!
 //! ```
 //! use urm_datagen::scenario::{Scenario, ScenarioConfig, TargetSchemaKind};
@@ -41,6 +43,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod openloop;
 pub mod replay;
 pub mod scenario;
 pub mod similarity;
@@ -48,5 +51,6 @@ pub mod source;
 pub mod targets;
 pub mod workload;
 
+pub use openloop::{schedule, Arrival, OpenLoopConfig, PhaseSpec};
 pub use replay::{parse_workload, synthetic_workload, WorkloadEntry};
 pub use scenario::{Scenario, ScenarioConfig, TargetSchemaKind};

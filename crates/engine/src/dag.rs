@@ -176,6 +176,11 @@ impl OperatorDag {
         self.nodes[id.0].fingerprint
     }
 
+    /// The sharing keys of every node, in topological node order.
+    pub fn fingerprints(&self) -> impl Iterator<Item = u64> + '_ {
+        self.nodes.iter().map(|node| node.fingerprint)
+    }
+
     /// Number of incoming edges (consumers) of a node — its fan-out degree.
     #[must_use]
     pub fn consumer_count(&self, id: NodeId) -> usize {
@@ -200,6 +205,54 @@ impl OperatorDag {
     #[must_use]
     pub fn cost_of(&self, id: NodeId) -> u64 {
         self.nodes[id.0].cost
+    }
+
+    /// Copies the subgraph reachable from `roots` into a standalone DAG, returning it together
+    /// with the roots' node ids in the copy (in `roots` order; duplicates map to one node).
+    ///
+    /// The copy shares every bound plan by `Arc` handle and **carries fingerprints and cost
+    /// estimates over verbatim** — no plan is re-hashed, so snapshotting a warm batch's
+    /// frontier is a pointer walk, not O(subtree) hashing.  Consumer edges are recomputed
+    /// locally: a node's consumers in the copy are exactly its consumers *within* the
+    /// subgraph, which is what a scheduler's retention accounting wants.  This is the
+    /// bind/execute pipeline's hand-off: the copy can execute on another thread while the
+    /// original DAG keeps growing under its own lock.
+    #[must_use]
+    pub fn subgraph(&self, roots: &[NodeId]) -> (OperatorDag, Vec<NodeId>) {
+        let mut reachable = vec![false; self.nodes.len()];
+        let mut stack: Vec<usize> = roots.iter().map(|r| r.0).collect();
+        while let Some(node) = stack.pop() {
+            if reachable[node] {
+                continue;
+            }
+            reachable[node] = true;
+            stack.extend(self.nodes[node].children.iter().copied());
+        }
+        let mut remap = vec![usize::MAX; self.nodes.len()];
+        let mut sub = OperatorDag::new();
+        // Ascending node order is topological by construction, and the copy preserves it.
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !reachable[i] {
+                continue;
+            }
+            let id = sub.nodes.len();
+            remap[i] = id;
+            let children: Vec<usize> = node.children.iter().map(|&c| remap[c]).collect();
+            for &child in &children {
+                sub.nodes[child].consumers.push(id);
+            }
+            sub.nodes.push(DagNode {
+                plan: Arc::clone(&node.plan),
+                children,
+                consumers: Vec::new(),
+                fingerprint: node.fingerprint,
+                est_rows: node.est_rows,
+                cost: node.cost,
+            });
+            sub.index.insert(node.fingerprint, id);
+        }
+        let roots = roots.iter().map(|r| NodeId(remap[r.0])).collect();
+        (sub, roots)
     }
 
     /// Resolves a single root bottom-up through an external result cache.
@@ -1065,6 +1118,65 @@ mod tests {
                 assert_eq!(cold.report.results_reused, 1);
                 assert_eq!(exec.stats().scans + exec.stats().operators_executed, 3);
             }
+        }
+    }
+
+    #[test]
+    fn subgraph_snapshot_executes_like_the_original() {
+        let cat = catalog();
+        let mut exec = Executor::new(&cat);
+        let mut dag = OperatorDag::new();
+        let base = Plan::scan("R").select(Predicate::eq("R.b", Value::from("x")));
+        let a = dag.add_plan(
+            &exec
+                .bind(&base.clone().project(vec!["R.a".into()]))
+                .unwrap(),
+        );
+        let b = dag.add_plan(
+            &exec
+                .bind(&base.clone().project(vec!["R.b".into()]))
+                .unwrap(),
+        );
+        // An unrelated plan that the snapshot must not carry along.
+        dag.add_plan(
+            &exec
+                .bind(&Plan::scan("R").select(Predicate::eq("R.b", Value::from("y"))))
+                .unwrap(),
+        );
+
+        let (sub, roots) = dag.subgraph(&[a, b, a]);
+        // scan, select-x, project-a, project-b — the unrelated select-y is excluded.
+        assert_eq!(sub.node_count(), 4);
+        assert_eq!(roots.len(), 3);
+        assert_eq!(roots[0], roots[2], "duplicate roots map to one node");
+        for (orig, copy) in [(a, roots[0]), (b, roots[1])] {
+            assert_eq!(sub.fingerprint_of(copy), dag.fingerprint_of(orig));
+            assert_eq!(sub.cost_of(copy), dag.cost_of(orig));
+            assert!(
+                Arc::ptr_eq(sub.plan_shared(copy), dag.plan_shared(orig)),
+                "snapshot must share the bound plan by handle"
+            );
+        }
+
+        let mut memo: HashMap<u64, Arc<Relation>> = HashMap::new();
+        struct Memo<'m>(&'m mut HashMap<u64, Arc<Relation>>);
+        impl DagResultCache for Memo<'_> {
+            fn lookup(&mut self, fingerprint: u64) -> Option<Arc<Relation>> {
+                self.0.get(&fingerprint).cloned()
+            }
+            fn publish(&mut self, fingerprint: u64, result: &Arc<Relation>) {
+                self.0.insert(fingerprint, Arc::clone(result));
+            }
+        }
+        for workers in [1usize, 3] {
+            memo.clear();
+            let run = DagScheduler::with_workers(workers)
+                .execute_roots(&sub, &roots, &mut exec, &mut Memo(&mut memo))
+                .unwrap();
+            assert_eq!(run.report.nodes_executed, 4);
+            assert_eq!(run.root_results.len(), 3);
+            assert_eq!(run.root_results[0].len(), 10);
+            assert!(Arc::ptr_eq(&run.root_results[0], &run.root_results[2]));
         }
     }
 

@@ -29,6 +29,23 @@
 //!   paged out to a disk segment once its last consumer finishes — instead of only dropped —
 //!   and streams back in transparently when a later batch needs it.
 //!
+//! ## The bind/execute pipeline
+//!
+//! The epoch's state is split into two independently lockable stages so a serving layer can
+//! overlap **batch N+1's rewrite/optimize/bind with batch N's execution**:
+//!
+//! * the *bind stage* — the growing [`OperatorDag`], the bind cache and the pending roots —
+//!   lives in [`EpochDag`] itself, behind whatever lock the caller wraps it in;
+//! * the *execute stage* — pinned/weak results, the pin policy and the result counters —
+//!   lives behind an internal mutex shared by every [`PreparedBatch`].
+//!
+//! [`EpochDag::prepare_pending`] closes the bind stage of a batch: it snapshots the pending
+//! roots' subgraph ([`OperatorDag::subgraph`] — `Arc` handles and copied fingerprints, no
+//! re-hashing) into a self-contained [`PreparedBatch`].  The caller can then release its bind
+//! lock and call [`PreparedBatch::execute`], which serialises with other executions on the
+//! internal result lock only.  [`EpochDag::execute_pending`] composes the two for
+//! single-threaded callers — answers are byte-identical either way.
+//!
 //! The epoch DAG is dropped with its epoch, which is what makes the identity-based
 //! fingerprints safe: no cache entry can outlive the row buffers its key points to.
 
@@ -38,7 +55,7 @@ use crate::optimize::{fingerprint, optimize};
 use crate::physical::PhysicalPlan;
 use crate::{EngineResult, Plan};
 use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, Weak};
+use std::sync::{Arc, Mutex, Weak};
 use urm_storage::{BufferPool, RecencyIndex, Relation, SpillableRelation};
 
 /// Default byte budget of the size-budgeted pin policy when no explicit budget is configured
@@ -96,6 +113,30 @@ pub struct EpochDag {
     dag: OperatorDag,
     /// Logical-plan fingerprint → (bound root, its DAG node): the rebind-skipping cache.
     bind_cache: HashMap<u64, (Arc<PhysicalPlan>, NodeId)>,
+    /// The execute-stage state, shared with every in-flight [`PreparedBatch`].  Internally
+    /// locked so binding the next batch never waits on the current batch's execution.
+    results: Arc<Mutex<EpochResults>>,
+    /// The spill pool, when this epoch runs under a memory budget: pinned results become
+    /// spill-backed handles (a completed node's result is *spilled* once its last consumer
+    /// finishes, instead of only dropped) and executors created for this epoch route oversized
+    /// hash joins through the grace path.
+    pool: Option<BufferPool>,
+    /// Roots submitted since the last [`prepare_pending`](EpochDag::prepare_pending) (or
+    /// [`execute_pending`](EpochDag::execute_pending), which composes it).
+    pending: Vec<NodeId>,
+    bind_hits: u64,
+    bind_misses: u64,
+    bind_hits_reported: u64,
+    bind_misses_reported: u64,
+}
+
+/// The execute stage of an epoch: result caches, pin policy and result counters.  Lives behind
+/// the [`EpochDag`]'s internal mutex, independent of the caller's bind lock.  Pool-free
+/// batches hold the mutex only to snapshot live results and to commit a finished run (their
+/// operator work overlaps); spill-budgeted batches hold it across the whole execution so the
+/// pool-counter delta stays exactly attributed.
+#[derive(Debug, Default)]
+struct EpochResults {
     /// Bound fingerprint → weakly held result: live results answer future batches.
     weak_results: HashMap<u64, Weak<Relation>>,
     /// Strongly held results (the pin policy decides which, and for how long).
@@ -107,23 +148,15 @@ pub struct EpochDag {
     pin_recency: RecencyIndex<u64>,
     /// Which results stay pinned between batches.
     policy: PinPolicy,
-    /// The spill pool, when this epoch runs under a memory budget: pinned results become
-    /// spill-backed handles (a completed node's result is *spilled* once its last consumer
-    /// finishes, instead of only dropped) and executors created for this epoch route oversized
-    /// hash joins through the grace path.
+    /// The epoch's spill pool (a shared handle of [`EpochDag::pool`]), so pinning can spill
+    /// and the spill-counter delta of one execution is absorbed exactly once, under the lock.
     pool: Option<BufferPool>,
-    /// Roots submitted since the last [`execute_pending`](EpochDag::execute_pending).
-    pending: Vec<NodeId>,
-    bind_hits: u64,
-    bind_misses: u64,
-    bind_hits_reported: u64,
-    bind_misses_reported: u64,
     result_hits: u64,
     nodes_executed: u64,
     batches: u64,
 }
 
-/// Accounting for one [`EpochDag::execute_pending`] run.
+/// Accounting for one epoch batch execution.
 #[derive(Debug, Clone, Default)]
 pub struct EpochRunReport {
     /// DAG nodes actually executed by this batch (each exactly once).
@@ -149,6 +182,149 @@ pub struct EpochRun {
     pub report: EpochRunReport,
 }
 
+/// The closed bind stage of one batch: a self-contained snapshot of the pending roots'
+/// subgraph, ready to execute without borrowing the [`EpochDag`].
+///
+/// Produced by [`EpochDag::prepare_pending`].  The snapshot shares bound plans by `Arc` and
+/// carries fingerprints verbatim ([`OperatorDag::subgraph`]), so preparing a warm batch costs
+/// a pointer walk.  A serving layer holds its bind lock only across `prepare_pending`,
+/// letting batch N+1 rewrite and bind while batch N executes; on a pool-free epoch,
+/// [`execute`](PreparedBatch::execute) touches the epoch's internal result lock only to
+/// snapshot and commit, so the executions themselves overlap too.
+#[derive(Debug)]
+pub struct PreparedBatch {
+    subdag: OperatorDag,
+    roots: Vec<NodeId>,
+    results: Arc<Mutex<EpochResults>>,
+    pool: Option<BufferPool>,
+    bind_hits: u64,
+    bind_misses: u64,
+}
+
+impl PreparedBatch {
+    /// Whether the batch has no roots (an empty flush).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Number of submitted roots (one result each, in submission order).
+    #[must_use]
+    pub fn root_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// The epoch's spill pool, when it runs under a memory budget — the execute stage's
+    /// executor should be built from this so grace joins share the epoch's budget.
+    #[must_use]
+    pub fn pool(&self) -> Option<&BufferPool> {
+        self.pool.as_ref()
+    }
+
+    /// Executes the prepared batch: only the nodes the roots need and no live cached result
+    /// answers are run (on `workers` threads when > 1), results come back in submission order,
+    /// and the pin policy rotates to this batch's working set.  The bind stage is untouched.
+    ///
+    /// On a pool-free epoch, the operator work itself runs **outside** the epoch's result
+    /// lock: the lock is held only to snapshot the live cached results before the run and to
+    /// commit the run's working set after it, so executions of pipelined batches overlap on
+    /// multi-core hosts.  Two overlapping batches that both miss the same node each compute
+    /// it (deterministically, so answers stay byte-identical); the commit folds both copies
+    /// onto one cache entry.  A spill-budgeted epoch keeps the exclusive path instead — its
+    /// pool-counter delta must be attributed to exactly one batch, and concurrent executions
+    /// would interleave their deltas while fighting over a single memory budget.
+    pub fn execute(self, exec: &mut Executor<'_>, workers: usize) -> EngineResult<EpochRun> {
+        if self.pool.is_some() {
+            let mut results = self.results.lock().unwrap();
+            return results.execute_run(
+                &self.subdag,
+                &self.roots,
+                exec,
+                workers,
+                self.bind_hits,
+                self.bind_misses,
+            );
+        }
+        if self.roots.is_empty() {
+            let mut results = self.results.lock().unwrap();
+            return Ok(results.empty_run(workers, self.bind_hits, self.bind_misses));
+        }
+        // Stage 1 — snapshot (short lock): every live cached result this subdag could use.
+        let snapshot = {
+            let results = self.results.lock().unwrap();
+            results.snapshot_live(&self.subdag)
+        };
+        // Stage 2 — execute (no lock): the scheduler runs against a local overlay cache.
+        let mut overlay = OverlayCache::new(snapshot);
+        let run = DagScheduler::with_workers(workers).execute_roots(
+            &self.subdag,
+            &self.roots,
+            exec,
+            &mut overlay,
+        )?;
+        // Stage 3 — commit (short lock): counters, fresh results, pin rotation.
+        let mut results = self.results.lock().unwrap();
+        results.commit_run(overlay);
+        Ok(EpochRun {
+            root_results: run.root_results,
+            report: EpochRunReport {
+                nodes_executed: run.report.nodes_executed,
+                results_reused: run.report.results_reused,
+                bind_hits: self.bind_hits,
+                bind_misses: self.bind_misses,
+                peak_parallelism: run.report.peak_parallelism,
+                workers: run.report.workers,
+            },
+        })
+    }
+}
+
+/// The lock-free execute-stage cache of one pool-free batch: lookups answer from a snapshot
+/// of the epoch's live results taken under the result lock, fresh results collect locally,
+/// and the whole working set commits back under the lock once the run is over (see
+/// [`PreparedBatch::execute`]).
+struct OverlayCache {
+    /// Live cached results at batch start, by fingerprint.
+    snapshot: HashMap<u64, Arc<Relation>>,
+    /// Everything this run used — snapshot hits and fresh results — for pin rotation.
+    touched: HashMap<u64, Arc<Relation>>,
+    /// Results computed by this run, in publish order — for the weak cache.
+    fresh: Vec<(u64, Arc<Relation>)>,
+    hits: u64,
+    executed: u64,
+}
+
+impl OverlayCache {
+    fn new(snapshot: HashMap<u64, Arc<Relation>>) -> Self {
+        OverlayCache {
+            snapshot,
+            touched: HashMap::new(),
+            fresh: Vec::new(),
+            hits: 0,
+            executed: 0,
+        }
+    }
+}
+
+impl DagResultCache for OverlayCache {
+    fn lookup(&mut self, fingerprint: u64) -> Option<Arc<Relation>> {
+        let hit = self
+            .touched
+            .get(&fingerprint)
+            .cloned()
+            .or_else(|| self.snapshot.get(&fingerprint).cloned())?;
+        self.hits += 1;
+        self.touched.insert(fingerprint, Arc::clone(&hit));
+        Some(hit)
+    }
+
+    fn publish(&mut self, fingerprint: u64, result: &Arc<Relation>) {
+        self.executed += 1;
+        self.fresh.push((fingerprint, Arc::clone(result)));
+        self.touched.insert(fingerprint, Arc::clone(result));
+    }
+}
+
 impl EpochDag {
     /// An empty epoch DAG with the last-batch pinning policy (the serving layer's default).
     #[must_use]
@@ -156,14 +332,24 @@ impl EpochDag {
         EpochDag::default()
     }
 
+    /// The general constructor behind the policy-specific ones.
+    fn with_parts(policy: PinPolicy, pool: Option<BufferPool>) -> Self {
+        EpochDag {
+            results: Arc::new(Mutex::new(EpochResults {
+                policy,
+                pool: pool.clone(),
+                ..EpochResults::default()
+            })),
+            pool,
+            ..EpochDag::default()
+        }
+    }
+
     /// An empty epoch DAG that pins every result for its whole lifetime — the policy of
     /// short-lived users like the o-sharing u-trace, where the "epoch" is one evaluation.
     #[must_use]
     pub fn pinning_all() -> Self {
-        EpochDag {
-            policy: PinPolicy::All,
-            ..EpochDag::default()
-        }
+        EpochDag::with_parts(PinPolicy::All, None)
     }
 
     /// An epoch DAG with the size-budgeted LRU pin policy ([`PinPolicy::Bytes`]) and no spill
@@ -171,10 +357,7 @@ impl EpochDag {
     /// working sets keep each other warm instead of being rotated out at every batch boundary.
     #[must_use]
     pub fn with_pin_budget(bytes: usize) -> Self {
-        EpochDag {
-            policy: PinPolicy::Bytes(bytes),
-            ..EpochDag::default()
-        }
+        EpochDag::with_parts(PinPolicy::Bytes(bytes), None)
     }
 
     /// An epoch DAG for running under a memory budget of `bytes`: a [`BufferPool`] with that
@@ -194,11 +377,7 @@ impl EpochDag {
     /// The general spill-aware constructor: an explicit pool and pin policy.
     #[must_use]
     pub fn with_pool(pool: BufferPool, policy: PinPolicy) -> Self {
-        EpochDag {
-            policy,
-            pool: Some(pool),
-            ..EpochDag::default()
-        }
+        EpochDag::with_parts(policy, Some(pool))
     }
 
     /// The epoch's spill pool, when it runs under a memory budget.  The batch layer builds its
@@ -211,7 +390,7 @@ impl EpochDag {
     /// The configured pin policy.
     #[must_use]
     pub fn pin_policy(&self) -> PinPolicy {
-        self.policy
+        self.results.lock().unwrap().policy
     }
 
     /// Submits a logical plan as a root of the current batch: optimised, bound and merged into
@@ -260,7 +439,7 @@ impl EpochDag {
     }
 
     /// Abandons the current batch: drops every root submitted since the last
-    /// [`execute_pending`](EpochDag::execute_pending) and resynchronises the per-batch bind
+    /// [`prepare_pending`](EpochDag::prepare_pending) and resynchronises the per-batch bind
     /// counters.  Callers **must** invoke this when batch assembly fails partway (a later
     /// query failed to reformulate or bind), or the stale roots would silently prepend
     /// themselves to the next batch's results.  Returns how many roots were dropped.
@@ -272,34 +451,148 @@ impl EpochDag {
         dropped
     }
 
+    /// Closes the bind stage of the current batch: takes the roots submitted since the last
+    /// call, snapshots their subgraph and the per-batch bind counters into a self-contained
+    /// [`PreparedBatch`], and leaves the epoch ready to bind the *next* batch immediately.
+    /// See the module docs for the pipeline this enables.
+    pub fn prepare_pending(&mut self) -> PreparedBatch {
+        let pending = std::mem::take(&mut self.pending);
+        let bind_hits = self.bind_hits - self.bind_hits_reported;
+        let bind_misses = self.bind_misses - self.bind_misses_reported;
+        self.bind_hits_reported = self.bind_hits;
+        self.bind_misses_reported = self.bind_misses;
+        let (subdag, roots) = if pending.is_empty() {
+            (OperatorDag::new(), Vec::new())
+        } else {
+            self.dag.subgraph(&pending)
+        };
+        PreparedBatch {
+            subdag,
+            roots,
+            results: Arc::clone(&self.results),
+            pool: self.pool.clone(),
+            bind_hits,
+            bind_misses,
+        }
+    }
+
     /// Executes the batch submitted since the last call: only the nodes the batch's roots need
     /// and no live cached result answers are run (on `workers` threads when > 1), results come
     /// back in submission order, and the pin policy rotates to this batch's working set.
+    ///
+    /// This is [`prepare_pending`](EpochDag::prepare_pending) followed by
+    /// [`PreparedBatch::execute`] — the single-lock convenience path.  Pipelining callers
+    /// split the two so the next batch binds while this one executes.
     pub fn execute_pending(
         &mut self,
         exec: &mut Executor<'_>,
         workers: usize,
     ) -> EngineResult<EpochRun> {
-        let roots = std::mem::take(&mut self.pending);
+        self.prepare_pending().execute(exec, workers)
+    }
+
+    /// Resolves one bound plan immediately (the incremental front-end of the u-trace): the plan
+    /// is merged into the DAG and only the nodes without a live cached result execute.  Results
+    /// are pinned like any batch result; rotation still happens at
+    /// [`execute_pending`](EpochDag::execute_pending) (never called in pin-all mode).
+    pub fn resolve(
+        &mut self,
+        physical: &Arc<PhysicalPlan>,
+        exec: &mut Executor<'_>,
+    ) -> EngineResult<Arc<Relation>> {
+        let root = self.dag.add_plan(physical);
+        let mut results = self.results.lock().unwrap();
+        results.resolve_on(&self.dag, root, exec)
+    }
+
+    /// The underlying shared-operator DAG (metrics, inspection).
+    #[must_use]
+    pub fn dag(&self) -> &OperatorDag {
+        &self.dag
+    }
+
+    /// Distinct operator nodes merged into the epoch DAG so far.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.dag.node_count()
+    }
+
+    /// Submissions answered by the bind cache over the epoch's lifetime.
+    #[must_use]
+    pub fn bind_hits(&self) -> u64 {
+        self.bind_hits
+    }
+
+    /// Submissions that were optimised, bound and merged over the epoch's lifetime.
+    #[must_use]
+    pub fn bind_misses(&self) -> u64 {
+        self.bind_misses
+    }
+
+    /// Node executions skipped because a live cached result answered the node.
+    #[must_use]
+    pub fn result_hits(&self) -> u64 {
+        self.results.lock().unwrap().result_hits
+    }
+
+    /// Node executions actually performed over the epoch's lifetime.
+    #[must_use]
+    pub fn nodes_executed(&self) -> u64 {
+        self.results.lock().unwrap().nodes_executed
+    }
+
+    /// Batches executed via [`execute_pending`](EpochDag::execute_pending) (or prepared and
+    /// executed through the pipeline).
+    #[must_use]
+    pub fn batches(&self) -> u64 {
+        self.results.lock().unwrap().batches
+    }
+
+    /// Results currently held by the pin policy (resident or spill-backed).
+    #[must_use]
+    pub fn pinned_results(&self) -> usize {
+        self.results.lock().unwrap().pinned.len()
+    }
+
+    /// Estimated bytes of everything the pin policy currently holds (the
+    /// [`PinPolicy::Bytes`] accounting; spill-backed pins count their in-memory estimate even
+    /// while paged out).
+    #[must_use]
+    pub fn pinned_bytes(&self) -> usize {
+        self.results.lock().unwrap().pinned_bytes
+    }
+
+    /// Results still alive in the weak cache (pinned here or held by any consumer).
+    #[must_use]
+    pub fn live_results(&self) -> usize {
+        self.results
+            .lock()
+            .unwrap()
+            .weak_results
+            .values()
+            .filter(|w| w.strong_count() > 0)
+            .count()
+    }
+}
+
+impl EpochResults {
+    /// The execute stage of one batch (see [`PreparedBatch::execute`]).  Runs under the result
+    /// lock: executions of one epoch serialise with each other, never with binding.
+    fn execute_run(
+        &mut self,
+        dag: &OperatorDag,
+        roots: &[NodeId],
+        exec: &mut Executor<'_>,
+        workers: usize,
+        bind_hits: u64,
+        bind_misses: u64,
+    ) -> EngineResult<EpochRun> {
         if roots.is_empty() {
-            // An empty batch must not rotate the pin set — it would silently flush the warm
-            // working set a heartbeat-style flush has no business touching.
-            let report = EpochRunReport {
-                nodes_executed: 0,
-                results_reused: 0,
-                bind_hits: self.bind_hits - self.bind_hits_reported,
-                bind_misses: self.bind_misses - self.bind_misses_reported,
-                peak_parallelism: 0,
-                workers: workers.max(1),
-            };
-            self.bind_hits_reported = self.bind_hits;
-            self.bind_misses_reported = self.bind_misses;
-            self.batches += 1;
-            return Ok(EpochRun {
-                root_results: Vec::new(),
-                report,
-            });
+            return Ok(self.empty_run(workers, bind_hits, bind_misses));
         }
+        // The pool's counter delta over this execution is folded into the executor's stats
+        // below, under the result lock — executions never interleave, so the delta is exact.
+        let spill_before = self.pool.as_ref().map(|pool| pool.stats());
         let mut touched: HashMap<u64, Arc<Relation>> = HashMap::new();
         let mut hits = 0u64;
         let mut executed = 0u64;
@@ -313,8 +606,7 @@ impl EpochDag {
                 hits: &mut hits,
                 executed: &mut executed,
             };
-            DagScheduler::with_workers(workers)
-                .execute_roots(&self.dag, &roots, exec, &mut cache)?
+            DagScheduler::with_workers(workers).execute_roots(dag, roots, exec, &mut cache)?
         };
         self.result_hits += hits;
         self.nodes_executed += executed;
@@ -323,33 +615,89 @@ impl EpochDag {
         self.trim_pins(Some(&touched_fps));
         // Drop dead weak entries so the map tracks live results, not the epoch's history.
         self.weak_results.retain(|_, w| w.strong_count() > 0);
+        if let (Some(before), Some(pool)) = (&spill_before, &self.pool) {
+            exec.stats_mut().absorb_spill_delta(before, &pool.stats());
+        }
 
-        let report = EpochRunReport {
-            nodes_executed: run.report.nodes_executed,
-            results_reused: run.report.results_reused,
-            bind_hits: self.bind_hits - self.bind_hits_reported,
-            bind_misses: self.bind_misses - self.bind_misses_reported,
-            peak_parallelism: run.report.peak_parallelism,
-            workers: run.report.workers,
-        };
-        self.bind_hits_reported = self.bind_hits;
-        self.bind_misses_reported = self.bind_misses;
         Ok(EpochRun {
             root_results: run.root_results,
-            report,
+            report: EpochRunReport {
+                nodes_executed: run.report.nodes_executed,
+                results_reused: run.report.results_reused,
+                bind_hits,
+                bind_misses,
+                peak_parallelism: run.report.peak_parallelism,
+                workers: run.report.workers,
+            },
         })
     }
 
-    /// Resolves one bound plan immediately (the incremental front-end of the u-trace): the plan
-    /// is merged into the DAG and only the nodes without a live cached result execute.  Results
-    /// are pinned like any batch result; rotation still happens at
-    /// [`execute_pending`](EpochDag::execute_pending) (never called in pin-all mode).
-    pub fn resolve(
+    /// The outcome of a batch with no roots.  An empty batch must not rotate the pin set —
+    /// it would silently flush the warm working set a heartbeat-style flush has no business
+    /// touching.
+    fn empty_run(&mut self, workers: usize, bind_hits: u64, bind_misses: u64) -> EpochRun {
+        self.batches += 1;
+        EpochRun {
+            root_results: Vec::new(),
+            report: EpochRunReport {
+                nodes_executed: 0,
+                results_reused: 0,
+                bind_hits,
+                bind_misses,
+                peak_parallelism: 0,
+                workers: workers.max(1),
+            },
+        }
+    }
+
+    /// Every live cached result a run over `dag` could consume, read without mutating
+    /// recency — the commit stage refreshes recency for whatever the run actually touched.
+    /// Called under the result lock; the returned map is the lock-free run's read view.
+    fn snapshot_live(&self, dag: &OperatorDag) -> HashMap<u64, Arc<Relation>> {
+        let mut live = HashMap::new();
+        for fingerprint in dag.fingerprints() {
+            let hit = self
+                .pinned
+                .get(&fingerprint)
+                .and_then(PinnedResult::load)
+                .or_else(|| self.weak_results.get(&fingerprint).and_then(Weak::upgrade));
+            if let Some(rel) = hit {
+                live.insert(fingerprint, rel);
+            }
+        }
+        live
+    }
+
+    /// Folds a lock-free run back into the epoch: counters, weak entries for the fresh
+    /// results, and the same pin rotation an exclusive run performs.  Called under the
+    /// result lock.
+    fn commit_run(&mut self, overlay: OverlayCache) {
+        let OverlayCache {
+            touched,
+            fresh,
+            hits,
+            executed,
+            ..
+        } = overlay;
+        self.result_hits += hits;
+        self.nodes_executed += executed;
+        self.batches += 1;
+        for (fingerprint, result) in &fresh {
+            self.weak_results
+                .insert(*fingerprint, Arc::downgrade(result));
+        }
+        let touched_fps = self.pin_touched(touched);
+        self.trim_pins(Some(&touched_fps));
+        self.weak_results.retain(|_, w| w.strong_count() > 0);
+    }
+
+    /// The incremental resolve path (see [`EpochDag::resolve`]).
+    fn resolve_on(
         &mut self,
-        physical: &Arc<PhysicalPlan>,
+        dag: &OperatorDag,
+        root: NodeId,
         exec: &mut Executor<'_>,
     ) -> EngineResult<Arc<Relation>> {
-        let root = self.dag.add_plan(physical);
         let mut touched: HashMap<u64, Arc<Relation>> = HashMap::new();
         let mut hits = 0u64;
         let mut executed = 0u64;
@@ -363,7 +711,7 @@ impl EpochDag {
                 hits: &mut hits,
                 executed: &mut executed,
             };
-            self.dag.resolve_root(root, exec, &mut cache)?
+            dag.resolve_root(root, exec, &mut cache)?
         };
         self.result_hits += hits;
         self.nodes_executed += executed;
@@ -442,71 +790,6 @@ impl EpochDag {
                 }
             }
         }
-    }
-
-    /// The underlying shared-operator DAG (metrics, inspection).
-    #[must_use]
-    pub fn dag(&self) -> &OperatorDag {
-        &self.dag
-    }
-
-    /// Distinct operator nodes merged into the epoch DAG so far.
-    #[must_use]
-    pub fn node_count(&self) -> usize {
-        self.dag.node_count()
-    }
-
-    /// Submissions answered by the bind cache over the epoch's lifetime.
-    #[must_use]
-    pub fn bind_hits(&self) -> u64 {
-        self.bind_hits
-    }
-
-    /// Submissions that were optimised, bound and merged over the epoch's lifetime.
-    #[must_use]
-    pub fn bind_misses(&self) -> u64 {
-        self.bind_misses
-    }
-
-    /// Node executions skipped because a live cached result answered the node.
-    #[must_use]
-    pub fn result_hits(&self) -> u64 {
-        self.result_hits
-    }
-
-    /// Node executions actually performed over the epoch's lifetime.
-    #[must_use]
-    pub fn nodes_executed(&self) -> u64 {
-        self.nodes_executed
-    }
-
-    /// Batches executed via [`execute_pending`](EpochDag::execute_pending).
-    #[must_use]
-    pub fn batches(&self) -> u64 {
-        self.batches
-    }
-
-    /// Results currently held by the pin policy (resident or spill-backed).
-    #[must_use]
-    pub fn pinned_results(&self) -> usize {
-        self.pinned.len()
-    }
-
-    /// Estimated bytes of everything the pin policy currently holds (the
-    /// [`PinPolicy::Bytes`] accounting; spill-backed pins count their in-memory estimate even
-    /// while paged out).
-    #[must_use]
-    pub fn pinned_bytes(&self) -> usize {
-        self.pinned_bytes
-    }
-
-    /// Results still alive in the weak cache (pinned here or held by any consumer).
-    #[must_use]
-    pub fn live_results(&self) -> usize {
-        self.weak_results
-            .values()
-            .filter(|w| w.strong_count() > 0)
-            .count()
     }
 }
 
@@ -662,6 +945,121 @@ mod tests {
                 assert_eq!(a.schema(), c.schema());
             }
         }
+    }
+
+    #[test]
+    fn pipelined_prepare_lets_the_next_batch_bind_before_execution() {
+        // The two-stage pipeline: batch 2 is rewritten/bound (and its subgraph snapshotted)
+        // while batch 1 has not executed yet — then both execute, in order, with answers and
+        // accounting identical to the serialised path.
+        let cat = catalog();
+        let mut exec = Executor::new(&cat);
+        let mut epoch = EpochDag::new();
+
+        for q in queries() {
+            epoch.submit(&q, &exec).unwrap();
+        }
+        let first = epoch.prepare_pending();
+        assert_eq!(first.root_count(), 3);
+        assert_eq!(first.bind_misses, 3);
+
+        // Bind stage of batch 2 proceeds although batch 1 never executed: the bind cache
+        // answers every submission.
+        for q in queries() {
+            epoch.submit(&q, &exec).unwrap();
+        }
+        let second = epoch.prepare_pending();
+        assert_eq!(second.bind_hits, 3, "bind cache must answer batch 2");
+        assert_eq!(second.bind_misses, 0);
+
+        let run1 = first.execute(&mut exec, 2).unwrap();
+        assert!(run1.report.nodes_executed > 0);
+        let run2 = second.execute(&mut exec, 2).unwrap();
+        assert_eq!(
+            run2.report.nodes_executed, 0,
+            "batch 2 must be answered by batch 1's pinned results"
+        );
+        assert_eq!(run2.report.results_reused, 3);
+        for (a, b) in run1.root_results.iter().zip(&run2.root_results) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+        assert_eq!(epoch.batches(), 2);
+    }
+
+    #[test]
+    fn prepared_batches_execute_on_other_threads() {
+        // A PreparedBatch is self-contained: it can leave the bind lock's critical section and
+        // execute on a different thread, as the serving layer's pipeline does.
+        let cat = catalog();
+        let exec = Executor::new(&cat);
+        let mut epoch = EpochDag::new();
+        for q in queries() {
+            epoch.submit(&q, &exec).unwrap();
+        }
+        let prepared = epoch.prepare_pending();
+        let run = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let mut exec = Executor::new(&cat);
+                    prepared.execute(&mut exec, 2)
+                })
+                .join()
+                .expect("executor thread panicked")
+        })
+        .unwrap();
+        assert_eq!(run.root_results.len(), 3);
+        assert_eq!(run.root_results[0].len(), 10);
+        // The results the off-thread execution pinned answer this thread's next batch.
+        let mut exec = Executor::new(&cat);
+        let warm = run_batch(&mut epoch, &mut exec, 1);
+        assert_eq!(warm.report.nodes_executed, 0);
+    }
+
+    #[test]
+    fn concurrent_executions_of_a_pool_free_epoch_stay_byte_identical() {
+        // Two batches prepared back-to-back execute at the same time on two threads: neither
+        // holds the result lock across its operator work, both commit, answers match the
+        // rebuild-every-batch baseline row for row, and the epoch ends up warm.
+        let cat = catalog();
+        let exec = Executor::new(&cat);
+        let mut epoch = EpochDag::new();
+        for q in queries() {
+            epoch.submit(&q, &exec).unwrap();
+        }
+        let first = epoch.prepare_pending();
+        for q in queries() {
+            epoch.submit(&q, &exec).unwrap();
+        }
+        let second = epoch.prepare_pending();
+
+        let (run1, run2) = std::thread::scope(|scope| {
+            let a = scope.spawn(|| {
+                let mut exec = Executor::new(&cat);
+                first.execute(&mut exec, 2)
+            });
+            let b = scope.spawn(|| {
+                let mut exec = Executor::new(&cat);
+                second.execute(&mut exec, 2)
+            });
+            (a.join().expect("batch 1"), b.join().expect("batch 2"))
+        });
+        let (run1, run2) = (run1.unwrap(), run2.unwrap());
+
+        let mut exec = Executor::new(&cat);
+        let mut fresh = EpochDag::new();
+        let baseline = run_batch(&mut fresh, &mut exec, 1);
+        for run in [&run1, &run2] {
+            assert_eq!(run.root_results.len(), baseline.root_results.len());
+            for (got, want) in run.root_results.iter().zip(&baseline.root_results) {
+                assert_eq!(got.schema(), want.schema());
+                assert_eq!(got.rows(), want.rows());
+            }
+        }
+        assert_eq!(epoch.batches(), 2);
+        // Both commits landed: a third batch is answered without executing a node.
+        let warm = run_batch(&mut epoch, &mut exec, 1);
+        assert_eq!(warm.report.nodes_executed, 0);
+        assert_eq!(warm.report.results_reused, 3);
     }
 
     #[test]

@@ -83,7 +83,9 @@ pub mod stats;
 pub use dag::{
     DagExecutor, DagResultCache, DagRun, DagRunReport, DagScheduler, NodeId, OperatorDag,
 };
-pub use epoch::{EpochDag, EpochRun, EpochRunReport, PinPolicy, DEFAULT_PIN_BUDGET_BYTES};
+pub use epoch::{
+    EpochDag, EpochRun, EpochRunReport, PinPolicy, PreparedBatch, DEFAULT_PIN_BUDGET_BYTES,
+};
 pub use error::{EngineError, EngineResult};
 pub use executor::Executor;
 pub use expr::{AggFunc, CompareOp, Predicate};

@@ -1,0 +1,149 @@
+//! A minimal blocking HTTP/1.1 client for the server's own tests, the open-loop benchmark and
+//! the CI smoke script.  Speaks exactly the dialect the server emits: fixed-length *and*
+//! chunked response bodies, keep-alive connections.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// The status code.
+    pub status: u16,
+    /// Headers, lowercased names.
+    pub headers: Vec<(String, String)>,
+    /// The decoded body (chunked bodies are reassembled).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// The first header with this (lowercase) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A keep-alive connection to the server.
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects, applying `timeout` to connect, reads and writes.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<HttpClient> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(HttpClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads the response (the connection stays usable afterwards).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<HttpResponse> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: urm\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// Sends raw bytes verbatim (malformed-request tests) and reads whatever comes back.
+    pub fn send_raw(&mut self, raw: &[u8]) -> std::io::Result<HttpResponse> {
+        self.writer.write_all(raw)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed",
+            ));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    fn read_response(&mut self) -> std::io::Result<HttpResponse> {
+        let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+        let status_line = self.read_line()?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(&format!("bad status line '{status_line}'")))?;
+        let mut headers = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line.split_once(':').ok_or_else(|| bad("bad header"))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let find = |name: &str| {
+            headers
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+        };
+        let mut body = Vec::new();
+        if find("transfer-encoding").as_deref() == Some("chunked") {
+            loop {
+                let size_line = self.read_line()?;
+                let size = usize::from_str_radix(size_line.trim(), 16)
+                    .map_err(|_| bad(&format!("bad chunk size '{size_line}'")))?;
+                let mut chunk = vec![0u8; size + 2]; // chunk + trailing CRLF
+                self.reader.read_exact(&mut chunk)?;
+                if size == 0 {
+                    break;
+                }
+                chunk.truncate(size);
+                body.extend_from_slice(&chunk);
+            }
+        } else {
+            let length: usize = find("content-length")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0);
+            body.resize(length, 0);
+            self.reader.read_exact(&mut body)?;
+        }
+        Ok(HttpResponse {
+            status,
+            headers,
+            body: String::from_utf8(body).map_err(|_| bad("non-UTF-8 body"))?,
+        })
+    }
+}
+
+/// One-shot convenience: connect, request, disconnect.
+pub fn request_once(
+    addr: SocketAddr,
+    timeout: Duration,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<HttpResponse> {
+    HttpClient::connect(addr, timeout)?.request(method, path, body)
+}

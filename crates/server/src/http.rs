@@ -1,0 +1,228 @@
+//! A small, strict HTTP/1.1 implementation over `std::net::TcpStream`.
+//!
+//! No `hyper`, no `tokio`: the build environment has no registry access, and the front door's
+//! needs are modest — parse one request at a time off a blocking socket (with a byte limit and
+//! a read timeout enforced by the caller via `set_read_timeout`), and write fixed or
+//! **chunked** responses back.  Chunked transfer encoding is what lets `/batch` stream each
+//! answer as soon as its batch resolves instead of buffering the whole response.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the request head (request line + headers) — generous for curl and the bench
+/// client, small enough that a slow-loris connection cannot balloon memory either.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// The method, uppercased by the client (`GET`, `POST`, …; passed through verbatim).
+    pub method: String,
+    /// The request target (path + optional query string, verbatim).
+    pub path: String,
+    /// Headers, lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header with this (lowercase) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection before a request line arrived (normal keep-alive end).
+    Closed,
+    /// The socket timed out mid-request (slow-loris) or failed.
+    Io(std::io::Error),
+    /// The request was syntactically invalid; respond 400.
+    Malformed(String),
+    /// The declared body exceeds the configured limit; respond 413.
+    BodyTooLarge {
+        /// The offending `Content-Length`.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+}
+
+impl HttpError {
+    /// Whether this error is a mid-request socket timeout.
+    #[must_use]
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            HttpError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+        )
+    }
+}
+
+/// Reads one request off `reader`.
+///
+/// `Ok(request)` on success; [`HttpError::Closed`] when the peer hung up between requests;
+/// [`HttpError::Io`] when the socket's read timeout fired mid-request (the slow-loris case —
+/// the caller set the timeout on the underlying `TcpStream`).  Bodies require an explicit
+/// `Content-Length` and are rejected with [`HttpError::BodyTooLarge`] *before* any body byte
+/// is read, so an oversized upload costs the server nothing.
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body_bytes: usize,
+) -> Result<Request, HttpError> {
+    let request_line = read_line(reader, true)?;
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line '{request_line}'"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("bad version '{version}'")));
+    }
+
+    let mut headers = Vec::new();
+    let mut head_bytes = request_line.len();
+    loop {
+        let line = read_line(reader, false)?;
+        if line.is_empty() {
+            break;
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed("request head too large".into()));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header '{line}'")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad content-length '{v}'")))?,
+        None => 0,
+    };
+    if content_length > max_body_bytes {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body_bytes,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(HttpError::Io)?;
+
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body,
+    })
+}
+
+/// Reads one CRLF-terminated line (the terminator is stripped; bare LF tolerated).
+fn read_line(reader: &mut BufReader<TcpStream>, first: bool) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    let mut limited = reader.by_ref().take(MAX_HEAD_BYTES as u64 + 1);
+    match limited.read_until(b'\n', &mut line) {
+        Ok(0) if first && line.is_empty() => return Err(HttpError::Closed),
+        Ok(0) => return Err(HttpError::Malformed("unexpected end of head".into())),
+        Ok(_) if line.last() != Some(&b'\n') => {
+            return Err(HttpError::Malformed("request head too large".into()))
+        }
+        Ok(_) => {}
+        Err(e) => return Err(HttpError::Io(e)),
+    }
+    while matches!(line.last(), Some(b'\n' | b'\r')) {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::Malformed("non-UTF-8 request head".into()))
+}
+
+/// The reason phrase for the status codes this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a fixed-length response (the common case for errors and small documents).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A chunked-transfer-encoding response body: each [`chunk`](ChunkedWriter::chunk) hits the
+/// wire immediately, so `/batch` clients see answers stream in as their batches resolve.
+/// Dropping the writer without [`finish`](ChunkedWriter::finish) leaves the chunk stream
+/// unterminated, which clients correctly treat as a truncated response.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Writes the response head and returns the body writer.
+    pub fn start(stream: &'a mut TcpStream, status: u16) -> std::io::Result<Self> {
+        let head = format!(
+            "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\n\
+             transfer-encoding: chunked\r\n\r\n",
+            reason(status)
+        );
+        stream.write_all(head.as_bytes())?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Writes one chunk (empty chunks are skipped: an empty chunk terminates the stream).
+    pub fn chunk(&mut self, data: &str) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data.as_bytes())?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminates the chunk stream.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}

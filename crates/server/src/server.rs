@@ -1,0 +1,410 @@
+//! The HTTP front door: accept loop, routing, graceful shutdown.
+//!
+//! One thread accepts, one thread per connection serves HTTP/1.1 with keep-alive.  Requests
+//! pass the [`AdmissionController`] before touching the [`QueryService`]; admitted queries go
+//! through the service's normal batch path (and so share its answer cache, epoch DAGs and the
+//! two-stage bind/execute pipeline).  Shutdown is **draining**: the listener closes first, then
+//! in-flight connections get [`DRAIN_GRACE`] to finish their current request before the server
+//! returns — no accepted query is abandoned.
+
+use crate::admission::{AdmissionController, Rejected};
+use crate::http::{read_request, write_response, ChunkedWriter, HttpError, Request};
+use crate::json::Json;
+use crate::wire::{answer_json, parse_query_spec};
+use std::io::BufReader;
+use std::net::{IpAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use urm_datagen::scenario::TargetSchemaKind;
+use urm_service::{EpochId, QueryService, ServedFrom, Ticket};
+
+/// How long [`UrmServer::shutdown`] waits for in-flight connections before giving up on them.
+pub const DRAIN_GRACE: Duration = Duration::from_secs(30);
+
+struct Shared {
+    service: QueryService,
+    /// The epoch serving each target schema (registered by the caller before start).
+    epochs: Vec<(TargetSchemaKind, EpochId)>,
+    admission: AdmissionController,
+    stopping: AtomicBool,
+    /// Open connections, for the drain barrier.
+    connections: AtomicUsize,
+    drained: Condvar,
+    drain_lock: Mutex<()>,
+}
+
+impl Shared {
+    fn epoch_for(&self, target: TargetSchemaKind) -> Option<EpochId> {
+        self.epochs
+            .iter()
+            .find(|(kind, _)| *kind == target)
+            .map(|(_, id)| *id)
+    }
+}
+
+/// A running HTTP server; dropping it (or calling [`shutdown`](UrmServer::shutdown)) drains
+/// and stops it.
+pub struct UrmServer {
+    shared: Arc<Shared>,
+    addr: std::net::SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl UrmServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0`) and starts serving the given epochs.
+    ///
+    /// `epochs` maps each target schema to the [`EpochId`] the caller registered with
+    /// `service` — specs addressing an unlisted schema are answered 400.
+    pub fn start(
+        addr: &str,
+        service: QueryService,
+        epochs: Vec<(TargetSchemaKind, EpochId)>,
+        admission: AdmissionController,
+    ) -> std::io::Result<UrmServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service,
+            epochs,
+            admission,
+            stopping: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+            drained: Condvar::new(),
+            drain_lock: Mutex::new(()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("urm-server-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        Ok(UrmServer {
+            shared,
+            addr: local,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The service metrics (same snapshot `/metrics` serves).
+    #[must_use]
+    pub fn metrics(&self) -> urm_service::ServiceMetrics {
+        self.shared.service.metrics()
+    }
+
+    /// Stops accepting, drains in-flight connections (bounded by [`DRAIN_GRACE`]), flushes the
+    /// service's pending batches and joins its workers.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.shared.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept thread is blocked in `accept`; a throwaway connection unblocks it so it
+        // can observe `stopping` and exit, closing the listener.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // Drain: every connection opened before the listener closed gets to finish its
+        // current request (keep-alive waits are cut short by the read timeout).
+        let deadline = Instant::now() + DRAIN_GRACE;
+        let mut guard = self.shared.drain_lock.lock().unwrap();
+        while self.shared.connections.load(Ordering::SeqCst) > 0 {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            let (g, _) = self.shared.drained.wait_timeout(guard, left).unwrap();
+            guard = g;
+        }
+        drop(guard);
+        self.shared.service.flush();
+    }
+}
+
+impl Drop for UrmServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_shared = Arc::clone(shared);
+        shared.connections.fetch_add(1, Ordering::SeqCst);
+        let result = std::thread::Builder::new()
+            .name("urm-server-conn".into())
+            .spawn(move || {
+                handle_connection(stream, &conn_shared);
+                let _guard = conn_shared.drain_lock.lock().unwrap();
+                conn_shared.connections.fetch_sub(1, Ordering::SeqCst);
+                conn_shared.drained.notify_all();
+            });
+        if result.is_err() {
+            // Spawn failure: undo the increment or the drain barrier waits forever.
+            let _guard = shared.drain_lock.lock().unwrap();
+            shared.connections.fetch_sub(1, Ordering::SeqCst);
+            shared.drained.notify_all();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let config = shared.admission.config().clone();
+    if stream.set_read_timeout(Some(config.read_timeout)).is_err()
+        || stream
+            .set_write_timeout(Some(config.write_timeout))
+            .is_err()
+        || stream.set_nodelay(true).is_err()
+    {
+        return;
+    }
+    let client: IpAddr = match stream.peer_addr() {
+        Ok(peer) => peer.ip(),
+        Err(_) => return,
+    };
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+
+    // Keep-alive loop: serve requests until the peer hangs up, errors, or the server drains.
+    loop {
+        let request = match read_request(&mut reader, config.max_body_bytes) {
+            Ok(request) => request,
+            Err(HttpError::Closed) => return,
+            Err(err) if err.is_timeout() => {
+                // Slow-loris (or an idle keep-alive connection during drain): tell the peer
+                // and hang up.  The write is best-effort — the peer may be gone.
+                let _ = write_response(&mut writer, 408, &[], &error_body("read timeout"));
+                return;
+            }
+            Err(HttpError::Io(_)) => return,
+            Err(HttpError::Malformed(msg)) => {
+                let _ = write_response(&mut writer, 400, &[], &error_body(&msg));
+                return; // framing is unrecoverable after a malformed head
+            }
+            Err(HttpError::BodyTooLarge { declared, limit }) => {
+                let msg = format!("body of {declared} bytes exceeds the {limit}-byte limit");
+                let _ = write_response(&mut writer, 413, &[], &error_body(&msg));
+                return; // the unread body still sits in the socket; drop the connection
+            }
+        };
+        if respond(&mut writer, &request, client, shared).is_err() {
+            return;
+        }
+        if shared.stopping.load(Ordering::SeqCst) {
+            return; // drained: finish this request, take no more on this connection
+        }
+    }
+}
+
+fn error_body(message: &str) -> String {
+    Json::obj([("error", Json::Str(message.to_string()))]).to_string()
+}
+
+fn respond(
+    writer: &mut TcpStream,
+    request: &Request,
+    client: IpAddr,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => write_response(writer, 200, &[], &healthz_body(shared)),
+        ("GET", "/metrics") => write_response(writer, 200, &[], &metrics_body(shared)),
+        ("POST", "/query") => serve_queries(writer, request, client, shared, false),
+        ("POST", "/batch") => serve_queries(writer, request, client, shared, true),
+        ("GET" | "POST", _) => write_response(writer, 404, &[], &error_body("unknown path")),
+        _ => write_response(writer, 405, &[], &error_body("method not allowed")),
+    }
+}
+
+fn healthz_body(shared: &Shared) -> String {
+    Json::obj([
+        ("status", Json::Str("ok".into())),
+        (
+            "epochs",
+            Json::Arr(
+                shared
+                    .epochs
+                    .iter()
+                    .map(|(kind, id)| {
+                        Json::obj([
+                            ("target", Json::Str(kind.to_string())),
+                            ("epoch", Json::Num(id.raw() as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_string()
+}
+
+fn metrics_body(shared: &Shared) -> String {
+    let m = shared.service.metrics();
+    let n = |v: u64| Json::Num(v as f64);
+    Json::obj([
+        ("queries_submitted", n(m.queries_submitted)),
+        ("queries_evaluated", n(m.queries_evaluated)),
+        ("batches", n(m.batches)),
+        ("answer_cache_hits", n(m.answer_cache_hits)),
+        ("answer_cache_misses", n(m.answer_cache_misses)),
+        ("answer_cache_evictions", n(m.answer_cache_evictions)),
+        ("batch_deduped", n(m.batch_deduped)),
+        ("plan_cache_hits", n(m.plan_cache_hits)),
+        ("plan_cache_misses", n(m.plan_cache_misses)),
+        ("dag_nodes_executed", n(m.dag_nodes_executed)),
+        ("dag_peak_parallelism", n(m.dag_peak_parallelism)),
+        ("epoch_bind_hits", n(m.epoch_bind_hits)),
+        ("epoch_results_reused", n(m.epoch_results_reused)),
+        ("source_operators", n(m.source_operators)),
+        ("tuples_read", n(m.tuples_read)),
+        ("tuples_output", n(m.tuples_output)),
+        ("rows_shared", n(m.rows_shared)),
+        ("bytes_spilled", n(m.bytes_spilled)),
+        ("spill_reloads", n(m.spill_reloads)),
+        ("grace_partitions", n(m.grace_partitions)),
+        (
+            "batch_time_ms",
+            Json::Num(m.batch_time.as_secs_f64() * 1000.0),
+        ),
+        ("rows_per_second", Json::Num(m.rows_per_second())),
+        ("answer_hit_rate", Json::Num(m.answer_hit_rate())),
+        ("epoch_reuse_rate", Json::Num(m.epoch_reuse_rate())),
+        ("in_flight", Json::Num(shared.admission.in_flight() as f64)),
+    ])
+    .to_string()
+}
+
+/// `/query` (single spec) and `/batch` (spec list): parse, admit, submit, stream answers back
+/// as chunks.  `batch: false` expects `{"spec": "Q1"}`, `batch: true` `{"specs": ["Q1", …]}`.
+fn serve_queries(
+    writer: &mut TcpStream,
+    request: &Request,
+    client: IpAddr,
+    shared: &Shared,
+    batch: bool,
+) -> std::io::Result<()> {
+    let specs = match parse_body_specs(&request.body, batch) {
+        Ok(specs) => specs,
+        Err(msg) => return write_response(writer, 400, &[], &error_body(&msg)),
+    };
+    if shared.stopping.load(Ordering::SeqCst) {
+        return write_response(writer, 503, &[], &error_body("server is draining"));
+    }
+
+    // Admission: one permit covering the whole request, released when the responses are out.
+    let permit = match shared.admission.admit(client, specs.len()) {
+        Ok(permit) => permit,
+        Err(rejected) => {
+            let retry = shared.admission.config().retry_after_secs;
+            let msg = match rejected {
+                Rejected::QueueFull => "admission queue full",
+                Rejected::ClientThrottled => "client rate limit exceeded",
+            };
+            return write_response(
+                writer,
+                429,
+                &[("retry-after", retry.to_string())],
+                &error_body(msg),
+            );
+        }
+    };
+
+    // Submit everything, then flush once: one service batch per target schema touched.
+    let mut tickets: Vec<(String, Ticket)> = Vec::with_capacity(specs.len());
+    for entry in specs {
+        let Some(epoch) = shared.epoch_for(entry.target) else {
+            let msg = format!("target schema '{}' is not served", entry.target);
+            return write_response(writer, 400, &[], &error_body(&msg));
+        };
+        match shared.service.submit(epoch, entry.query) {
+            Ok(ticket) => tickets.push((entry.label, ticket)),
+            Err(err) => {
+                return write_response(writer, 500, &[], &error_body(&err.to_string()));
+            }
+        }
+    }
+    shared.service.flush();
+
+    // Stream the answers: each ticket's answer is rendered and written as its own chunk the
+    // moment its batch resolves (chunked transfer encoding — no whole-response buffering).
+    let mut out = ChunkedWriter::start(writer, 200)?;
+    if batch {
+        out.chunk("{\"answers\":[")?;
+        for (i, (label, ticket)) in tickets.into_iter().enumerate() {
+            let rendered = match ticket.wait() {
+                Ok(response) => answer_json(&label, &response.answer).to_string(),
+                Err(err) => error_body(&err.to_string()),
+            };
+            let prefix = if i > 0 { "," } else { "" };
+            out.chunk(&format!("{prefix}{rendered}"))?;
+        }
+        out.chunk("]}")?;
+    } else {
+        let (label, ticket) = tickets.pop().expect("single-query request has one ticket");
+        match ticket.wait() {
+            Ok(response) => {
+                let served = match response.served_from {
+                    ServedFrom::Evaluated => "evaluated",
+                    ServedFrom::AnswerCache => "answer-cache",
+                    ServedFrom::BatchDedup => "batch-dedup",
+                };
+                out.chunk(
+                    &Json::obj([
+                        ("answer", answer_json(&label, &response.answer)),
+                        ("served_from", Json::Str(served.into())),
+                        ("batch", Json::Num(response.batch as f64)),
+                    ])
+                    .to_string(),
+                )?;
+            }
+            Err(err) => out.chunk(&error_body(&err.to_string()))?,
+        }
+    }
+    out.finish()?;
+    drop(permit);
+    Ok(())
+}
+
+fn parse_body_specs(
+    body: &[u8],
+    batch: bool,
+) -> Result<Vec<urm_datagen::replay::WorkloadEntry>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = Json::parse(text).map_err(|e| format!("bad JSON body: {e}"))?;
+    let specs: Vec<&str> = if batch {
+        doc.get("specs")
+            .and_then(Json::as_arr)
+            .ok_or("expected {\"specs\": [\"Q1\", ...]}")?
+            .iter()
+            .map(|s| s.as_str().ok_or("specs must be strings"))
+            .collect::<Result<_, _>>()?
+    } else {
+        vec![doc
+            .get("spec")
+            .and_then(Json::as_str)
+            .ok_or("expected {\"spec\": \"Q1\"}")?]
+    };
+    if specs.is_empty() {
+        return Err("empty spec list".into());
+    }
+    specs
+        .into_iter()
+        .map(|s| parse_query_spec(s).map_err(|e| format!("bad spec '{s}': {e}")))
+        .collect()
+}

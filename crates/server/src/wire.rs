@@ -1,0 +1,77 @@
+//! The wire format: workload specs in, canonically rendered answers out.
+//!
+//! Queries arrive as the same spec strings the replayable workload files use (`Q1`–`Q10`,
+//! `sel:N`, `prod:N`, `join:N`, `scale:N` — see [`urm_datagen::replay`]), so a workload file
+//! replayed over HTTP and one replayed in-process by `urm-cli` are the *same* request stream.
+//! Answers render through one deterministic function ([`answer_json`]): tuples in
+//! [`ProbabilisticAnswer::sorted`] order, probabilities in shortest-round-trip form — two equal
+//! answers always produce byte-identical documents, which is what the `http_bench`
+//! HTTP-vs-in-process identity assertion compares.
+
+use crate::json::Json;
+use urm_core::ProbabilisticAnswer;
+use urm_datagen::replay::{parse_spec, WorkloadEntry};
+
+/// Parses one workload spec (the `"spec"`/`"specs"` strings of `/query` and `/batch` bodies).
+pub fn parse_query_spec(spec: &str) -> Result<WorkloadEntry, String> {
+    parse_spec(spec).map_err(|e| e.to_string())
+}
+
+/// Renders one answer as a deterministic JSON object:
+///
+/// ```json
+/// {"label":"Q1","tuples":[["(123)",0.5],["(456)",0.3]],"empty_probability":0.2}
+/// ```
+///
+/// Tuples are rendered with their `Display` form (probability-descending, ties broken by tuple
+/// order — [`ProbabilisticAnswer::sorted`]), so equal answers render byte-identically no matter
+/// which path produced them.
+#[must_use]
+pub fn answer_json(label: &str, answer: &ProbabilisticAnswer) -> Json {
+    Json::obj([
+        ("label", Json::Str(label.to_string())),
+        (
+            "tuples",
+            Json::Arr(
+                answer
+                    .sorted()
+                    .into_iter()
+                    .map(|(tuple, p)| Json::Arr(vec![Json::Str(tuple.to_string()), Json::Num(p)]))
+                    .collect(),
+            ),
+        ),
+        ("empty_probability", Json::Num(answer.empty_probability())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urm_core::prelude::{Tuple, Value};
+
+    #[test]
+    fn specs_parse_like_workload_files() {
+        assert_eq!(parse_query_spec(" Q4 ").unwrap().label, "Q4");
+        assert_eq!(parse_query_spec("sel:2").unwrap().label, "sel:2");
+        assert!(parse_query_spec("Q99").is_err());
+    }
+
+    #[test]
+    fn answers_render_deterministically() {
+        let mut answer = ProbabilisticAnswer::new();
+        answer.add(Tuple::new(vec![Value::from("b")]), 0.25);
+        answer.add(Tuple::new(vec![Value::from("a")]), 0.5);
+        answer.add_empty(0.25);
+        let mut again = ProbabilisticAnswer::new();
+        again.add(Tuple::new(vec![Value::from("a")]), 0.5);
+        again.add(Tuple::new(vec![Value::from("b")]), 0.25);
+        again.add_empty(0.25);
+        let rendered = answer_json("q", &answer).to_string();
+        assert_eq!(rendered, answer_json("q", &again).to_string());
+        assert_eq!(
+            rendered,
+            "{\"label\":\"q\",\"tuples\":[[\"(a)\",0.5],[\"(b)\",0.25]],\
+             \"empty_probability\":0.25}"
+        );
+    }
+}

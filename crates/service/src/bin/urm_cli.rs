@@ -62,6 +62,7 @@ struct Args {
     batch_size: usize,
     answer_cache: usize,
     epoch_cache: bool,
+    pipeline: bool,
     memory_budget: Option<usize>,
     verify: bool,
 }
@@ -82,6 +83,7 @@ impl Default for Args {
             batch_size: 64,
             answer_cache: 1024,
             epoch_cache: defaults.epoch_cache,
+            pipeline: defaults.pipeline,
             memory_budget: defaults.memory_budget,
             verify: false,
         }
@@ -109,6 +111,8 @@ OPTIONS:
   --epoch-cache on|off
                       keep one persistent DAG per epoch across batches (bind cache + weakly
                       cached node results; default on) — 'off' rebuilds per batch for A/B runs
+  --pipeline on|off   two-stage epoch lock (default on): bind the next batch while the current
+                      one executes — 'off' holds one lock across the whole batch for A/B runs
   --memory-budget B   byte budget for materialised relations, per epoch (default: unbudgeted);
                       under a budget, pinned results spill to disk segments and oversized hash
                       joins take the grace (partitioned) path — answers are byte-identical
@@ -140,6 +144,13 @@ fn parse_args() -> Result<Args, String> {
                     "on" => true,
                     "off" => false,
                     other => return Err(format!("--epoch-cache expects on|off, got '{other}'")),
+                }
+            }
+            "--pipeline" => {
+                args.pipeline = match value("--pipeline")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--pipeline expects on|off, got '{other}'")),
                 }
             }
             "--verify" => args.verify = true,
@@ -302,6 +313,7 @@ fn run_service(
         dag_workers: args.dag_workers,
         answer_cache_capacity: args.answer_cache,
         epoch_cache: args.epoch_cache,
+        pipeline: args.pipeline,
         memory_budget: args.memory_budget,
     });
     let epochs: BTreeMap<String, EpochId> = scenarios
@@ -314,7 +326,7 @@ fn run_service(
 
     println!(
         "workload: {} queries over {} epoch(s); algorithm=service replays={} batch-size={} \
-         workers={} dag-workers={} epoch-cache={} memory-budget={}",
+         workers={} dag-workers={} epoch-cache={} pipeline={} memory-budget={}",
         workload.len(),
         epochs.len(),
         args.replays,
@@ -322,6 +334,7 @@ fn run_service(
         args.workers,
         args.dag_workers,
         if args.epoch_cache { "on" } else { "off" },
+        if args.pipeline { "on" } else { "off" },
         args.memory_budget
             .map_or_else(|| "off".to_string(), |b| format!("{b}B")),
     );
@@ -355,12 +368,14 @@ fn run_service(
             "\n== replay {replay} ({:.1} ms) ==",
             elapsed.as_secs_f64() * 1000.0
         );
+        let mut replay_latencies: Vec<Duration> = Vec::new();
         for report in service.reports().iter().skip(reported_batches) {
             reported_batches += 1;
+            let p = report.latency_percentiles;
             println!(
                 "  batch#{:<3} epoch#{:<2} queries={:<3} evaluated={:<3} cache-served={:<3} \
                  dag-nodes={:<4} deduped={:<4} epoch-reuse={:<4} bind-hits={:<4} peak-par={} \
-                 ops={} latency={:.1}ms",
+                 ops={} latency={:.1}ms p50={:.1}ms p95={:.1}ms p99={:.1}ms",
                 report.id,
                 report.epoch,
                 report.queries,
@@ -372,9 +387,27 @@ fn run_service(
                 report.epoch_bind_hits,
                 report.peak_parallelism,
                 report.source_operators,
-                report.latency.as_secs_f64() * 1000.0
+                report.latency.as_secs_f64() * 1000.0,
+                p.p50.as_secs_f64() * 1000.0,
+                p.p95.as_secs_f64() * 1000.0,
+                p.p99.as_secs_f64() * 1000.0,
             );
         }
+        // Per-replay per-query percentiles over the evaluated queries (answer-cache hits
+        // record no evaluation time), directly comparable to http_bench's per-phase numbers.
+        replay_latencies.extend(
+            responses
+                .iter()
+                .map(|(_, r)| r.metrics.total_time)
+                .filter(|t| !t.is_zero()),
+        );
+        let replay_summary = urm_service::LatencySummary::from_samples(replay_latencies);
+        println!(
+            "  per-query latency: p50={:.2}ms p95={:.2}ms p99={:.2}ms",
+            replay_summary.p50.as_secs_f64() * 1000.0,
+            replay_summary.p95.as_secs_f64() * 1000.0,
+            replay_summary.p99.as_secs_f64() * 1000.0,
+        );
         println!(
             "  answer-cache hits: {} | evaluated: {} | shared DAG nodes reused: {} | operators: {}",
             after.answer_cache_hits - before.answer_cache_hits,

@@ -20,6 +20,14 @@ pub struct ServiceConfig {
     /// rebuilds the DAG from scratch per batch (the pre-epoch behaviour; `urm-cli
     /// --epoch-cache off` A/Bs the two).
     pub epoch_cache: bool,
+    /// Whether batches of one epoch run through the two-stage bind/execute pipeline: the
+    /// epoch's bind lock is held only while a batch is rewritten, optimised and bound, so
+    /// batch N+1's bind stage overlaps batch N's execution (executions still serialise, on
+    /// the engine's internal result lock — answers are byte-identical either way).  `false`
+    /// holds one lock across the whole batch (the pre-pipeline behaviour; `http_bench` A/Bs
+    /// the two).  Only meaningful with [`epoch_cache`](ServiceConfig::epoch_cache) on and at
+    /// least two workers.
+    pub pipeline: bool,
     /// Byte budget for materialised relations, per epoch (`None` = unbudgeted, all in memory).
     ///
     /// With a budget, each epoch owns a spill [`BufferPool`](urm_storage::BufferPool): pinned
@@ -52,6 +60,7 @@ impl Default for ServiceConfig {
             dag_workers: default_dag_workers(),
             answer_cache_capacity: 1024,
             epoch_cache: true,
+            pipeline: true,
             memory_budget: None,
         }
     }
@@ -67,6 +76,7 @@ impl ServiceConfig {
             dag_workers: 2,
             answer_cache_capacity: 32,
             epoch_cache: true,
+            pipeline: true,
             memory_budget: None,
         }
     }

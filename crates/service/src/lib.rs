@@ -49,7 +49,7 @@ pub mod service;
 
 pub use answer_cache::AnswerCache;
 pub use config::ServiceConfig;
-pub use metrics::{BatchReport, ServiceMetrics};
+pub use metrics::{percentile, BatchReport, LatencySummary, ServiceMetrics};
 pub use service::{
     EpochId, QueryResponse, QueryService, ServedFrom, ServiceError, ServiceResult, Ticket,
 };

@@ -105,6 +105,45 @@ impl ServiceMetrics {
     }
 }
 
+/// Nearest-rank percentile of an ascending-sorted latency sample set (`q` in `0..=100`).
+/// Returns [`Duration::ZERO`] for an empty set, so sub-millisecond smoke runs report zeros
+/// instead of panicking or emitting garbage.
+#[must_use]
+pub fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// p50/p95/p99 of a set of per-query latency samples (nearest-rank percentiles — every
+/// reported value is an actually observed latency, never an interpolation).  The same summary
+/// shape is reported batch-side ([`BatchReport::latency_percentiles`]), by the `urm-cli`
+/// replay table, and by `http_bench`, so in-process and HTTP numbers compare directly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Median latency.
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+}
+
+impl LatencySummary {
+    /// Summarises a sample set (consumed: sorting is done here, in one place).
+    #[must_use]
+    pub fn from_samples(mut samples: Vec<Duration>) -> Self {
+        samples.sort_unstable();
+        LatencySummary {
+            p50: percentile(&samples, 50.0),
+            p95: percentile(&samples, 95.0),
+            p99: percentile(&samples, 99.0),
+        }
+    }
+}
+
 /// Per-batch accounting, retained (bounded) for inspection by clients such as `urm-cli`.
 #[derive(Debug, Clone)]
 pub struct BatchReport {
@@ -143,6 +182,10 @@ pub struct BatchReport {
     pub grace_partitions: u64,
     /// Wall-clock latency of the batch.
     pub latency: Duration,
+    /// p50/p95/p99 over the *per-query* wall-clock latencies of the batch's evaluated queries
+    /// (submission to aggregation, recorded batch-side).  Zeros when the batch evaluated
+    /// nothing (everything answered from the cache).
+    pub latency_percentiles: LatencySummary,
 }
 
 #[cfg(test)]
@@ -154,6 +197,44 @@ mod tests {
         let m = ServiceMetrics::default();
         assert_eq!(m.answer_hit_rate(), 0.0);
         assert_eq!(m.plan_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn zero_duration_windows_report_zero_throughput() {
+        // A sub-millisecond smoke run can legitimately observe `batch_time == 0` (and tuples
+        // processed > 0): the division must degrade to 0.0, never inf/NaN in a JSON report.
+        let m = ServiceMetrics {
+            tuples_read: 1000,
+            tuples_output: 500,
+            batch_time: Duration::ZERO,
+            ..ServiceMetrics::default()
+        };
+        assert_eq!(m.rows_per_second(), 0.0);
+        let m = ServiceMetrics {
+            batch_time: Duration::from_secs(2),
+            ..m
+        };
+        assert_eq!(m.rows_per_second(), 750.0);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_and_survive_empty_samples() {
+        assert_eq!(percentile(&[], 99.0), Duration::ZERO);
+        assert_eq!(
+            LatencySummary::from_samples(Vec::new()),
+            LatencySummary::default()
+        );
+
+        let one = LatencySummary::from_samples(vec![Duration::from_millis(7)]);
+        assert_eq!(one.p50, Duration::from_millis(7));
+        assert_eq!(one.p99, Duration::from_millis(7));
+
+        // 100 samples 1ms..=100ms (shuffled): nearest-rank pN is exactly the Nth millisecond.
+        let samples: Vec<Duration> = (1..=100u64).rev().map(Duration::from_millis).collect();
+        let s = LatencySummary::from_samples(samples);
+        assert_eq!(s.p50, Duration::from_millis(50));
+        assert_eq!(s.p95, Duration::from_millis(95));
+        assert_eq!(s.p99, Duration::from_millis(99));
     }
 
     #[test]

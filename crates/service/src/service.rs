@@ -2,7 +2,7 @@
 
 use crate::answer_cache::{AnswerCache, CachedAnswer};
 use crate::config::ServiceConfig;
-use crate::metrics::{BatchReport, ServiceMetrics};
+use crate::metrics::{BatchReport, LatencySummary, ServiceMetrics};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -10,7 +10,10 @@ use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 use urm_core::metrics::EvalMetrics;
-use urm_core::{evaluate_batch, evaluate_batch_epoch, BatchOptions, EpochDag};
+use urm_core::{
+    evaluate_batch, evaluate_batch_epoch, execute_prepared_batch, prepare_batch_epoch,
+    BatchOptions, EpochDag,
+};
 use urm_core::{CoreError, ProbabilisticAnswer, TargetQuery};
 use urm_matching::MappingSet;
 use urm_storage::Catalog;
@@ -212,14 +215,31 @@ impl Inner {
         // needs exactly once, on the configured number of scheduler workers.
         let options = BatchOptions::parallel(self.config.dag_workers);
         let outcome = if self.config.epoch_cache {
-            let mut epoch_dag = batch.epoch.dag.lock().unwrap();
-            evaluate_batch_epoch(
-                &unique,
-                &batch.epoch.mappings,
-                &batch.epoch.catalog,
-                &options,
-                &mut epoch_dag,
-            )
+            if self.config.pipeline {
+                // The two-stage pipeline: the epoch's bind lock is held only while this batch
+                // is rewritten, optimised and bound — so another worker can already bind the
+                // epoch's *next* batch while this one executes below.  Executions of one
+                // epoch still serialise, on the engine's internal result lock.
+                let prepared = {
+                    let mut epoch_dag = batch.epoch.dag.lock().unwrap();
+                    prepare_batch_epoch(
+                        &unique,
+                        &batch.epoch.mappings,
+                        &batch.epoch.catalog,
+                        &mut epoch_dag,
+                    )
+                };
+                prepared.and_then(|p| execute_prepared_batch(p, &batch.epoch.catalog, &options))
+            } else {
+                let mut epoch_dag = batch.epoch.dag.lock().unwrap();
+                evaluate_batch_epoch(
+                    &unique,
+                    &batch.epoch.mappings,
+                    &batch.epoch.catalog,
+                    &options,
+                    &mut epoch_dag,
+                )
+            }
         } else if let Some(budget) = self.config.memory_budget {
             // Rebuild-per-batch, but the byte budget still holds: a *throwaway* budgeted
             // epoch gives this batch grace joins and spill-backed staging without any
@@ -289,6 +309,8 @@ impl Inner {
             .map(|submissions| submissions.len().saturating_sub(1) as u64)
             .sum();
         let latency = start.elapsed();
+        let latency_percentiles =
+            LatencySummary::from_samples(shared.iter().map(|(m, _)| m.total_time).collect());
         let report = BatchReport {
             id: batch.id,
             epoch: batch.epoch_id.raw(),
@@ -307,6 +329,7 @@ impl Inner {
             spill_reloads: outcome.exec.spill_reloads,
             grace_partitions: outcome.exec.grace_partitions,
             latency,
+            latency_percentiles,
         };
         {
             let mut metrics = self.metrics.lock().unwrap();
@@ -878,6 +901,66 @@ mod tests {
         for a in &q1_answers {
             assert_eq!(a.sorted(), q1_answers[0].sorted());
         }
+    }
+
+    #[test]
+    fn pipelined_and_serialised_locks_agree_under_concurrency() {
+        // Same concurrent workload, pipeline on vs off: every client must see the same answer
+        // either way, and the pipelined run's reports must account the same epoch reuse.
+        let run = |pipeline: bool| {
+            let service = Arc::new(QueryService::new(ServiceConfig {
+                workers: 4,
+                batch_max: 2,
+                pipeline,
+                ..ServiceConfig::default()
+            }));
+            let epoch =
+                service.register_epoch(testkit::figure2_catalog(), testkit::figure3_mappings());
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let service = Arc::clone(&service);
+                    std::thread::spawn(move || {
+                        let query = if i % 2 == 0 {
+                            testkit::q0()
+                        } else {
+                            testkit::q1()
+                        };
+                        let tickets: Vec<Ticket> = (0..4)
+                            .map(|_| service.submit(epoch, query.clone()).unwrap())
+                            .collect();
+                        service.flush();
+                        tickets
+                            .into_iter()
+                            .map(|t| t.wait().unwrap().answer.sorted())
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let answers: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            (answers, service.metrics())
+        };
+        let (pipelined, pipelined_metrics) = run(true);
+        let (serialised, _) = run(false);
+        for (a, b) in pipelined.iter().zip(&serialised) {
+            assert_eq!(a, b, "pipelined lock changed an answer");
+        }
+        assert_eq!(pipelined_metrics.queries_submitted, 16);
+    }
+
+    #[test]
+    fn batch_reports_carry_latency_percentiles() {
+        let (service, epoch) = service();
+        service
+            .execute_all(
+                epoch,
+                vec![testkit::q0(), testkit::q1(), testkit::q2_product()],
+            )
+            .unwrap();
+        let reports = service.reports();
+        let p = reports[0].latency_percentiles;
+        assert!(p.p50 > std::time::Duration::ZERO);
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99);
+        assert!(p.p99 <= reports[0].latency, "a query outlived its batch");
     }
 
     #[test]
