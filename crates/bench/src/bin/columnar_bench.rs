@@ -1,0 +1,62 @@
+//! Runs the columnar micro-benchmark (vectorized kernels vs. the row path, plus the spill
+//! segment codec's compression) and writes `BENCH_columnar.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p urm-bench --bin columnar_bench \
+//!     [--scale N] [--iters N] [--json PATH]
+//! ```
+//!
+//! JSON goes to `BENCH_columnar.json` by default (`--json -` disables it).
+
+use std::env;
+use urm_bench::columnar_bench::{run, ColumnarBenchConfig};
+use urm_bench::report;
+
+fn main() {
+    let args: Vec<String> = env::args().collect();
+    let mut config = ColumnarBenchConfig::default();
+    let parse = |flag: &str| -> Option<usize> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|pos| args.get(pos + 1))
+            .and_then(|s| s.parse().ok())
+    };
+    if let Some(v) = parse("--scale") {
+        config.scale = v;
+    }
+    if let Some(v) = parse("--iters") {
+        config.iters = v;
+    }
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(pos) => match args.get(pos + 1) {
+            Some(path) if !path.starts_with("--") => path.clone(),
+            _ => {
+                eprintln!("error: --json needs a path argument (use '--json -' to disable)");
+                std::process::exit(1);
+            }
+        },
+        None => "BENCH_columnar.json".to_string(),
+    };
+
+    eprintln!(
+        "columnar micro-benchmark (scale={}, iters={}, seed={}) …",
+        config.scale, config.iters, config.seed
+    );
+    let rows = run(&config).expect("micro-benchmark failed");
+    println!("{}", report::render_table("columnar", &rows));
+    for row in rows
+        .iter()
+        .filter(|r| r.series == "speedup" || r.series == "spill-compression")
+    {
+        if let Some((name, value)) = &row.extra {
+            println!("{} {name}: {value:.3}", row.x);
+        }
+    }
+    if json_path != "-" {
+        std::fs::write(&json_path, report::render_json(&rows))
+            .unwrap_or_else(|err| panic!("cannot write {json_path}: {err}"));
+        eprintln!("wrote {json_path}");
+    }
+}

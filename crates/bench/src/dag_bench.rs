@@ -18,7 +18,7 @@
 //! are written to `BENCH_dag.json` by the `dag_bench` binary so the scaling trajectory of the
 //! scheduler is tracked from PR to PR.
 
-use crate::experiments::ExperimentRow;
+use crate::experiments::{ExperimentRow, RowKind};
 use std::time::{Duration, Instant};
 use urm_core::CoreResult;
 use urm_datagen::source::generate_source;
@@ -106,6 +106,7 @@ impl Measurement {
             experiment: "dag".into(),
             series: series.into(),
             x: "joinheavy".into(),
+            kind: RowKind::Timing,
             time: self.total,
             source_operators: 0,
             answers: self.answers.iter().sum(),
@@ -183,6 +184,7 @@ fn extra_row(series: &str, name: &str, value: f64) -> ExperimentRow {
         experiment: "dag".into(),
         series: series.into(),
         x: "joinheavy".into(),
+        kind: RowKind::Timing,
         time: Duration::ZERO,
         source_operators: 0,
         answers: 0,

@@ -22,7 +22,7 @@
 //! hardware threads).
 
 use crate::dag_bench::joinheavy_batch;
-use crate::experiments::ExperimentRow;
+use crate::experiments::{ExperimentRow, RowKind};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use urm_core::CoreResult;
@@ -70,6 +70,7 @@ impl Measurement {
             experiment: "epoch".into(),
             series: series.into(),
             x: "joinheavy".into(),
+            kind: RowKind::Timing,
             time: self.total,
             source_operators: 0,
             answers: self.answers.iter().sum(),
@@ -169,6 +170,7 @@ fn extra_row(series: &str, name: &str, value: f64) -> ExperimentRow {
         experiment: "epoch".into(),
         series: series.into(),
         x: "joinheavy".into(),
+        kind: RowKind::Timing,
         time: Duration::ZERO,
         source_operators: 0,
         answers: 0,

@@ -7,7 +7,7 @@
 //! `BENCH_executor.json` by the `executor_bench` binary so the perf trajectory of the executor
 //! is tracked from PR to PR.
 
-use crate::experiments::ExperimentRow;
+use crate::experiments::{ExperimentRow, RowKind};
 use std::time::{Duration, Instant};
 use urm_core::CoreResult;
 use urm_datagen::source::generate_source;
@@ -102,6 +102,7 @@ impl Measurement {
             experiment: "executor".into(),
             series: series.into(),
             x: x.into(),
+            kind: RowKind::Timing,
             time: self.total,
             source_operators: self.source_operators,
             answers: self.answers,
@@ -184,6 +185,7 @@ pub fn run(config: &ExecutorBenchConfig) -> CoreResult<Vec<ExperimentRow>> {
             experiment: "executor".into(),
             series: "speedup".into(),
             x: name.into(),
+            kind: RowKind::Timing,
             time: Duration::ZERO,
             source_operators: 0,
             answers: 0,
@@ -193,6 +195,7 @@ pub fn run(config: &ExecutorBenchConfig) -> CoreResult<Vec<ExperimentRow>> {
             experiment: "executor".into(),
             series: "rows-shared".into(),
             x: name.into(),
+            kind: RowKind::Timing,
             time: Duration::ZERO,
             source_operators: 0,
             answers: 0,

@@ -6,6 +6,19 @@ use urm_core::{evaluate, top_k, Algorithm, Strategy, TargetQuery};
 use urm_datagen::scenario::{Scenario, ScenarioConfig, TargetSchemaKind};
 use urm_datagen::workload::{self, QueryId};
 
+/// How a row's payload is interpreted (and rendered by [`crate::report`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RowKind {
+    /// A timed measurement: `time`, `source_operators` and `answers` are meaningful (and an
+    /// optional `extra` metric may ride along, e.g. a rows-per-sec derived from the timing).
+    #[default]
+    Timing,
+    /// A named counter (sizing, compression ratio, cache rate, …): the payload is `extra`
+    /// (name, value) — the timing fields are unused and **not** emitted in the JSON report,
+    /// so counter rows no longer masquerade as `time_ms: 0.000` measurements.
+    Counter,
+}
+
 /// One measured data point: a row of a figure's series or of a table.
 #[derive(Debug, Clone)]
 pub struct ExperimentRow {
@@ -15,13 +28,16 @@ pub struct ExperimentRow {
     pub series: String,
     /// The x-axis value (query id, database scale, number of mappings, k, …).
     pub x: String,
+    /// Whether this row is a timed measurement or a named counter.
+    pub kind: RowKind,
     /// Total evaluation time.
     pub time: Duration,
     /// Number of source operators executed.
     pub source_operators: u64,
     /// Number of distinct answer tuples produced.
     pub answers: usize,
-    /// Extra metric (breakdown part, o-ratio, representative mappings…), if any.
+    /// Extra metric (breakdown part, o-ratio, representative mappings…), if any; for
+    /// [`RowKind::Counter`] rows this *is* the payload.
     pub extra: Option<(String, f64)>,
 }
 
@@ -31,11 +47,29 @@ impl ExperimentRow {
             experiment: experiment.to_string(),
             series: series.to_string(),
             x: x.to_string(),
+            kind: RowKind::Timing,
             time: Duration::ZERO,
             source_operators: 0,
             answers: 0,
             extra: None,
         }
+    }
+
+    /// A first-class counter row: one named scalar, no timing fields.  Rendered as
+    /// `name=value` in the text tables and as `"kind":"counter"` objects (name + value,
+    /// no `time_ms` filler) in the JSON reports.
+    #[must_use]
+    pub fn counter(
+        experiment: &str,
+        series: &str,
+        x: impl ToString,
+        name: &str,
+        value: f64,
+    ) -> Self {
+        let mut row = ExperimentRow::new(experiment, series, x);
+        row.kind = RowKind::Counter;
+        row.extra = Some((name.to_string(), value));
+        row
     }
 }
 
@@ -149,9 +183,13 @@ impl Harness {
         let mut rows = Vec::new();
         for &h in &self.config.mapping_sweep {
             let scenario = self.excel.with_mappings(h);
-            let mut row = ExperimentRow::new("fig9", "o-ratio", h);
-            row.extra = Some(("o-ratio".into(), scenario.mappings.o_ratio()));
-            rows.push(row);
+            rows.push(ExperimentRow::counter(
+                "fig9",
+                "o-ratio",
+                h,
+                "o-ratio",
+                scenario.mappings.o_ratio(),
+            ));
         }
         Ok(rows)
     }
@@ -457,9 +495,13 @@ impl Harness {
             row.answers = responses.iter().map(|r| r.answer.len()).sum();
             rows.push(row);
 
-            let mut sharing = ExperimentRow::new("service", "plan-hit-rate", n);
-            sharing.extra = Some(("plan-hit-rate".into(), metrics.plan_hit_rate()));
-            rows.push(sharing);
+            rows.push(ExperimentRow::counter(
+                "service",
+                "plan-hit-rate",
+                n,
+                "plan-hit-rate",
+                metrics.plan_hit_rate(),
+            ));
         }
         Ok(rows)
     }

@@ -21,7 +21,7 @@
 //!   the workers run whole batches concurrently).  Reported as wall times plus a `speedup`
 //!   row that CI gates at ≥ 1.1× on multi-core hosts.
 
-use crate::experiments::ExperimentRow;
+use crate::experiments::{ExperimentRow, RowKind};
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -243,6 +243,7 @@ fn phase_rows(phases: &[PhaseSpec], samples: &[Sample], rows: &mut Vec<Experimen
             experiment: "http".into(),
             series: phase.name.clone(),
             x: "span".into(),
+            kind: RowKind::Timing,
             time: span,
             source_operators: 0,
             answers: of_phase.len(),
@@ -260,6 +261,7 @@ fn phase_rows(phases: &[PhaseSpec], samples: &[Sample], rows: &mut Vec<Experimen
                 experiment: "http".into(),
                 series: phase.name.clone(),
                 x: x.into(),
+                kind: RowKind::Timing,
                 time: Duration::ZERO,
                 source_operators: 0,
                 answers: 0,
@@ -366,6 +368,7 @@ fn ab_rows(config: &HttpBenchConfig, rows: &mut Vec<ExperimentRow>) -> Result<()
             experiment: "http".into(),
             series: series.into(),
             x: "ab".into(),
+            kind: RowKind::Timing,
             time,
             source_operators: 0,
             answers,
@@ -376,6 +379,7 @@ fn ab_rows(config: &HttpBenchConfig, rows: &mut Vec<ExperimentRow>) -> Result<()
         experiment: "http".into(),
         series: "speedup-pipeline".into(),
         x: "ab".into(),
+        kind: RowKind::Timing,
         time: Duration::ZERO,
         source_operators: 0,
         answers: 0,
@@ -458,6 +462,7 @@ pub fn run(config: &HttpBenchConfig) -> Result<Vec<ExperimentRow>, String> {
             experiment: "http".into(),
             series: "identity".into(),
             x: "verified".into(),
+            kind: RowKind::Timing,
             time: Duration::ZERO,
             source_operators: 0,
             answers: samples.len(),
@@ -473,6 +478,7 @@ pub fn run(config: &HttpBenchConfig) -> Result<Vec<ExperimentRow>, String> {
         experiment: "http".into(),
         series: "host-parallelism".into(),
         x: "ab".into(),
+        kind: RowKind::Timing,
         time: Duration::ZERO,
         source_operators: 0,
         answers: 0,

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod columnar_bench;
 pub mod dag_bench;
 pub mod epoch_bench;
 pub mod executor_bench;
@@ -20,10 +21,11 @@ pub mod http_bench;
 pub mod report;
 pub mod spill_bench;
 
+pub use columnar_bench::ColumnarBenchConfig;
 pub use dag_bench::DagBenchConfig;
 pub use epoch_bench::EpochBenchConfig;
 pub use executor_bench::ExecutorBenchConfig;
-pub use experiments::{ExperimentRow, Harness, HarnessConfig};
+pub use experiments::{ExperimentRow, Harness, HarnessConfig, RowKind};
 pub use http_bench::HttpBenchConfig;
 pub use report::{render_json, render_table};
 pub use spill_bench::SpillBenchConfig;

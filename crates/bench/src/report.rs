@@ -1,6 +1,6 @@
 //! Rendering experiment rows as text tables.
 
-use crate::experiments::ExperimentRow;
+use crate::experiments::{ExperimentRow, RowKind};
 use std::collections::BTreeMap;
 
 /// Renders the rows of one experiment as a markdown-ish table: one line per x value, one column
@@ -73,8 +73,28 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Renders one row as a flat JSON object (one `BENCH_service.json`-compatible row).
+///
+/// [`RowKind::Counter`] rows emit `"kind":"counter"` with the counter's name and value and
+/// *no* timing fields — previously they masqueraded as measurements with `time_ms: 0.000`
+/// filler, which downstream tooling had to know to skip.  Timing rows keep their historical
+/// shape (plus `"kind":"timing"`), including the legacy `extra_name`/`extra_value` pair when
+/// a derived metric rides along.
 #[must_use]
 pub fn render_row_json(row: &ExperimentRow) -> String {
+    if row.kind == RowKind::Counter {
+        let (name, value) = row
+            .extra
+            .as_ref()
+            .map_or(("", 0.0), |(n, v)| (n.as_str(), *v));
+        return format!(
+            "{{\"experiment\":\"{}\",\"series\":\"{}\",\"x\":\"{}\",\"kind\":\"counter\",\
+             \"counter\":\"{}\",\"value\":{value}}}",
+            json_escape(&row.experiment),
+            json_escape(&row.series),
+            json_escape(&row.x),
+            json_escape(name),
+        );
+    }
     let extra = match &row.extra {
         Some((name, value)) => {
             format!(
@@ -85,8 +105,8 @@ pub fn render_row_json(row: &ExperimentRow) -> String {
         None => String::new(),
     };
     format!(
-        "{{\"experiment\":\"{}\",\"series\":\"{}\",\"x\":\"{}\",\"time_ms\":{:.3},\
-         \"source_operators\":{},\"answers\":{}{extra}}}",
+        "{{\"experiment\":\"{}\",\"series\":\"{}\",\"x\":\"{}\",\"kind\":\"timing\",\
+         \"time_ms\":{:.3},\"source_operators\":{},\"answers\":{}{extra}}}",
         json_escape(&row.experiment),
         json_escape(&row.series),
         json_escape(&row.x),
@@ -139,6 +159,7 @@ mod tests {
             experiment: exp.into(),
             series: series.into(),
             x: x.into(),
+            kind: RowKind::Timing,
             time: Duration::from_millis(ms),
             source_operators: ops,
             answers: 1,
@@ -196,8 +217,25 @@ mod tests {
 
         r.extra = Some(("plan-hit-rate".into(), 0.5));
         let json = render_row_json(&r);
+        assert!(json.contains("\"kind\":\"timing\""));
         assert!(json.contains("\"extra_name\":\"plan-hit-rate\""));
         assert!(json.contains("\"extra_value\":0.5"));
+    }
+
+    #[test]
+    fn counter_rows_emit_no_timing_filler() {
+        let r = ExperimentRow::counter("spill", "sizing", "oversized", "budget-bytes", 4096.0);
+        let json = render_row_json(&r);
+        assert!(json.contains("\"kind\":\"counter\""));
+        assert!(json.contains("\"counter\":\"budget-bytes\""));
+        assert!(json.contains("\"value\":4096"));
+        assert!(
+            !json.contains("time_ms") && !json.contains("source_operators"),
+            "counter rows must not carry timing filler: {json}"
+        );
+        // The text tables render counters by name, like the legacy extra cells.
+        let table = render_table("spill", &[r]);
+        assert!(table.contains("budget-bytes=4096.000"));
     }
 
     #[test]

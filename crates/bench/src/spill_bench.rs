@@ -20,7 +20,7 @@
 //! path taken, budget compliance within one page).
 
 use crate::dag_bench::joinheavy_batch;
-use crate::experiments::ExperimentRow;
+use crate::experiments::{ExperimentRow, RowKind};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use urm_core::CoreResult;
@@ -87,6 +87,7 @@ impl Measurement {
             experiment: "spill".into(),
             series: series.into(),
             x: "oversized".into(),
+            kind: RowKind::Timing,
             time: self.total,
             source_operators: 0,
             answers: self.answers.iter().sum(),
@@ -122,16 +123,8 @@ fn run_batch(
         .root_results
 }
 
-fn extra_row(series: &str, name: &str, value: f64) -> ExperimentRow {
-    ExperimentRow {
-        experiment: "spill".into(),
-        series: series.into(),
-        x: "oversized".into(),
-        time: Duration::ZERO,
-        source_operators: 0,
-        answers: 0,
-        extra: Some((name.into(), value)),
-    }
+fn counter_row(series: &str, name: &str, value: f64) -> ExperimentRow {
+    ExperimentRow::counter("spill", series, "oversized", name, value)
 }
 
 /// Runs the micro-benchmark, returning `BENCH_spill.json`-ready rows.
@@ -186,6 +179,7 @@ pub fn run(config: &SpillBenchConfig) -> CoreResult<Vec<ExperimentRow>> {
         rows: Vec::new(),
     };
     let (mut bytes_spilled, mut spill_reloads, mut grace_partitions) = (0u64, 0u64, 0u64);
+    let (mut seg_raw, mut seg_encoded) = (0u64, 0u64);
     let mut peak_cached = 0usize;
     let start = Instant::now();
     for _ in 0..iters {
@@ -204,6 +198,8 @@ pub fn run(config: &SpillBenchConfig) -> CoreResult<Vec<ExperimentRow>> {
         bytes_spilled += stats.bytes_spilled;
         spill_reloads += stats.spill_reloads;
         grace_partitions += exec.stats().grace_partitions;
+        seg_raw += stats.segment_bytes_raw;
+        seg_encoded += stats.segment_bytes_encoded;
         peak_cached = peak_cached.max(stats.peak_cached_bytes);
     }
     constrained.total = start.elapsed();
@@ -240,17 +236,23 @@ pub fn run(config: &SpillBenchConfig) -> CoreResult<Vec<ExperimentRow>> {
         in_memory.row("in-memory"),
         constrained.row("budget-constrained"),
         warm.row("budget-warm"),
-        extra_row("sizing", "database-bytes", database_bytes as f64),
-        extra_row("sizing", "budget-bytes", budget as f64),
-        extra_row("spill-counters", "bytes-spilled", bytes_spilled as f64),
-        extra_row("spill-counters", "spill-reloads", spill_reloads as f64),
-        extra_row(
+        counter_row("sizing", "database-bytes", database_bytes as f64),
+        counter_row("sizing", "budget-bytes", budget as f64),
+        counter_row("spill-counters", "bytes-spilled", bytes_spilled as f64),
+        counter_row("spill-counters", "spill-reloads", spill_reloads as f64),
+        counter_row(
             "spill-counters",
             "grace-partitions",
             grace_partitions as f64,
         ),
-        extra_row("spill-counters", "warm-reloads", warm_reloads as f64),
-        extra_row(
+        counter_row("spill-counters", "warm-reloads", warm_reloads as f64),
+        counter_row("spill-counters", "segment-bytes-raw", seg_raw as f64),
+        counter_row(
+            "spill-counters",
+            "segment-bytes-encoded",
+            seg_encoded as f64,
+        ),
+        counter_row(
             "budget-compliance",
             "peak-cached-minus-budget",
             peak_cached as f64 - budget as f64,
@@ -273,15 +275,14 @@ mod tests {
             workers: 1,
         })
         .unwrap();
-        assert_eq!(rows.len(), 10);
+        assert_eq!(rows.len(), 12);
         let extra = |series: &str, name: &str| -> f64 {
-            rows.iter()
+            let row = rows
+                .iter()
                 .find(|r| r.series == series && r.extra.as_ref().is_some_and(|(n, _)| n == name))
-                .unwrap_or_else(|| panic!("missing {series}/{name}"))
-                .extra
-                .as_ref()
-                .unwrap()
-                .1
+                .unwrap_or_else(|| panic!("missing {series}/{name}"));
+            assert_eq!(row.kind, RowKind::Counter, "{series}/{name}");
+            row.extra.as_ref().unwrap().1
         };
         // The acceptance gates, at toy scale: data ≥ 4× budget, real spilling, the grace
         // path taken, and the pool never over budget (run() itself asserts row equality).
@@ -292,5 +293,10 @@ mod tests {
         assert!(extra("budget-compliance", "peak-cached-minus-budget") <= 0.0);
         // Warm repeats answer from spilled pins without re-executing.
         assert!(extra("spill-counters", "warm-reloads") > 0.0);
+        // The columnar segment codec actually compresses what it spills.
+        let raw = extra("spill-counters", "segment-bytes-raw");
+        let encoded = extra("spill-counters", "segment-bytes-encoded");
+        assert!(raw > 0.0 && encoded > 0.0);
+        assert!(encoded < raw, "encoded {encoded} should beat raw {raw}");
     }
 }

@@ -38,11 +38,17 @@ use urm_storage::{BufferPool, Catalog};
 pub struct BatchOptions {
     /// Worker threads for the DAG scheduler (1 = sequential topological execution).
     pub workers: usize,
+    /// Whether executors evaluate through the vectorized columnar kernels (the default;
+    /// answers are byte-identical either way).
+    pub columnar: bool,
 }
 
 impl Default for BatchOptions {
     fn default() -> Self {
-        BatchOptions { workers: 1 }
+        BatchOptions {
+            workers: 1,
+            columnar: true,
+        }
     }
 }
 
@@ -58,7 +64,15 @@ impl BatchOptions {
     pub fn parallel(workers: usize) -> Self {
         BatchOptions {
             workers: workers.max(1),
+            ..BatchOptions::default()
         }
+    }
+
+    /// Builder-style toggle for the vectorized columnar path.
+    #[must_use]
+    pub fn with_columnar(mut self, on: bool) -> Self {
+        self.columnar = on;
+        self
     }
 }
 
@@ -292,7 +306,8 @@ pub fn execute_prepared_batch(
     let mut exec = match prepared.pool().cloned() {
         Some(pool) => Executor::with_pool(catalog, pool),
         None => Executor::new(catalog),
-    };
+    }
+    .with_columnar(options.columnar);
 
     // Execute only what this batch needs — every distinct operator not answered by a live
     // cached result runs exactly once, fanning its result out to all consumers, in parallel

@@ -501,8 +501,10 @@ impl DagScheduler {
     ) -> EngineResult<(Vec<Option<Arc<Relation>>>, usize)> {
         let catalog = exec.catalog();
         // Workers inherit the driving executor's spill pool (one shared budget, not one per
-        // worker), so budgeted grace joins behave identically under parallel scheduling.
+        // worker), so budgeted grace joins behave identically under parallel scheduling —
+        // and its columnar toggle, so one flag governs the whole batch.
         let pool = exec.pool().cloned();
+        let columnar = exec.columnar_enabled();
         let needed_count = needed.iter().filter(|&&n| n).count();
         // Publishing happens single-threaded after the run, so a cache-backed run must keep
         // every fresh result alive until then (the cache wants all of them anyway — that is
@@ -520,7 +522,8 @@ impl DagScheduler {
                         let mut worker_exec = match pool {
                             Some(pool) => Executor::with_pool(catalog, pool),
                             None => Executor::new(catalog),
-                        };
+                        }
+                        .with_columnar(columnar);
                         shared.run_worker(dag, &mut worker_exec);
                         worker_exec.into_stats()
                     })

@@ -18,13 +18,16 @@
 //!   Random strategy of Section VI-A) remain feasible on the benchmark instances.
 
 use crate::physical::{bind, BoundAggregate, PhysicalPlan};
+use crate::vectorized::{Batch, ColsBatch};
 use crate::{EngineError, EngineResult, ExecStats, Plan};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
-use urm_storage::{Attribute, BufferPool, Catalog, DataType, Relation, Schema, Tuple, Value};
+use urm_storage::{
+    Attribute, BufferPool, Catalog, ColumnarRelation, DataType, Relation, Schema, Tuple, Value,
+};
 
 /// Executes [`Plan`]s against a [`Catalog`], accumulating [`ExecStats`].
 pub struct Executor<'a> {
@@ -34,6 +37,10 @@ pub struct Executor<'a> {
     /// pool's budget fall back to the grace (partitioned) join, staging partitions through the
     /// pool.  `None` (the default) keeps the pre-spill all-in-memory behaviour byte for byte.
     pool: Option<BufferPool>,
+    /// Whether plans evaluate through the vectorized columnar kernels (the default).  The
+    /// columnar path is held to byte identity with the row path — same values, same row
+    /// order, same stats — so flipping this only changes *how fast* answers arrive.
+    columnar: bool,
 }
 
 impl<'a> Executor<'a> {
@@ -44,6 +51,7 @@ impl<'a> Executor<'a> {
             catalog,
             stats: ExecStats::new(),
             pool: None,
+            columnar: true,
         }
     }
 
@@ -57,7 +65,28 @@ impl<'a> Executor<'a> {
             catalog,
             stats: ExecStats::new(),
             pool: Some(pool),
+            columnar: true,
         }
+    }
+
+    /// Builder-style toggle for the vectorized columnar path (see [`Executor::set_columnar`]).
+    #[must_use]
+    pub fn with_columnar(mut self, on: bool) -> Self {
+        self.columnar = on;
+        self
+    }
+
+    /// Enables or disables the vectorized columnar path.  Off, every plan evaluates through
+    /// the original row-at-a-time operators; on (the default), operators over converted
+    /// leaves run as per-column kernels driven by selection vectors.
+    pub fn set_columnar(&mut self, on: bool) {
+        self.columnar = on;
+    }
+
+    /// Whether the vectorized columnar path is enabled.
+    #[must_use]
+    pub fn columnar_enabled(&self) -> bool {
+        self.columnar
     }
 
     /// The spill pool, when this executor runs under a memory budget.
@@ -170,11 +199,146 @@ impl<'a> Executor<'a> {
 
     /// Bottom-up evaluation of a physical tree.
     fn eval_tree(&mut self, plan: &PhysicalPlan) -> EngineResult<Arc<Relation>> {
+        if self.columnar {
+            let batch = self.eval_batch(plan)?;
+            return Ok(batch.materialize(plan.schema()));
+        }
         let mut children = Vec::with_capacity(2);
         for child in plan.children() {
             children.push(self.eval_tree(child)?);
         }
         self.eval_node(plan, &children)
+    }
+
+    /// Bottom-up *columnar* evaluation: leaves convert to typed columns (scans through the
+    /// catalog's memoised cache), selections refine selection vectors, joins and products
+    /// emit gather lists, aggregates fold flat vectors.  Operators that must leave the
+    /// columnar pipeline (budgeted joins, anything downstream of an aggregate) materialise
+    /// their children and re-use [`Executor::eval_node`] — the row implementation — so
+    /// results and statistics stay byte-identical to the row path everywhere.
+    fn eval_batch(&mut self, plan: &PhysicalPlan) -> EngineResult<Batch> {
+        match plan {
+            PhysicalPlan::Scan { view, .. } => {
+                self.stats.record_scan(view.len() as u64);
+                self.stats.rows_shared += view.len() as u64;
+                let conv = self.catalog.columnar_view(view);
+                Ok(Batch::from_leaf(conv.columns().to_vec(), Arc::clone(view)))
+            }
+            PhysicalPlan::Values { rel } => {
+                self.stats.rows_shared += rel.len() as u64;
+                // `Values` buffers are transient, so the conversion is not cached — caching
+                // them in the catalog would pin every ad-hoc buffer alive for its lifetime.
+                let conv = ColumnarRelation::from_relation(rel);
+                Ok(Batch::from_leaf(conv.columns().to_vec(), Arc::clone(rel)))
+            }
+            PhysicalPlan::Select {
+                predicate, input, ..
+            } => match self.eval_batch(input)? {
+                Batch::Cols(c) => {
+                    let read = c.len() as u64;
+                    let out = c.filter(predicate);
+                    self.stats.record_operator(read, out.len() as u64);
+                    self.stats.columnar_rows += out.len() as u64;
+                    Ok(Batch::Cols(out))
+                }
+                Batch::Rows(rel) => self.eval_node(plan, &[rel]).map(Batch::Rows),
+            },
+            PhysicalPlan::Project {
+                positions, input, ..
+            } => match self.eval_batch(input)? {
+                Batch::Cols(c) => {
+                    let out = c.project(positions);
+                    self.stats.record_operator(c.len() as u64, out.len() as u64);
+                    self.stats.columnar_rows += out.len() as u64;
+                    Ok(Batch::Cols(out))
+                }
+                Batch::Rows(rel) => self.eval_node(plan, &[rel]).map(Batch::Rows),
+            },
+            PhysicalPlan::Product { left, right, .. } => {
+                let l = self.eval_batch(left)?;
+                let r = self.eval_batch(right)?;
+                match (l, r) {
+                    (Batch::Cols(lc), Batch::Cols(rc)) => {
+                        let out = lc.product(&rc);
+                        self.stats
+                            .record_operator((lc.len() + rc.len()) as u64, out.len() as u64);
+                        self.stats.columnar_rows += out.len() as u64;
+                        Ok(Batch::Cols(out))
+                    }
+                    (l, r) => {
+                        let children =
+                            [l.materialize(left.schema()), r.materialize(right.schema())];
+                        self.eval_node(plan, &children).map(Batch::Rows)
+                    }
+                }
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                ..
+            } => {
+                let l = self.eval_batch(left)?;
+                let r = self.eval_batch(right)?;
+                // Under a byte budget the join must consult the grace logic (which needs the
+                // build side materialised anyway); the row path owns that decision.
+                let budgeted = self.pool.as_ref().is_some_and(|p| p.budget().is_some());
+                match (l, r) {
+                    (Batch::Cols(lc), Batch::Cols(rc)) if !budgeted => {
+                        let out = lc.hash_join(&rc, left_keys, right_keys);
+                        self.stats
+                            .record_operator((lc.len() + rc.len()) as u64, out.len() as u64);
+                        self.stats.columnar_rows += out.len() as u64;
+                        Ok(Batch::Cols(out))
+                    }
+                    (l, r) => {
+                        let children =
+                            [l.materialize(left.schema()), r.materialize(right.schema())];
+                        self.eval_node(plan, &children).map(Batch::Rows)
+                    }
+                }
+            }
+            PhysicalPlan::Aggregate {
+                func,
+                input,
+                schema,
+            } => match self.eval_batch(input)? {
+                Batch::Cols(c) => {
+                    let row = match func {
+                        BoundAggregate::Count => Tuple::new(vec![Value::from(c.count())]),
+                        BoundAggregate::Sum { pos, column } => {
+                            let sum = c.sum(*pos).ok_or_else(|| EngineError::InvalidAggregate {
+                                func: "SUM",
+                                column: column.clone(),
+                            })?;
+                            Tuple::new(vec![Value::from(sum)])
+                        }
+                    };
+                    self.stats.record_operator(c.len() as u64, 1);
+                    self.stats.columnar_rows += 1;
+                    Ok(Batch::Rows(Arc::new(Relation::from_validated(
+                        schema.clone(),
+                        vec![row],
+                    ))))
+                }
+                Batch::Rows(rel) => self.eval_node(plan, &[rel]).map(Batch::Rows),
+            },
+        }
+    }
+
+    /// The memoised columnar view of an already-materialised batch, when the columnar path
+    /// is on and the batch's row buffer was converted by a scan (the per-node execution path
+    /// of the shared-operator DAG — intermediates miss and stay on the row path).
+    fn columnar_leaf(&self, rel: &Arc<Relation>) -> Option<ColsBatch> {
+        if !self.columnar {
+            return None;
+        }
+        let conv = self.catalog.cached_columnar(rel)?;
+        Some(ColsBatch::from_leaf(
+            conv.columns().to_vec(),
+            Arc::clone(rel),
+        ))
     }
 
     /// Evaluates one physical operator over its children's batches.
@@ -187,6 +351,12 @@ impl<'a> Executor<'a> {
             PhysicalPlan::Scan { view, .. } => {
                 self.stats.record_scan(view.len() as u64);
                 self.stats.rows_shared += view.len() as u64;
+                if self.columnar {
+                    // Per-node execution (the shared-operator DAG) interchanges row batches;
+                    // converting here lets downstream operators over this buffer pick up the
+                    // columnar kernels via the catalog's memoised cache.
+                    let _ = self.catalog.columnar_view(view);
+                }
                 Ok(Arc::clone(view))
             }
             PhysicalPlan::Values { rel } => {
@@ -197,6 +367,14 @@ impl<'a> Executor<'a> {
                 predicate, schema, ..
             } => {
                 let input = child(children, 0);
+                if let Some(batch) = self.columnar_leaf(&input) {
+                    let out = batch.filter(predicate);
+                    let produced = out.len() as u64;
+                    let rel = Batch::Cols(out).materialize(schema);
+                    self.stats.record_operator(input.len() as u64, produced);
+                    self.stats.columnar_rows += produced;
+                    return Ok(rel);
+                }
                 let rows: Vec<Tuple> = input
                     .iter()
                     .filter(|t| predicate.matches(t))
@@ -236,6 +414,17 @@ impl<'a> Executor<'a> {
             } => {
                 let l = child(children, 0);
                 let r = child(children, 1);
+                if self.grace_partition_count(&r).is_none() {
+                    if let (Some(lc), Some(rc)) = (self.columnar_leaf(&l), self.columnar_leaf(&r)) {
+                        let out = lc.hash_join(&rc, left_keys, right_keys);
+                        let produced = out.len() as u64;
+                        let rel = Batch::Cols(out).materialize(schema);
+                        self.stats
+                            .record_operator((l.len() + r.len()) as u64, produced);
+                        self.stats.columnar_rows += produced;
+                        return Ok(rel);
+                    }
+                }
                 let rows = match self.grace_partition_count(&r) {
                     Some(partitions) => {
                         self.grace_hash_join_rows(&l, &r, left_keys, right_keys, partitions)?
@@ -248,6 +437,27 @@ impl<'a> Executor<'a> {
             }
             PhysicalPlan::Aggregate { func, schema, .. } => {
                 let input = child(children, 0);
+                if let Some(batch) = self.columnar_leaf(&input) {
+                    let row = match func {
+                        BoundAggregate::Count => Tuple::new(vec![Value::from(batch.count())]),
+                        BoundAggregate::Sum { pos, column } => {
+                            let sum =
+                                batch
+                                    .sum(*pos)
+                                    .ok_or_else(|| EngineError::InvalidAggregate {
+                                        func: "SUM",
+                                        column: column.clone(),
+                                    })?;
+                            Tuple::new(vec![Value::from(sum)])
+                        }
+                    };
+                    self.stats.record_operator(input.len() as u64, 1);
+                    self.stats.columnar_rows += 1;
+                    return Ok(Arc::new(Relation::from_validated(
+                        schema.clone(),
+                        vec![row],
+                    )));
+                }
                 let row = match func {
                     BoundAggregate::Count => Tuple::new(vec![Value::from(input.len() as i64)]),
                     BoundAggregate::Sum { pos, column } => {

@@ -18,6 +18,10 @@
 //! * [`Executor`] — binds and evaluates physical operators batch-at-a-time over shared
 //!   (`Arc`-backed) [`Relation`](urm_storage::Relation)s, with zero-copy scans and `Values`
 //!   leaves;
+//! * [`vectorized`] — columnar operator kernels over typed
+//!   [`Column`](urm_storage::Column) vectors driven by selection vectors; the executor's
+//!   default evaluation mode (toggle with [`Executor::with_columnar`]), byte-identical to
+//!   the row path;
 //! * [`dag`] — the shared-operator DAG runtime: bound plans are merged into an
 //!   [`OperatorDag`] (nodes deduplicated by bound-plan fingerprint), which a [`DagScheduler`]
 //!   executes with every distinct operator running exactly once — sequentially or on parallel
@@ -79,6 +83,7 @@ pub mod physical;
 pub mod plan;
 pub mod reference;
 pub mod stats;
+pub mod vectorized;
 
 pub use dag::{
     DagExecutor, DagResultCache, DagRun, DagRunReport, DagScheduler, NodeId, OperatorDag,
@@ -93,3 +98,4 @@ pub use physical::{BoundAggregate, BoundPredicate, PhysicalPlan};
 pub use plan::Plan;
 pub use reference::ReferenceExecutor;
 pub use stats::ExecStats;
+pub use vectorized::{Batch, ColsBatch};

@@ -36,6 +36,17 @@ pub struct ExecStats {
     /// Partitions produced by grace hash joins — joins whose build side exceeded the memory
     /// budget and fell back to partitioned build/probe over spill segments.
     pub grace_partitions: u64,
+    /// Rows produced by vectorized (columnar, selection-vector-driven) operator kernels.  Rows
+    /// produced by the row-at-a-time fallback path are not counted, so the ratio of this to
+    /// `tuples_output` shows how much of a workload ran columnar.
+    pub columnar_rows: u64,
+    /// Row-codec-equivalent bytes of the relations written to spill segments — what the
+    /// segments *would* have cost under the legacy row codec (copied in from the owning
+    /// [`BufferPool`](urm_storage::BufferPool), like [`bytes_spilled`](Self::bytes_spilled)).
+    pub segment_bytes_raw: u64,
+    /// Actual encoded bytes of the columnar spill segments written.  The ratio of this to
+    /// [`segment_bytes_raw`](Self::segment_bytes_raw) is the spill compression factor.
+    pub segment_bytes_encoded: u64,
     /// Wall-clock time spent inside the executor.
     #[serde(skip)]
     pub exec_time: Duration,
@@ -77,6 +88,9 @@ impl ExecStats {
         self.bytes_spilled += other.bytes_spilled;
         self.spill_reloads += other.spill_reloads;
         self.grace_partitions += other.grace_partitions;
+        self.columnar_rows += other.columnar_rows;
+        self.segment_bytes_raw += other.segment_bytes_raw;
+        self.segment_bytes_encoded += other.segment_bytes_encoded;
         self.exec_time += other.exec_time;
     }
 
@@ -89,6 +103,8 @@ impl ExecStats {
     ) {
         self.bytes_spilled += after.bytes_spilled - before.bytes_spilled;
         self.spill_reloads += after.spill_reloads - before.spill_reloads;
+        self.segment_bytes_raw += after.segment_bytes_raw - before.segment_bytes_raw;
+        self.segment_bytes_encoded += after.segment_bytes_encoded - before.segment_bytes_encoded;
     }
 }
 

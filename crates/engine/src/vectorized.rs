@@ -1,0 +1,830 @@
+//! Vectorized operator kernels over columnar batches driven by selection vectors.
+//!
+//! The row executor evaluates every operator tuple-at-a-time, matching on the
+//! [`Value`](urm_storage::Value) enum once per cell.  This module provides the columnar
+//! alternative: a [`Batch`] is either a shared row relation (the interchange format) or a set
+//! of typed [`Column`]s plus an optional *selection vector* — the indices of the rows that are
+//! logically present.  Predicates evaluate column-at-a-time into a refined selection without
+//! materialising a single tuple; hash joins build and probe raw key columns (`i64`, `f64`
+//! bits, dictionary codes) and emit gather lists; aggregates fold flat vectors.  Rows are only
+//! reconstructed when a batch leaves the columnar pipeline (the query result, or an operator
+//! that has to fall back to the row implementation).
+//!
+//! ## Fidelity
+//!
+//! Everything here is held to *byte identity* with the row path — same output values, same
+//! row order, same error behaviour, same [`ExecStats`](crate::ExecStats) accounting — which
+//! pins down several subtleties:
+//!
+//! * `Value` comparison semantics are reproduced exactly: `Int`/`Int` compares as `i64`,
+//!   `Float` (and `Int`/`Float`) through `f64::total_cmp` — under which equality is bit
+//!   equality, so float join keys can be hashed by bit pattern — and cross-variant
+//!   comparisons through the variant rank, which the kernels resolve once per column, not
+//!   once per row.
+//! * Null join keys and null predicate operands never match, exactly as the row operators
+//!   drop them.
+//! * SUM folds `f64`s in logical row order — float addition is not associative, and the row
+//!   path defines the order.
+//! * Join outputs are emitted probe-row-major (left order, then build order within a key),
+//!   matching the row hash join.
+
+use crate::physical::BoundPredicate;
+use crate::CompareOp;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::Arc;
+use urm_storage::{Column, Relation, Schema, Tuple, Value};
+
+/// A batch flowing between vectorized operators: columnar when the data entered through a
+/// converted leaf, rows when an operator had to fall back to the row implementation.
+#[derive(Debug, Clone)]
+pub enum Batch {
+    /// Typed columns plus an optional selection vector.
+    Cols(ColsBatch),
+    /// A materialised row relation (fallback interchange).
+    Rows(Arc<Relation>),
+}
+
+/// The columnar half of [`Batch`]: positional columns over a shared physical buffer, with the
+/// logically-present rows described by `sel` (`None` = all rows, in order).
+#[derive(Debug, Clone)]
+pub struct ColsBatch {
+    /// Physical columns; every column has `physical_len` slots.
+    columns: Vec<Arc<Column>>,
+    /// Selection vector: logical row `j` lives at physical slot `sel[j]`.  `None` means the
+    /// identity selection over `0..physical_len`.
+    sel: Option<Arc<Vec<u32>>>,
+    /// Number of physical rows in each column.
+    physical_len: usize,
+    /// The row-form relation backing the columns, when the batch is still an (optionally
+    /// filtered) view of a converted leaf.  Lets materialisation clone original tuples —
+    /// and lets an unfiltered leaf at the root hand back the shared view, exactly like the
+    /// row path's zero-copy scans.
+    rows: Option<Arc<Relation>>,
+}
+
+impl Batch {
+    /// A columnar batch over a converted leaf relation: full selection, row view retained.
+    #[must_use]
+    pub fn from_leaf(columns: Vec<Arc<Column>>, rel: Arc<Relation>) -> Batch {
+        Batch::Cols(ColsBatch::from_leaf(columns, rel))
+    }
+
+    /// Number of logical rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Batch::Cols(c) => c.len(),
+            Batch::Rows(r) => r.len(),
+        }
+    }
+
+    /// Whether the batch has no logical rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialises the batch as a row relation under `schema`.
+    ///
+    /// An unfiltered leaf batch hands back its shared row view (pointer bump); a filtered
+    /// leaf clones the selected original tuples; a computed batch reconstructs tuples from
+    /// its columns.  All three produce values bit-identical to the row path.
+    #[must_use]
+    pub fn materialize(&self, schema: &Schema) -> Arc<Relation> {
+        match self {
+            Batch::Rows(rel) => Arc::clone(rel),
+            Batch::Cols(c) => match (&c.rows, &c.sel) {
+                (Some(rel), None) => Arc::clone(rel),
+                (Some(rel), Some(sel)) => {
+                    let rows = rel.rows();
+                    let picked: Vec<Tuple> =
+                        sel.iter().map(|&i| rows[i as usize].clone()).collect();
+                    Arc::new(Relation::from_validated(schema.clone(), picked))
+                }
+                (None, _) => {
+                    let tuples: Vec<Tuple> = c
+                        .logical_indices()
+                        .map(|i| {
+                            Tuple::new(
+                                c.columns
+                                    .iter()
+                                    .map(|col| col.value_at(i as usize))
+                                    .collect(),
+                            )
+                        })
+                        .collect();
+                    Arc::new(Relation::from_validated(schema.clone(), tuples))
+                }
+            },
+        }
+    }
+}
+
+impl ColsBatch {
+    /// A columnar batch over a converted leaf relation: full selection, row view retained.
+    #[must_use]
+    pub fn from_leaf(columns: Vec<Arc<Column>>, rel: Arc<Relation>) -> ColsBatch {
+        ColsBatch {
+            physical_len: rel.len(),
+            columns,
+            sel: None,
+            rows: Some(rel),
+        }
+    }
+
+    /// Number of logical rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sel.as_ref().map_or(self.physical_len, |s| s.len())
+    }
+
+    /// Whether the batch has no logical rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The physical slot indices of the logical rows, in logical order.
+    fn logical_indices(&self) -> impl Iterator<Item = u32> + '_ {
+        let (sel, n) = match &self.sel {
+            Some(s) => (Some(s.as_slice()), 0),
+            None => (None, self.physical_len as u32),
+        };
+        sel.map_or(0..n, |_| 0..0)
+            .chain(sel.into_iter().flatten().copied())
+    }
+
+    /// The physical slot indices as an owned vector (kernel candidate lists).
+    fn candidate_indices(&self) -> Vec<u32> {
+        match &self.sel {
+            Some(s) => s.as_ref().clone(),
+            None => (0..self.physical_len as u32).collect(),
+        }
+    }
+
+    /// The column at `pos`, if the batch is wide enough.
+    fn column(&self, pos: usize) -> Option<&Column> {
+        self.columns.get(pos).map(Arc::as_ref)
+    }
+
+    /// Applies a compiled predicate, producing a batch with a refined selection vector.
+    /// Output length equals the number of logically-present rows that satisfy the predicate;
+    /// column storage and the backing row view are shared untouched.
+    #[must_use]
+    pub fn filter(&self, predicate: &BoundPredicate) -> ColsBatch {
+        let survivors = refine(predicate, &self.columns, self.candidate_indices());
+        ColsBatch {
+            columns: self.columns.clone(),
+            sel: Some(Arc::new(survivors)),
+            physical_len: self.physical_len,
+            rows: self.rows.clone(),
+        }
+    }
+
+    /// Keeps the columns at `positions`, in that order (selection preserved, row view
+    /// dropped — the columns no longer line up with the backing tuples).
+    #[must_use]
+    pub fn project(&self, positions: &[usize]) -> ColsBatch {
+        let columns = positions
+            .iter()
+            .map(|&p| {
+                self.columns.get(p).map_or_else(
+                    // A position past the batch's arity can only arise from malformed
+                    // tuples; reproduce "missing cell" as an all-null column.
+                    || Arc::new(Column::from_values(vec![Value::Null; self.physical_len], 0)),
+                    Arc::clone,
+                )
+            })
+            .collect();
+        ColsBatch {
+            columns,
+            sel: self.sel.clone(),
+            physical_len: self.physical_len,
+            rows: None,
+        }
+    }
+
+    /// Cartesian product: every logical left row paired with every logical right row, left
+    /// row major — the row path's nested-loop order.
+    #[must_use]
+    pub fn product(&self, right: &ColsBatch) -> ColsBatch {
+        let ln = self.len();
+        let rn = right.len();
+        let mut lsel = Vec::with_capacity(ln * rn);
+        let mut rsel = Vec::with_capacity(ln * rn);
+        let rphys: Vec<u32> = right.candidate_indices();
+        for li in self.logical_indices() {
+            for &ri in &rphys {
+                lsel.push(li);
+                rsel.push(ri);
+            }
+        }
+        gather_pair(self, right, &lsel, &rsel)
+    }
+
+    /// Hash equi-join on positional key pairs, build side right, probe side left — output
+    /// rows in probe order (then build order within a key), null keys dropped, exactly like
+    /// the row hash join.
+    #[must_use]
+    pub fn hash_join(
+        &self,
+        right: &ColsBatch,
+        left_keys: &[usize],
+        right_keys: &[usize],
+    ) -> ColsBatch {
+        let (lsel, rsel) = if left_keys.len() == 1 {
+            join_single_key(self, right, left_keys[0], right_keys[0])
+        } else {
+            join_multi_key(self, right, left_keys, right_keys)
+        };
+        gather_pair(self, right, &lsel, &rsel)
+    }
+
+    /// COUNT(*) over the logical rows.
+    #[must_use]
+    pub fn count(&self) -> i64 {
+        self.len() as i64
+    }
+
+    /// SUM over column `pos`, folding in logical row order (float addition is
+    /// order-sensitive; the row path defines the order).  Nulls and missing cells are
+    /// skipped; a non-numeric value aborts with `None`, reported by the caller as the row
+    /// path's `InvalidAggregate`.
+    #[must_use]
+    pub fn sum(&self, pos: usize) -> Option<f64> {
+        let Some(col) = self.column(pos) else {
+            return Some(0.0);
+        };
+        let mut sum = 0.0f64;
+        match col {
+            Column::Int { values, nulls } => {
+                for i in self.logical_indices() {
+                    if !nulls.as_ref().is_some_and(|b| b.is_null(i as usize)) {
+                        sum += values[i as usize] as f64;
+                    }
+                }
+            }
+            Column::Float { values, nulls } => {
+                for i in self.logical_indices() {
+                    if !nulls.as_ref().is_some_and(|b| b.is_null(i as usize)) {
+                        sum += values[i as usize];
+                    }
+                }
+            }
+            Column::Bool { nulls, .. } | Column::Text { nulls, .. } => {
+                // Any logically-present non-null value is non-numeric: the row path errors.
+                for i in self.logical_indices() {
+                    if !nulls.as_ref().is_some_and(|b| b.is_null(i as usize)) {
+                        return None;
+                    }
+                }
+            }
+            Column::Mixed(values) => {
+                for i in self.logical_indices() {
+                    match &values[i as usize] {
+                        Value::Null => {}
+                        v => sum += v.as_f64()?,
+                    }
+                }
+            }
+        }
+        Some(sum)
+    }
+}
+
+/// Builds the joined/product output batch: left columns gathered by `lsel`, right columns by
+/// `rsel`, concatenated.  Both gather lists are physical indices of equal length.
+fn gather_pair(left: &ColsBatch, right: &ColsBatch, lsel: &[u32], rsel: &[u32]) -> ColsBatch {
+    debug_assert_eq!(lsel.len(), rsel.len());
+    let columns = left
+        .columns
+        .iter()
+        .map(|c| Arc::new(c.gather(lsel)))
+        .chain(right.columns.iter().map(|c| Arc::new(c.gather(rsel))))
+        .collect();
+    ColsBatch {
+        columns,
+        sel: None,
+        physical_len: lsel.len(),
+        rows: None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Predicate kernels
+// ---------------------------------------------------------------------------
+
+/// Refines a candidate list through a compiled predicate, one column-at-a-time pass per
+/// atomic comparison.  Candidates are physical indices in logical order; survivors keep that
+/// order.
+fn refine(predicate: &BoundPredicate, columns: &[Arc<Column>], candidates: Vec<u32>) -> Vec<u32> {
+    match predicate {
+        BoundPredicate::Never => Vec::new(),
+        BoundPredicate::And(parts) => parts
+            .iter()
+            .fold(candidates, |cands, p| refine(p, columns, cands)),
+        BoundPredicate::Compare { pos, op, value } => match columns.get(*pos) {
+            Some(col) => compare_kernel(col, *op, value, &candidates),
+            // A missing cell never satisfies a predicate (row path: `tuple.get` → `None`).
+            None => Vec::new(),
+        },
+        BoundPredicate::ColumnEq { left, right } => {
+            match (columns.get(*left), columns.get(*right)) {
+                (Some(a), Some(b)) => column_eq_kernel(a, b, &candidates),
+                _ => Vec::new(),
+            }
+        }
+    }
+}
+
+/// Whether `op` accepts an ordering result — the single place the six comparison operators
+/// are translated, shared by every typed kernel.
+#[inline]
+fn accepts(op: CompareOp, ord: Ordering) -> bool {
+    match op {
+        CompareOp::Eq => ord == Ordering::Equal,
+        CompareOp::Ne => ord != Ordering::Equal,
+        CompareOp::Lt => ord == Ordering::Less,
+        CompareOp::Le => ord != Ordering::Greater,
+        CompareOp::Gt => ord == Ordering::Greater,
+        CompareOp::Ge => ord != Ordering::Less,
+    }
+}
+
+/// The shared survivor loop of the typed compare kernels: generic over the per-row verdict
+/// so each typed instantiation monomorphises into a flat, inlinable loop (a `dyn` callback
+/// here costs an indirect call per candidate row — measurable on selection-heavy plans).
+#[inline]
+fn keep_valid<F: Fn(usize) -> bool>(
+    cands: &[u32],
+    nulls: Option<&urm_storage::NullBitmap>,
+    decide: F,
+) -> Vec<u32> {
+    cands
+        .iter()
+        .copied()
+        .filter(|&i| {
+            let i = i as usize;
+            !nulls.is_some_and(|b| b.is_null(i)) && decide(i)
+        })
+        .collect()
+}
+
+/// `column op constant` over a candidate list.  Typed columns compare through flat vectors;
+/// comparisons whose outcome depends only on the variants (a text column against an int
+/// constant, say) are resolved once for the whole column via `Value`'s variant ranking.
+fn compare_kernel(col: &Column, op: CompareOp, constant: &Value, cands: &[u32]) -> Vec<u32> {
+    match (col, constant) {
+        (Column::Int { values, nulls }, Value::Int(c)) => {
+            keep_valid(cands, nulls.as_ref(), |i| accepts(op, values[i].cmp(c)))
+        }
+        (Column::Int { values, nulls }, Value::Float(c)) => {
+            keep_valid(cands, nulls.as_ref(), |i| {
+                accepts(op, (values[i] as f64).total_cmp(c))
+            })
+        }
+        (Column::Float { values, nulls }, Value::Float(c)) => {
+            keep_valid(cands, nulls.as_ref(), |i| {
+                accepts(op, values[i].total_cmp(c))
+            })
+        }
+        (Column::Float { values, nulls }, Value::Int(c)) => {
+            keep_valid(cands, nulls.as_ref(), |i| {
+                accepts(op, values[i].total_cmp(&(*c as f64)))
+            })
+        }
+        (Column::Bool { values, nulls }, Value::Bool(c)) => {
+            keep_valid(cands, nulls.as_ref(), |i| accepts(op, values[i].cmp(c)))
+        }
+        (Column::Text { codes, dict, nulls }, Value::Text(s)) => {
+            // One comparison per *distinct* string, then a table lookup per row.
+            let table: Vec<bool> = dict
+                .entries()
+                .iter()
+                .map(|e| accepts(op, e.as_ref().cmp(s.as_ref())))
+                .collect();
+            keep_valid(cands, nulls.as_ref(), |i| table[codes[i] as usize])
+        }
+        (Column::Mixed(values), _) => cands
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let v = &values[i as usize];
+                !v.is_null() && op.eval(v, constant)
+            })
+            .collect(),
+        // Cross-variant (and null-constant) comparisons depend only on the variants, so the
+        // verdict is one comparison for the whole column, applied to its non-null rows.
+        (col, constant) => {
+            let verdict = op.eval(&kind_representative(col), constant);
+            if !verdict {
+                return Vec::new();
+            }
+            match col {
+                Column::Int { nulls, .. }
+                | Column::Float { nulls, .. }
+                | Column::Bool { nulls, .. }
+                | Column::Text { nulls, .. } => keep_valid(cands, nulls.as_ref(), |_| true),
+                Column::Mixed(_) => unreachable!("mixed columns matched above"),
+            }
+        }
+    }
+}
+
+/// A representative non-null value of a typed column's variant, for comparisons whose
+/// outcome is payload-independent (cross-variant ranking).
+fn kind_representative(col: &Column) -> Value {
+    match col {
+        Column::Int { .. } => Value::Int(0),
+        Column::Float { .. } => Value::Float(0.0),
+        Column::Bool { .. } => Value::Bool(false),
+        Column::Text { .. } => Value::text(""),
+        Column::Mixed(_) => unreachable!("mixed columns take the generic kernel"),
+    }
+}
+
+/// `input[left] = input[right]` over a candidate list.
+fn column_eq_kernel(a: &Column, b: &Column, cands: &[u32]) -> Vec<u32> {
+    // Generic (monomorphised) survivor loop — see `keep_valid` for why not `dyn`.
+    #[inline]
+    fn keep<F: Fn(usize) -> bool>(a: &Column, b: &Column, cands: &[u32], decide: F) -> Vec<u32> {
+        cands
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let i = i as usize;
+                !a.is_null(i) && !b.is_null(i) && decide(i)
+            })
+            .collect()
+    }
+    match (a, b) {
+        (Column::Int { values: av, .. }, Column::Int { values: bv, .. }) => {
+            keep(a, b, cands, |i| av[i] == bv[i])
+        }
+        (Column::Float { values: av, .. }, Column::Float { values: bv, .. }) => {
+            keep(a, b, cands, |i| av[i].total_cmp(&bv[i]) == Ordering::Equal)
+        }
+        (Column::Int { values: av, .. }, Column::Float { values: bv, .. }) => {
+            keep(a, b, cands, |i| {
+                (av[i] as f64).total_cmp(&bv[i]) == Ordering::Equal
+            })
+        }
+        (Column::Float { values: av, .. }, Column::Int { values: bv, .. }) => {
+            keep(a, b, cands, |i| {
+                av[i].total_cmp(&(bv[i] as f64)) == Ordering::Equal
+            })
+        }
+        (Column::Bool { values: av, .. }, Column::Bool { values: bv, .. }) => {
+            keep(a, b, cands, |i| av[i] == bv[i])
+        }
+        (
+            Column::Text {
+                codes: ac,
+                dict: ad,
+                ..
+            },
+            Column::Text {
+                codes: bc,
+                dict: bd,
+                ..
+            },
+        ) => {
+            if Arc::ptr_eq(ad, bd) {
+                keep(a, b, cands, |i| ac[i] == bc[i])
+            } else {
+                keep(a, b, cands, |i| {
+                    ad.get(ac[i]).map(Arc::as_ref) == bd.get(bc[i]).map(Arc::as_ref)
+                })
+            }
+        }
+        (Column::Mixed(_), _) | (_, Column::Mixed(_)) => {
+            keep(a, b, cands, |i| a.value_at(i) == b.value_at(i))
+        }
+        // Remaining typed pairs are cross-variant and non-numeric: never equal.
+        _ => Vec::new(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Join kernels
+// ---------------------------------------------------------------------------
+
+/// Single-key hash join over typed key columns.  Emits paired physical gather lists in the
+/// row path's output order: probe (left) logical order, build (right) logical order within
+/// a key.
+fn join_single_key(
+    left: &ColsBatch,
+    right: &ColsBatch,
+    lk: usize,
+    rk: usize,
+) -> (Vec<u32>, Vec<u32>) {
+    let (Some(lcol), Some(rcol)) = (left.column(lk), right.column(rk)) else {
+        return (Vec::new(), Vec::new());
+    };
+    // Typed fast paths keyed by raw column data.  `Value` equality makes Int/Int exact `i64`
+    // equality but Int/Float (and Float/Float) *total-order* equality, which is f64 bit
+    // equality — so numeric cross-type joins key by the bit pattern of the value as f64,
+    // while Int/Int keys by the integer itself (2^53-safe).
+    match (lcol, rcol) {
+        (
+            Column::Int {
+                values: lv,
+                nulls: ln,
+            },
+            Column::Int {
+                values: rv,
+                nulls: rn,
+            },
+        ) => join_typed(
+            left,
+            right,
+            |i| key_of(lv, ln.as_ref(), i),
+            |i| key_of(rv, rn.as_ref(), i),
+        ),
+        (
+            Column::Float {
+                values: lv,
+                nulls: ln,
+            },
+            Column::Float {
+                values: rv,
+                nulls: rn,
+            },
+        ) => join_typed(
+            left,
+            right,
+            |i| key_of_map(lv, ln.as_ref(), i, |v| v.to_bits()),
+            |i| key_of_map(rv, rn.as_ref(), i, |v| v.to_bits()),
+        ),
+        (
+            Column::Int {
+                values: lv,
+                nulls: ln,
+            },
+            Column::Float {
+                values: rv,
+                nulls: rn,
+            },
+        ) => join_typed(
+            left,
+            right,
+            |i| key_of_map(lv, ln.as_ref(), i, |v| (v as f64).to_bits()),
+            |i| key_of_map(rv, rn.as_ref(), i, |v| v.to_bits()),
+        ),
+        (
+            Column::Float {
+                values: lv,
+                nulls: ln,
+            },
+            Column::Int {
+                values: rv,
+                nulls: rn,
+            },
+        ) => join_typed(
+            left,
+            right,
+            |i| key_of_map(lv, ln.as_ref(), i, |v| v.to_bits()),
+            |i| key_of_map(rv, rn.as_ref(), i, |v| (v as f64).to_bits()),
+        ),
+        (
+            Column::Bool {
+                values: lv,
+                nulls: ln,
+            },
+            Column::Bool {
+                values: rv,
+                nulls: rn,
+            },
+        ) => join_typed(
+            left,
+            right,
+            |i| key_of(lv, ln.as_ref(), i),
+            |i| key_of(rv, rn.as_ref(), i),
+        ),
+        (
+            Column::Text {
+                codes: lc,
+                dict: ld,
+                nulls: ln,
+            },
+            Column::Text {
+                codes: rc,
+                dict: rd,
+                nulls: rn,
+            },
+        ) => {
+            if Arc::ptr_eq(ld, rd) {
+                join_typed(
+                    left,
+                    right,
+                    |i| key_of(lc, ln.as_ref(), i),
+                    |i| key_of(rc, rn.as_ref(), i),
+                )
+            } else {
+                join_typed(
+                    left,
+                    right,
+                    |i| {
+                        (!ln.as_ref().is_some_and(|b| b.is_null(i)))
+                            .then(|| ld.get(lc[i]).map(Arc::as_ref))
+                            .flatten()
+                    },
+                    |i| {
+                        (!rn.as_ref().is_some_and(|b| b.is_null(i)))
+                            .then(|| rd.get(rc[i]).map(Arc::as_ref))
+                            .flatten()
+                    },
+                )
+            }
+        }
+        // A mixed column on either side, or numeric-vs-non-numeric: fall back to exact
+        // `Value` keys (still column-at-a-time; `Value` Eq/Hash already encode the
+        // cross-type rules).  Non-numeric cross-variant pairs can never match, but an empty
+        // probe is cheap and keeps the kernel count small.
+        (lcol, rcol) => join_typed(
+            left,
+            right,
+            |i| {
+                let v = lcol.value_at(i);
+                (!v.is_null()).then_some(v)
+            },
+            |i| {
+                let v = rcol.value_at(i);
+                (!v.is_null()).then_some(v)
+            },
+        ),
+    }
+}
+
+/// Non-null key extraction from a flat vector (`None` masks a null slot).
+#[inline]
+fn key_of<T: Copy>(values: &[T], nulls: Option<&urm_storage::NullBitmap>, i: usize) -> Option<T> {
+    (!nulls.is_some_and(|b| b.is_null(i))).then(|| values[i])
+}
+
+/// Like [`key_of`], mapping the raw value into its key form (float → bits).
+#[inline]
+fn key_of_map<T: Copy, K>(
+    values: &[T],
+    nulls: Option<&urm_storage::NullBitmap>,
+    i: usize,
+    f: impl Fn(T) -> K,
+) -> Option<K> {
+    (!nulls.is_some_and(|b| b.is_null(i))).then(|| f(values[i]))
+}
+
+/// The shared build/probe loop of the single-key kernels: build a table from the right
+/// batch's logical rows in order, probe the left batch's logical rows in order.
+fn join_typed<K: std::hash::Hash + Eq>(
+    left: &ColsBatch,
+    right: &ColsBatch,
+    lkey: impl Fn(usize) -> Option<K>,
+    rkey: impl Fn(usize) -> Option<K>,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut table: HashMap<K, Vec<u32>> = HashMap::with_capacity(right.len());
+    for ri in right.logical_indices() {
+        if let Some(k) = rkey(ri as usize) {
+            table.entry(k).or_default().push(ri);
+        }
+    }
+    let mut lsel = Vec::new();
+    let mut rsel = Vec::new();
+    for li in left.logical_indices() {
+        let Some(k) = lkey(li as usize) else { continue };
+        if let Some(matches) = table.get(&k) {
+            for &ri in matches {
+                lsel.push(li);
+                rsel.push(ri);
+            }
+        }
+    }
+    (lsel, rsel)
+}
+
+/// Composite-key join: exact `Value` keys reconstructed per component, rows with any null
+/// component dropped on both sides — the row path's labelled-continue semantics.
+fn join_multi_key(
+    left: &ColsBatch,
+    right: &ColsBatch,
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> (Vec<u32>, Vec<u32>) {
+    let composite = |batch: &ColsBatch, keys: &[usize], i: usize| -> Option<Vec<Value>> {
+        let mut key = Vec::with_capacity(keys.len());
+        for &k in keys {
+            let v = batch.column(k)?.value_at(i);
+            if v.is_null() {
+                return None;
+            }
+            key.push(v);
+        }
+        Some(key)
+    };
+    join_typed(
+        left,
+        right,
+        |i| composite(left, left_keys, i),
+        |i| composite(right, right_keys, i),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use urm_storage::{Attribute, ColumnarRelation, DataType};
+
+    fn leaf(rows: Vec<Vec<Value>>) -> (Batch, Arc<Relation>) {
+        let arity = rows.first().map_or(0, Vec::len);
+        let attrs = (0..arity)
+            .map(|i| Attribute::new(format!("c{i}"), DataType::Null))
+            .collect();
+        let rel = Arc::new(Relation::from_validated(
+            Schema::new("T", attrs),
+            rows.into_iter().map(Tuple::new).collect(),
+        ));
+        let conv = ColumnarRelation::from_relation(&rel);
+        (
+            Batch::from_leaf(conv.columns().to_vec(), Arc::clone(&rel)),
+            rel,
+        )
+    }
+
+    fn cols(batch: &Batch) -> &ColsBatch {
+        match batch {
+            Batch::Cols(c) => c,
+            Batch::Rows(_) => panic!("expected a columnar batch"),
+        }
+    }
+
+    #[test]
+    fn unfiltered_leaf_materializes_to_the_shared_view() {
+        let (batch, rel) = leaf(vec![vec![Value::from(1i64)], vec![Value::from(2i64)]]);
+        let out = batch.materialize(rel.schema());
+        assert!(Arc::ptr_eq(&out, &rel));
+    }
+
+    #[test]
+    fn filter_refines_selection_and_preserves_order() {
+        let (batch, rel) = leaf(vec![
+            vec![Value::from(5i64)],
+            vec![Value::Null],
+            vec![Value::from(-1i64)],
+            vec![Value::from(9i64)],
+        ]);
+        let filtered = cols(&batch).filter(&BoundPredicate::Compare {
+            pos: 0,
+            op: CompareOp::Gt,
+            value: Value::from(0i64),
+        });
+        let out = Batch::Cols(filtered).materialize(rel.schema());
+        assert_eq!(
+            out.rows()
+                .iter()
+                .map(|t| t.get(0).cloned().unwrap())
+                .collect::<Vec<_>>(),
+            vec![Value::from(5i64), Value::from(9i64)]
+        );
+    }
+
+    #[test]
+    fn cross_variant_comparisons_resolve_by_rank() {
+        // Int column vs text constant: Lt for every non-null row, Eq for none.
+        let (batch, _) = leaf(vec![vec![Value::from(4i64)], vec![Value::Null]]);
+        let lt = cols(&batch).filter(&BoundPredicate::Compare {
+            pos: 0,
+            op: CompareOp::Lt,
+            value: Value::from("zz"),
+        });
+        assert_eq!(lt.len(), 1);
+        let eq = cols(&batch).filter(&BoundPredicate::Compare {
+            pos: 0,
+            op: CompareOp::Eq,
+            value: Value::from("zz"),
+        });
+        assert!(eq.is_empty());
+    }
+
+    #[test]
+    fn int_float_join_matches_cross_type() {
+        let (l, _) = leaf(vec![vec![Value::from(1i64)], vec![Value::from(2i64)]]);
+        let (r, _) = leaf(vec![vec![Value::from(2.0)], vec![Value::from(2.5)]]);
+        let joined = cols(&l).hash_join(cols(&r), &[0], &[0]);
+        assert_eq!(joined.len(), 1);
+        assert_eq!(joined.columns[0].value_at(0), Value::from(2i64));
+        assert_eq!(joined.columns[1].value_at(0), Value::from(2.0));
+    }
+
+    #[test]
+    fn sum_skips_nulls_and_errors_on_text() {
+        let (batch, _) = leaf(vec![
+            vec![Value::from(1i64), Value::from("x")],
+            vec![Value::Null, Value::Null],
+            vec![Value::from(2i64), Value::from("y")],
+        ]);
+        assert_eq!(cols(&batch).sum(0), Some(3.0));
+        assert_eq!(cols(&batch).sum(1), None);
+        // Position past the arity: every cell is "missing", the sum is empty.
+        assert_eq!(cols(&batch).sum(9), Some(0.0));
+    }
+}

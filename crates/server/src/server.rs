@@ -278,6 +278,9 @@ fn metrics_body(shared: &Shared) -> String {
         ("bytes_spilled", n(m.bytes_spilled)),
         ("spill_reloads", n(m.spill_reloads)),
         ("grace_partitions", n(m.grace_partitions)),
+        ("columnar_rows", n(m.columnar_rows)),
+        ("segment_bytes_raw", n(m.segment_bytes_raw)),
+        ("segment_bytes_encoded", n(m.segment_bytes_encoded)),
         (
             "batch_time_ms",
             Json::Num(m.batch_time.as_secs_f64() * 1000.0),

@@ -63,6 +63,7 @@ struct Args {
     answer_cache: usize,
     epoch_cache: bool,
     pipeline: bool,
+    columnar: bool,
     memory_budget: Option<usize>,
     verify: bool,
 }
@@ -84,6 +85,7 @@ impl Default for Args {
             answer_cache: 1024,
             epoch_cache: defaults.epoch_cache,
             pipeline: defaults.pipeline,
+            columnar: defaults.columnar,
             memory_budget: defaults.memory_budget,
             verify: false,
         }
@@ -113,6 +115,10 @@ OPTIONS:
                       cached node results; default on) — 'off' rebuilds per batch for A/B runs
   --pipeline on|off   two-stage epoch lock (default on): bind the next batch while the current
                       one executes — 'off' holds one lock across the whole batch for A/B runs
+  --columnar on|off   evaluate through the vectorized columnar kernels (default on): scanned
+                      relations convert once to typed column vectors and selections, joins and
+                      aggregates run column-at-a-time — 'off' row-at-a-time for A/B runs;
+                      answers are byte-identical either way
   --memory-budget B   byte budget for materialised relations, per epoch (default: unbudgeted);
                       under a budget, pinned results spill to disk segments and oversized hash
                       joins take the grace (partitioned) path — answers are byte-identical
@@ -151,6 +157,13 @@ fn parse_args() -> Result<Args, String> {
                     "on" => true,
                     "off" => false,
                     other => return Err(format!("--pipeline expects on|off, got '{other}'")),
+                }
+            }
+            "--columnar" => {
+                args.columnar = match value("--columnar")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--columnar expects on|off, got '{other}'")),
                 }
             }
             "--verify" => args.verify = true,
@@ -314,6 +327,7 @@ fn run_service(
         answer_cache_capacity: args.answer_cache,
         epoch_cache: args.epoch_cache,
         pipeline: args.pipeline,
+        columnar: args.columnar,
         memory_budget: args.memory_budget,
     });
     let epochs: BTreeMap<String, EpochId> = scenarios
@@ -326,7 +340,7 @@ fn run_service(
 
     println!(
         "workload: {} queries over {} epoch(s); algorithm=service replays={} batch-size={} \
-         workers={} dag-workers={} epoch-cache={} pipeline={} memory-budget={}",
+         workers={} dag-workers={} epoch-cache={} pipeline={} columnar={} memory-budget={}",
         workload.len(),
         epochs.len(),
         args.replays,
@@ -335,6 +349,7 @@ fn run_service(
         args.dag_workers,
         if args.epoch_cache { "on" } else { "off" },
         if args.pipeline { "on" } else { "off" },
+        if args.columnar { "on" } else { "off" },
         args.memory_budget
             .map_or_else(|| "off".to_string(), |b| format!("{b}B")),
     );
@@ -453,10 +468,19 @@ fn run_service(
         metrics.rows_per_second(),
         metrics.rows_shared,
     );
+    println!(
+        "columnar: {} rows produced by vectorized kernels",
+        metrics.columnar_rows,
+    );
     match args.memory_budget {
         Some(budget) => println!(
-            "spill: budget={budget} bytes, {} bytes spilled, {} reloads, {} grace partitions",
-            metrics.bytes_spilled, metrics.spill_reloads, metrics.grace_partitions,
+            "spill: budget={budget} bytes, {} bytes spilled ({} raw → {} encoded segment bytes), \
+             {} reloads, {} grace partitions",
+            metrics.bytes_spilled,
+            metrics.segment_bytes_raw,
+            metrics.segment_bytes_encoded,
+            metrics.spill_reloads,
+            metrics.grace_partitions,
         ),
         None => println!("spill: n/a (no --memory-budget)"),
     }

@@ -28,6 +28,13 @@ pub struct ServiceConfig {
     /// the two).  Only meaningful with [`epoch_cache`](ServiceConfig::epoch_cache) on and at
     /// least two workers.
     pub pipeline: bool,
+    /// Whether batch executors evaluate through the vectorized columnar kernels: scanned
+    /// base relations are converted once to typed per-column vectors (cached per catalog),
+    /// and selections, joins and aggregates over them run column-at-a-time driven by
+    /// selection vectors.  Answers are byte-identical either way — the toggle (`urm-cli
+    /// --columnar off`) exists for A/B timing and forensics.  Columnar work is reported in
+    /// [`ServiceMetrics::columnar_rows`](crate::ServiceMetrics).
+    pub columnar: bool,
     /// Byte budget for materialised relations, per epoch (`None` = unbudgeted, all in memory).
     ///
     /// With a budget, each epoch owns a spill [`BufferPool`](urm_storage::BufferPool): pinned
@@ -61,6 +68,7 @@ impl Default for ServiceConfig {
             answer_cache_capacity: 1024,
             epoch_cache: true,
             pipeline: true,
+            columnar: true,
             memory_budget: None,
         }
     }
@@ -77,6 +85,7 @@ impl ServiceConfig {
             answer_cache_capacity: 32,
             epoch_cache: true,
             pipeline: true,
+            columnar: true,
             memory_budget: None,
         }
     }

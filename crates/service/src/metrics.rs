@@ -53,6 +53,15 @@ pub struct ServiceMetrics {
     pub spill_reloads: u64,
     /// Partitions produced by grace hash joins (joins whose build side exceeded the budget).
     pub grace_partitions: u64,
+    /// Rows produced by the vectorized columnar kernels (0 with
+    /// [`ServiceConfig::columnar`](crate::ServiceConfig) off — `urm-cli --columnar off`).
+    pub columnar_rows: u64,
+    /// Row-codec-equivalent bytes of the relations written to spill segments — the size the
+    /// segments *would* have under the uncompressed row codec (0 without a memory budget).
+    pub segment_bytes_raw: u64,
+    /// Actual encoded bytes of the spill segments written (per-column dictionary / delta /
+    /// run-length encodings); compare against `segment_bytes_raw` for the compression ratio.
+    pub segment_bytes_encoded: u64,
     /// Total wall-clock time spent executing batches.
     pub batch_time: Duration,
 }
@@ -180,6 +189,12 @@ pub struct BatchReport {
     pub spill_reloads: u64,
     /// Grace-hash-join partitions this batch produced.
     pub grace_partitions: u64,
+    /// Rows this batch's vectorized columnar kernels produced.
+    pub columnar_rows: u64,
+    /// Row-codec-equivalent bytes of the relations this batch spilled.
+    pub segment_bytes_raw: u64,
+    /// Actual encoded bytes of the spill segments this batch wrote.
+    pub segment_bytes_encoded: u64,
     /// Wall-clock latency of the batch.
     pub latency: Duration,
     /// p50/p95/p99 over the *per-query* wall-clock latencies of the batch's evaluated queries

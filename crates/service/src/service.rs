@@ -213,7 +213,8 @@ impl Inner {
         // Merge every distinct query's plans into the epoch's persistent DAG (or a throwaway
         // one when the epoch cache is off) and execute each distinct operator this batch still
         // needs exactly once, on the configured number of scheduler workers.
-        let options = BatchOptions::parallel(self.config.dag_workers);
+        let options =
+            BatchOptions::parallel(self.config.dag_workers).with_columnar(self.config.columnar);
         let outcome = if self.config.epoch_cache {
             if self.config.pipeline {
                 // The two-stage pipeline: the epoch's bind lock is held only while this batch
@@ -328,6 +329,9 @@ impl Inner {
             bytes_spilled: outcome.exec.bytes_spilled,
             spill_reloads: outcome.exec.spill_reloads,
             grace_partitions: outcome.exec.grace_partitions,
+            columnar_rows: outcome.exec.columnar_rows,
+            segment_bytes_raw: outcome.exec.segment_bytes_raw,
+            segment_bytes_encoded: outcome.exec.segment_bytes_encoded,
             latency,
             latency_percentiles,
         };
@@ -352,6 +356,9 @@ impl Inner {
             metrics.bytes_spilled += report.bytes_spilled;
             metrics.spill_reloads += report.spill_reloads;
             metrics.grace_partitions += report.grace_partitions;
+            metrics.columnar_rows += report.columnar_rows;
+            metrics.segment_bytes_raw += report.segment_bytes_raw;
+            metrics.segment_bytes_encoded += report.segment_bytes_encoded;
             metrics.batch_time += latency;
         }
         {

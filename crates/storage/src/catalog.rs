@@ -1,17 +1,23 @@
 //! The catalog: the source instance `D`, a named collection of relations.
 
-use crate::{Relation, Schema, StorageError, StorageResult};
-use std::collections::BTreeMap;
+use crate::{ColumnarRelation, Relation, Schema, StorageError, StorageResult};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A named collection of materialised relations — the paper's *source instance* `D`.
 ///
 /// Relations are held behind [`Arc`] so the many source queries generated from a mapping set can
 /// scan the same base data without copying it.
+///
+/// The catalog also memoises [`ColumnarRelation`] conversions, keyed by *row-buffer identity*:
+/// the same buffer scanned under different aliases shares one conversion, catalog clones (the
+/// per-worker executors of the DAG scheduler) share the cache, and an entry pins its source
+/// buffer alive — so a cache key can never be a dangling pointer reused by another allocation.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     relations: BTreeMap<String, Arc<Relation>>,
+    columnar: Arc<Mutex<HashMap<usize, Arc<ColumnarRelation>>>>,
 }
 
 impl Catalog {
@@ -101,6 +107,42 @@ impl Catalog {
     pub fn estimated_bytes(&self) -> usize {
         self.relations.values().map(|r| r.estimated_bytes()).sum()
     }
+
+    fn buffer_key(rel: &Relation) -> usize {
+        Arc::as_ptr(&rel.shared_rows()) as *const () as usize
+    }
+
+    /// The memoised columnar conversion of a relation's row buffer, converting on first use.
+    ///
+    /// Conversions are shared across aliases of the same buffer and across catalog clones.
+    /// The executor calls this at scan time when the columnar path is enabled.
+    #[must_use]
+    pub fn columnar_view(&self, rel: &Relation) -> Arc<ColumnarRelation> {
+        let key = Catalog::buffer_key(rel);
+        let mut cache = self.columnar.lock().unwrap();
+        if let Some(found) = cache.get(&key) {
+            // An entry pins its source buffer, so a matching key is almost certainly the same
+            // allocation — but verify identity anyway: the map survives relations it indexed.
+            if found.matches_buffer(rel) {
+                return Arc::clone(found);
+            }
+        }
+        let converted = Arc::new(ColumnarRelation::from_relation(rel));
+        cache.insert(key, Arc::clone(&converted));
+        converted
+    }
+
+    /// The memoised columnar conversion of a relation's row buffer, if one exists (no
+    /// conversion is performed).  Used by per-node execution paths that only want the
+    /// columnar kernels for buffers a scan already converted.
+    #[must_use]
+    pub fn cached_columnar(&self, rel: &Relation) -> Option<Arc<ColumnarRelation>> {
+        let cache = self.columnar.lock().unwrap();
+        cache
+            .get(&Catalog::buffer_key(rel))
+            .filter(|c| c.matches_buffer(rel))
+            .map(Arc::clone)
+    }
 }
 
 impl fmt::Display for Catalog {
@@ -169,6 +211,26 @@ mod tests {
         cat.insert(rel("Alpha", "a", 0));
         let names: Vec<_> = cat.relation_names().collect();
         assert_eq!(names, vec!["Alpha", "Zeta"]);
+    }
+
+    #[test]
+    fn columnar_views_are_memoised_by_buffer_identity() {
+        let mut cat = Catalog::new();
+        cat.insert(rel("Customer", "cid", 5));
+        let base = cat.get("Customer").unwrap();
+        let a = cat.columnar_view(&base);
+        // Aliased scan of the same buffer: same conversion.
+        let b = cat.columnar_view(&base.renamed("C1"));
+        assert!(Arc::ptr_eq(&a, &b));
+        // Catalog clones share the cache.
+        let clone = cat.clone();
+        assert!(Arc::ptr_eq(&a, &clone.columnar_view(&base)));
+        assert!(clone.cached_columnar(&base).is_some());
+        // A different buffer with equal contents is a different conversion.
+        let other = rel("Customer", "cid", 5);
+        assert!(cat.cached_columnar(&other).is_none());
+        let c = cat.columnar_view(&other);
+        assert!(!Arc::ptr_eq(&a, &c));
     }
 
     #[test]

@@ -54,6 +54,8 @@
 
 pub mod catalog;
 pub mod codec;
+pub mod column;
+pub mod dictionary;
 pub mod error;
 pub mod recency;
 pub mod relation;
@@ -64,6 +66,8 @@ pub mod types;
 pub mod value;
 
 pub use catalog::Catalog;
+pub use column::{Column, ColumnarRelation, NullBitmap};
+pub use dictionary::{Dictionary, DEFAULT_DICT_LIMIT};
 pub use error::{StorageError, StorageResult};
 pub use recency::RecencyIndex;
 pub use relation::Relation;
