@@ -1,0 +1,276 @@
+//! Adaptive-execution micro-benchmark: static estimates vs. observed-cardinality feedback on
+//! a skew-heavy join batch.
+//!
+//! The batch is built to mis-lead static estimation the way the Zipf-skewed source data does:
+//! every join puts a *selectively filtered* side on the left (a clerk's orders, the tail ranks
+//! of the skewed `quantity` key) and a whole base relation on the right.  The canonical hash
+//! join builds on the right — here always the big side — so the static schedule pays a full
+//! hash-table build per join, per batch.  With the feedback loop on, the first batch records
+//! observed cardinalities on the epoch's `CardinalityStore` and every later batch flips those
+//! builds to the observed-small side ([`EpochRunReport::reordered_joins`]).
+//!
+//! Four measured modes — `static`/`adaptive` × `cold` (fresh epoch per iteration) and `warm`
+//! (persistent epoch with a 1-byte pin budget, so repeats re-execute while the store persists;
+//! the warm-static series is the control that re-executes *without* feedback):
+//!
+//! * **byte identity first**: before any timing, the run asserts that adaptive answers —
+//!   cold and fed-back — are row-for-row identical to static ones, and that the warm adaptive
+//!   batch actually consumed feedback (`observed_nodes > 0`, `reordered_joins ≥ 1`);
+//! * the emitted rows (`BENCH_adaptive.json`) carry the timings plus the feedback counters
+//!   and `hardware-threads`, which CI gates on (warm adaptive ≥ 1.2× warm static on
+//!   multi-core runners).
+//!
+//! [`EpochRunReport::reordered_joins`]: urm_engine::EpochRunReport
+
+use crate::experiments::{ExperimentRow, RowKind};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use urm_core::CoreResult;
+use urm_datagen::source::generate_source;
+use urm_engine::{CompareOp, EpochDag, EpochRunReport, Executor, Plan, Predicate};
+use urm_storage::{Catalog, Relation, Value};
+
+/// Configuration of one adaptive micro-benchmark run.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveBenchConfig {
+    /// Source-instance scale factor (`Orders` gets `2 × scale` rows, `LineItem` `4 × scale`).
+    pub scale: usize,
+    /// Number of mis-estimated joins in the batch.
+    pub queries: usize,
+    /// Timed iterations per mode.
+    pub iters: usize,
+    /// Data-generation seed.
+    pub seed: u64,
+    /// DAG-scheduler workers per batch.
+    pub workers: usize,
+}
+
+impl Default for AdaptiveBenchConfig {
+    fn default() -> Self {
+        AdaptiveBenchConfig {
+            scale: 600,
+            queries: 8,
+            iters: 5,
+            seed: 42,
+            workers: 2,
+        }
+    }
+}
+
+/// The mis-estimated batch: joins whose *observed*-small side is the left (selective filters
+/// over shared base scans — no aliases, so the scans dedupe to one DAG node each and warm
+/// rounds re-execute only the selects and joins), while the canonical build side (the right)
+/// is a whole base relation.
+///
+/// Two families, distinct predicate constants per query so every join is its own DAG node:
+///
+/// * one clerk's orders probing all of `LineItem` (canonical build: `4 × scale` rows);
+/// * the Zipf tail of `LineItem.quantity` (ranks ≥ 44, a few percent of the rows) probing all
+///   of `Orders` (canonical build: `2 × scale` rows).
+#[must_use]
+pub fn mis_estimated_batch(queries: usize) -> Vec<Plan> {
+    (0..queries.max(1))
+        .map(|i| {
+            if i % 2 == 0 {
+                Plan::scan("Orders")
+                    .select(Predicate::compare(
+                        "Orders.clerk",
+                        CompareOp::Eq,
+                        Value::from(format!("clerk{}", (i * 7) % 50)),
+                    ))
+                    .hash_join(
+                        Plan::scan("LineItem"),
+                        vec![("Orders.orderNum".into(), "LineItem.itemOrderNum".into())],
+                    )
+            } else {
+                Plan::scan("LineItem")
+                    .select(Predicate::compare(
+                        "LineItem.quantity",
+                        CompareOp::Ge,
+                        Value::from(44 + (i as i64 % 6)),
+                    ))
+                    .hash_join(
+                        Plan::scan("Orders"),
+                        vec![("LineItem.itemOrderNum".into(), "Orders.orderNum".into())],
+                    )
+            }
+        })
+        .collect()
+}
+
+fn run_batch(
+    epoch: &mut EpochDag,
+    catalog: &Catalog,
+    batch: &[Plan],
+    workers: usize,
+) -> (Vec<Arc<Relation>>, EpochRunReport) {
+    let mut exec = Executor::new(catalog);
+    for plan in batch {
+        epoch.submit(plan, &exec).expect("plan submits");
+    }
+    let run = epoch
+        .execute_pending(&mut exec, workers)
+        .expect("batch runs");
+    (run.root_results, run.report)
+}
+
+fn timing_row(series: &str, total: Duration, answers: usize) -> ExperimentRow {
+    ExperimentRow {
+        experiment: "adaptive".into(),
+        series: series.into(),
+        x: "mis-estimated".into(),
+        kind: RowKind::Timing,
+        time: total,
+        source_operators: 0,
+        answers,
+        extra: None,
+    }
+}
+
+fn counter_row(series: &str, name: &str, value: f64) -> ExperimentRow {
+    ExperimentRow::counter("adaptive", series, "mis-estimated", name, value)
+}
+
+/// Runs the micro-benchmark, returning `BENCH_adaptive.json`-ready rows.
+///
+/// # Panics
+/// Panics (failing the CI step) when adaptive answers — cold or fed-back — diverge from
+/// static ones by a single row, or when the warm adaptive batch did not consume feedback
+/// (no observed nodes, no flipped build side).
+pub fn run(config: &AdaptiveBenchConfig) -> CoreResult<Vec<ExperimentRow>> {
+    let catalog = generate_source(config.scale, config.seed);
+    let batch = mis_estimated_batch(config.queries);
+    let iters = config.iters.max(1);
+    let workers = config.workers.max(1);
+
+    // Correctness first: two rounds on each epoch flavour (a 1-byte pin budget makes round 2
+    // re-execute), every round byte-compared against the static answers.
+    let mut identity_rounds = 0u64;
+    {
+        let mut adaptive_epoch = EpochDag::with_pin_budget(1);
+        let mut static_epoch = EpochDag::with_pin_budget(1);
+        static_epoch.set_adaptive(false);
+        let mut warm_report = None;
+        for round in 0..2 {
+            let (a_rows, a_report) = run_batch(&mut adaptive_epoch, &catalog, &batch, workers);
+            let (s_rows, s_report) = run_batch(&mut static_epoch, &catalog, &batch, workers);
+            assert_eq!(s_report.observed_nodes, 0, "static run consumed feedback");
+            assert_eq!(s_report.reordered_joins, 0, "static run flipped a join");
+            for (plan, (a, s)) in batch.iter().zip(a_rows.iter().zip(&s_rows)) {
+                assert_eq!(
+                    a.rows(),
+                    s.rows(),
+                    "adaptive round {round} diverged from static:\n{plan}"
+                );
+            }
+            identity_rounds += 1;
+            warm_report = Some(a_report);
+        }
+        let warm = warm_report.expect("two rounds ran");
+        assert!(
+            warm.observed_nodes > 0,
+            "warm adaptive batch ignored the cardinality store"
+        );
+        assert!(
+            warm.reordered_joins >= 1,
+            "no mis-estimated build side was flipped on the warm batch"
+        );
+    }
+
+    // Timed: cold batches, a fresh epoch per iteration (the store never warms up, so this
+    // pair doubles as a feedback-overhead check — the loop records but cannot yet steer).
+    let mut answers = 0usize;
+    let mut time_cold = |adaptive: bool| -> Duration {
+        let start = Instant::now();
+        for _ in 0..iters {
+            let mut epoch = EpochDag::with_pin_budget(1);
+            epoch.set_adaptive(adaptive);
+            let (rows, _) = run_batch(&mut epoch, &catalog, &batch, workers);
+            answers = rows.iter().map(|r| r.len()).sum();
+        }
+        start.elapsed()
+    };
+    let static_cold = time_cold(false);
+    let adaptive_cold = time_cold(true);
+
+    // Timed: warm repeats on persistent epochs.  Both flavours re-execute every round (the
+    // 1-byte pin budget keeps no results); only the adaptive epoch gets to steer.
+    let (mut observed_nodes, mut reordered_joins) = (0u64, 0u64);
+    let time_warm = |adaptive: bool, observed: &mut u64, reordered: &mut u64| -> Duration {
+        let mut epoch = EpochDag::with_pin_budget(1);
+        epoch.set_adaptive(adaptive);
+        run_batch(&mut epoch, &catalog, &batch, workers); // untimed cold round seeds the store
+        let start = Instant::now();
+        for _ in 0..iters {
+            let (_, report) = run_batch(&mut epoch, &catalog, &batch, workers);
+            *observed += report.observed_nodes;
+            *reordered += report.reordered_joins;
+        }
+        start.elapsed()
+    };
+    let (mut sink_o, mut sink_r) = (0u64, 0u64);
+    let static_warm = time_warm(false, &mut sink_o, &mut sink_r);
+    let adaptive_warm = time_warm(true, &mut observed_nodes, &mut reordered_joins);
+    let speedup_warm = static_warm.as_secs_f64() / adaptive_warm.as_secs_f64().max(f64::EPSILON);
+
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    Ok(vec![
+        timing_row("static-cold", static_cold, answers),
+        timing_row("adaptive-cold", adaptive_cold, answers),
+        timing_row("static-warm", static_warm, answers),
+        timing_row("adaptive-warm", adaptive_warm, answers),
+        counter_row("identity", "rounds-verified", identity_rounds as f64),
+        counter_row("feedback", "observed-nodes", observed_nodes as f64),
+        counter_row("feedback", "reordered-joins", reordered_joins as f64),
+        counter_row("feedback", "speedup-warm", speedup_warm),
+        counter_row("env", "hardware-threads", threads as f64),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_bench_gates_hold_at_toy_scale() {
+        let rows = run(&AdaptiveBenchConfig {
+            scale: 60,
+            queries: 4,
+            iters: 2,
+            seed: 7,
+            workers: 1,
+        })
+        .unwrap();
+        assert_eq!(rows.len(), 9);
+        let extra = |series: &str, name: &str| -> f64 {
+            let row = rows
+                .iter()
+                .find(|r| r.series == series && r.extra.as_ref().is_some_and(|(n, _)| n == name))
+                .unwrap_or_else(|| panic!("missing {series}/{name}"));
+            assert_eq!(row.kind, RowKind::Counter, "{series}/{name}");
+            row.extra.as_ref().unwrap().1
+        };
+        // run() itself asserts byte identity and that the warm batch consumed feedback; here
+        // we check the emitted counters carry that evidence (timing ratios are host-dependent
+        // and gated in CI instead).
+        assert_eq!(extra("identity", "rounds-verified"), 2.0);
+        assert!(extra("feedback", "observed-nodes") > 0.0);
+        assert!(extra("feedback", "reordered-joins") >= 1.0);
+        assert!(extra("feedback", "speedup-warm") > 0.0);
+        assert!(extra("env", "hardware-threads") >= 1.0);
+        let timing = |series: &str| {
+            rows.iter()
+                .find(|r| r.series == series && r.kind == RowKind::Timing)
+                .unwrap_or_else(|| panic!("missing {series} timing"))
+        };
+        let baseline = timing("static-cold").answers;
+        assert!(baseline > 0, "the batch must produce answers");
+        for series in ["adaptive-cold", "static-warm", "adaptive-warm"] {
+            assert_eq!(
+                timing(series).answers,
+                baseline,
+                "{series} answers diverged"
+            );
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Runs the adaptive-execution micro-benchmark (static estimates vs. observed-cardinality
+//! feedback on a skew-heavy join batch) and writes `BENCH_adaptive.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p urm-bench --bin adaptive_bench \
+//!     [--scale N] [--queries N] [--iters N] [--workers N] [--json PATH]
+//! ```
+//!
+//! JSON goes to `BENCH_adaptive.json` by default (`--json -` disables it).  The run itself
+//! asserts that adaptive answers — cold and fed-back — are byte-identical to static ones and
+//! that the warm batch actually consumed feedback (observed nodes, a flipped build side)
+//! *before* any timing; a violated gate panics, failing the CI step.  The timing gate (warm
+//! adaptive ≥ 1.2× warm static) lives in CI, conditional on multi-core hardware.
+
+use std::env;
+use urm_bench::adaptive_bench::{run, AdaptiveBenchConfig};
+use urm_bench::report;
+
+fn main() {
+    let args: Vec<String> = env::args().collect();
+    let mut config = AdaptiveBenchConfig::default();
+    let parse = |flag: &str| -> Option<usize> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|pos| args.get(pos + 1))
+            .and_then(|s| s.parse().ok())
+    };
+    if let Some(v) = parse("--scale") {
+        config.scale = v;
+    }
+    if let Some(v) = parse("--queries") {
+        config.queries = v;
+    }
+    if let Some(v) = parse("--iters") {
+        config.iters = v;
+    }
+    if let Some(v) = parse("--workers") {
+        config.workers = v;
+    }
+    let json_path = match args.iter().position(|a| a == "--json") {
+        Some(pos) => match args.get(pos + 1) {
+            Some(path) if !path.starts_with("--") => path.clone(),
+            _ => {
+                eprintln!("error: --json needs a path argument (use '--json -' to disable)");
+                std::process::exit(1);
+            }
+        },
+        None => "BENCH_adaptive.json".to_string(),
+    };
+
+    eprintln!(
+        "adaptive micro-benchmark (scale={}, queries={}, iters={}, workers={}, seed={}) …",
+        config.scale, config.queries, config.iters, config.workers, config.seed
+    );
+    let rows = run(&config).expect("micro-benchmark failed");
+    println!("{}", report::render_table("adaptive", &rows));
+    for row in &rows {
+        if let Some((name, value)) = &row.extra {
+            println!("{} {name}: {value:.2}", row.series);
+        }
+    }
+    if json_path != "-" {
+        std::fs::write(&json_path, report::render_json(&rows))
+            .unwrap_or_else(|err| panic!("cannot write {json_path}: {err}"));
+        eprintln!("wrote {json_path}");
+    }
+}

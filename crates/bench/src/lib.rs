@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod adaptive_bench;
 pub mod columnar_bench;
 pub mod dag_bench;
 pub mod epoch_bench;
@@ -21,6 +22,7 @@ pub mod http_bench;
 pub mod report;
 pub mod spill_bench;
 
+pub use adaptive_bench::AdaptiveBenchConfig;
 pub use columnar_bench::ColumnarBenchConfig;
 pub use dag_bench::DagBenchConfig;
 pub use epoch_bench::EpochBenchConfig;

@@ -41,6 +41,10 @@ pub struct BatchOptions {
     /// Whether executors evaluate through the vectorized columnar kernels (the default;
     /// answers are byte-identical either way).
     pub columnar: bool,
+    /// Whether the epoch's adaptive-execution loop is on (the default): observed cardinalities
+    /// feed back into scheduler priorities, hash-join build sides and grace-join sizing.
+    /// Answers are byte-identical either way.
+    pub adaptive: bool,
 }
 
 impl Default for BatchOptions {
@@ -48,6 +52,7 @@ impl Default for BatchOptions {
         BatchOptions {
             workers: 1,
             columnar: true,
+            adaptive: true,
         }
     }
 }
@@ -72,6 +77,13 @@ impl BatchOptions {
     #[must_use]
     pub fn with_columnar(mut self, on: bool) -> Self {
         self.columnar = on;
+        self
+    }
+
+    /// Builder-style toggle for the adaptive-execution feedback loop.
+    #[must_use]
+    pub fn with_adaptive(mut self, on: bool) -> Self {
+        self.adaptive = on;
         self
     }
 }
@@ -103,6 +115,11 @@ pub struct BatchEvaluation {
     /// DAG nodes answered by a still-materialised result of an earlier batch of the same epoch
     /// — executions skipped, whole subgraphs pruned (0 for a cold batch).
     pub epoch_results_reused: u64,
+    /// Nodes whose scheduling cost came from an observed cardinality instead of the static
+    /// estimate (0 for a cold batch or with the adaptive loop off).
+    pub observed_nodes: u64,
+    /// Hash joins whose build side was flipped by observed-cardinality feedback.
+    pub reordered_joins: u64,
 }
 
 impl BatchEvaluation {
@@ -211,6 +228,7 @@ pub fn evaluate_batch_epoch(
     options: &BatchOptions,
     epoch: &mut EpochDag,
 ) -> CoreResult<BatchEvaluation> {
+    epoch.set_adaptive(options.adaptive);
     let prepared = prepare_batch_epoch(queries, mappings, catalog, epoch)?;
     execute_prepared_batch(prepared, catalog, options)
 }
@@ -349,6 +367,8 @@ pub fn execute_prepared_batch(
         workers: run.report.workers,
         epoch_bind_hits: run.report.bind_hits,
         epoch_results_reused: run.report.results_reused,
+        observed_nodes: run.report.observed_nodes,
+        reordered_joins: run.report.reordered_joins,
     })
 }
 

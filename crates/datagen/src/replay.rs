@@ -13,6 +13,7 @@
 //! prod:2      # product-sweep query with 2 products (Figure 11(e))
 //! join:3      # join-heavy query fanning 3 Item joins out of one PO scan
 //! scale:2     # oversized query: 2 unfiltered PO self-joins (spill/memory-budget workloads)
+//! skew:2      # 2 Item self-joins on the Zipf-skewed quantity key (adaptive-loop workloads)
 //! ```
 
 use crate::scenario::TargetSchemaKind;
@@ -31,8 +32,8 @@ pub struct WorkloadEntry {
     pub query: TargetQuery,
 }
 
-/// Parses one workload spec (`Q1`–`Q10`, `sel:N`, `prod:N`, `join:N` or `scale:N`) into an
-/// entry.
+/// Parses one workload spec (`Q1`–`Q10`, `sel:N`, `prod:N`, `join:N`, `scale:N` or `skew:N`)
+/// into an entry.
 pub fn parse_spec(spec: &str) -> CoreResult<WorkloadEntry> {
     let spec = spec.trim();
     let sweep = |family: &'static str, n: &str, build: fn(usize) -> CoreResult<_>| {
@@ -57,13 +58,16 @@ pub fn parse_spec(spec: &str) -> CoreResult<WorkloadEntry> {
     if let Some(n) = spec.strip_prefix("scale:") {
         return sweep("oversized", n, workload::oversized_sweep);
     }
+    if let Some(n) = spec.strip_prefix("skew:") {
+        return sweep("skewed", n, workload::skewed_sweep);
+    }
     let id = QueryId::all()
         .into_iter()
         .find(|id| format!("Q{}", id.number()).eq_ignore_ascii_case(spec))
         .ok_or_else(|| {
             CoreError::InvalidQuery(format!(
-                "unknown workload spec '{spec}' (expected Q1–Q10, sel:N, prod:N, join:N or \
-                 scale:N)"
+                "unknown workload spec '{spec}' (expected Q1–Q10, sel:N, prod:N, join:N, \
+                 scale:N or skew:N)"
             ))
         })?;
     Ok(WorkloadEntry {
@@ -142,6 +146,20 @@ pub fn oversized_workload(n: usize) -> Vec<WorkloadEntry> {
         .collect()
 }
 
+/// A deterministic *skewed* workload of `n` requests (all on the Excel schema): the `skew:N`
+/// family — `Item` self-joins on the Zipf-distributed `quantity` key — interleaved with the
+/// multi-join Table III queries.  The head rank of the skewed key carries ~22% of the rows, so
+/// static uniform cardinality estimates mis-size every chained intermediate; replayed twice
+/// against one epoch, the second pass is where the adaptive loop's observed cardinalities
+/// should pay off (`urm-cli --adaptive on|off` A/Bs the two).
+#[must_use]
+pub fn skewed_workload(n: usize) -> Vec<WorkloadEntry> {
+    let specs = ["skew:2", "Q4", "skew:3", "skew:1", "Q3", "skew:2"];
+    (0..n)
+        .map(|i| parse_spec(specs[i % specs.len()]).expect("skewed specs are well-formed"))
+        .collect()
+}
+
 /// A deterministic top-k candidate workload of `n` requests: the tuple-returning Excel queries
 /// whose answers have many distinct candidates, the shape the probabilistic top-k algorithm
 /// (Section VII) prunes.  Entries are plain target queries — callers choose `k` when invoking
@@ -166,10 +184,21 @@ mod tests {
         assert_eq!(parse_spec("prod:2").unwrap().query.product_count(), 2);
         assert_eq!(parse_spec("join:3").unwrap().query.relations().len(), 4);
         assert_eq!(parse_spec("scale:2").unwrap().query.relations().len(), 3);
+        assert_eq!(parse_spec("skew:2").unwrap().query.relations().len(), 3);
         assert!(parse_spec("Q11").is_err());
         assert!(parse_spec("sel:x").is_err());
         assert!(parse_spec("join:x").is_err());
         assert!(parse_spec("scale:x").is_err());
+        assert!(parse_spec("skew:x").is_err());
+    }
+
+    #[test]
+    fn skewed_workload_is_excel_only_and_cycles() {
+        let entries = skewed_workload(8);
+        assert_eq!(entries.len(), 8);
+        assert!(entries.iter().all(|e| e.target == TargetSchemaKind::Excel));
+        assert_eq!(entries[0].label, "skew:2");
+        assert_eq!(entries[0].label, entries[6].label);
     }
 
     #[test]

@@ -109,6 +109,32 @@ fn order_number(i: usize) -> String {
     format!("{:05}", (i % 400) + 1)
 }
 
+/// Deterministic Zipf(s=1) rank in `1..=n` for row `i` — the source of the *skewed* join keys
+/// (`LineItem.quantity`) the `skew:N` workload family joins on.  Rank `r` receives probability
+/// mass proportional to `1/r`, so rank 1 alone carries ~22% of the rows at `n = 50`: exactly
+/// the head-heavy key distribution that makes a static uniform cardinality estimate pick the
+/// wrong hash-join build side, which the adaptive feedback loop then corrects.
+///
+/// The row index is mixed with a fixed 64-bit finalizer instead of drawing from the generator's
+/// `StdRng` so the change is invisible to every *other* column: the RNG consumption sequence —
+/// and therefore all previously generated data — stays byte-identical per seed.
+fn zipf_rank(n: usize, i: usize) -> usize {
+    let mut x = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+    let total: f64 = (1..=n).map(|r| 1.0 / r as f64).sum();
+    let mut acc = 0.0;
+    for r in 1..=n {
+        acc += 1.0 / (r as f64 * total);
+        if u < acc {
+            return r;
+        }
+    }
+    n
+}
+
 fn person_name(rng: &mut StdRng, planted_every: usize, i: usize) -> Value {
     if i.is_multiple_of(planted_every) {
         Value::from(planted::PERSON)
@@ -224,7 +250,7 @@ pub fn generate_source(scale: usize, seed: u64) -> Catalog {
     );
     let mut rel = Relation::empty(schema);
     for i in 0..(4 * scale) {
-        let qty = (i % 50) as i64 + 1;
+        let qty = zipf_rank(50, i) as i64;
         let unit = rng.gen_range(1.0..500.0f64);
         rel.push_unchecked(Tuple::new(vec![
             Value::from(format!("{:05}", (i % 60) + 1)),
@@ -405,6 +431,25 @@ mod tests {
         let big = generate_source(40, 42);
         assert!(big.total_tuples() > a.total_tuples() * 3);
         assert!(big.estimated_bytes() > a.estimated_bytes());
+    }
+
+    #[test]
+    fn quantity_is_zipf_skewed() {
+        // Rank 1 must dominate: at Zipf(s=1) over 50 ranks its share is ~22%, an order of
+        // magnitude above the uniform 2% — the skew the `skew:N` join family relies on.
+        let catalog = generate_source(200, 3);
+        let rel = catalog.get("LineItem").unwrap();
+        let qty = rel.column("quantity").unwrap();
+        let ones = qty.iter().filter(|v| **v == Value::from(1i64)).count();
+        let total = qty.len();
+        assert!(
+            ones * 100 >= total * 15,
+            "rank-1 share {ones}/{total} is not head-heavy"
+        );
+        assert!(qty.iter().all(|v| {
+            let q = v.as_i64().unwrap();
+            (1..=50).contains(&q)
+        }));
     }
 
     #[test]

@@ -243,6 +243,28 @@ pub fn oversized_sweep(n: usize) -> CoreResult<TargetQuery> {
     builder.returning(["PO1.orderNum", "PO1.telephone"]).build()
 }
 
+/// The skewed family: `skew:N` — `n` (1–3) `Item` self-joins chained on the Zipf-distributed
+/// `quantity` attribute.  Unlike the `orderNum` joins of the other families, `quantity`'s
+/// generated values follow Zipf(s=1) over 50 ranks (rank 1 alone holds ~22% of the rows), so a
+/// uniform static cardinality estimate mis-sizes every intermediate: the chained self-joins
+/// blow up on the head rank while the estimator predicts uniform fan-out.  This is the workload
+/// the adaptive loop's observed-cardinality feedback (build-side flips, observed-cost
+/// scheduling) exists to fix; one selective anchor predicate keeps the result bounded.
+pub fn skewed_sweep(n: usize) -> CoreResult<TargetQuery> {
+    let n = n.clamp(1, 3);
+    let mut builder = TargetQuery::builder(format!("skew-{n}"))
+        .relation_as("Item", "Item1")
+        .filter_eq("Item1.itemNum", planted::NUMBER);
+    for i in 2..=(n + 1) {
+        builder = builder
+            .relation_as("Item", format!("Item{i}"))
+            .join("Item1.quantity", &format!("Item{i}.quantity"));
+    }
+    builder
+        .returning(["Item1.itemNum", &format!("Item{}.quantity", n + 1)])
+        .build()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,6 +331,18 @@ mod tests {
         }
         assert_eq!(oversized_sweep(0).unwrap().relations().len(), 2);
         assert_eq!(oversized_sweep(9).unwrap().relations().len(), 4);
+    }
+
+    #[test]
+    fn skewed_sweep_chains_quantity_self_joins() {
+        for n in 1..=3 {
+            let q = skewed_sweep(n).unwrap();
+            assert_eq!(q.relations().len(), n + 1);
+            // One anchor predicate plus one skewed join per chained alias.
+            assert_eq!(q.predicate_count(), n + 1);
+        }
+        assert_eq!(skewed_sweep(0).unwrap().relations().len(), 2);
+        assert_eq!(skewed_sweep(9).unwrap().relations().len(), 4);
     }
 
     #[test]

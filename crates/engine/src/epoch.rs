@@ -51,6 +51,7 @@
 
 use crate::dag::{DagResultCache, DagScheduler, NodeId, OperatorDag};
 use crate::executor::Executor;
+use crate::feedback::{CardinalityStore, FeedbackSummary};
 use crate::optimize::{fingerprint, optimize};
 use crate::physical::PhysicalPlan;
 use crate::{EngineResult, Plan};
@@ -108,7 +109,7 @@ impl PinnedResult {
 }
 
 /// A persistent per-epoch [`OperatorDag`] with bind and result caching (see the module docs).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EpochDag {
     dag: OperatorDag,
     /// Logical-plan fingerprint → (bound root, its DAG node): the rebind-skipping cache.
@@ -124,10 +125,35 @@ pub struct EpochDag {
     /// Roots submitted since the last [`prepare_pending`](EpochDag::prepare_pending) (or
     /// [`execute_pending`](EpochDag::execute_pending), which composes it).
     pending: Vec<NodeId>,
+    /// Observed per-node cardinalities, keyed by bound fingerprint — the adaptive-execution
+    /// feedback store.  Survives bind-cache hits: a warm batch's snapshot re-derives its
+    /// costs and join hints from everything every earlier batch observed.
+    feedback: Arc<CardinalityStore>,
+    /// Whether prepared batches record observations and apply feedback (costs, build-side
+    /// hints, grace sizing).  Answers are byte-identical either way.
+    adaptive: bool,
     bind_hits: u64,
     bind_misses: u64,
     bind_hits_reported: u64,
     bind_misses_reported: u64,
+}
+
+impl Default for EpochDag {
+    fn default() -> Self {
+        EpochDag {
+            dag: OperatorDag::new(),
+            bind_cache: HashMap::new(),
+            results: Arc::new(Mutex::new(EpochResults::default())),
+            pool: None,
+            pending: Vec::new(),
+            feedback: Arc::new(CardinalityStore::new()),
+            adaptive: true,
+            bind_hits: 0,
+            bind_misses: 0,
+            bind_hits_reported: 0,
+            bind_misses_reported: 0,
+        }
+    }
 }
 
 /// The execute stage of an epoch: result caches, pin policy and result counters.  Lives behind
@@ -171,6 +197,11 @@ pub struct EpochRunReport {
     pub peak_parallelism: usize,
     /// Worker threads the run was scheduled on.
     pub workers: usize,
+    /// Nodes in this batch's snapshot whose cost came from an *observed* cardinality rather
+    /// than the static estimate (0 when the adaptive loop is off or the epoch is cold).
+    pub observed_nodes: u64,
+    /// Hash joins whose build side was flipped by observed-cardinality feedback.
+    pub reordered_joins: u64,
 }
 
 /// The outcome of one batch on the epoch DAG: root results in submission order plus accounting.
@@ -199,6 +230,8 @@ pub struct PreparedBatch {
     pool: Option<BufferPool>,
     bind_hits: u64,
     bind_misses: u64,
+    /// What the adaptive loop decided for this snapshot (zeros when the loop is off).
+    feedback: FeedbackSummary,
 }
 
 impl PreparedBatch {
@@ -243,6 +276,7 @@ impl PreparedBatch {
                 workers,
                 self.bind_hits,
                 self.bind_misses,
+                self.feedback,
             );
         }
         if self.roots.is_empty() {
@@ -274,6 +308,8 @@ impl PreparedBatch {
                 bind_misses: self.bind_misses,
                 peak_parallelism: run.report.peak_parallelism,
                 workers: run.report.workers,
+                observed_nodes: self.feedback.observed_nodes,
+                reordered_joins: self.feedback.reordered_joins,
             },
         })
     }
@@ -393,6 +429,25 @@ impl EpochDag {
         self.results.lock().unwrap().policy
     }
 
+    /// Turns the adaptive-execution loop on or off (on by default).  Off, prepared batches
+    /// record nothing and run on static estimates only; answers are identical either way.
+    pub fn set_adaptive(&mut self, on: bool) {
+        self.adaptive = on;
+    }
+
+    /// Whether the adaptive-execution loop is on (see [`set_adaptive`](EpochDag::set_adaptive)).
+    #[must_use]
+    pub fn adaptive(&self) -> bool {
+        self.adaptive
+    }
+
+    /// The epoch's observed-cardinality store (metrics, inspection).  Populated by executed
+    /// batches while the adaptive loop is on; survives bind-cache hits for the epoch's life.
+    #[must_use]
+    pub fn cardinalities(&self) -> &Arc<CardinalityStore> {
+        &self.feedback
+    }
+
     /// Submits a logical plan as a root of the current batch: optimised, bound and merged into
     /// the DAG on first sight, answered by the bind cache (a hash lookup, zero allocation on
     /// the plan path) ever after.
@@ -461,10 +516,20 @@ impl EpochDag {
         let bind_misses = self.bind_misses - self.bind_misses_reported;
         self.bind_hits_reported = self.bind_hits;
         self.bind_misses_reported = self.bind_misses;
-        let (subdag, roots) = if pending.is_empty() {
-            (OperatorDag::new(), Vec::new())
+        let (subdag, roots, feedback) = if pending.is_empty() {
+            (OperatorDag::new(), Vec::new(), FeedbackSummary::default())
         } else {
-            self.dag.subgraph(&pending)
+            let (mut subdag, roots) = self.dag.subgraph(&pending);
+            let feedback = if self.adaptive {
+                // Re-derived on every snapshot, so a bind-cache hit still sees the newest
+                // observations; recording feeds the store the executions of this very batch.
+                let summary = subdag.apply_feedback(&self.feedback);
+                subdag.set_recorder(Arc::clone(&self.feedback));
+                summary
+            } else {
+                FeedbackSummary::default()
+            };
+            (subdag, roots, feedback)
         };
         PreparedBatch {
             subdag,
@@ -473,6 +538,7 @@ impl EpochDag {
             pool: self.pool.clone(),
             bind_hits,
             bind_misses,
+            feedback,
         }
     }
 
@@ -578,6 +644,7 @@ impl EpochDag {
 impl EpochResults {
     /// The execute stage of one batch (see [`PreparedBatch::execute`]).  Runs under the result
     /// lock: executions of one epoch serialise with each other, never with binding.
+    #[allow(clippy::too_many_arguments)]
     fn execute_run(
         &mut self,
         dag: &OperatorDag,
@@ -586,6 +653,7 @@ impl EpochResults {
         workers: usize,
         bind_hits: u64,
         bind_misses: u64,
+        feedback: FeedbackSummary,
     ) -> EngineResult<EpochRun> {
         if roots.is_empty() {
             return Ok(self.empty_run(workers, bind_hits, bind_misses));
@@ -628,6 +696,8 @@ impl EpochResults {
                 bind_misses,
                 peak_parallelism: run.report.peak_parallelism,
                 workers: run.report.workers,
+                observed_nodes: feedback.observed_nodes,
+                reordered_joins: feedback.reordered_joins,
             },
         })
     }
@@ -646,6 +716,8 @@ impl EpochResults {
                 bind_misses,
                 peak_parallelism: 0,
                 workers: workers.max(1),
+                observed_nodes: 0,
+                reordered_joins: 0,
             },
         }
     }

@@ -17,6 +17,7 @@
 //! * equi-joins use a hash table so that even strategies that evaluate products early (the
 //!   Random strategy of Section VI-A) remain feasible on the benchmark instances.
 
+use crate::feedback::JoinHint;
 use crate::physical::{bind, BoundAggregate, PhysicalPlan};
 use crate::vectorized::{Batch, ColsBatch};
 use crate::{EngineError, EngineResult, ExecStats, Plan};
@@ -154,8 +155,24 @@ impl<'a> Executor<'a> {
         node: &PhysicalPlan,
         children: &[Arc<Relation>],
     ) -> EngineResult<Arc<Relation>> {
+        self.execute_node_hinted(node, children, None)
+    }
+
+    /// Like [`execute_node`](Executor::execute_node), steered by an adaptive-execution hint.
+    ///
+    /// Today a hint only affects hash joins: a `build_left` hint builds the hash table on the
+    /// observed-smaller left side (the output is restored to the canonical probe order, so the
+    /// answer is byte-identical either way), and an observed build-bytes hint sizes the grace
+    /// join's partition fan-out.  Non-join nodes, and `hint: None`, behave exactly like
+    /// [`execute_node`](Executor::execute_node).
+    pub fn execute_node_hinted(
+        &mut self,
+        node: &PhysicalPlan,
+        children: &[Arc<Relation>],
+        hint: Option<JoinHint>,
+    ) -> EngineResult<Arc<Relation>> {
         let start = Instant::now();
-        let result = self.eval_node(node, children);
+        let result = self.eval_node_hinted(node, children, hint);
         self.stats.exec_time += start.elapsed();
         result
     }
@@ -347,6 +364,16 @@ impl<'a> Executor<'a> {
         plan: &PhysicalPlan,
         children: &[Arc<Relation>],
     ) -> EngineResult<Arc<Relation>> {
+        self.eval_node_hinted(plan, children, None)
+    }
+
+    /// [`eval_node`](Executor::eval_node) with an optional adaptive hint (hash joins only).
+    fn eval_node_hinted(
+        &mut self,
+        plan: &PhysicalPlan,
+        children: &[Arc<Relation>],
+        hint: Option<JoinHint>,
+    ) -> EngineResult<Arc<Relation>> {
         match plan {
             PhysicalPlan::Scan { view, .. } => {
                 self.stats.record_scan(view.len() as u64);
@@ -414,7 +441,12 @@ impl<'a> Executor<'a> {
             } => {
                 let l = child(children, 0);
                 let r = child(children, 1);
-                if self.grace_partition_count(&r).is_none() {
+                // Observed bytes only size the grace build (the right side); a flip hint's
+                // bytes describe the *left* side and must not leak into that sizing.
+                let observed_build =
+                    hint.and_then(|h| if h.build_left { None } else { h.build_bytes });
+                let grace = self.grace_partition_count(&r, observed_build);
+                if grace.is_none() {
                     if let (Some(lc), Some(rc)) = (self.columnar_leaf(&l), self.columnar_leaf(&r)) {
                         let out = lc.hash_join(&rc, left_keys, right_keys);
                         let produced = out.len() as u64;
@@ -425,9 +457,20 @@ impl<'a> Executor<'a> {
                         return Ok(rel);
                     }
                 }
-                let rows = match self.grace_partition_count(&r) {
-                    Some(partitions) => {
-                        self.grace_hash_join_rows(&l, &r, left_keys, right_keys, partitions)?
+                let rows = match grace {
+                    Some(partitions) => self.grace_hash_join_rows(
+                        &l,
+                        &r,
+                        left_keys,
+                        right_keys,
+                        partitions,
+                        observed_build,
+                    )?,
+                    // The flip applies to the in-memory row join only: the grace path already
+                    // bounds its build side, and the columnar fast path above was not taken
+                    // (intermediate inputs), which is exactly where a wrong build side hurts.
+                    None if hint.is_some_and(|h| h.build_left) => {
+                        hash_join_rows_flipped(&l, &r, left_keys, right_keys)
                     }
                     None => hash_join_rows(&l, &r, left_keys, right_keys),
                 };
@@ -494,14 +537,25 @@ impl Executor<'_> {
     /// budgeted pool, and only when the build (right) side exceeds half the budget — the
     /// in-memory join needs the build rows *and* their hash table resident at once.  Returns
     /// the partition fan-out, sized so each build partition targets a quarter of the budget.
-    fn grace_partition_count(&self, build: &Relation) -> Option<usize> {
+    ///
+    /// The *trigger* always uses the instantaneous build bytes — admission safety is not a
+    /// place for stale observations — but the fan-out is sized from `observed_bytes` (the
+    /// adaptive loop's decayed measurement of the build side) when available, so a build side
+    /// the static estimator mis-sizes neither over-partitions (per-partition overhead) nor
+    /// under-partitions (partitions that blow the budget).
+    fn grace_partition_count(
+        &self,
+        build: &Relation,
+        observed_bytes: Option<u64>,
+    ) -> Option<usize> {
         let budget = self.pool.as_ref()?.budget()?;
         let build_bytes = build.estimated_bytes();
         if build_bytes <= budget / 2 {
             return None;
         }
+        let sizing = observed_bytes.map_or(build_bytes, |b| (b as usize).max(1));
         let target = (budget / 4).max(1);
-        Some(build_bytes.div_ceil(target).clamp(2, 64))
+        Some(sizing.div_ceil(target).clamp(2, 64))
     }
 
     /// The grace hash join: both sides are hash-partitioned on the join key into spill-pool
@@ -517,9 +571,18 @@ impl Executor<'_> {
         left_keys: &[usize],
         right_keys: &[usize],
         partitions: usize,
+        observed_build_bytes: Option<u64>,
     ) -> EngineResult<Vec<Tuple>> {
         let pool = self.pool.clone().expect("grace join runs under a pool");
         self.stats.grace_partitions += partitions as u64;
+        // Admission sizing: reserve room for one build partition up front — observed build
+        // bytes when the adaptive loop has them, the instantaneous estimate otherwise — so
+        // staging evicts unrelated pool entries in one planned sweep instead of a cascade of
+        // per-admit evictions.  Best effort: a failed reservation write surfaces on the
+        // staging admit that actually needs the room.
+        let build_bytes =
+            observed_build_bytes.map_or_else(|| right.estimated_bytes(), |b| b as usize);
+        let _ = pool.reserve(build_bytes.div_ceil(partitions.max(1)));
 
         // One pass per side computes, per partition, the list of row indices it owns (rows
         // with a null key component can never match and are dropped here, exactly as the
@@ -539,21 +602,15 @@ impl Executor<'_> {
             }
             ids
         };
-        let stage = |schema: &Schema,
-                     rel: &Relation,
-                     ids: Vec<Vec<u32>>,
-                     tag: bool|
-         -> EngineResult<Vec<Option<urm_storage::SpillableRelation>>> {
-            let all_rows = rel.rows();
-            let mut handles = Vec::with_capacity(partitions);
-            for indices in ids {
-                if indices.is_empty() {
-                    handles.push(None);
-                    continue;
-                }
+        // Materialises one partition's rows straight from the (still-resident) input; used to
+        // stage partitions into the pool *and* to rebuild a partition whose staged segment
+        // later fails to read back.
+        let materialize_partition =
+            |schema: &Schema, rel: &Relation, indices: &[u32], tag: bool| -> Relation {
+                let all_rows = rel.rows();
                 let rows: Vec<Tuple> = indices
-                    .into_iter()
-                    .map(|idx| {
+                    .iter()
+                    .map(|&idx| {
                         let row = &all_rows[idx as usize];
                         if tag {
                             row.concat(&Tuple::new(vec![Value::from(i64::from(idx))]))
@@ -562,40 +619,72 @@ impl Executor<'_> {
                         }
                     })
                     .collect();
+                Relation::from_validated(schema.clone(), rows)
+            };
+        let stage = |schema: &Schema,
+                     rel: &Relation,
+                     ids: &[Vec<u32>],
+                     tag: bool|
+         -> EngineResult<Vec<Option<urm_storage::SpillableRelation>>> {
+            let mut handles = Vec::with_capacity(partitions);
+            for indices in ids {
+                if indices.is_empty() {
+                    handles.push(None);
+                    continue;
+                }
                 handles.push(Some(
-                    pool.admit(Relation::from_validated(schema.clone(), rows))?,
+                    pool.admit(materialize_partition(schema, rel, indices, tag))?,
                 ));
             }
             Ok(handles)
         };
 
         // Build (right) side, then the probe (left) side — probe rows additionally carry their
-        // original row index as a tag column so the final merge can restore probe order.
-        let right_handles = stage(
-            right.schema(),
-            right,
-            partition_rows(right, right_keys),
-            false,
-        )?;
+        // original row index as a tag column so the final merge can restore probe order.  The
+        // per-partition index lists are kept for the lifetime of the join: they are the
+        // recovery path when a staged segment fails to read back.
+        let right_ids = partition_rows(right, right_keys);
+        let right_handles = stage(right.schema(), right, &right_ids, false)?;
         let left_arity = left.schema().arity();
         let mut tagged_attrs = left.schema().attributes().to_vec();
         tagged_attrs.push(Attribute::new(GRACE_INDEX_COLUMN, DataType::Int));
         let tagged_schema = Schema::new(format!("grace({})", left.schema().name()), tagged_attrs);
-        let left_handles = stage(&tagged_schema, left, partition_rows(left, left_keys), true)?;
+        let left_ids = partition_rows(left, left_keys);
+        let left_handles = stage(&tagged_schema, left, &left_ids, true)?;
 
         // Join partition pairs one at a time; only the current pair needs to be resident.
+        // A failed segment read (torn file, reaped tmpdir) is retried by re-materialising the
+        // partition from its index list over the still-resident input — never by re-admitting
+        // it through the pool, so the retry adds nothing to the spill counters and
+        // `absorb_spill_delta`'s totals stay exact.
         // Output tuples strip the tag column back out: positions 0..left_arity then the right
         // side after the tag.
         let keep: Vec<usize> = (0..left_arity)
             .chain(left_arity + 1..left_arity + 1 + right.schema().arity())
             .collect();
         let mut out: Vec<(usize, Tuple)> = Vec::new();
-        for (lh, rh) in left_handles.iter().zip(&right_handles) {
+        for (p, (lh, rh)) in left_handles.iter().zip(&right_handles).enumerate() {
             let (Some(lh), Some(rh)) = (lh, rh) else {
                 continue; // one side empty: the pair can produce nothing
             };
-            let lp = lh.load()?;
-            let rp = rh.load()?;
+            let lp = match lh.load() {
+                Ok(rel) => rel,
+                Err(_) => Arc::new(materialize_partition(
+                    &tagged_schema,
+                    left,
+                    &left_ids[p],
+                    true,
+                )),
+            };
+            let rp = match rh.load() {
+                Ok(rel) => rel,
+                Err(_) => Arc::new(materialize_partition(
+                    right.schema(),
+                    right,
+                    &right_ids[p],
+                    false,
+                )),
+            };
             for row in hash_join_rows(&lp, &rp, left_keys, right_keys) {
                 let idx = row
                     .get(left_arity)
@@ -704,6 +793,80 @@ fn hash_join_rows(
         }
     }
     rows
+}
+
+/// [`hash_join_rows`] with the build side flipped onto the *left* input — the adaptive loop's
+/// answer to a mis-estimated build side (the canonical join always builds on the right, which
+/// is expensive when the right side is observed to be the big one).
+///
+/// Output order is restored to the canonical one exactly: the canonical join emits, for each
+/// probe (left) row in order, its matches in build (right) insertion order — i.e. the match
+/// pairs sorted lexicographically by `(left index, right index)`.  This variant collects the
+/// pairs by probing the *right* side against a left-built table, then sorts them into that
+/// same order before materialising, so flipping is invisible in the answer (the adaptive
+/// property suite holds it to byte identity).
+fn hash_join_rows_flipped(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[usize],
+    right_keys: &[usize],
+) -> Vec<Tuple> {
+    let lrows = left.rows();
+    let rrows = right.rows();
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    if left_keys.len() == 1 {
+        let (lk, rk) = (left_keys[0], right_keys[0]);
+        let mut table: HashMap<&Value, Vec<u32>> = HashMap::with_capacity(lrows.len());
+        for (i, t) in lrows.iter().enumerate() {
+            match t.get(lk) {
+                Some(v) if !v.is_null() => table.entry(v).or_default().push(i as u32),
+                _ => {}
+            }
+        }
+        for (j, t) in rrows.iter().enumerate() {
+            let Some(v) = t.get(rk) else { continue };
+            if v.is_null() {
+                continue;
+            }
+            if let Some(matches) = table.get(v) {
+                for &i in matches {
+                    pairs.push((i, j as u32));
+                }
+            }
+        }
+    } else {
+        let mut table: HashMap<Vec<&Value>, Vec<u32>> = HashMap::with_capacity(lrows.len());
+        'left: for (i, t) in lrows.iter().enumerate() {
+            let mut key = Vec::with_capacity(left_keys.len());
+            for &k in left_keys {
+                match t.get(k) {
+                    Some(v) if !v.is_null() => key.push(v),
+                    _ => continue 'left,
+                }
+            }
+            table.entry(key).or_default().push(i as u32);
+        }
+        'right: for (j, t) in rrows.iter().enumerate() {
+            let mut key = Vec::with_capacity(right_keys.len());
+            for &k in right_keys {
+                match t.get(k) {
+                    Some(v) if !v.is_null() => key.push(v),
+                    _ => continue 'right,
+                }
+            }
+            if let Some(matches) = table.get(&key) {
+                for &i in matches {
+                    pairs.push((i, j as u32));
+                }
+            }
+        }
+    }
+    // (left, right) pairs are unique, so the unstable sort is deterministic.
+    pairs.sort_unstable();
+    pairs
+        .into_iter()
+        .map(|(i, j)| lrows[i as usize].concat(&rrows[j as usize]))
+        .collect()
 }
 
 #[cfg(test)]
@@ -1124,6 +1287,86 @@ mod tests {
         let mut exec = Executor::with_pool(&cat, urm_storage::BufferPool::with_budget(0));
         let out = exec.run(&plan).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn flipped_hash_join_is_byte_identical() {
+        // Duplicate keys (17 distinct values across 120/90 rows) and null key components on
+        // both sides: the flipped build must reproduce the canonical output *order* exactly,
+        // not just the same multiset.
+        let cat = join_catalog();
+        let l = cat.get("L").unwrap();
+        let r = cat.get("R").unwrap();
+        let canonical = hash_join_rows(&l, &r, &[1], &[1]);
+        assert!(canonical.len() > 100, "join must produce real fan-out");
+        assert_eq!(hash_join_rows_flipped(&l, &r, &[1], &[1]), canonical);
+
+        // Multi-key path (composite keys, nulls dropped per component).
+        let canonical = hash_join_rows(&l, &l, &[1, 2], &[1, 2]);
+        assert_eq!(hash_join_rows_flipped(&l, &l, &[1, 2], &[1, 2]), canonical);
+
+        // Empty probe side.
+        let empty = Relation::from_validated(r.schema().clone(), Vec::new());
+        assert!(hash_join_rows_flipped(&l, &empty, &[1], &[1]).is_empty());
+    }
+
+    #[test]
+    fn build_side_hint_flips_without_changing_the_answer() {
+        let cat = join_catalog();
+        let plan =
+            Plan::scan("L").hash_join(Plan::scan("R"), vec![("L.lkey".into(), "R.rkey".into())]);
+        // Columnar off: the both-leaf columnar fast path would otherwise win over the flip,
+        // which only applies to the in-memory row join.
+        let mut exec = Executor::new(&cat).with_columnar(false);
+        let physical = exec.bind(&plan).unwrap();
+        let children: Vec<_> = physical
+            .children()
+            .map(|c| exec.execute(c).unwrap())
+            .collect();
+        let reference = exec.execute_node(&physical, &children).unwrap();
+        let hint = JoinHint {
+            build_left: true,
+            build_bytes: Some(1),
+        };
+        let flipped = exec
+            .execute_node_hinted(&physical, &children, Some(hint))
+            .unwrap();
+        assert_eq!(flipped.schema(), reference.schema());
+        assert_eq!(flipped.rows(), reference.rows());
+    }
+
+    #[test]
+    fn grace_retry_after_failed_segment_reads_is_exact() {
+        let cat = join_catalog();
+        let plan =
+            Plan::scan("L").hash_join(Plan::scan("R"), vec![("L.lkey".into(), "R.rkey".into())]);
+        let reference = Executor::new(&cat).run(&plan).unwrap();
+
+        // Clean grace run: the spill-accounting baseline.
+        let clean_pool = urm_storage::BufferPool::with_budget(0);
+        let mut clean = Executor::with_pool(&cat, clean_pool.clone());
+        assert_eq!(clean.run(&plan).unwrap().rows(), reference.rows());
+        let baseline = clean_pool.stats();
+        assert!(baseline.segments_written > 0);
+
+        // Same join with the first cold segment reads failing: the retry re-materialises the
+        // partitions from the still-resident inputs instead of re-admitting them through the
+        // pool, so the answer stays byte-identical and nothing is spilled (or counted) twice.
+        let pool = urm_storage::BufferPool::with_budget(0);
+        let mut exec = Executor::with_pool(&cat, pool.clone());
+        pool.fail_next_loads(3);
+        let out = exec.run(&plan).unwrap();
+        assert_eq!(out.rows(), reference.rows());
+        let stats = pool.stats();
+        assert_eq!(
+            stats.bytes_spilled, baseline.bytes_spilled,
+            "a read retry must not re-spill"
+        );
+        assert_eq!(stats.segments_written, baseline.segments_written);
+        assert_eq!(
+            exec.stats().grace_partitions,
+            clean.stats().grace_partitions
+        );
     }
 
     #[test]

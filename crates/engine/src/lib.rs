@@ -30,6 +30,10 @@
 //! * [`epoch`] — the per-epoch persistent DAG: one [`EpochDag`] per (catalog, mapping set)
 //!   epoch caches bindings by logical fingerprint and node results weakly, so a hot epoch's
 //!   later batches skip rebinding and re-executing everything still materialised;
+//! * [`feedback`] — the adaptive-execution loop: a per-epoch [`CardinalityStore`] records each
+//!   node's observed output (rows, bytes, time) as batches execute and feeds it back into
+//!   scheduler priorities, hash-join build sides and grace-join fan-out — never into answers,
+//!   which stay byte-identical with the loop on or off;
 //! * [`reference`] — the retained row-at-a-time evaluator, the oracle of the property tests
 //!   and the baseline of the executor micro-benchmark;
 //! * [`ExecStats`] — counters for executed operators and produced tuples, the metric reported
@@ -78,6 +82,7 @@ pub mod epoch;
 pub mod error;
 pub mod executor;
 pub mod expr;
+pub mod feedback;
 pub mod optimize;
 pub mod physical;
 pub mod plan;
@@ -94,6 +99,7 @@ pub use epoch::{
 pub use error::{EngineError, EngineResult};
 pub use executor::Executor;
 pub use expr::{AggFunc, CompareOp, Predicate};
+pub use feedback::{CardinalityStore, FeedbackSummary, JoinHint, Observed};
 pub use physical::{BoundAggregate, BoundPredicate, PhysicalPlan};
 pub use plan::Plan;
 pub use reference::ReferenceExecutor;

@@ -96,15 +96,24 @@ impl ExecStats {
 
     /// Folds a buffer pool's counter *delta* (after minus before a run) into these statistics.
     /// Called once per batch by whichever layer owns the pool, never per worker.
+    ///
+    /// Deltas saturate at zero component-wise: snapshots taken around a run that recovered
+    /// from a failed segment read (the grace join's retry-from-source path) or that raced a
+    /// concurrent batch on the shared pool must never wrap a counter into a huge bogus total —
+    /// `/metrics` sums these verbatim, so an exact-or-under delta beats a wrapped one.
     pub fn absorb_spill_delta(
         &mut self,
         before: &urm_storage::SpillStats,
         after: &urm_storage::SpillStats,
     ) {
-        self.bytes_spilled += after.bytes_spilled - before.bytes_spilled;
-        self.spill_reloads += after.spill_reloads - before.spill_reloads;
-        self.segment_bytes_raw += after.segment_bytes_raw - before.segment_bytes_raw;
-        self.segment_bytes_encoded += after.segment_bytes_encoded - before.segment_bytes_encoded;
+        self.bytes_spilled += after.bytes_spilled.saturating_sub(before.bytes_spilled);
+        self.spill_reloads += after.spill_reloads.saturating_sub(before.spill_reloads);
+        self.segment_bytes_raw += after
+            .segment_bytes_raw
+            .saturating_sub(before.segment_bytes_raw);
+        self.segment_bytes_encoded += after
+            .segment_bytes_encoded
+            .saturating_sub(before.segment_bytes_encoded);
     }
 }
 

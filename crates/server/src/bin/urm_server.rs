@@ -29,6 +29,7 @@ struct Args {
     dag_workers: usize,
     batch_size: usize,
     pipeline: bool,
+    adaptive: bool,
     memory_budget: Option<usize>,
     queue_capacity: usize,
     burst: f64,
@@ -52,6 +53,7 @@ impl Default for Args {
             dag_workers: service.dag_workers,
             batch_size: 64,
             pipeline: service.pipeline,
+            adaptive: service.adaptive,
             memory_budget: service.memory_budget,
             queue_capacity: admission.queue_capacity,
             burst: admission.burst,
@@ -80,8 +82,10 @@ OPTIONS:
   --dag-workers D     intra-batch DAG scheduler threads (default: half the host threads, 1–4)
   --batch-size B      max queries per service batch (default 64)
   --pipeline on|off   two-stage epoch lock (default on)
+  --adaptive on|off   observed-cardinality feedback loop (default on; answers identical)
   --memory-budget B   per-epoch byte budget for materialised relations (default: unbudgeted)
-  --queue-capacity N  max admitted-but-unanswered queries, service-wide (default 1024)
+  --queue-capacity N  max admitted-but-unanswered *cost units*, service-wide (default 8192;
+                      each query is charged its estimated evaluation cost, at least 1)
   --burst N           per-client token-bucket capacity (default 256)
   --refill N          per-client token refill rate, queries/sec (default 512)
   --max-body N        max request-body bytes (default 1048576)
@@ -131,6 +135,13 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("--pipeline expects on|off, got '{other}'")),
                 }
             }
+            "--adaptive" => {
+                args.adaptive = match value("--adaptive")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--adaptive expects on|off, got '{other}'")),
+                }
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -159,6 +170,7 @@ fn main() -> ExitCode {
         batch_max: args.batch_size,
         dag_workers: args.dag_workers,
         pipeline: args.pipeline,
+        adaptive: args.adaptive,
         memory_budget: args.memory_budget,
         ..ServiceConfig::default()
     });

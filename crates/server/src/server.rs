@@ -281,6 +281,8 @@ fn metrics_body(shared: &Shared) -> String {
         ("columnar_rows", n(m.columnar_rows)),
         ("segment_bytes_raw", n(m.segment_bytes_raw)),
         ("segment_bytes_encoded", n(m.segment_bytes_encoded)),
+        ("observed_nodes", n(m.observed_nodes)),
+        ("reordered_joins", n(m.reordered_joins)),
         (
             "batch_time_ms",
             Json::Num(m.batch_time.as_secs_f64() * 1000.0),
@@ -288,7 +290,10 @@ fn metrics_body(shared: &Shared) -> String {
         ("rows_per_second", Json::Num(m.rows_per_second())),
         ("answer_hit_rate", Json::Num(m.answer_hit_rate())),
         ("epoch_reuse_rate", Json::Num(m.epoch_reuse_rate())),
-        ("in_flight", Json::Num(shared.admission.in_flight() as f64)),
+        (
+            "in_flight_units",
+            Json::Num(shared.admission.in_flight() as f64),
+        ),
     ])
     .to_string()
 }
@@ -311,7 +316,19 @@ fn serve_queries(
     }
 
     // Admission: one permit covering the whole request, released when the responses are out.
-    let permit = match shared.admission.admit(client, specs.len()) {
+    // Each query is charged its estimated evaluation cost — the serving epoch's observed
+    // operators-per-query where history exists, a static plan-shape estimate otherwise — so
+    // the bounded queue meters admitted *work*, not request count.
+    let cost: u64 = specs
+        .iter()
+        .map(|entry| {
+            shared
+                .epoch_for(entry.target)
+                .and_then(|epoch| shared.service.observed_query_cost(epoch))
+                .unwrap_or_else(|| static_query_cost(&entry.query))
+        })
+        .sum();
+    let permit = match shared.admission.admit(client, specs.len(), cost) {
         Ok(permit) => permit,
         Err(rejected) => {
             let retry = shared.admission.config().retry_after_secs;
@@ -382,6 +399,15 @@ fn serve_queries(
     out.finish()?;
     drop(permit);
     Ok(())
+}
+
+/// Static admission-cost estimate for a query on an epoch with no observed history yet: joins
+/// dominate evaluation, so the relation count enters squared; predicates add linear work.  The
+/// scale matches [`QueryService::observed_query_cost`] (source operators per query), so warm
+/// and cold estimates mix in one queue.
+fn static_query_cost(query: &urm_core::TargetQuery) -> u64 {
+    let relations = query.relations().len() as u64;
+    1 + query.predicates().len() as u64 + relations * relations
 }
 
 fn parse_body_specs(

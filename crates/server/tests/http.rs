@@ -101,7 +101,9 @@ fn healthz_metrics_query_and_batch_round_trip() {
     let doc = Json::parse(&metrics.body).unwrap();
     assert!(doc.get("queries_submitted").and_then(Json::as_f64).unwrap() >= 5.0);
     assert!(doc.get("answer_cache_hits").and_then(Json::as_f64).unwrap() >= 1.0);
-    assert_eq!(doc.get("in_flight").and_then(Json::as_f64), Some(0.0));
+    assert_eq!(doc.get("in_flight_units").and_then(Json::as_f64), Some(0.0));
+    assert!(doc.get("observed_nodes").and_then(Json::as_f64).is_some());
+    assert!(doc.get("reordered_joins").and_then(Json::as_f64).is_some());
     server.shutdown();
 }
 

@@ -64,6 +64,7 @@ struct Args {
     epoch_cache: bool,
     pipeline: bool,
     columnar: bool,
+    adaptive: bool,
     memory_budget: Option<usize>,
     verify: bool,
 }
@@ -86,6 +87,7 @@ impl Default for Args {
             epoch_cache: defaults.epoch_cache,
             pipeline: defaults.pipeline,
             columnar: defaults.columnar,
+            adaptive: defaults.adaptive,
             memory_budget: defaults.memory_budget,
             verify: false,
         }
@@ -119,6 +121,11 @@ OPTIONS:
                       relations convert once to typed column vectors and selections, joins and
                       aggregates run column-at-a-time — 'off' row-at-a-time for A/B runs;
                       answers are byte-identical either way
+  --adaptive on|off   observed-cardinality feedback loop (default on): each epoch records
+                      actual per-node output sizes and times, re-prioritises the DAG
+                      scheduler, flips hash-join build sides to the smaller observed side and
+                      sizes grace-join fan-out from observed bytes — 'off' runs on static
+                      estimates for A/B runs; answers are byte-identical either way
   --memory-budget B   byte budget for materialised relations, per epoch (default: unbudgeted);
                       under a budget, pinned results spill to disk segments and oversized hash
                       joins take the grace (partitioned) path — answers are byte-identical
@@ -164,6 +171,13 @@ fn parse_args() -> Result<Args, String> {
                     "on" => true,
                     "off" => false,
                     other => return Err(format!("--columnar expects on|off, got '{other}'")),
+                }
+            }
+            "--adaptive" => {
+                args.adaptive = match value("--adaptive")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => return Err(format!("--adaptive expects on|off, got '{other}'")),
                 }
             }
             "--verify" => args.verify = true,
@@ -328,6 +342,7 @@ fn run_service(
         epoch_cache: args.epoch_cache,
         pipeline: args.pipeline,
         columnar: args.columnar,
+        adaptive: args.adaptive,
         memory_budget: args.memory_budget,
     });
     let epochs: BTreeMap<String, EpochId> = scenarios
@@ -340,7 +355,8 @@ fn run_service(
 
     println!(
         "workload: {} queries over {} epoch(s); algorithm=service replays={} batch-size={} \
-         workers={} dag-workers={} epoch-cache={} pipeline={} columnar={} memory-budget={}",
+         workers={} dag-workers={} epoch-cache={} pipeline={} columnar={} adaptive={} \
+         memory-budget={}",
         workload.len(),
         epochs.len(),
         args.replays,
@@ -350,6 +366,7 @@ fn run_service(
         if args.epoch_cache { "on" } else { "off" },
         if args.pipeline { "on" } else { "off" },
         if args.columnar { "on" } else { "off" },
+        if args.adaptive { "on" } else { "off" },
         args.memory_budget
             .map_or_else(|| "off".to_string(), |b| format!("{b}B")),
     );
@@ -471,6 +488,10 @@ fn run_service(
     println!(
         "columnar: {} rows produced by vectorized kernels",
         metrics.columnar_rows,
+    );
+    println!(
+        "adaptive: {} nodes scheduled on observed cardinalities, {} join build sides flipped",
+        metrics.observed_nodes, metrics.reordered_joins,
     );
     match args.memory_budget {
         Some(budget) => println!(

@@ -35,6 +35,15 @@ pub struct ServiceConfig {
     /// --columnar off`) exists for A/B timing and forensics.  Columnar work is reported in
     /// [`ServiceMetrics::columnar_rows`](crate::ServiceMetrics).
     pub columnar: bool,
+    /// Whether each epoch runs the adaptive-execution feedback loop: observed per-node output
+    /// cardinalities (and execution times) replace the optimizer's static estimates in the
+    /// DAG scheduler's priorities, pick the smaller observed side as each hash join's build
+    /// side, and size grace-join fan-out / admission from observed build-side bytes.  Answers
+    /// are byte-identical either way — the toggle (`urm-cli --adaptive off`) exists for A/B
+    /// timing.  Feedback work is reported in
+    /// [`ServiceMetrics::observed_nodes`](crate::ServiceMetrics) /
+    /// [`reordered_joins`](crate::ServiceMetrics).
+    pub adaptive: bool,
     /// Byte budget for materialised relations, per epoch (`None` = unbudgeted, all in memory).
     ///
     /// With a budget, each epoch owns a spill [`BufferPool`](urm_storage::BufferPool): pinned
@@ -69,6 +78,7 @@ impl Default for ServiceConfig {
             epoch_cache: true,
             pipeline: true,
             columnar: true,
+            adaptive: true,
             memory_budget: None,
         }
     }
@@ -86,6 +96,7 @@ impl ServiceConfig {
             epoch_cache: true,
             pipeline: true,
             columnar: true,
+            adaptive: true,
             memory_budget: None,
         }
     }

@@ -62,6 +62,13 @@ pub struct ServiceMetrics {
     /// Actual encoded bytes of the spill segments written (per-column dictionary / delta /
     /// run-length encodings); compare against `segment_bytes_raw` for the compression ratio.
     pub segment_bytes_encoded: u64,
+    /// DAG nodes scheduled on an *observed* cardinality instead of the static estimate, summed
+    /// across all batches (0 with [`ServiceConfig::adaptive`](crate::ServiceConfig) off, or
+    /// while every epoch is still cold).
+    pub observed_nodes: u64,
+    /// Hash joins whose build side was flipped by observed-cardinality feedback, summed across
+    /// all batches.
+    pub reordered_joins: u64,
     /// Total wall-clock time spent executing batches.
     pub batch_time: Duration,
 }
@@ -195,6 +202,11 @@ pub struct BatchReport {
     pub segment_bytes_raw: u64,
     /// Actual encoded bytes of the spill segments this batch wrote.
     pub segment_bytes_encoded: u64,
+    /// DAG nodes this batch scheduled on an observed cardinality instead of the static
+    /// estimate (0 with the adaptive loop off or on a cold epoch).
+    pub observed_nodes: u64,
+    /// Hash joins this batch flipped to the smaller observed build side.
+    pub reordered_joins: u64,
     /// Wall-clock latency of the batch.
     pub latency: Duration,
     /// p50/p95/p99 over the *per-query* wall-clock latencies of the batch's evaluated queries

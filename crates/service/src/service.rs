@@ -126,6 +126,11 @@ struct Epoch {
     /// from batches of *different* epochs, DAG-scheduler parallelism from within the batch.
     /// Dropped with the epoch, which is what keeps identity-based fingerprints safe.
     dag: Mutex<EpochDag>,
+    /// Exponentially-decayed average *source operators per evaluated query* observed on this
+    /// epoch (0 = nothing evaluated yet).  The admission layer charges requests against this
+    /// instead of a flat per-query unit once the epoch has history — the serving-side arm of
+    /// the adaptive feedback loop.
+    observed_cost: AtomicU64,
 }
 
 struct Submission {
@@ -213,8 +218,9 @@ impl Inner {
         // Merge every distinct query's plans into the epoch's persistent DAG (or a throwaway
         // one when the epoch cache is off) and execute each distinct operator this batch still
         // needs exactly once, on the configured number of scheduler workers.
-        let options =
-            BatchOptions::parallel(self.config.dag_workers).with_columnar(self.config.columnar);
+        let options = BatchOptions::parallel(self.config.dag_workers)
+            .with_columnar(self.config.columnar)
+            .with_adaptive(self.config.adaptive);
         let outcome = if self.config.epoch_cache {
             if self.config.pipeline {
                 // The two-stage pipeline: the epoch's bind lock is held only while this batch
@@ -278,6 +284,18 @@ impl Inner {
         // responding ticket.
         let evaluated = outcome.evaluations.len();
         let source_operators = outcome.source_operators();
+        if evaluated > 0 {
+            // Fold this batch's per-query operator cost into the epoch's observed average
+            // (EWMA, α = ½) — the admission layer's cost unit for future requests.
+            let per_query = (source_operators / evaluated as u64).max(1);
+            let prev = batch.epoch.observed_cost.load(Ordering::Relaxed);
+            let next = if prev == 0 {
+                per_query
+            } else {
+                (prev + per_query).div_ceil(2)
+            };
+            batch.epoch.observed_cost.store(next, Ordering::Relaxed);
+        }
         let (tuples_read, tuples_output, rows_shared) = (
             outcome.exec.tuples_read,
             outcome.exec.tuples_output,
@@ -332,6 +350,8 @@ impl Inner {
             columnar_rows: outcome.exec.columnar_rows,
             segment_bytes_raw: outcome.exec.segment_bytes_raw,
             segment_bytes_encoded: outcome.exec.segment_bytes_encoded,
+            observed_nodes: outcome.observed_nodes,
+            reordered_joins: outcome.reordered_joins,
             latency,
             latency_percentiles,
         };
@@ -359,6 +379,8 @@ impl Inner {
             metrics.columnar_rows += report.columnar_rows;
             metrics.segment_bytes_raw += report.segment_bytes_raw;
             metrics.segment_bytes_encoded += report.segment_bytes_encoded;
+            metrics.observed_nodes += report.observed_nodes;
+            metrics.reordered_joins += report.reordered_joins;
             metrics.batch_time += latency;
         }
         {
@@ -458,16 +480,20 @@ impl QueryService {
     /// pin policy, so alternating batch working sets keep each other warm.
     pub fn register_epoch(&self, catalog: Catalog, mappings: MappingSet) -> EpochId {
         let id = self.inner.epoch_counter.fetch_add(1, Ordering::Relaxed);
-        let dag = match self.inner.config.memory_budget {
+        let mut dag = match self.inner.config.memory_budget {
             Some(budget) => EpochDag::with_memory_budget(budget),
             None => EpochDag::with_pin_budget(urm_core::DEFAULT_PIN_BUDGET_BYTES),
         };
+        // The pipeline path prepares batches without BatchOptions in hand, so the adaptive
+        // toggle is fixed on the epoch at birth (evaluate_batch_epoch re-asserts it per call).
+        dag.set_adaptive(self.inner.config.adaptive);
         self.inner.epochs.write().unwrap().insert(
             id,
             Arc::new(Epoch {
                 catalog,
                 mappings,
                 dag: Mutex::new(dag),
+                observed_cost: AtomicU64::new(0),
             }),
         );
         EpochId(id)
@@ -609,6 +635,23 @@ impl QueryService {
             .collect::<ServiceResult<_>>()?;
         self.flush();
         tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    /// The epoch's observed average cost in *source operators per evaluated query* (an
+    /// exponentially-decayed average over its executed batches), or `None` while the epoch is
+    /// cold (or unknown).  Admission layers use this to charge a request what the epoch has
+    /// actually been paying per query, falling back to a static plan-shape estimate.
+    #[must_use]
+    pub fn observed_query_cost(&self, epoch: EpochId) -> Option<u64> {
+        let epochs = self.inner.epochs.read().unwrap();
+        match epochs
+            .get(&epoch.raw())?
+            .observed_cost
+            .load(Ordering::Relaxed)
+        {
+            0 => None,
+            cost => Some(cost),
+        }
     }
 
     /// A snapshot of the service-wide metrics.

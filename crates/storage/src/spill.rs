@@ -123,6 +123,8 @@ struct PoolInner {
     segment_bytes_encoded: u64,
     peak_cached_bytes: usize,
     peak_live_bytes: usize,
+    /// Test hook: number of upcoming cold segment reads to fail with an injected I/O error.
+    fail_loads: u64,
 }
 
 impl PoolInner {
@@ -163,7 +165,14 @@ impl PoolInner {
             self.note_peaks();
             return None;
         };
-        while self.cached_bytes.saturating_sub(self.pending_spill_bytes) > budget {
+        self.plan_spill_to(budget)
+    }
+
+    /// Like [`plan_spill`](PoolInner::plan_spill) towards an explicit byte target —
+    /// reservations ([`BufferPool::reserve`]) trim *below* the budget to make room for bytes
+    /// that are about to be admitted.
+    fn plan_spill_to(&mut self, target: usize) -> Option<SpillJob> {
+        while self.cached_bytes.saturating_sub(self.pending_spill_bytes) > target {
             // Pop oldest-first; stale stamps (removed entries, already-spilled entries, stamps
             // superseded by a later touch, or entries mid-write) are discarded until a cached
             // victim surfaces.
@@ -272,8 +281,17 @@ struct SpillJob {
 /// A failed write (full disk, unreachable directory) leaves its victim resident and loadable —
 /// the error surfaces to the caller, never as data loss.
 fn trim_to_budget(pool: &Mutex<PoolInner>) -> StorageResult<()> {
+    trim_with(pool, PoolInner::plan_spill)
+}
+
+/// The spill loop of [`trim_to_budget`] with a pluggable victim planner (reservations plan
+/// towards a below-budget target; the plain trim towards the budget itself).
+fn trim_with(
+    pool: &Mutex<PoolInner>,
+    mut plan: impl FnMut(&mut PoolInner) -> Option<SpillJob>,
+) -> StorageResult<()> {
     loop {
-        let Some(job) = pool.lock().unwrap().plan_spill() else {
+        let Some(job) = plan(&mut pool.lock().unwrap()) else {
             return Ok(());
         };
         let mut dir_ok = false;
@@ -359,6 +377,7 @@ impl BufferPool {
                 segment_bytes_encoded: 0,
                 peak_cached_bytes: 0,
                 peak_live_bytes: 0,
+                fail_loads: 0,
             })),
         }
     }
@@ -367,6 +386,31 @@ impl BufferPool {
     #[must_use]
     pub fn budget(&self) -> Option<usize> {
         self.inner.lock().unwrap().budget
+    }
+
+    /// Pre-trims the pool so `bytes` of upcoming admissions fit without mid-operation
+    /// evictions: least-recently-used entries spill until `cached_bytes + bytes ≤ budget`.
+    ///
+    /// This is the adaptive grace join's admission sizing: sized from *observed* build-side
+    /// bytes, the reservation makes room for the partitions about to be staged in one planned
+    /// sweep instead of a cascade of per-admit evictions.  Best effort — a reservation larger
+    /// than the budget trims everything trimmable — and a no-op on unbounded pools.
+    pub fn reserve(&self, bytes: usize) -> StorageResult<()> {
+        trim_with(&self.inner, |inner| {
+            let Some(budget) = inner.budget else {
+                inner.note_peaks();
+                return None;
+            };
+            inner.plan_spill_to(budget.saturating_sub(bytes))
+        })
+    }
+
+    /// Test hook: fails the next `n` *cold* segment reads with an injected I/O error
+    /// (resident and caller-held fast paths are unaffected).  Lets tests exercise
+    /// segment-read failure recovery without corrupting real files.
+    #[doc(hidden)]
+    pub fn fail_next_loads(&self, n: u64) {
+        self.inner.lock().unwrap().fail_loads = n;
     }
 
     /// Starts tracking a relation, spilling older entries if the budget now overflows.
@@ -570,13 +614,16 @@ impl SpillableRelation {
                 // Some caller still holds the rows: hand those out instead of re-reading disk.
                 return Ok(rel);
             }
-            (
-                entry
-                    .segment
-                    .clone()
-                    .expect("uncached pool entry has a segment"),
-                entry.schema.clone(),
-            )
+            let path = entry
+                .segment
+                .clone()
+                .expect("uncached pool entry has a segment");
+            let schema = entry.schema.clone();
+            if inner.fail_loads > 0 {
+                inner.fail_loads -= 1;
+                return Err(StorageError::Io("injected segment read failure".into()));
+            }
+            (path, schema)
         };
         let raw = std::fs::read(&path).map_err(io_err)?;
         let rel = Arc::new(codec::decode_segment(schema, raw.into())?);
@@ -669,6 +716,35 @@ mod tests {
         // The pool's own copy was trimmed straight back out, but the caller's Arc stays valid.
         assert_eq!(pool.cached_bytes(), 0);
         assert_eq!(loaded.len(), 40);
+    }
+
+    #[test]
+    fn reserve_pre_trims_lru_entries_to_make_room() {
+        let one = relation("R", 60, 0).estimated_bytes();
+        let pool = BufferPool::with_budget(one * 2);
+        let a = pool.admit(relation("R", 60, 1)).unwrap();
+        let b = pool.admit(relation("R", 60, 2)).unwrap();
+        assert!(a.is_cached() && b.is_cached());
+        // Reserving one relation's worth spills the LRU entry now, not mid-admission.
+        pool.reserve(one).unwrap();
+        assert!(!a.is_cached(), "reserve must trim the LRU entry");
+        assert!(b.is_cached());
+        assert!(pool.cached_bytes() + one <= one * 2);
+        // Unbounded pools ignore reservations entirely.
+        let unbounded = BufferPool::unbounded();
+        let _h = unbounded.admit(relation("R", 60, 3)).unwrap();
+        unbounded.reserve(usize::MAX).unwrap();
+        assert_eq!(unbounded.stats().segments_written, 0);
+    }
+
+    #[test]
+    fn injected_load_failures_surface_and_then_clear() {
+        let pool = BufferPool::with_budget(0);
+        let handle = pool.admit(relation("R", 30, 5)).unwrap();
+        pool.fail_next_loads(1);
+        assert!(handle.load().is_err(), "injected cold-read failure");
+        // The injection is consumed: the same segment reads back fine afterwards.
+        assert_eq!(handle.load().unwrap().len(), 30);
     }
 
     #[test]
