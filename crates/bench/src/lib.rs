@@ -20,6 +20,7 @@ pub mod executor_bench;
 pub mod experiments;
 pub mod http_bench;
 pub mod report;
+pub mod shard_bench;
 pub mod spill_bench;
 
 pub use adaptive_bench::AdaptiveBenchConfig;
@@ -30,4 +31,5 @@ pub use executor_bench::ExecutorBenchConfig;
 pub use experiments::{ExperimentRow, Harness, HarnessConfig, RowKind};
 pub use http_bench::HttpBenchConfig;
 pub use report::{render_json, render_table};
+pub use shard_bench::ShardBenchConfig;
 pub use spill_bench::SpillBenchConfig;

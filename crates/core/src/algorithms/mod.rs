@@ -11,7 +11,9 @@
 //! * [`topk`] — the probabilistic top-k algorithm built on the o-sharing u-trace (Section VII);
 //! * [`batch`] — batch evaluation of many queries over one mapping set, lowered onto one
 //!   merged shared-operator DAG with optional parallel scheduling (the entry point of the
-//!   `urm-service` serving layer).
+//!   `urm-service` serving layer);
+//! * [`sharded`] — scatter-gather batch evaluation over N partitioned shard runtimes, with
+//!   answers byte-identical to the single-node batch path.
 
 pub mod basic;
 pub mod batch;
@@ -19,6 +21,7 @@ pub mod ebasic;
 pub mod emqo;
 pub mod osharing;
 pub mod qsharing;
+pub mod sharded;
 pub mod topk;
 
 use crate::metrics::Evaluation;

@@ -65,6 +65,9 @@ pub use algorithms::batch::{
     evaluate_batch, evaluate_batch_epoch, execute_prepared_batch, prepare_batch_epoch,
     BatchEvaluation, BatchOptions, PreparedBatchEvaluation,
 };
+pub use algorithms::sharded::{
+    evaluate_batch_sharded, slice_relation_name, ShardSet, ShardStats, ShardedBatchEvaluation,
+};
 pub use algorithms::{evaluate, topk::top_k, topk::TopKEvaluation, Algorithm};
 pub use answer::ProbabilisticAnswer;
 pub use error::{CoreError, CoreResult};

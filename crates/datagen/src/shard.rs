@@ -1,0 +1,124 @@
+//! Sharded source instances: deterministic catalog partitioning over the generator.
+//!
+//! [`shard_catalog`] cuts a full catalog into one shard's view (slice `i` of every relation,
+//! per the [`ShardSpec`]); [`partition_catalog`] produces all shards at once together with the
+//! per-relation row→shard assignments, and [`merge_catalog`] reassembles the **exact**
+//! single-node catalog — schemas, rows and row order — from the parts.  [`sharded_source`]
+//! composes the generator with the cutter, so shard processes can build their slice from
+//! `(scale, seed, spec)` alone without ever materialising the full instance twice.
+
+use crate::source::generate_source;
+use std::collections::BTreeMap;
+use urm_storage::shard::{self, ShardScheme, ShardSpec};
+use urm_storage::{Catalog, StorageResult};
+
+/// Per-relation row→shard assignments, the side channel [`merge_catalog`] needs to restore
+/// original row order under hash partitioning.
+pub type ShardAssignments = BTreeMap<String, Vec<usize>>;
+
+/// One shard's view of `full`: slice `spec.index` of every relation, same names and schemas.
+#[must_use]
+pub fn shard_catalog(full: &Catalog, spec: ShardSpec) -> Catalog {
+    let mut catalog = Catalog::new();
+    for (_, relation) in full.iter() {
+        catalog.insert(spec.slice(relation));
+    }
+    catalog
+}
+
+/// Cuts `full` into `shards` catalogs plus the assignments that merge them back losslessly.
+#[must_use]
+pub fn partition_catalog(
+    full: &Catalog,
+    shards: usize,
+    scheme: ShardScheme,
+) -> (Vec<Catalog>, ShardAssignments) {
+    let shards = shards.max(1);
+    let mut parts = vec![Catalog::new(); shards];
+    let mut assignments = ShardAssignments::new();
+    for (name, relation) in full.iter() {
+        assignments.insert(
+            name.to_string(),
+            shard::row_shards(relation, shards, scheme),
+        );
+        for (part, slice) in parts
+            .iter_mut()
+            .zip(shard::partition(relation, shards, scheme))
+        {
+            part.insert(slice);
+        }
+    }
+    (parts, assignments)
+}
+
+/// Reassembles the single-node catalog from shard parts and their assignments.
+///
+/// The result is byte-identical to the catalog [`partition_catalog`] cut — relation for
+/// relation, row for row, in original order.
+pub fn merge_catalog(parts: &[Catalog], assignments: &ShardAssignments) -> StorageResult<Catalog> {
+    let mut merged = Catalog::new();
+    for (name, assignment) in assignments {
+        let slices: Vec<_> = parts
+            .iter()
+            .map(|part| part.require(name).map(|r| (*r).clone()))
+            .collect::<StorageResult<_>>()?;
+        merged.insert(shard::merge(&slices, assignment)?);
+    }
+    Ok(merged)
+}
+
+/// Generates shard `spec.index`'s slice of the `(scale, seed)` source instance directly.
+#[must_use]
+pub fn sharded_source(scale: usize, seed: u64, spec: ShardSpec) -> Catalog {
+    shard_catalog(&generate_source(scale, seed), spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalogs_identical(a: &Catalog, b: &Catalog) {
+        let a_names: Vec<_> = a.relation_names().collect();
+        let b_names: Vec<_> = b.relation_names().collect();
+        assert_eq!(a_names, b_names);
+        for (name, rel) in a.iter() {
+            let other = b.require(name).unwrap();
+            assert_eq!(rel.schema(), other.schema(), "{name} schema");
+            assert_eq!(rel.rows(), other.rows(), "{name} rows");
+        }
+    }
+
+    #[test]
+    fn partition_then_merge_is_identity() {
+        let full = generate_source(30, 7);
+        for scheme in [ShardScheme::Hash, ShardScheme::Range] {
+            for shards in 1..=4 {
+                let (parts, assignments) = partition_catalog(&full, shards, scheme);
+                assert_eq!(parts.len(), shards);
+                let merged = merge_catalog(&parts, &assignments).unwrap();
+                catalogs_identical(&full, &merged);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_source_matches_partitioned_generator_output() {
+        let full = generate_source(20, 11);
+        let (parts, _) = partition_catalog(&full, 3, ShardScheme::Hash);
+        for (index, part) in parts.iter().enumerate() {
+            let spec = ShardSpec::new(3, index, ShardScheme::Hash).unwrap();
+            catalogs_identical(&sharded_source(20, 11, spec), part);
+        }
+    }
+
+    #[test]
+    fn shards_cover_the_instance_without_overlap() {
+        let full = generate_source(25, 3);
+        let (parts, _) = partition_catalog(&full, 4, ShardScheme::Hash);
+        let total: usize = parts.iter().map(Catalog::total_tuples).sum();
+        assert_eq!(total, full.total_tuples());
+        for part in &parts {
+            assert_eq!(part.len(), full.len(), "every shard sees every relation");
+        }
+    }
+}

@@ -121,6 +121,39 @@ impl CardinalityStore {
     pub fn is_empty(&self) -> bool {
         self.inner.lock().unwrap().is_empty()
     }
+
+    /// The full store contents, in fingerprint order (deterministic for carry-over folding).
+    ///
+    /// Used by the service layer to persist an epoch's observations past its retirement: the
+    /// snapshot taken at `drop_epoch` seeds the [`CardinalityStore`] of the next epoch built
+    /// over the same catalog, so cold-after-retirement batches reorder joins immediately.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(u64, Observed)> {
+        let inner = self.inner.lock().unwrap();
+        let mut entries: Vec<_> = inner.iter().map(|(k, v)| (*k, *v)).collect();
+        entries.sort_by_key(|(k, _)| *k);
+        entries
+    }
+
+    /// Seeds the store with carried-over observations, folding duplicates through the same
+    /// EWMA as [`record`](CardinalityStore::record) (a fingerprint already observed in this
+    /// store decays towards the absorbed history's estimate).
+    pub fn absorb(&self, entries: &[(u64, Observed)]) {
+        let mut inner = self.inner.lock().unwrap();
+        for (fingerprint, obs) in entries {
+            match inner.get_mut(fingerprint) {
+                Some(current) => {
+                    current.rows = (1.0 - ALPHA) * current.rows + ALPHA * obs.rows;
+                    current.bytes = (1.0 - ALPHA) * current.bytes + ALPHA * obs.bytes;
+                    current.nanos = (1.0 - ALPHA) * current.nanos + ALPHA * obs.nanos;
+                    current.samples += obs.samples;
+                }
+                None => {
+                    inner.insert(*fingerprint, *obs);
+                }
+            }
+        }
+    }
 }
 
 /// A per-node execution hint computed from observed cardinalities (today: hash joins only).
@@ -171,6 +204,25 @@ mod tests {
         store.record(7, 0, 0, 0);
         assert_eq!(store.get(7).unwrap().rows_estimate(), 25);
         assert_eq!(store.get(7).unwrap().samples, 3);
+    }
+
+    #[test]
+    fn snapshot_and_absorb_round_trip() {
+        let store = CardinalityStore::new();
+        store.record(2, 20, 200, 2000);
+        store.record(1, 10, 100, 1000);
+        let snap = store.snapshot();
+        assert_eq!(snap.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![1, 2]);
+        let fresh = CardinalityStore::new();
+        fresh.absorb(&snap);
+        assert_eq!(fresh.get(1), store.get(1));
+        assert_eq!(fresh.get(2), store.get(2));
+        // Absorbing into a store that already saw the node folds via the EWMA.
+        let warm = CardinalityStore::new();
+        warm.record(1, 30, 0, 0);
+        warm.absorb(&snap);
+        assert_eq!(warm.get(1).unwrap().rows_estimate(), 20);
+        assert_eq!(warm.get(1).unwrap().samples, 2);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use std::time::Duration;
 use urm_datagen::scenario::{Scenario, ScenarioConfig, TargetSchemaKind};
 use urm_server::{AdmissionConfig, AdmissionController, UrmServer};
 use urm_service::{QueryService, ServiceConfig};
+use urm_storage::ShardScheme;
 
 struct Args {
     addr: String,
@@ -30,6 +31,8 @@ struct Args {
     batch_size: usize,
     pipeline: bool,
     adaptive: bool,
+    shards: usize,
+    shard_scheme: ShardScheme,
     memory_budget: Option<usize>,
     queue_capacity: usize,
     burst: f64,
@@ -54,6 +57,8 @@ impl Default for Args {
             batch_size: 64,
             pipeline: service.pipeline,
             adaptive: service.adaptive,
+            shards: service.shards,
+            shard_scheme: service.shard_scheme,
             memory_budget: service.memory_budget,
             queue_capacity: admission.queue_capacity,
             burst: admission.burst,
@@ -83,7 +88,11 @@ OPTIONS:
   --batch-size B      max queries per service batch (default 64)
   --pipeline on|off   two-stage epoch lock (default on)
   --adaptive on|off   observed-cardinality feedback loop (default on; answers identical)
-  --memory-budget B   per-epoch byte budget for materialised relations (default: unbudgeted)
+  --shards N          scatter-gather each epoch across N partitioned shard runtimes (default 1
+                      = single-node; answers are byte-identical, /metrics gains shard counters)
+  --shard-scheme S    hash (default) or range partitioning of the source relations
+  --memory-budget B   per-epoch byte budget for materialised relations (per shard with
+                      --shards; default: unbudgeted)
   --queue-capacity N  max admitted-but-unanswered *cost units*, service-wide (default 8192;
                       each query is charged its estimated evaluation cost, at least 1)
   --burst N           per-client token-bucket capacity (default 256)
@@ -119,6 +128,8 @@ fn parse_args() -> Result<Args, String> {
             "--workers" => args.workers = parse_num(&value("--workers")?)?,
             "--dag-workers" => args.dag_workers = parse_num(&value("--dag-workers")?)?,
             "--batch-size" => args.batch_size = parse_num(&value("--batch-size")?)?,
+            "--shards" => args.shards = parse_num(&value("--shards")?)?.max(1),
+            "--shard-scheme" => args.shard_scheme = value("--shard-scheme")?.parse()?,
             "--memory-budget" => args.memory_budget = Some(parse_num(&value("--memory-budget")?)?),
             "--queue-capacity" => args.queue_capacity = parse_num(&value("--queue-capacity")?)?,
             "--burst" => args.burst = parse_num(&value("--burst")?)? as f64,
@@ -171,6 +182,8 @@ fn main() -> ExitCode {
         dag_workers: args.dag_workers,
         pipeline: args.pipeline,
         adaptive: args.adaptive,
+        shards: args.shards,
+        shard_scheme: args.shard_scheme,
         memory_budget: args.memory_budget,
         ..ServiceConfig::default()
     });

@@ -7,7 +7,7 @@
 //! in-flight connections get [`DRAIN_GRACE`] to finish their current request before the server
 //! returns — no accepted query is abandoned.
 
-use crate::admission::{AdmissionController, Rejected};
+use crate::admission::{AdmissionController, CostModel, Rejected};
 use crate::http::{read_request, write_response, ChunkedWriter, HttpError, Request};
 use crate::json::Json;
 use crate::wire::{answer_json, parse_query_spec};
@@ -28,6 +28,10 @@ struct Shared {
     /// The epoch serving each target schema (registered by the caller before start).
     epochs: Vec<(TargetSchemaKind, EpochId)>,
     admission: AdmissionController,
+    /// Per-spec observed-latency cost model: admission charges what a spec has actually been
+    /// costing, falling back to the epoch's observed operators-per-query, then to the static
+    /// plan-shape estimate.
+    cost_model: CostModel,
     stopping: AtomicBool,
     /// Open connections, for the drain barrier.
     connections: AtomicUsize,
@@ -69,6 +73,7 @@ impl UrmServer {
             service,
             epochs,
             admission,
+            cost_model: CostModel::new(),
             stopping: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
             drained: Condvar::new(),
@@ -283,6 +288,20 @@ fn metrics_body(shared: &Shared) -> String {
         ("segment_bytes_encoded", n(m.segment_bytes_encoded)),
         ("observed_nodes", n(m.observed_nodes)),
         ("reordered_joins", n(m.reordered_joins)),
+        ("shard_batches", n(m.shard_batches)),
+        ("shard_fanouts", n(m.shard_fanouts)),
+        (
+            "shard_merge_time_ms",
+            Json::Num(m.shard_merge_time.as_secs_f64() * 1000.0),
+        ),
+        (
+            "shard_p95_ms",
+            Json::Num(m.shard_latency.p95.as_secs_f64() * 1000.0),
+        ),
+        (
+            "cost_model_specs",
+            Json::Num(shared.cost_model.observed_specs() as f64),
+        ),
         (
             "batch_time_ms",
             Json::Num(m.batch_time.as_secs_f64() * 1000.0),
@@ -316,16 +335,19 @@ fn serve_queries(
     }
 
     // Admission: one permit covering the whole request, released when the responses are out.
-    // Each query is charged its estimated evaluation cost — the serving epoch's observed
-    // operators-per-query where history exists, a static plan-shape estimate otherwise — so
-    // the bounded queue meters admitted *work*, not request count.
+    // Each query is charged its estimated evaluation cost — this spec's observed-latency EWMA
+    // where the cost model has history, else the serving epoch's observed operators-per-query,
+    // else a static plan-shape estimate — so the bounded queue meters admitted *work*, not
+    // request count.
     let cost: u64 = specs
         .iter()
         .map(|entry| {
-            shared
-                .epoch_for(entry.target)
-                .and_then(|epoch| shared.service.observed_query_cost(epoch))
-                .unwrap_or_else(|| static_query_cost(&entry.query))
+            shared.cost_model.estimate(&entry.label).unwrap_or_else(|| {
+                shared
+                    .epoch_for(entry.target)
+                    .and_then(|epoch| shared.service.observed_query_cost(epoch))
+                    .unwrap_or_else(|| static_query_cost(&entry.query))
+            })
         })
         .sum();
     let permit = match shared.admission.admit(client, specs.len(), cost) {
@@ -346,14 +368,15 @@ fn serve_queries(
     };
 
     // Submit everything, then flush once: one service batch per target schema touched.
-    let mut tickets: Vec<(String, Ticket)> = Vec::with_capacity(specs.len());
+    let mut tickets: Vec<(String, u64, Ticket)> = Vec::with_capacity(specs.len());
     for entry in specs {
         let Some(epoch) = shared.epoch_for(entry.target) else {
             let msg = format!("target schema '{}' is not served", entry.target);
             return write_response(writer, 400, &[], &error_body(&msg));
         };
+        let static_cost = static_query_cost(&entry.query);
         match shared.service.submit(epoch, entry.query) {
-            Ok(ticket) => tickets.push((entry.label, ticket)),
+            Ok(ticket) => tickets.push((entry.label, static_cost, ticket)),
             Err(err) => {
                 return write_response(writer, 500, &[], &error_body(&err.to_string()));
             }
@@ -366,9 +389,12 @@ fn serve_queries(
     let mut out = ChunkedWriter::start(writer, 200)?;
     if batch {
         out.chunk("{\"answers\":[")?;
-        for (i, (label, ticket)) in tickets.into_iter().enumerate() {
+        for (i, (label, static_cost, ticket)) in tickets.into_iter().enumerate() {
             let rendered = match ticket.wait() {
-                Ok(response) => answer_json(&label, &response.answer).to_string(),
+                Ok(response) => {
+                    observe_cost(shared, &label, &response, static_cost);
+                    answer_json(&label, &response.answer).to_string()
+                }
                 Err(err) => error_body(&err.to_string()),
             };
             let prefix = if i > 0 { "," } else { "" };
@@ -376,9 +402,11 @@ fn serve_queries(
         }
         out.chunk("]}")?;
     } else {
-        let (label, ticket) = tickets.pop().expect("single-query request has one ticket");
+        let (label, static_cost, ticket) =
+            tickets.pop().expect("single-query request has one ticket");
         match ticket.wait() {
             Ok(response) => {
+                observe_cost(shared, &label, &response, static_cost);
                 let served = match response.served_from {
                     ServedFrom::Evaluated => "evaluated",
                     ServedFrom::AnswerCache => "answer-cache",
@@ -399,6 +427,22 @@ fn serve_queries(
     out.finish()?;
     drop(permit);
     Ok(())
+}
+
+/// Feeds one answered query back into the cost model.  Cache hits and in-batch duplicates
+/// record no evaluation time; folding their zero latency in would teach the model that the
+/// spec is free, so only evaluated responses observe.
+fn observe_cost(
+    shared: &Shared,
+    label: &str,
+    response: &urm_service::QueryResponse,
+    static_cost: u64,
+) {
+    if response.served_from == ServedFrom::Evaluated && !response.metrics.total_time.is_zero() {
+        shared
+            .cost_model
+            .observe(label, response.metrics.total_time, static_cost);
+    }
 }
 
 /// Static admission-cost estimate for a query on an epoch with no observed history yet: joins

@@ -22,6 +22,7 @@ use urm_core::{evaluate, Algorithm, Strategy};
 use urm_datagen::replay::{parse_workload, synthetic_workload, WorkloadEntry};
 use urm_datagen::scenario::{Scenario, ScenarioConfig, TargetSchemaKind};
 use urm_service::{EpochId, QueryService, ServiceConfig, Ticket};
+use urm_storage::ShardScheme;
 
 /// What executes the workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +66,8 @@ struct Args {
     pipeline: bool,
     columnar: bool,
     adaptive: bool,
+    shards: usize,
+    shard_scheme: ShardScheme,
     memory_budget: Option<usize>,
     verify: bool,
 }
@@ -88,6 +91,8 @@ impl Default for Args {
             pipeline: defaults.pipeline,
             columnar: defaults.columnar,
             adaptive: defaults.adaptive,
+            shards: defaults.shards,
+            shard_scheme: defaults.shard_scheme,
             memory_budget: defaults.memory_budget,
             verify: false,
         }
@@ -126,9 +131,17 @@ OPTIONS:
                       scheduler, flips hash-join build sides to the smaller observed side and
                       sizes grace-join fan-out from observed bytes — 'off' runs on static
                       estimates for A/B runs; answers are byte-identical either way
-  --memory-budget B   byte budget for materialised relations, per epoch (default: unbudgeted);
-                      under a budget, pinned results spill to disk segments and oversized hash
-                      joins take the grace (partitioned) path — answers are byte-identical
+  --shards N          scatter-gather across N partitioned shard runtimes (default 1 = the
+                      single-node path): each epoch's catalog is deterministically split so
+                      shard i holds slice i of every source table, batches fan out to all
+                      shards in parallel and the per-shard answers merge back byte-identically
+  --shard-scheme S    how relations are split across shards: hash (FNV-1a of the key column,
+                      default) or range (contiguous row chunks); answers are byte-identical
+                      under either scheme
+  --memory-budget B   byte budget for materialised relations, per epoch (per shard with
+                      --shards; default: unbudgeted); under a budget, pinned results spill to
+                      disk segments and oversized hash joins take the grace (partitioned)
+                      path — answers are byte-identical
   --verify            check every answer against an independent sequential algorithm
                       (o-sharing(SEF); basic when --algorithm is o-sharing itself)
   --help              print this help
@@ -151,6 +164,8 @@ fn parse_args() -> Result<Args, String> {
             "--dag-workers" => args.dag_workers = parse_num(&value("--dag-workers")?)?,
             "--batch-size" => args.batch_size = parse_num(&value("--batch-size")?)?,
             "--answer-cache" => args.answer_cache = parse_num(&value("--answer-cache")?)?,
+            "--shards" => args.shards = parse_num(&value("--shards")?)?.max(1),
+            "--shard-scheme" => args.shard_scheme = value("--shard-scheme")?.parse()?,
             "--memory-budget" => args.memory_budget = Some(parse_num(&value("--memory-budget")?)?),
             "--epoch-cache" => {
                 args.epoch_cache = match value("--epoch-cache")?.as_str() {
@@ -343,6 +358,8 @@ fn run_service(
         pipeline: args.pipeline,
         columnar: args.columnar,
         adaptive: args.adaptive,
+        shards: args.shards,
+        shard_scheme: args.shard_scheme,
         memory_budget: args.memory_budget,
     });
     let epochs: BTreeMap<String, EpochId> = scenarios
@@ -356,7 +373,7 @@ fn run_service(
     println!(
         "workload: {} queries over {} epoch(s); algorithm=service replays={} batch-size={} \
          workers={} dag-workers={} epoch-cache={} pipeline={} columnar={} adaptive={} \
-         memory-budget={}",
+         shards={} scheme={} memory-budget={}",
         workload.len(),
         epochs.len(),
         args.replays,
@@ -367,6 +384,8 @@ fn run_service(
         if args.pipeline { "on" } else { "off" },
         if args.columnar { "on" } else { "off" },
         if args.adaptive { "on" } else { "off" },
+        args.shards,
+        args.shard_scheme,
         args.memory_budget
             .map_or_else(|| "off".to_string(), |b| format!("{b}B")),
     );
@@ -493,6 +512,21 @@ fn run_service(
         "adaptive: {} nodes scheduled on observed cardinalities, {} join build sides flipped",
         metrics.observed_nodes, metrics.reordered_joins,
     );
+    // Mirror the spill/single-thread convention: an unsharded run prints n/a, never a
+    // misleading 0 that reads as "sharded but idle".
+    if args.shards > 1 {
+        println!(
+            "shard: {} batches fanned out across {} shards ({} root fan-outs), per-shard \
+             p95={:.2}ms, merge time={:.2}ms",
+            metrics.shard_batches,
+            args.shards,
+            metrics.shard_fanouts,
+            metrics.shard_latency.p95.as_secs_f64() * 1000.0,
+            metrics.shard_merge_time.as_secs_f64() * 1000.0,
+        );
+    } else {
+        println!("shard: n/a (run with --shards N)");
+    }
     match args.memory_budget {
         Some(budget) => println!(
             "spill: budget={budget} bytes, {} bytes spilled ({} raw → {} encoded segment bytes), \

@@ -1,5 +1,7 @@
 //! Service tuning knobs.
 
+use urm_storage::ShardScheme;
+
 /// Configuration of a [`QueryService`](crate::QueryService).
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -44,6 +46,21 @@ pub struct ServiceConfig {
     /// [`ServiceMetrics::observed_nodes`](crate::ServiceMetrics) /
     /// [`reordered_joins`](crate::ServiceMetrics).
     pub adaptive: bool,
+    /// Number of shards each epoch's catalog is partitioned into (1 = unsharded, the classic
+    /// single-node path; the two are byte-identical).
+    ///
+    /// With `shards > 1`, every registered epoch carries a scatter-gather runtime
+    /// ([`ShardSet`](urm_core::ShardSet)): source relations are deterministically partitioned
+    /// by key so shard *i* holds slice *i* of every table (plus a full replica for the
+    /// non-sliced side of joins), and each batch is fanned out to all shards in parallel —
+    /// per-shard answers are merged back into the canonical probability-descending order.
+    /// Shard work is reported in [`ServiceMetrics::shard_fanouts`](crate::ServiceMetrics) /
+    /// [`shard_merge_time`](crate::ServiceMetrics) (`urm-cli --shards N` A/Bs the two paths).
+    pub shards: usize,
+    /// How source relations are split across shards ([`Hash`](ShardScheme::Hash) on the key
+    /// attribute, or contiguous [`Range`](ShardScheme::Range) chunks).  Ignored with
+    /// [`shards`](ServiceConfig::shards) = 1.  Answers are byte-identical under either scheme.
+    pub shard_scheme: ShardScheme,
     /// Byte budget for materialised relations, per epoch (`None` = unbudgeted, all in memory).
     ///
     /// With a budget, each epoch owns a spill [`BufferPool`](urm_storage::BufferPool): pinned
@@ -79,6 +96,8 @@ impl Default for ServiceConfig {
             pipeline: true,
             columnar: true,
             adaptive: true,
+            shards: 1,
+            shard_scheme: ShardScheme::Hash,
             memory_budget: None,
         }
     }
@@ -97,6 +116,8 @@ impl ServiceConfig {
             pipeline: true,
             columnar: true,
             adaptive: true,
+            shards: 1,
+            shard_scheme: ShardScheme::Hash,
             memory_budget: None,
         }
     }
@@ -113,5 +134,7 @@ mod tests {
         assert!(c.batch_max >= 1);
         assert!((1..=4).contains(&c.dag_workers));
         assert!(c.answer_cache_capacity >= 1);
+        assert_eq!(c.shards, 1, "sharding must be opt-in");
+        assert_eq!(c.shard_scheme, ShardScheme::Hash);
     }
 }

@@ -69,6 +69,18 @@ pub struct ServiceMetrics {
     /// Hash joins whose build side was flipped by observed-cardinality feedback, summed across
     /// all batches.
     pub reordered_joins: u64,
+    /// Batches executed through the scatter-gather shard path (0 with
+    /// [`ServiceConfig::shards`](crate::ServiceConfig) = 1).
+    pub shard_batches: u64,
+    /// Per-shard root submissions fanned out by sharded batches (a root scattered to all N
+    /// shards counts N; a singleton root routed to one shard counts 1).
+    pub shard_fanouts: u64,
+    /// Total wall-clock time sharded batches spent gathering and merging per-shard answers
+    /// back into the canonical order.
+    pub shard_merge_time: Duration,
+    /// p50/p95/p99 over the *per-shard* execution times of all sharded batches (each shard of
+    /// each batch contributes one sample; zeros when unsharded).
+    pub shard_latency: LatencySummary,
     /// Total wall-clock time spent executing batches.
     pub batch_time: Duration,
 }
@@ -207,6 +219,15 @@ pub struct BatchReport {
     pub observed_nodes: u64,
     /// Hash joins this batch flipped to the smaller observed build side.
     pub reordered_joins: u64,
+    /// Shards the batch was fanned out to (0 = the single-node path; sharded batches report
+    /// the epoch's shard count even when every root was routed to one shard).
+    pub shards: usize,
+    /// Per-shard root submissions this batch fanned out (0 on the single-node path).
+    pub shard_fanouts: u64,
+    /// Wall-clock time this batch spent merging per-shard answers (zero unsharded).
+    pub shard_merge_time: Duration,
+    /// p50/p95/p99 over this batch's per-shard execution times (zeros unsharded).
+    pub shard_latency: LatencySummary,
     /// Wall-clock latency of the batch.
     pub latency: Duration,
     /// p50/p95/p99 over the *per-query* wall-clock latencies of the batch's evaluated queries

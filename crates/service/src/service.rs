@@ -8,13 +8,14 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use urm_core::metrics::EvalMetrics;
 use urm_core::{
-    evaluate_batch, evaluate_batch_epoch, execute_prepared_batch, prepare_batch_epoch,
-    BatchOptions, EpochDag,
+    evaluate_batch, evaluate_batch_epoch, evaluate_batch_sharded, execute_prepared_batch,
+    prepare_batch_epoch, BatchOptions, EpochDag, ShardSet, ShardStats,
 };
 use urm_core::{CoreError, ProbabilisticAnswer, TargetQuery};
+use urm_engine::CardinalityStore;
 use urm_matching::MappingSet;
 use urm_storage::Catalog;
 
@@ -131,6 +132,10 @@ struct Epoch {
     /// instead of a flat per-query unit once the epoch has history — the serving-side arm of
     /// the adaptive feedback loop.
     observed_cost: AtomicU64,
+    /// The epoch's scatter-gather runtime when the service runs sharded
+    /// ([`ServiceConfig::shards`] > 1): N shard catalogs (full replicas + per-shard slices)
+    /// each with its own persistent DAG.  `None` on the classic single-node path.
+    shard_set: Option<ShardSet>,
 }
 
 struct Submission {
@@ -159,6 +164,15 @@ struct Inner {
     /// The running counters; the answer-cache fields are filled in at snapshot time.
     metrics: Mutex<ServiceMetrics>,
     reports: Mutex<Vec<BatchReport>>,
+    /// Observed cardinalities carried across epoch retirement, keyed by plan fingerprint:
+    /// [`drop_epoch`](QueryService::drop_epoch) folds the retired epoch's store in here, and
+    /// [`register_epoch`](QueryService::register_epoch) seeds each fresh DAG from it — so a
+    /// cold-after-retirement batch over the same catalog reorders joins immediately instead of
+    /// re-learning from static estimates.
+    carryover: CardinalityStore,
+    /// Bounded per-shard execution-time samples (one per shard per sharded batch), feeding the
+    /// service-wide [`ServiceMetrics::shard_latency`] percentiles at snapshot time.
+    shard_samples: Mutex<Vec<Duration>>,
 }
 
 impl Inner {
@@ -221,7 +235,20 @@ impl Inner {
         let options = BatchOptions::parallel(self.config.dag_workers)
             .with_columnar(self.config.columnar)
             .with_adaptive(self.config.adaptive);
-        let outcome = if self.config.epoch_cache {
+        let outcome: Result<_, CoreError> = if let Some(set) = &batch.epoch.shard_set {
+            // Scatter-gather: fan the distinct queries out to the epoch's shard runtimes in
+            // parallel and merge the per-shard answers back into the canonical order.  The
+            // shard DAGs *are* the epoch cache here (each shard keeps its own persistent DAG),
+            // so this branch supersedes the epoch_cache/pipeline toggles.
+            evaluate_batch_sharded(
+                &unique,
+                &batch.epoch.mappings,
+                &batch.epoch.catalog,
+                &options,
+                set,
+            )
+            .map(|sharded| (sharded.batch, Some(sharded.shards)))
+        } else if self.config.epoch_cache {
             if self.config.pipeline {
                 // The two-stage pipeline: the epoch's bind lock is held only while this batch
                 // is rewritten, optimised and bound — so another worker can already bind the
@@ -236,7 +263,9 @@ impl Inner {
                         &mut epoch_dag,
                     )
                 };
-                prepared.and_then(|p| execute_prepared_batch(p, &batch.epoch.catalog, &options))
+                prepared
+                    .and_then(|p| execute_prepared_batch(p, &batch.epoch.catalog, &options))
+                    .map(|o| (o, None))
             } else {
                 let mut epoch_dag = batch.epoch.dag.lock().unwrap();
                 evaluate_batch_epoch(
@@ -246,6 +275,7 @@ impl Inner {
                     &options,
                     &mut epoch_dag,
                 )
+                .map(|o| (o, None))
             }
         } else if let Some(budget) = self.config.memory_budget {
             // Rebuild-per-batch, but the byte budget still holds: a *throwaway* budgeted
@@ -259,6 +289,7 @@ impl Inner {
                 &options,
                 &mut throwaway,
             )
+            .map(|o| (o, None))
         } else {
             evaluate_batch(
                 &unique,
@@ -266,9 +297,10 @@ impl Inner {
                 &batch.epoch.catalog,
                 &options,
             )
+            .map(|o| (o, None))
         };
-        let outcome = match outcome {
-            Ok(outcome) => outcome,
+        let (outcome, shard_stats): (_, Option<ShardStats>) = match outcome {
+            Ok(pair) => pair,
             Err(err) => {
                 let err = ServiceError::from(err);
                 for submissions in groups.values() {
@@ -330,6 +362,15 @@ impl Inner {
         let latency = start.elapsed();
         let latency_percentiles =
             LatencySummary::from_samples(shared.iter().map(|(m, _)| m.total_time).collect());
+        let (shards, shard_fanouts, shard_merge_time, shard_latency) = match &shard_stats {
+            Some(stats) => (
+                stats.shards,
+                stats.fanouts,
+                stats.merge_time,
+                LatencySummary::from_samples(stats.shard_times.clone()),
+            ),
+            None => (0, 0, Duration::ZERO, LatencySummary::default()),
+        };
         let report = BatchReport {
             id: batch.id,
             epoch: batch.epoch_id.raw(),
@@ -352,6 +393,10 @@ impl Inner {
             segment_bytes_encoded: outcome.exec.segment_bytes_encoded,
             observed_nodes: outcome.observed_nodes,
             reordered_joins: outcome.reordered_joins,
+            shards,
+            shard_fanouts,
+            shard_merge_time,
+            shard_latency,
             latency,
             latency_percentiles,
         };
@@ -381,7 +426,20 @@ impl Inner {
             metrics.segment_bytes_encoded += report.segment_bytes_encoded;
             metrics.observed_nodes += report.observed_nodes;
             metrics.reordered_joins += report.reordered_joins;
+            if shard_stats.is_some() {
+                metrics.shard_batches += 1;
+            }
+            metrics.shard_fanouts += report.shard_fanouts;
+            metrics.shard_merge_time += report.shard_merge_time;
             metrics.batch_time += latency;
+        }
+        if let Some(stats) = &shard_stats {
+            let mut samples = self.shard_samples.lock().unwrap();
+            samples.extend(stats.shard_times.iter().copied());
+            if samples.len() > RETAINED_REPORTS {
+                let excess = samples.len() - RETAINED_REPORTS;
+                samples.drain(..excess);
+            }
         }
         {
             let mut reports = self.reports.lock().unwrap();
@@ -445,6 +503,8 @@ impl QueryService {
             pending: Mutex::new(HashMap::new()),
             metrics: Mutex::new(ServiceMetrics::default()),
             reports: Mutex::new(Vec::new()),
+            carryover: CardinalityStore::new(),
+            shard_samples: Mutex::new(Vec::new()),
         });
         let (job_tx, job_rx) = mpsc::channel::<Batch>();
         let job_rx = Arc::new(Mutex::new(job_rx));
@@ -487,6 +547,22 @@ impl QueryService {
         // The pipeline path prepares batches without BatchOptions in hand, so the adaptive
         // toggle is fixed on the epoch at birth (evaluate_batch_epoch re-asserts it per call).
         dag.set_adaptive(self.inner.config.adaptive);
+        // Seed the fresh DAG (and every shard DAG) with the observations retired epochs left
+        // behind: a re-registered catalog's first batch starts from learned cardinalities.
+        let carried = self.inner.carryover.snapshot();
+        if !carried.is_empty() {
+            dag.cardinalities().absorb(&carried);
+        }
+        let shard_set = (self.inner.config.shards > 1).then(|| {
+            let set = ShardSet::new(
+                &catalog,
+                self.inner.config.shards,
+                self.inner.config.shard_scheme,
+                self.inner.config.memory_budget,
+            );
+            set.seed_cardinalities(&carried);
+            set
+        });
         self.inner.epochs.write().unwrap().insert(
             id,
             Arc::new(Epoch {
@@ -494,6 +570,7 @@ impl QueryService {
                 mappings,
                 dag: Mutex::new(dag),
                 observed_cost: AtomicU64::new(0),
+                shard_set,
             }),
         );
         EpochId(id)
@@ -507,13 +584,19 @@ impl QueryService {
     /// the answer cache until evicted by LRU pressure, but are unreachable (submissions against
     /// the retired id fail before the cache is consulted).
     pub fn drop_epoch(&self, epoch: EpochId) -> bool {
-        let removed = self
-            .inner
-            .epochs
-            .write()
-            .unwrap()
-            .remove(&epoch.raw())
-            .is_some();
+        let removed = self.inner.epochs.write().unwrap().remove(&epoch.raw());
+        if let Some(retired) = &removed {
+            // Persist what the epoch learned: fold its observed cardinalities (and its
+            // shards', when sharded) into the service-level carry-over store, so the next
+            // epoch registered over the same catalog starts warm.
+            self.inner
+                .carryover
+                .absorb(&retired.dag.lock().unwrap().cardinalities().snapshot());
+            if let Some(set) = &retired.shard_set {
+                self.inner.carryover.absorb(&set.snapshot_cardinalities());
+            }
+        }
+        let removed = removed.is_some();
         // Reject anything still pending against the retired epoch.
         if let Some(submissions) = self.inner.pending.lock().unwrap().remove(&epoch.raw()) {
             for submission in submissions {
@@ -658,6 +741,8 @@ impl QueryService {
     #[must_use]
     pub fn metrics(&self) -> ServiceMetrics {
         let mut snapshot = self.inner.metrics.lock().unwrap().clone();
+        snapshot.shard_latency =
+            LatencySummary::from_samples(self.inner.shard_samples.lock().unwrap().clone());
         let cache = self.inner.answer_cache.lock().unwrap();
         snapshot.answer_cache_hits = cache.hits();
         snapshot.answer_cache_misses = cache.misses();
@@ -889,6 +974,62 @@ mod tests {
         assert!(
             reports[2].epoch_results_reused > 0,
             "older batches' pins were rotated out despite fitting the byte budget"
+        );
+    }
+
+    #[test]
+    fn retired_epoch_observations_seed_the_next_registration() {
+        // Warm an epoch (batch 1 records, batch 2 applies), retire it, re-register the *same*
+        // catalog clone (bound-plan fingerprints hash the shared row buffers, so they line up)
+        // and run the same query again: the fresh epoch's very first batch must already
+        // schedule on observed cardinalities instead of re-learning from static estimates.
+        let catalog = testkit::figure2_catalog();
+        let service = QueryService::new(ServiceConfig::tiny());
+        let epoch = service.register_epoch(catalog.clone(), testkit::figure3_mappings());
+        service.execute_all(epoch, vec![testkit::q0()]).unwrap();
+        service.execute_all(epoch, vec![testkit::q1()]).unwrap();
+        assert!(service.drop_epoch(epoch));
+
+        let fresh = service.register_epoch(catalog, testkit::figure3_mappings());
+        service.execute_all(fresh, vec![testkit::q0()]).unwrap();
+        let reports = service.reports();
+        let cold = reports.last().unwrap();
+        assert_eq!(cold.epoch, fresh.raw());
+        assert!(
+            cold.observed_nodes > 0,
+            "carried-over cardinalities were not applied by the fresh epoch's first batch"
+        );
+    }
+
+    #[test]
+    fn sharded_epochs_fold_shard_observations_into_the_carryover() {
+        let catalog = testkit::figure2_catalog();
+        let service = QueryService::new(ServiceConfig {
+            shards: 2,
+            ..ServiceConfig::tiny()
+        });
+        let epoch = service.register_epoch(catalog.clone(), testkit::figure3_mappings());
+        service
+            .execute_all(epoch, vec![testkit::q0(), testkit::count_query()])
+            .unwrap();
+        let metrics = service.metrics();
+        assert_eq!(metrics.shard_batches, 1);
+        assert!(metrics.shard_fanouts > 0);
+        assert!(service.drop_epoch(epoch));
+
+        // Scatter roots bind against per-ShardSet slice buffers (rebuilt at registration, so
+        // their fingerprints rotate), but singleton roots bind the shared full replicas: the
+        // count query's observations must line up on the fresh epoch's very first batch.
+        let fresh = service.register_epoch(catalog, testkit::figure3_mappings());
+        service
+            .execute_all(fresh, vec![testkit::count_query()])
+            .unwrap();
+        let reports = service.reports();
+        let cold = reports.last().unwrap();
+        assert_eq!(cold.shards, 2);
+        assert!(
+            cold.observed_nodes > 0,
+            "shard observations did not survive retirement"
         );
     }
 

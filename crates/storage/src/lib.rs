@@ -60,6 +60,7 @@ pub mod error;
 pub mod recency;
 pub mod relation;
 pub mod schema;
+pub mod shard;
 pub mod spill;
 pub mod tuple;
 pub mod types;
@@ -72,6 +73,7 @@ pub use error::{StorageError, StorageResult};
 pub use recency::RecencyIndex;
 pub use relation::Relation;
 pub use schema::{AttrRef, Attribute, Schema};
+pub use shard::{ShardScheme, ShardSpec};
 pub use spill::{BufferPool, SpillStats, SpillableRelation, DEFAULT_PAGE_BYTES};
 pub use tuple::Tuple;
 pub use types::DataType;
