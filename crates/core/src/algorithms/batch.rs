@@ -31,10 +31,11 @@ use std::time::Instant;
 use urm_engine::optimize::{fingerprint, optimize};
 use urm_engine::{EpochDag, ExecStats, Executor, PreparedBatch};
 use urm_matching::MappingSet;
+use urm_obs::Tracer;
 use urm_storage::{BufferPool, Catalog};
 
 /// Tuning knobs of one batch evaluation.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BatchOptions {
     /// Worker threads for the DAG scheduler (1 = sequential topological execution).
     pub workers: usize,
@@ -45,6 +46,10 @@ pub struct BatchOptions {
     /// feed back into scheduler priorities, hash-join build sides and grace-join sizing.
     /// Answers are byte-identical either way.
     pub adaptive: bool,
+    /// Trace spans recorder (disabled by default — a disabled tracer costs nothing on the
+    /// hot path).  Execution-side spans (`execute`, per-DAG-node `node`, spill I/O) hang off
+    /// this; the bind side takes it separately via [`prepare_batch_epoch_traced`].
+    pub tracer: Tracer,
 }
 
 impl Default for BatchOptions {
@@ -53,6 +58,7 @@ impl Default for BatchOptions {
             workers: 1,
             columnar: true,
             adaptive: true,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -84,6 +90,13 @@ impl BatchOptions {
     #[must_use]
     pub fn with_adaptive(mut self, on: bool) -> Self {
         self.adaptive = on;
+        self
+    }
+
+    /// Builder-style tracer attachment (disabled tracers are free — pass one unconditionally).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 }
@@ -150,16 +163,23 @@ fn submit_batch(
     catalog: &Catalog,
     epoch: &mut EpochDag,
     exec: &Executor<'_>,
+    tracer: &Tracer,
 ) -> CoreResult<Vec<PendingQuery>> {
     let mut pending: Vec<PendingQuery> = Vec::with_capacity(queries.len());
     let mut next_root = 0usize;
-    for query in queries {
+    for (qi, query) in queries.iter().enumerate() {
         let started = Instant::now();
         let mut metrics = EvalMetrics::new("batch");
         metrics.representative_mappings = mappings.len();
 
         let rewrite_start = Instant::now();
-        let (ordered, empty_probability) = clustered_reformulations(query, mappings, catalog)?;
+        let (ordered, empty_probability) = {
+            let mut span = tracer.span("rewrite");
+            span.tag("query", qi as u64);
+            let out = clustered_reformulations(query, mappings, catalog)?;
+            span.tag("reformulations", out.0.len() as u64);
+            out
+        };
         metrics.rewrite_time = rewrite_start.elapsed();
         metrics.distinct_source_queries = ordered.len();
 
@@ -168,14 +188,19 @@ fn submit_batch(
         let bind_hits_before = epoch.bind_hits();
         let mut roots = Vec::with_capacity(ordered.len());
         let plan_start = Instant::now();
-        for (sq, probability) in ordered {
-            let key = fingerprint(&sq.plan);
-            epoch.submit_with(key, || {
-                let plan = optimize(&sq.plan, catalog)?;
-                exec.bind(&plan)
-            })?;
-            roots.push((next_root, probability, sq.extraction));
-            next_root += 1;
+        {
+            let mut span = tracer.span("optimize_bind");
+            span.tag("query", qi as u64);
+            span.tag("source_queries", ordered.len() as u64);
+            for (sq, probability) in ordered {
+                let key = fingerprint(&sq.plan);
+                epoch.submit_with(key, || {
+                    let plan = optimize(&sq.plan, catalog)?;
+                    exec.bind(&plan)
+                })?;
+                roots.push((next_root, probability, sq.extraction));
+                next_root += 1;
+            }
         }
         metrics.plan_time = plan_start.elapsed();
         metrics.shared_plan_hits = (epoch.dag().operators_reused() - reused_before)
@@ -229,7 +254,7 @@ pub fn evaluate_batch_epoch(
     epoch: &mut EpochDag,
 ) -> CoreResult<BatchEvaluation> {
     epoch.set_adaptive(options.adaptive);
-    let prepared = prepare_batch_epoch(queries, mappings, catalog, epoch)?;
+    let prepared = prepare_batch_epoch_traced(queries, mappings, catalog, epoch, &options.tracer)?;
     execute_prepared_batch(prepared, catalog, options)
 }
 
@@ -275,6 +300,18 @@ pub fn prepare_batch_epoch(
     catalog: &Catalog,
     epoch: &mut EpochDag,
 ) -> CoreResult<PreparedBatchEvaluation> {
+    prepare_batch_epoch_traced(queries, mappings, catalog, epoch, &Tracer::disabled())
+}
+
+/// [`prepare_batch_epoch`] with trace spans: per-query `rewrite` and `optimize_bind` spans are
+/// recorded on `tracer` (free when the tracer is disabled — the untraced name delegates here).
+pub fn prepare_batch_epoch_traced(
+    queries: &[TargetQuery],
+    mappings: &MappingSet,
+    catalog: &Catalog,
+    epoch: &mut EpochDag,
+    tracer: &Tracer,
+) -> CoreResult<PreparedBatchEvaluation> {
     // Binding needs only the catalog; the spill pool matters to execution, so the bind-stage
     // executor is deliberately pool-free (and cheap to construct).
     let exec = Executor::new(catalog);
@@ -284,7 +321,7 @@ pub fn prepare_batch_epoch(
     // Rewrite and submit.  On any failure the half-assembled batch must be aborted, or its
     // stale roots would prepend themselves to the epoch's *next* batch and misalign every one
     // of that batch's answers.
-    let pending = match submit_batch(queries, mappings, catalog, epoch, &exec) {
+    let pending = match submit_batch(queries, mappings, catalog, epoch, &exec, tracer) {
         Ok(pending) => pending,
         Err(err) => {
             epoch.abort_pending();
@@ -325,18 +362,36 @@ pub fn execute_prepared_batch(
         Some(pool) => Executor::with_pool(catalog, pool),
         None => Executor::new(catalog),
     }
-    .with_columnar(options.columnar);
+    .with_columnar(options.columnar)
+    .with_tracer(options.tracer.clone());
+    // A shared spill pool traces its writes/reloads under the same trace while this batch
+    // executes (cleared below — the pool outlives the batch, the trace does not).
+    if let Some(pool) = exec.pool() {
+        pool.set_tracer(options.tracer.clone());
+    }
 
     // Execute only what this batch needs — every distinct operator not answered by a live
     // cached result runs exactly once, fanning its result out to all consumers, in parallel
     // when asked to.
-    let run = prepared.execute(&mut exec, options.workers)?;
+    let run = {
+        let span = options.tracer.span("execute");
+        // DAG worker threads start with empty span stacks; anchor them to the execute span.
+        options.tracer.set_anchor(span.id());
+        let run = prepared.execute(&mut exec, options.workers);
+        options.tracer.clear_anchor();
+        run
+    };
+    if let Some(pool) = exec.pool() {
+        pool.set_tracer(Tracer::disabled());
+    }
+    let run = run?;
     for _ in 0..run.root_results.len() {
         exec.stats_mut().record_source_query();
     }
 
     // Per-query probabilistic aggregation, unchanged from e-basic.
     let mut evaluations = Vec::with_capacity(pending.len());
+    let agg_span = options.tracer.span("aggregate");
     for mut query in pending {
         let agg_start = Instant::now();
         let mut answer = ProbabilisticAnswer::new();
@@ -356,6 +411,7 @@ pub fn execute_prepared_batch(
             metrics: query.metrics,
         });
     }
+    drop(agg_span);
 
     Ok(BatchEvaluation {
         evaluations,

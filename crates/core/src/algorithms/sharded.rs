@@ -257,11 +257,17 @@ struct ShardOutcome {
 /// Binds and executes one shard's submissions on its own DAG, entirely on the calling thread.
 fn run_shard(
     shard: &ShardRuntime,
+    index: usize,
     submissions: &[(u64, Plan)],
     options: &BatchOptions,
     workers: usize,
 ) -> CoreResult<ShardOutcome> {
     let start = Instant::now();
+    // Covers the shard's whole bind + execute slice; runs on the scatter thread, so it parents
+    // to the coordinator's `scatter` span via the anchor.
+    let mut shard_span = options.tracer.span("shard_execute");
+    shard_span.tag("shard", index as u64);
+    shard_span.tag("submissions", submissions.len() as u64);
     let mut dag = shard.dag.lock().unwrap();
     dag.set_adaptive(options.adaptive);
     let bind_exec = Executor::new(&shard.catalog);
@@ -286,7 +292,8 @@ fn run_shard(
         Some(pool) => Executor::with_pool(&shard.catalog, pool),
         None => Executor::new(&shard.catalog),
     }
-    .with_columnar(options.columnar);
+    .with_columnar(options.columnar)
+    .with_tracer(options.tracer.clone());
     let run = prepared.execute(&mut exec, workers)?;
     for _ in 0..run.root_results.len() {
         exec.stats_mut().record_source_query();
@@ -392,18 +399,28 @@ pub fn evaluate_batch_sharded(
         });
     }
 
-    // Scatter phase: every shard binds and executes its submissions concurrently.
+    // Scatter phase: every shard binds and executes its submissions concurrently.  The shard
+    // threads (and their DAG workers) start with empty span stacks, so anchor them under one
+    // `scatter` span for the fan-out's duration.
+    let mut scatter_span = options.tracer.span("scatter");
+    scatter_span.tag("shards", shard_count as u64);
+    scatter_span.tag("scatter_roots", scatter_roots);
+    scatter_span.tag("singleton_roots", singleton_roots);
+    options.tracer.set_anchor(scatter_span.id());
     let outcomes: Vec<CoreResult<ShardOutcome>> = std::thread::scope(|scope| {
         let handles: Vec<_> = set
             .shards
             .iter()
+            .enumerate()
             .zip(&submissions)
-            .map(|(shard, subs)| {
-                scope.spawn(move || run_shard(shard, subs, options, per_shard_workers))
+            .map(|((index, shard), subs)| {
+                scope.spawn(move || run_shard(shard, index, subs, options, per_shard_workers))
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
+    options.tracer.clear_anchor();
+    drop(scatter_span);
     let mut shards_done = Vec::with_capacity(shard_count);
     for outcome in outcomes {
         shards_done.push(outcome?);
@@ -413,6 +430,7 @@ pub fn evaluate_batch_sharded(
     // batch does — same clustered root order, one `add_distinct` per root, empty mass last —
     // so the per-tuple probability sums accumulate in the same order, bit for bit.
     let merge_start = Instant::now();
+    let gather_span = options.tracer.span("gather");
     let mut evaluations = Vec::with_capacity(pending.len());
     for mut query in pending {
         let agg_start = Instant::now();
@@ -442,6 +460,7 @@ pub fn evaluate_batch_sharded(
             metrics: query.metrics,
         });
     }
+    drop(gather_span);
     let merge_time = merge_start.elapsed();
 
     // Aggregate the per-shard work counters; shards ran concurrently, so peak parallelism

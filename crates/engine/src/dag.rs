@@ -352,7 +352,13 @@ impl OperatorDag {
     ) -> EngineResult<Arc<Relation>> {
         let n = &self.nodes[node];
         let hint = self.hints.get(&node).copied();
-        match &self.recorder {
+        // Per-node trace span (inert when tracing is off).  `shared_by` is the node's consumer
+        // count — the explicit MQO cost attribution: a span with `shared_by: 3` was executed
+        // once on behalf of three downstream operators/queries.
+        let mut span = exec.tracer().span("node");
+        span.tag("node", node as u64);
+        span.tag("shared_by", n.consumers.len().max(1) as u64);
+        let result = match &self.recorder {
             Some(store) => {
                 let started = Instant::now();
                 let out = exec.execute_node_hinted(&n.plan, children, hint)?;
@@ -365,7 +371,11 @@ impl OperatorDag {
                 Ok(out)
             }
             None => exec.execute_node_hinted(&n.plan, children, hint),
+        };
+        if let Ok(out) = &result {
+            span.tag("rows", out.len() as u64);
         }
+        result
     }
 
     /// Resolves a single root bottom-up through an external result cache.
@@ -618,6 +628,7 @@ impl DagScheduler {
         // and its columnar toggle, so one flag governs the whole batch.
         let pool = exec.pool().cloned();
         let columnar = exec.columnar_enabled();
+        let tracer = exec.tracer().clone();
         let needed_count = needed.iter().filter(|&&n| n).count();
         // Publishing happens single-threaded after the run, so a cache-backed run must keep
         // every fresh result alive until then (the cache wants all of them anyway — that is
@@ -631,12 +642,14 @@ impl DagScheduler {
                 .map(|_| {
                     let shared = &shared;
                     let pool = pool.clone();
+                    let tracer = tracer.clone();
                     scope.spawn(move || {
                         let mut worker_exec = match pool {
                             Some(pool) => Executor::with_pool(catalog, pool),
                             None => Executor::new(catalog),
                         }
-                        .with_columnar(columnar);
+                        .with_columnar(columnar)
+                        .with_tracer(tracer);
                         shared.run_worker(dag, &mut worker_exec);
                         worker_exec.into_stats()
                     })

@@ -26,6 +26,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
+use urm_obs::Tracer;
 use urm_storage::{
     Attribute, BufferPool, Catalog, ColumnarRelation, DataType, Relation, Schema, Tuple, Value,
 };
@@ -42,6 +43,10 @@ pub struct Executor<'a> {
     /// columnar path is held to byte identity with the row path — same values, same row
     /// order, same stats — so flipping this only changes *how fast* answers arrive.
     columnar: bool,
+    /// The trace-span recorder of the current batch (disabled by default: spans are free).
+    /// The DAG scheduler reads it in `run_node` for per-node spans, and the grace join opens
+    /// a `grace_join` span around its partition/stage/probe passes.
+    tracer: Tracer,
 }
 
 impl<'a> Executor<'a> {
@@ -53,6 +58,7 @@ impl<'a> Executor<'a> {
             stats: ExecStats::new(),
             pool: None,
             columnar: true,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -67,6 +73,7 @@ impl<'a> Executor<'a> {
             stats: ExecStats::new(),
             pool: Some(pool),
             columnar: true,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -88,6 +95,25 @@ impl<'a> Executor<'a> {
     #[must_use]
     pub fn columnar_enabled(&self) -> bool {
         self.columnar
+    }
+
+    /// Builder-style tracer attachment (see [`Executor::set_tracer`]).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Points this executor's spans (per-DAG-node execution, grace joins) at `tracer`.
+    /// Disabled tracers (the default) make every span a no-op.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The executor's tracer (disabled unless a traced batch attached one).
+    #[must_use]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The spill pool, when this executor runs under a memory budget.
@@ -574,6 +600,10 @@ impl Executor<'_> {
         observed_build_bytes: Option<u64>,
     ) -> EngineResult<Vec<Tuple>> {
         let pool = self.pool.clone().expect("grace join runs under a pool");
+        let mut grace_span = self.tracer.span("grace_join");
+        grace_span.tag("partitions", partitions as u64);
+        grace_span.tag("build_rows", right.len() as u64);
+        grace_span.tag("probe_rows", left.len() as u64);
         self.stats.grace_partitions += partitions as u64;
         // Admission sizing: reserve room for one build partition up front — observed build
         // bytes when the adaptive loop has them, the instantaneous estimate otherwise — so

@@ -1,0 +1,136 @@
+//! Prometheus text-exposition rendering (version 0.0.4): counters, gauges and histogram
+//! `_bucket`/`_sum`/`_count` series, written by hand so the workspace stays dependency-free.
+
+use crate::hist::HistSnapshot;
+
+/// How a metric behaves over time — what the `# TYPE` line declares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically non-decreasing.
+    Counter,
+    /// Goes up and down.
+    Gauge,
+}
+
+impl MetricKind {
+    fn type_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        }
+    }
+}
+
+/// Renders one `f64` the way Prometheus samples are conventionally written: integers without
+/// a decimal point, everything else in plain decimal.
+fn sample(value: f64) -> String {
+    if value.fract() == 0.0 && value.abs() < 9e15 {
+        format!("{}", value as i64)
+    } else {
+        format!("{value}")
+    }
+}
+
+/// An exposition document under construction.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty document.
+    #[must_use]
+    pub fn new() -> Self {
+        PromWriter::default()
+    }
+
+    /// One single-sample metric with its `# HELP`/`# TYPE` header.
+    pub fn metric(&mut self, name: &str, kind: MetricKind, help: &str, value: f64) {
+        self.header(name, kind, help);
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(&sample(value));
+        self.out.push('\n');
+    }
+
+    /// A histogram family: one `# HELP`/`# TYPE histogram` header, then per labelled series
+    /// the cumulative `_bucket{…,le="…"}` samples (ending with `le="+Inf"`), `_sum` and
+    /// `_count`.  `label` is the label name shared by every series (e.g. `stage`).
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        label: &str,
+        series: &[(&str, &HistSnapshot)],
+    ) {
+        self.out
+            .push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+        for (value, snapshot) in series {
+            let sel = format!("{label}=\"{value}\"");
+            for (le, cumulative) in snapshot.cumulative_buckets() {
+                self.out.push_str(&format!(
+                    "{name}_bucket{{{sel},le=\"{le}\"}} {cumulative}\n"
+                ));
+            }
+            self.out.push_str(&format!(
+                "{name}_bucket{{{sel},le=\"+Inf\"}} {}\n",
+                snapshot.count()
+            ));
+            self.out
+                .push_str(&format!("{name}_sum{{{sel}}} {}\n", snapshot.sum()));
+            self.out
+                .push_str(&format!("{name}_count{{{sel}}} {}\n", snapshot.count()));
+        }
+    }
+
+    fn header(&mut self, name: &str, kind: MetricKind, help: &str) {
+        self.out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} {}\n",
+            kind.type_name()
+        ));
+    }
+
+    /// The finished exposition body.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn counters_gauges_and_histograms_render() {
+        let h = Histogram::new();
+        for v in [5u64, 50, 500] {
+            h.record(v);
+        }
+        let snapshot = h.snapshot();
+        let mut w = PromWriter::new();
+        w.metric("urm_batches", MetricKind::Counter, "batches run", 3.0);
+        w.metric("urm_rate", MetricKind::Gauge, "a ratio", 0.25);
+        w.histogram(
+            "urm_stage_duration_ns",
+            "per-stage latency",
+            "stage",
+            &[("rewrite", &snapshot)],
+        );
+        let body = w.finish();
+        assert!(body.contains("# TYPE urm_batches counter\nurm_batches 3\n"));
+        assert!(body.contains("urm_rate 0.25\n"));
+        assert!(body.contains("urm_stage_duration_ns_bucket{stage=\"rewrite\",le=\"+Inf\"} 3\n"));
+        assert!(body.contains("urm_stage_duration_ns_sum{stage=\"rewrite\"} 555\n"));
+        assert!(body.contains("urm_stage_duration_ns_count{stage=\"rewrite\"} 3\n"));
+        // The cumulative bucket series must be monotone and end at the count.
+        let buckets: Vec<u64> = body
+            .lines()
+            .filter(|l| l.contains("_bucket{stage=\"rewrite\",le=\"") && !l.contains("+Inf"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*buckets.last().unwrap(), 3);
+    }
+}

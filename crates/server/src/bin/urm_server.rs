@@ -10,7 +10,9 @@
 //! curl -s http://127.0.0.1:7171/healthz
 //! curl -s -X POST http://127.0.0.1:7171/query -d '{"spec": "Q4"}'
 //! curl -s -X POST http://127.0.0.1:7171/batch -d '{"specs": ["Q1", "join:3"]}'
-//! curl -s http://127.0.0.1:7171/metrics
+//! curl -s http://127.0.0.1:7171/metrics        # Prometheus text exposition
+//! curl -s http://127.0.0.1:7171/metrics.json   # JSON snapshot
+//! curl -s http://127.0.0.1:7171/debug/traces   # recent traces (X-Trace-Id / --trace-sample)
 //! ```
 
 use std::process::ExitCode;
@@ -33,6 +35,7 @@ struct Args {
     adaptive: bool,
     shards: usize,
     shard_scheme: ShardScheme,
+    trace_sample: usize,
     memory_budget: Option<usize>,
     queue_capacity: usize,
     burst: f64,
@@ -59,6 +62,7 @@ impl Default for Args {
             adaptive: service.adaptive,
             shards: service.shards,
             shard_scheme: service.shard_scheme,
+            trace_sample: service.trace_sample,
             memory_budget: service.memory_budget,
             queue_capacity: admission.queue_capacity,
             burst: admission.burst,
@@ -93,6 +97,8 @@ OPTIONS:
   --shard-scheme S    hash (default) or range partitioning of the source relations
   --memory-budget B   per-epoch byte budget for materialised relations (per shard with
                       --shards; default: unbudgeted)
+  --trace-sample N    trace every Nth batch (default 0 = off; requests carrying an
+                      X-Trace-Id header are always traced — see GET /debug/traces)
   --queue-capacity N  max admitted-but-unanswered *cost units*, service-wide (default 8192;
                       each query is charged its estimated evaluation cost, at least 1)
   --burst N           per-client token-bucket capacity (default 256)
@@ -131,6 +137,7 @@ fn parse_args() -> Result<Args, String> {
             "--shards" => args.shards = parse_num(&value("--shards")?)?.max(1),
             "--shard-scheme" => args.shard_scheme = value("--shard-scheme")?.parse()?,
             "--memory-budget" => args.memory_budget = Some(parse_num(&value("--memory-budget")?)?),
+            "--trace-sample" => args.trace_sample = parse_num(&value("--trace-sample")?)?,
             "--queue-capacity" => args.queue_capacity = parse_num(&value("--queue-capacity")?)?,
             "--burst" => args.burst = parse_num(&value("--burst")?)? as f64,
             "--refill" => args.refill_per_sec = parse_num(&value("--refill")?)? as f64,
@@ -184,6 +191,7 @@ fn main() -> ExitCode {
         adaptive: args.adaptive,
         shards: args.shards,
         shard_scheme: args.shard_scheme,
+        trace_sample: args.trace_sample,
         memory_budget: args.memory_budget,
         ..ServiceConfig::default()
     });

@@ -55,11 +55,26 @@ impl HttpClient {
         path: &str,
         body: Option<&str>,
     ) -> std::io::Result<HttpResponse> {
+        self.request_with_headers(method, path, &[], body)
+    }
+
+    /// [`request`](HttpClient::request) with extra request headers (e.g. `x-trace-id`).
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        extra_headers: &[(&str, &str)],
+        body: Option<&str>,
+    ) -> std::io::Result<HttpResponse> {
         let body = body.unwrap_or("");
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: urm\r\ncontent-length: {}\r\n\r\n",
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: urm\r\ncontent-length: {}\r\n",
             body.len()
         );
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
         self.writer.write_all(head.as_bytes())?;
         self.writer.write_all(body.as_bytes())?;
         self.writer.flush()?;

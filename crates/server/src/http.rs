@@ -168,15 +168,27 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes a fixed-length response (the common case for errors and small documents).
+/// Writes a fixed-length JSON response (the common case for errors and small documents).
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     extra_headers: &[(&str, String)],
     body: &str,
 ) -> std::io::Result<()> {
+    write_response_typed(stream, status, "application/json", extra_headers, body)
+}
+
+/// [`write_response`] with an explicit `content-type` — the Prometheus exposition at
+/// `GET /metrics` is `text/plain`, everything else this server emits is JSON.
+pub fn write_response_typed(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n",
         reason(status),
         body.len()
     );
@@ -200,11 +212,25 @@ pub struct ChunkedWriter<'a> {
 impl<'a> ChunkedWriter<'a> {
     /// Writes the response head and returns the body writer.
     pub fn start(stream: &'a mut TcpStream, status: u16) -> std::io::Result<Self> {
-        let head = format!(
+        ChunkedWriter::start_with_headers(stream, status, &[])
+    }
+
+    /// [`start`](ChunkedWriter::start) with extra response headers (e.g. the `x-trace-id`
+    /// echo on traced `/query` and `/batch` requests).
+    pub fn start_with_headers(
+        stream: &'a mut TcpStream,
+        status: u16,
+        extra_headers: &[(&str, String)],
+    ) -> std::io::Result<Self> {
+        let mut head = format!(
             "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\n\
-             transfer-encoding: chunked\r\n\r\n",
+             transfer-encoding: chunked\r\n",
             reason(status)
         );
+        for (name, value) in extra_headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
         stream.write_all(head.as_bytes())?;
         Ok(ChunkedWriter { stream })
     }

@@ -8,7 +8,9 @@
 //! returns — no accepted query is abandoned.
 
 use crate::admission::{AdmissionController, CostModel, Rejected};
-use crate::http::{read_request, write_response, ChunkedWriter, HttpError, Request};
+use crate::http::{
+    read_request, write_response, write_response_typed, ChunkedWriter, HttpError, Request,
+};
 use crate::json::Json;
 use crate::wire::{answer_json, parse_query_spec};
 use std::io::BufReader;
@@ -18,7 +20,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use urm_datagen::scenario::TargetSchemaKind;
-use urm_service::{EpochId, QueryService, ServedFrom, Ticket};
+use urm_service::{
+    EpochId, HistSnapshot, Histogram, MetricKind, PromWriter, QueryService, ServedFrom, Ticket,
+    Tracer,
+};
 
 /// How long [`UrmServer::shutdown`] waits for in-flight connections before giving up on them.
 pub const DRAIN_GRACE: Duration = Duration::from_secs(30);
@@ -32,11 +37,33 @@ struct Shared {
     /// costing, falling back to the epoch's observed operators-per-query, then to the static
     /// plan-shape estimate.
     cost_model: CostModel,
+    /// When the server started — `/healthz` reports the uptime.
+    started: Instant,
+    /// Per-endpoint wall-clock latency histograms (admission to last byte), exposed as the
+    /// `urm_http_request_duration_ns` family on `GET /metrics`.
+    endpoints: EndpointHistograms,
     stopping: AtomicBool,
     /// Open connections, for the drain barrier.
     connections: AtomicUsize,
     drained: Condvar,
     drain_lock: Mutex<()>,
+}
+
+/// Log-bucketed request-latency histograms, one per serving endpoint.  Lock-free to record
+/// (atomic bucket increments), so the per-request cost is a clock read and two adds.
+#[derive(Default)]
+struct EndpointHistograms {
+    query: Histogram,
+    batch: Histogram,
+}
+
+impl EndpointHistograms {
+    fn snapshot(&self) -> Vec<(&'static str, HistSnapshot)> {
+        vec![
+            ("query", self.query.snapshot()),
+            ("batch", self.batch.snapshot()),
+        ]
+    }
 }
 
 impl Shared {
@@ -74,6 +101,8 @@ impl UrmServer {
             epochs,
             admission,
             cost_model: CostModel::new(),
+            started: Instant::now(),
+            endpoints: EndpointHistograms::default(),
             stopping: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
             drained: Condvar::new(),
@@ -96,7 +125,7 @@ impl UrmServer {
         self.addr
     }
 
-    /// The service metrics (same snapshot `/metrics` serves).
+    /// The service metrics (same snapshot `/metrics.json` serves).
     #[must_use]
     pub fn metrics(&self) -> urm_service::ServiceMetrics {
         self.shared.service.metrics()
@@ -229,9 +258,27 @@ fn respond(
 ) -> std::io::Result<()> {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => write_response(writer, 200, &[], &healthz_body(shared)),
-        ("GET", "/metrics") => write_response(writer, 200, &[], &metrics_body(shared)),
-        ("POST", "/query") => serve_queries(writer, request, client, shared, false),
-        ("POST", "/batch") => serve_queries(writer, request, client, shared, true),
+        ("GET", "/metrics") => write_response_typed(
+            writer,
+            200,
+            "text/plain; version=0.0.4",
+            &[],
+            &prometheus_body(shared),
+        ),
+        ("GET", "/metrics.json") => write_response(writer, 200, &[], &metrics_body(shared)),
+        ("GET", "/debug/traces") => write_response(writer, 200, &[], &traces_body(shared)),
+        ("POST", "/query") => {
+            let start = Instant::now();
+            let result = serve_queries(writer, request, client, shared, false);
+            shared.endpoints.query.record_duration(start.elapsed());
+            result
+        }
+        ("POST", "/batch") => {
+            let start = Instant::now();
+            let result = serve_queries(writer, request, client, shared, true);
+            shared.endpoints.batch.record_duration(start.elapsed());
+            result
+        }
         ("GET" | "POST", _) => write_response(writer, 404, &[], &error_body("unknown path")),
         _ => write_response(writer, 405, &[], &error_body("method not allowed")),
     }
@@ -240,6 +287,16 @@ fn respond(
 fn healthz_body(shared: &Shared) -> String {
     Json::obj([
         ("status", Json::Str("ok".into())),
+        (
+            "uptime_seconds",
+            Json::Num(shared.started.elapsed().as_secs() as f64),
+        ),
+        ("shards", Json::Num(shared.service.config().shards as f64)),
+        ("epoch_count", Json::Num(shared.epochs.len() as f64)),
+        (
+            "in_flight_units",
+            Json::Num(shared.admission.in_flight() as f64),
+        ),
         (
             "epochs",
             Json::Arr(
@@ -259,37 +316,19 @@ fn healthz_body(shared: &Shared) -> String {
     .to_string()
 }
 
+/// The JSON metrics snapshot (`GET /metrics.json`; `GET /metrics` until this release — the
+/// Prometheus exposition took over that path).  Every [`ServiceMetrics::fields`] entry is
+/// emitted under its canonical name — durations as integer `*_ns` — followed by the legacy
+/// millisecond duplicates (`*_ms`, kept for pre-existing dashboards) and the two server-side
+/// gauges the service snapshot does not carry.
 fn metrics_body(shared: &Shared) -> String {
     let m = shared.service.metrics();
-    let n = |v: u64| Json::Num(v as f64);
-    Json::obj([
-        ("queries_submitted", n(m.queries_submitted)),
-        ("queries_evaluated", n(m.queries_evaluated)),
-        ("batches", n(m.batches)),
-        ("answer_cache_hits", n(m.answer_cache_hits)),
-        ("answer_cache_misses", n(m.answer_cache_misses)),
-        ("answer_cache_evictions", n(m.answer_cache_evictions)),
-        ("batch_deduped", n(m.batch_deduped)),
-        ("plan_cache_hits", n(m.plan_cache_hits)),
-        ("plan_cache_misses", n(m.plan_cache_misses)),
-        ("dag_nodes_executed", n(m.dag_nodes_executed)),
-        ("dag_peak_parallelism", n(m.dag_peak_parallelism)),
-        ("epoch_bind_hits", n(m.epoch_bind_hits)),
-        ("epoch_results_reused", n(m.epoch_results_reused)),
-        ("source_operators", n(m.source_operators)),
-        ("tuples_read", n(m.tuples_read)),
-        ("tuples_output", n(m.tuples_output)),
-        ("rows_shared", n(m.rows_shared)),
-        ("bytes_spilled", n(m.bytes_spilled)),
-        ("spill_reloads", n(m.spill_reloads)),
-        ("grace_partitions", n(m.grace_partitions)),
-        ("columnar_rows", n(m.columnar_rows)),
-        ("segment_bytes_raw", n(m.segment_bytes_raw)),
-        ("segment_bytes_encoded", n(m.segment_bytes_encoded)),
-        ("observed_nodes", n(m.observed_nodes)),
-        ("reordered_joins", n(m.reordered_joins)),
-        ("shard_batches", n(m.shard_batches)),
-        ("shard_fanouts", n(m.shard_fanouts)),
+    let mut entries: Vec<(&str, Json)> = m
+        .fields()
+        .into_iter()
+        .map(|(name, _, value)| (name, Json::Num(value)))
+        .collect();
+    entries.extend([
         (
             "shard_merge_time_ms",
             Json::Num(m.shard_merge_time.as_secs_f64() * 1000.0),
@@ -299,22 +338,76 @@ fn metrics_body(shared: &Shared) -> String {
             Json::Num(m.shard_latency.p95.as_secs_f64() * 1000.0),
         ),
         (
+            "batch_time_ms",
+            Json::Num(m.batch_time.as_secs_f64() * 1000.0),
+        ),
+        (
             "cost_model_specs",
             Json::Num(shared.cost_model.observed_specs() as f64),
         ),
         (
-            "batch_time_ms",
-            Json::Num(m.batch_time.as_secs_f64() * 1000.0),
-        ),
-        ("rows_per_second", Json::Num(m.rows_per_second())),
-        ("answer_hit_rate", Json::Num(m.answer_hit_rate())),
-        ("epoch_reuse_rate", Json::Num(m.epoch_reuse_rate())),
-        (
             "in_flight_units",
             Json::Num(shared.admission.in_flight() as f64),
         ),
-    ])
-    .to_string()
+    ]);
+    Json::obj(entries).to_string()
+}
+
+/// The Prometheus text exposition (`GET /metrics`): every [`ServiceMetrics::fields`] entry
+/// as `urm_<name>`, the two server-side gauges, and the stage / endpoint latency histogram
+/// families (log-bucketed, nanosecond units).
+fn prometheus_body(shared: &Shared) -> String {
+    let m = shared.service.metrics();
+    let mut w = PromWriter::new();
+    for (name, kind, value) in m.fields() {
+        w.metric(
+            &format!("urm_{name}"),
+            kind,
+            "URM service metric; see the ServiceMetrics field docs",
+            value,
+        );
+    }
+    w.metric(
+        "urm_cost_model_specs",
+        MetricKind::Gauge,
+        "Distinct query specs with an observed-latency admission cost",
+        shared.cost_model.observed_specs() as f64,
+    );
+    w.metric(
+        "urm_in_flight_units",
+        MetricKind::Gauge,
+        "Admitted-but-unanswered cost units in the admission queue",
+        shared.admission.in_flight() as f64,
+    );
+    let stages = shared.service.stage_histograms();
+    let series: Vec<(&str, &HistSnapshot)> = stages.iter().map(|(n, s)| (*n, s)).collect();
+    w.histogram(
+        "urm_stage_duration_ns",
+        "Per-stage batch latency in nanoseconds (log-bucketed)",
+        "stage",
+        &series,
+    );
+    let endpoints = shared.endpoints.snapshot();
+    let series: Vec<(&str, &HistSnapshot)> = endpoints.iter().map(|(n, s)| (*n, s)).collect();
+    w.histogram(
+        "urm_http_request_duration_ns",
+        "Per-endpoint HTTP request latency in nanoseconds (log-bucketed)",
+        "endpoint",
+        &series,
+    );
+    w.finish()
+}
+
+/// The bounded ring of recently finished traces (`GET /debug/traces`), newest last.  Spans
+/// carry integer-nanosecond `start_ns`/`dur_ns` and parent span ids (0 = root).
+fn traces_body(shared: &Shared) -> String {
+    let traces: Vec<String> = shared
+        .service
+        .finished_traces()
+        .iter()
+        .map(urm_service::TraceReport::to_json_object)
+        .collect();
+    format!("{{\"traces\":[{}]}}", traces.join(","))
 }
 
 /// `/query` (single spec) and `/batch` (spec list): parse, admit, submit, stream answers back
@@ -334,6 +427,15 @@ fn serve_queries(
         return write_response(writer, 503, &[], &error_body("server is draining"));
     }
 
+    // An `X-Trace-Id` header force-traces the request (regardless of `--trace-sample`): the
+    // batch it lands in records a full span tree under that id, retrievable from
+    // `GET /debug/traces`, and the response echoes the id back.
+    let trace_id = request.header("x-trace-id").map(str::to_string);
+    let tracer = match &trace_id {
+        Some(id) => Tracer::enabled(id.clone()),
+        None => Tracer::disabled(),
+    };
+
     // Admission: one permit covering the whole request, released when the responses are out.
     // Each query is charged its estimated evaluation cost — this spec's observed-latency EWMA
     // where the cost model has history, else the serving epoch's observed operators-per-query,
@@ -350,7 +452,12 @@ fn serve_queries(
             })
         })
         .sum();
-    let permit = match shared.admission.admit(client, specs.len(), cost) {
+    let mut admission_span = tracer.span("admission");
+    admission_span.tag("queries", specs.len() as u64);
+    admission_span.tag("cost", cost);
+    let admitted = shared.admission.admit(client, specs.len(), cost);
+    drop(admission_span);
+    let permit = match admitted {
         Ok(permit) => permit,
         Err(rejected) => {
             let retry = shared.admission.config().retry_after_secs;
@@ -375,7 +482,10 @@ fn serve_queries(
             return write_response(writer, 400, &[], &error_body(&msg));
         };
         let static_cost = static_query_cost(&entry.query);
-        match shared.service.submit(epoch, entry.query) {
+        match shared
+            .service
+            .submit_traced(epoch, entry.query, tracer.clone())
+        {
             Ok(ticket) => tickets.push((entry.label, static_cost, ticket)),
             Err(err) => {
                 return write_response(writer, 500, &[], &error_body(&err.to_string()));
@@ -386,7 +496,12 @@ fn serve_queries(
 
     // Stream the answers: each ticket's answer is rendered and written as its own chunk the
     // moment its batch resolves (chunked transfer encoding — no whole-response buffering).
-    let mut out = ChunkedWriter::start(writer, 200)?;
+    let trace_echo: Vec<(&str, String)> = trace_id
+        .as_ref()
+        .map(|id| ("x-trace-id", id.clone()))
+        .into_iter()
+        .collect();
+    let mut out = ChunkedWriter::start_with_headers(writer, 200, &trace_echo)?;
     if batch {
         out.chunk("{\"answers\":[")?;
         for (i, (label, static_cost, ticket)) in tickets.into_iter().enumerate() {

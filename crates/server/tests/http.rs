@@ -96,7 +96,8 @@ fn healthz_metrics_query_and_batch_round_trip() {
         doc.get("answers").and_then(Json::as_arr).unwrap()[0].to_string()
     );
 
-    let metrics = client.request("GET", "/metrics", None).unwrap();
+    // The JSON snapshot moved to /metrics.json (GET /metrics is Prometheus text now).
+    let metrics = client.request("GET", "/metrics.json", None).unwrap();
     assert_eq!(metrics.status, 200);
     let doc = Json::parse(&metrics.body).unwrap();
     assert!(doc.get("queries_submitted").and_then(Json::as_f64).unwrap() >= 5.0);
@@ -104,6 +105,9 @@ fn healthz_metrics_query_and_batch_round_trip() {
     assert_eq!(doc.get("in_flight_units").and_then(Json::as_f64), Some(0.0));
     assert!(doc.get("observed_nodes").and_then(Json::as_f64).is_some());
     assert!(doc.get("reordered_joins").and_then(Json::as_f64).is_some());
+    // Legacy millisecond keys survive alongside the normalised *_ns fields.
+    assert!(doc.get("batch_time_ms").and_then(Json::as_f64).is_some());
+    assert!(doc.get("batch_time_ns").and_then(Json::as_f64).is_some());
     server.shutdown();
 }
 

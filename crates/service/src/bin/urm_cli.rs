@@ -69,6 +69,7 @@ struct Args {
     shards: usize,
     shard_scheme: ShardScheme,
     memory_budget: Option<usize>,
+    trace: Option<String>,
     verify: bool,
 }
 
@@ -94,6 +95,7 @@ impl Default for Args {
             shards: defaults.shards,
             shard_scheme: defaults.shard_scheme,
             memory_budget: defaults.memory_budget,
+            trace: None,
             verify: false,
         }
     }
@@ -142,6 +144,10 @@ OPTIONS:
                       --shards; default: unbudgeted); under a budget, pinned results spill to
                       disk segments and oversized hash joins take the grace (partitioned)
                       path — answers are byte-identical
+  --trace FILE        trace every batch and write the merged span trees to FILE as Chrome
+                      trace-event JSON (load in chrome://tracing or Perfetto); service mode
+                      only.  The service keeps a bounded ring of recent traces, so very long
+                      runs keep the newest ones
   --verify            check every answer against an independent sequential algorithm
                       (o-sharing(SEF); basic when --algorithm is o-sharing itself)
   --help              print this help
@@ -167,6 +173,7 @@ fn parse_args() -> Result<Args, String> {
             "--shards" => args.shards = parse_num(&value("--shards")?)?.max(1),
             "--shard-scheme" => args.shard_scheme = value("--shard-scheme")?.parse()?,
             "--memory-budget" => args.memory_budget = Some(parse_num(&value("--memory-budget")?)?),
+            "--trace" => args.trace = Some(value("--trace")?),
             "--epoch-cache" => {
                 args.epoch_cache = match value("--epoch-cache")?.as_str() {
                     "on" => true,
@@ -360,6 +367,8 @@ fn run_service(
         adaptive: args.adaptive,
         shards: args.shards,
         shard_scheme: args.shard_scheme,
+        // --trace FILE traces every batch (sample rate 1); otherwise tracing stays off.
+        trace_sample: usize::from(args.trace.is_some()),
         memory_budget: args.memory_budget,
     });
     let epochs: BTreeMap<String, EpochId> = scenarios
@@ -538,6 +547,20 @@ fn run_service(
             metrics.grace_partitions,
         ),
         None => println!("spill: n/a (no --memory-budget)"),
+    }
+    if let Some(path) = &args.trace {
+        let traces = service.finished_traces();
+        let spans: usize = traces.iter().map(|t| t.spans().len()).sum();
+        match std::fs::write(path, urm_service::merge_chrome_json(&traces)) {
+            Ok(()) => println!(
+                "trace: {} trace(s), {spans} spans written to {path} (chrome://tracing)",
+                traces.len()
+            ),
+            Err(err) => {
+                eprintln!("error: cannot write trace '{path}': {err}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     service.shutdown();
 

@@ -61,6 +61,14 @@ pub struct ServiceConfig {
     /// attribute, or contiguous [`Range`](ShardScheme::Range) chunks).  Ignored with
     /// [`shards`](ServiceConfig::shards) = 1.  Answers are byte-identical under either scheme.
     pub shard_scheme: ShardScheme,
+    /// Trace-sampling rate for batches: 0 = off (the default — a disabled tracer is a no-op
+    /// on every hot path), N ≥ 1 = every Nth batch records a full span tree (`batch` →
+    /// `rewrite`/`optimize_bind`/`execute`/`aggregate` → per-DAG-node `node` spans, plus spill
+    /// and shard spans).  Finished traces land in the service's bounded recent-traces ring
+    /// ([`finished_traces`](crate::QueryService::finished_traces)); the HTTP layer also
+    /// force-traces any request carrying an `X-Trace-Id` header regardless of this knob
+    /// (`urm-server --trace-sample N`, `urm-cli --trace out.json`).
+    pub trace_sample: usize,
     /// Byte budget for materialised relations, per epoch (`None` = unbudgeted, all in memory).
     ///
     /// With a budget, each epoch owns a spill [`BufferPool`](urm_storage::BufferPool): pinned
@@ -98,6 +106,7 @@ impl Default for ServiceConfig {
             adaptive: true,
             shards: 1,
             shard_scheme: ShardScheme::Hash,
+            trace_sample: 0,
             memory_budget: None,
         }
     }
@@ -118,6 +127,7 @@ impl ServiceConfig {
             adaptive: true,
             shards: 1,
             shard_scheme: ShardScheme::Hash,
+            trace_sample: 0,
             memory_budget: None,
         }
     }

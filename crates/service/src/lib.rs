@@ -59,3 +59,8 @@ pub use service::{
     EpochId, QueryResponse, QueryService, ServedFrom, ServiceError, ServiceResult, Ticket,
 };
 pub use sharded::ShardedService;
+// Observability primitives, re-exported so the server/CLI/bench layers need no direct
+// `urm-obs` edge for the common cases (tracing a request, scraping histograms).
+pub use urm_obs::{
+    merge_chrome_json, HistSnapshot, Histogram, MetricKind, PromWriter, TraceReport, Tracer,
+};

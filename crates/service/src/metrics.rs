@@ -1,6 +1,11 @@
 //! Service-level work accounting.
 
 use std::time::Duration;
+// The percentile machinery (nearest-rank `percentile`, `LatencySummary`) lives in `urm-obs`
+// now — one implementation shared by the service, the CLI, the benches and the server.  The
+// re-export keeps `urm_service::{percentile, LatencySummary}` working unchanged.
+use urm_obs::MetricKind;
+pub use urm_obs::{percentile, LatencySummary};
 
 /// A snapshot of the service-wide counters.
 #[derive(Debug, Clone, Default)]
@@ -131,44 +136,98 @@ impl ServiceMetrics {
             (self.tuples_read + self.tuples_output) as f64 / secs
         }
     }
-}
 
-/// Nearest-rank percentile of an ascending-sorted latency sample set (`q` in `0..=100`).
-/// Returns [`Duration::ZERO`] for an empty set, so sub-millisecond smoke runs report zeros
-/// instead of panicking or emitting garbage.
-#[must_use]
-pub fn percentile(sorted: &[Duration], q: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
-}
-
-/// p50/p95/p99 of a set of per-query latency samples (nearest-rank percentiles — every
-/// reported value is an actually observed latency, never an interpolation).  The same summary
-/// shape is reported batch-side ([`BatchReport::latency_percentiles`]), by the `urm-cli`
-/// replay table, and by `http_bench`, so in-process and HTTP numbers compare directly.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct LatencySummary {
-    /// Median latency.
-    pub p50: Duration,
-    /// 95th-percentile latency.
-    pub p95: Duration,
-    /// 99th-percentile latency.
-    pub p99: Duration,
-}
-
-impl LatencySummary {
-    /// Summarises a sample set (consumed: sorting is done here, in one place).
+    /// Every field of the snapshot as `(name, kind, value)` triples — the **single** canonical
+    /// enumeration that drives the Prometheus exposition (`GET /metrics`), the JSON snapshot
+    /// (`GET /metrics.json`) and the coverage integration test, so the three surfaces cannot
+    /// drift apart.  Durations are normalised to integer-nanosecond `*_ns` fields; derived
+    /// rates come last, as gauges.
     #[must_use]
-    pub fn from_samples(mut samples: Vec<Duration>) -> Self {
-        samples.sort_unstable();
-        LatencySummary {
-            p50: percentile(&samples, 50.0),
-            p95: percentile(&samples, 95.0),
-            p99: percentile(&samples, 99.0),
-        }
+    pub fn fields(&self) -> Vec<(&'static str, MetricKind, f64)> {
+        use MetricKind::{Counter, Gauge};
+        vec![
+            ("queries_submitted", Counter, self.queries_submitted as f64),
+            ("answer_cache_hits", Counter, self.answer_cache_hits as f64),
+            (
+                "answer_cache_misses",
+                Counter,
+                self.answer_cache_misses as f64,
+            ),
+            (
+                "answer_cache_evictions",
+                Counter,
+                self.answer_cache_evictions as f64,
+            ),
+            ("batch_deduped", Counter, self.batch_deduped as f64),
+            ("batches", Counter, self.batches as f64),
+            ("queries_evaluated", Counter, self.queries_evaluated as f64),
+            ("plan_cache_hits", Counter, self.plan_cache_hits as f64),
+            ("plan_cache_misses", Counter, self.plan_cache_misses as f64),
+            (
+                "dag_nodes_executed",
+                Counter,
+                self.dag_nodes_executed as f64,
+            ),
+            (
+                "dag_operators_deduped",
+                Counter,
+                self.dag_operators_deduped as f64,
+            ),
+            (
+                "dag_peak_parallelism",
+                Gauge,
+                self.dag_peak_parallelism as f64,
+            ),
+            ("epoch_bind_hits", Counter, self.epoch_bind_hits as f64),
+            (
+                "epoch_results_reused",
+                Counter,
+                self.epoch_results_reused as f64,
+            ),
+            ("source_operators", Counter, self.source_operators as f64),
+            ("tuples_read", Counter, self.tuples_read as f64),
+            ("tuples_output", Counter, self.tuples_output as f64),
+            ("rows_shared", Counter, self.rows_shared as f64),
+            ("bytes_spilled", Counter, self.bytes_spilled as f64),
+            ("spill_reloads", Counter, self.spill_reloads as f64),
+            ("grace_partitions", Counter, self.grace_partitions as f64),
+            ("columnar_rows", Counter, self.columnar_rows as f64),
+            ("segment_bytes_raw", Counter, self.segment_bytes_raw as f64),
+            (
+                "segment_bytes_encoded",
+                Counter,
+                self.segment_bytes_encoded as f64,
+            ),
+            ("observed_nodes", Counter, self.observed_nodes as f64),
+            ("reordered_joins", Counter, self.reordered_joins as f64),
+            ("shard_batches", Counter, self.shard_batches as f64),
+            ("shard_fanouts", Counter, self.shard_fanouts as f64),
+            (
+                "shard_merge_time_ns",
+                Counter,
+                self.shard_merge_time.as_nanos() as f64,
+            ),
+            (
+                "shard_latency_p50_ns",
+                Gauge,
+                self.shard_latency.p50.as_nanos() as f64,
+            ),
+            (
+                "shard_latency_p95_ns",
+                Gauge,
+                self.shard_latency.p95.as_nanos() as f64,
+            ),
+            (
+                "shard_latency_p99_ns",
+                Gauge,
+                self.shard_latency.p99.as_nanos() as f64,
+            ),
+            ("batch_time_ns", Counter, self.batch_time.as_nanos() as f64),
+            ("answer_hit_rate", Gauge, self.answer_hit_rate()),
+            ("plan_hit_rate", Gauge, self.plan_hit_rate()),
+            ("epoch_reuse_rate", Gauge, self.epoch_reuse_rate()),
+            ("rows_per_second", Gauge, self.rows_per_second()),
+        ]
     }
 }
 
@@ -266,23 +325,35 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_use_nearest_rank_and_survive_empty_samples() {
-        assert_eq!(percentile(&[], 99.0), Duration::ZERO);
-        assert_eq!(
-            LatencySummary::from_samples(Vec::new()),
-            LatencySummary::default()
+    fn fields_enumerate_every_surface_key_once() {
+        // The canonical enumeration backs /metrics, /metrics.json and the coverage test:
+        // names must be unique, and the duration fields must surface as integer *_ns values.
+        let m = ServiceMetrics {
+            batches: 3,
+            batch_time: Duration::from_micros(1500),
+            shard_merge_time: Duration::from_nanos(42),
+            ..ServiceMetrics::default()
+        };
+        let fields = m.fields();
+        let mut names: Vec<&str> = fields.iter().map(|(n, _, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), fields.len(), "duplicate field name");
+        let get = |name: &str| {
+            fields
+                .iter()
+                .find(|(n, _, _)| *n == name)
+                .unwrap_or_else(|| panic!("missing field {name}"))
+        };
+        assert_eq!(get("batches").2, 3.0);
+        assert_eq!(get("batch_time_ns").2, 1_500_000.0);
+        assert_eq!(get("shard_merge_time_ns").2, 42.0);
+        assert!(matches!(get("queries_submitted").1, MetricKind::Counter));
+        assert!(matches!(get("answer_hit_rate").1, MetricKind::Gauge));
+        assert!(
+            !fields.iter().any(|(n, _, _)| n.ends_with("_ms")),
+            "durations must be normalised to _ns"
         );
-
-        let one = LatencySummary::from_samples(vec![Duration::from_millis(7)]);
-        assert_eq!(one.p50, Duration::from_millis(7));
-        assert_eq!(one.p99, Duration::from_millis(7));
-
-        // 100 samples 1ms..=100ms (shuffled): nearest-rank pN is exactly the Nth millisecond.
-        let samples: Vec<Duration> = (1..=100u64).rev().map(Duration::from_millis).collect();
-        let s = LatencySummary::from_samples(samples);
-        assert_eq!(s.p50, Duration::from_millis(50));
-        assert_eq!(s.p95, Duration::from_millis(95));
-        assert_eq!(s.p99, Duration::from_millis(99));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::answer_cache::{AnswerCache, CachedAnswer};
 use crate::config::ServiceConfig;
 use crate::metrics::{BatchReport, LatencySummary, ServiceMetrics};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
@@ -12,15 +12,19 @@ use std::time::{Duration, Instant};
 use urm_core::metrics::EvalMetrics;
 use urm_core::{
     evaluate_batch, evaluate_batch_epoch, evaluate_batch_sharded, execute_prepared_batch,
-    prepare_batch_epoch, BatchOptions, EpochDag, ShardSet, ShardStats,
+    prepare_batch_epoch_traced, BatchOptions, EpochDag, ShardSet, ShardStats,
 };
 use urm_core::{CoreError, ProbabilisticAnswer, TargetQuery};
 use urm_engine::CardinalityStore;
 use urm_matching::MappingSet;
+use urm_obs::{HistSnapshot, Histogram, TraceReport, Tracer};
 use urm_storage::Catalog;
 
 /// How many [`BatchReport`]s the service retains for inspection.
 const RETAINED_REPORTS: usize = 4096;
+
+/// How many finished [`TraceReport`]s the service retains (ring, oldest evicted first).
+const RETAINED_TRACES: usize = 32;
 
 /// Identifier of a registered (catalog, mapping set) epoch.
 ///
@@ -145,6 +149,9 @@ struct Submission {
     /// render as `1` — while the derived `Debug` output is injective.
     key: String,
     responder: mpsc::Sender<ServiceResult<QueryResponse>>,
+    /// Per-request tracer (disabled unless the submission came in with a trace id, e.g. via
+    /// the HTTP layer's `X-Trace-Id`).  The batch adopts the first enabled one it finds.
+    tracer: Tracer,
 }
 
 struct Batch {
@@ -173,6 +180,44 @@ struct Inner {
     /// Bounded per-shard execution-time samples (one per shard per sharded batch), feeding the
     /// service-wide [`ServiceMetrics::shard_latency`] percentiles at snapshot time.
     shard_samples: Mutex<Vec<Duration>>,
+    /// Lock-free per-stage latency histograms (log-bucketed, ≤12.5% relative error) — recorded
+    /// on every batch regardless of tracing, snapshotted by
+    /// [`stage_histograms`](QueryService::stage_histograms) for the Prometheus exposition.
+    stages: StageHistograms,
+    /// Bounded ring of finished trace reports (newest last), drained read-only by
+    /// `GET /debug/traces` and `urm-cli --trace`.
+    traces: Mutex<VecDeque<TraceReport>>,
+}
+
+/// One log-bucketed histogram per pipeline stage plus the whole-batch and per-query envelopes.
+/// All increments are atomic — batches on different workers record concurrently, lock-free.
+#[derive(Default)]
+struct StageHistograms {
+    /// Per-query reformulation (rewrite) time.
+    rewrite: Histogram,
+    /// Per-query optimise + bind time.
+    plan: Histogram,
+    /// Batch-wide DAG execution time.
+    execute: Histogram,
+    /// Per-query probability-aggregation time.
+    aggregate: Histogram,
+    /// Per-query wall clock, submission to aggregation.
+    query: Histogram,
+    /// Whole-batch wall clock.
+    batch: Histogram,
+}
+
+impl StageHistograms {
+    fn snapshot(&self) -> Vec<(&'static str, HistSnapshot)> {
+        vec![
+            ("rewrite", self.rewrite.snapshot()),
+            ("plan", self.plan.snapshot()),
+            ("execute", self.execute.snapshot()),
+            ("aggregate", self.aggregate.snapshot()),
+            ("query", self.query.snapshot()),
+            ("batch", self.batch.snapshot()),
+        ]
+    }
 }
 
 impl Inner {
@@ -196,6 +241,24 @@ impl Inner {
     fn process_batch(&self, batch: Batch) {
         let start = Instant::now();
         let total = batch.submissions.len();
+
+        // Adopt the first request-scoped tracer in the batch (HTTP `X-Trace-Id` propagation);
+        // otherwise sample every Nth batch when configured.  A disabled tracer is a no-op on
+        // every span site below.
+        let tracer = batch
+            .submissions
+            .iter()
+            .map(|s| s.tracer.clone())
+            .find(Tracer::is_enabled)
+            .unwrap_or_else(|| match self.config.trace_sample as u64 {
+                0 => Tracer::disabled(),
+                n if batch.id.is_multiple_of(n) => Tracer::enabled(format!("batch-{}", batch.id)),
+                _ => Tracer::disabled(),
+            });
+        let mut batch_span = tracer.span("batch");
+        batch_span.tag("batch", batch.id);
+        batch_span.tag("epoch", batch.epoch_id.raw());
+        batch_span.tag("queries", total as u64);
 
         // Re-check the answer cache: an earlier batch may have answered a query that missed
         // at submission time.  (`recheck` does not count a second miss for these.)  Responses
@@ -234,7 +297,8 @@ impl Inner {
         // needs exactly once, on the configured number of scheduler workers.
         let options = BatchOptions::parallel(self.config.dag_workers)
             .with_columnar(self.config.columnar)
-            .with_adaptive(self.config.adaptive);
+            .with_adaptive(self.config.adaptive)
+            .with_tracer(tracer.clone());
         let outcome: Result<_, CoreError> = if let Some(set) = &batch.epoch.shard_set {
             // Scatter-gather: fan the distinct queries out to the epoch's shard runtimes in
             // parallel and merge the per-shard answers back into the canonical order.  The
@@ -256,11 +320,12 @@ impl Inner {
                 // epoch still serialise, on the engine's internal result lock.
                 let prepared = {
                     let mut epoch_dag = batch.epoch.dag.lock().unwrap();
-                    prepare_batch_epoch(
+                    prepare_batch_epoch_traced(
                         &unique,
                         &batch.epoch.mappings,
                         &batch.epoch.catalog,
                         &mut epoch_dag,
+                        &tracer,
                     )
                 };
                 prepared
@@ -333,6 +398,7 @@ impl Inner {
             outcome.exec.tuples_output,
             outcome.exec.rows_shared,
         );
+        let exec_time = outcome.exec.exec_time;
         let shared: Vec<(EvalMetrics, Arc<ProbabilisticAnswer>)> = outcome
             .evaluations
             .into_iter()
@@ -449,6 +515,25 @@ impl Inner {
                 reports.drain(..excess);
             }
         }
+        // Stage latencies feed the lock-free histograms on every batch, traced or not.
+        for (m, _) in &shared {
+            self.stages.rewrite.record_duration(m.rewrite_time);
+            self.stages.plan.record_duration(m.plan_time);
+            self.stages.aggregate.record_duration(m.aggregation_time);
+            self.stages.query.record_duration(m.total_time);
+        }
+        self.stages.execute.record_duration(exec_time);
+        self.stages.batch.record_duration(latency);
+        // Close the batch span and bank the finished trace before releasing the tickets, so a
+        // client that observed its response can always fetch its trace.
+        drop(batch_span);
+        if let Some(trace) = tracer.finish() {
+            let mut traces = self.traces.lock().unwrap();
+            if traces.len() == RETAINED_TRACES {
+                traces.pop_front();
+            }
+            traces.push_back(trace);
+        }
 
         for (submission, found) in cached_hits {
             Inner::respond(
@@ -505,6 +590,8 @@ impl QueryService {
             reports: Mutex::new(Vec::new()),
             carryover: CardinalityStore::new(),
             shard_samples: Mutex::new(Vec::new()),
+            stages: StageHistograms::default(),
+            traces: Mutex::new(VecDeque::new()),
         });
         let (job_tx, job_rx) = mpsc::channel::<Batch>();
         let job_rx = Arc::new(Mutex::new(job_rx));
@@ -614,6 +701,19 @@ impl QueryService {
     /// possible, otherwise it joins the epoch's pending batch, which is dispatched when it
     /// reaches [`ServiceConfig::batch_max`] or on [`flush`](QueryService::flush).
     pub fn submit(&self, epoch: EpochId, query: TargetQuery) -> ServiceResult<Ticket> {
+        self.submit_traced(epoch, query, Tracer::disabled())
+    }
+
+    /// [`submit`](QueryService::submit) with a request-scoped tracer: when `tracer` is
+    /// enabled, the batch this query lands in records a full span tree under its trace id
+    /// (retrievable from [`finished_traces`](QueryService::finished_traces) once answered).
+    /// Cache hits at submit time short-circuit before any batch runs and record no spans.
+    pub fn submit_traced(
+        &self,
+        epoch: EpochId,
+        query: TargetQuery,
+        tracer: Tracer,
+    ) -> ServiceResult<Ticket> {
         let epoch_arc = self
             .inner
             .epochs
@@ -642,6 +742,7 @@ impl QueryService {
             query,
             key,
             responder: tx,
+            tracer,
         };
         let ready = {
             let mut pending = self.inner.pending.lock().unwrap();
@@ -737,6 +838,12 @@ impl QueryService {
         }
     }
 
+    /// The configuration this service was started with.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
     /// A snapshot of the service-wide metrics.
     #[must_use]
     pub fn metrics(&self) -> ServiceMetrics {
@@ -754,6 +861,22 @@ impl QueryService {
     #[must_use]
     pub fn reports(&self) -> Vec<BatchReport> {
         self.inner.reports.lock().unwrap().clone()
+    }
+
+    /// Snapshots of the per-stage latency histograms as `(stage, snapshot)` pairs —
+    /// `rewrite`, `plan`, `execute`, `aggregate`, `query` and `batch` (log-bucketed; merge
+    /// snapshots across services with [`HistSnapshot::merge`]).
+    #[must_use]
+    pub fn stage_histograms(&self) -> Vec<(&'static str, HistSnapshot)> {
+        self.inner.stages.snapshot()
+    }
+
+    /// The retained finished traces (bounded ring, newest last).  Batches record a trace when
+    /// a submission carried an enabled [`Tracer`] ([`submit_traced`](QueryService::submit_traced))
+    /// or when [`ServiceConfig::trace_sample`] sampled them.
+    #[must_use]
+    pub fn finished_traces(&self) -> Vec<TraceReport> {
+        self.inner.traces.lock().unwrap().iter().cloned().collect()
     }
 
     /// Flushes pending work, waits for the workers to drain, and stops them.

@@ -44,6 +44,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, Weak};
+use urm_obs::Tracer;
 
 /// Accounting granularity the spill reports allow for: gates on the pool's budget compare
 /// against `budget + DEFAULT_PAGE_BYTES` so byte-estimate rounding never flakes a CI run.
@@ -125,6 +126,9 @@ struct PoolInner {
     peak_live_bytes: usize,
     /// Test hook: number of upcoming cold segment reads to fail with an injected I/O error.
     fail_loads: u64,
+    /// The tracer spill I/O reports to ([`BufferPool::set_tracer`]); disabled by default, so
+    /// the spans in [`trim_with`] and [`SpillableRelation::load`] are free when tracing is off.
+    tracer: Tracer,
 }
 
 impl PoolInner {
@@ -291,9 +295,19 @@ fn trim_with(
     mut plan: impl FnMut(&mut PoolInner) -> Option<SpillJob>,
 ) -> StorageResult<()> {
     loop {
-        let Some(job) = plan(&mut pool.lock().unwrap()) else {
-            return Ok(());
+        let (job, tracer) = {
+            let mut inner = pool.lock().unwrap();
+            match plan(&mut inner) {
+                Some(job) => {
+                    let tracer = inner.tracer.clone();
+                    (job, tracer)
+                }
+                None => return Ok(()),
+            }
         };
+        let mut span = tracer.span("spill_write");
+        span.tag("bytes", job.rel.estimated_bytes() as u64);
+        span.tag("rows", job.rel.len() as u64);
         let mut dir_ok = false;
         let written = (|| {
             if let Some(dir) = &job.create_dir {
@@ -307,6 +321,7 @@ fn trim_with(
                 raw: codec::encoded_rows_len(&job.rel),
             })
         })();
+        drop(span);
         pool.lock().unwrap().finish_spill(job, dir_ok, written)?;
     }
 }
@@ -378,6 +393,7 @@ impl BufferPool {
                 peak_cached_bytes: 0,
                 peak_live_bytes: 0,
                 fail_loads: 0,
+                tracer: Tracer::disabled(),
             })),
         }
     }
@@ -516,6 +532,13 @@ impl BufferPool {
     pub fn spill_dir(&self) -> PathBuf {
         self.inner.lock().unwrap().dir.clone()
     }
+
+    /// Points the pool's spill I/O spans (`spill_write`, `spill_reload`) at `tracer`.  Every
+    /// clone of the pool and every live [`SpillableRelation`] handle shares the slot, so the
+    /// executor can set it for one traced batch and [clear](Tracer::disabled) it after.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.inner.lock().unwrap().tracer = tracer;
+    }
 }
 
 /// What keeps a [`SpillableRelation`]'s bookkeeping alive; dropping the last clone of a handle
@@ -600,7 +623,7 @@ impl SpillableRelation {
         // Resident fast paths under the lock; the segment read + decode of a cold reload runs
         // *outside* it, so parallel workers sharing one pool never serialise on each other's
         // disk I/O.
-        let (path, schema) = {
+        let (path, schema, tracer) = {
             let mut inner = self.inner.pool.lock().unwrap();
             inner.touch(self.inner.id);
             let entry = inner
@@ -623,10 +646,15 @@ impl SpillableRelation {
                 inner.fail_loads -= 1;
                 return Err(StorageError::Io("injected segment read failure".into()));
             }
-            (path, schema)
+            let tracer = inner.tracer.clone();
+            (path, schema, tracer)
         };
+        let mut span = tracer.span("spill_reload");
+        span.tag("bytes", self.inner.bytes as u64);
+        span.tag("rows", self.inner.len as u64);
         let raw = std::fs::read(&path).map_err(io_err)?;
         let rel = Arc::new(codec::decode_segment(schema, raw.into())?);
+        drop(span);
 
         let mut inner = self.inner.pool.lock().unwrap();
         let entry = inner
